@@ -1,0 +1,111 @@
+(* Benchmark harness.
+
+   Usage:
+     bench/main.exe                  run every paper experiment (full sizes)
+     bench/main.exe --quick          quarter-cost configuration
+     bench/main.exe fig13 fig15      run selected experiments
+     bench/main.exe micro            run the Bechamel micro-benchmarks
+
+   One runner per table/figure of the paper regenerates the
+   corresponding rows/series (see DESIGN.md's per-experiment index and
+   EXPERIMENTS.md for measured-vs-paper numbers). *)
+
+open Ctam_exp
+
+(* --- Bechamel micro-benchmarks of the core algorithms --------------- *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let machine = Ctam_arch.Machines.dunnington ~scale:16 () in
+  let prog = Ctam_workloads.Kernel.small_program Ctam_workloads.Suite.galgel in
+  let nest = List.hd (Ctam_ir.Program.parallel_nests prog) in
+  let params = Ctam_core.Mapping.default_params in
+  let bm, layout =
+    Ctam_blocks.Block_map.for_program ~block_size:2048 ~line:64 prog
+  in
+  let grouping = Ctam_blocks.Tags.group nest bm in
+  let groups = grouping.Ctam_blocks.Tags.groups in
+  let dg = Ctam_deps.Dep_graph.create (Array.length groups) in
+  let assignment = Ctam_core.Distribute.run machine groups in
+  let stream = Ctam_core.Trace.serial layout nest in
+  let hierarchy = Ctam_cachesim.Hierarchy.create machine in
+  let tag_a = groups.(0).Ctam_blocks.Iter_group.tag in
+  let tag_b = groups.(Array.length groups - 1).Ctam_blocks.Iter_group.tag in
+  let tests =
+    Test.make_grouped ~name:"ctam" ~fmt:"%s %s"
+      [
+        Test.make ~name:"bitset-dot (tag affinity)"
+          (Staged.stage (fun () -> Ctam_blocks.Bitset.dot tag_a tag_b));
+        Test.make ~name:"tagging (Tags.group, small galgel)"
+          (Staged.stage (fun () -> Ctam_blocks.Tags.group nest bm));
+        Test.make ~name:"distribute (Figure 6)"
+          (Staged.stage (fun () -> Ctam_core.Distribute.run machine groups));
+        Test.make ~name:"schedule (Figure 7)"
+          (Staged.stage (fun () ->
+               Ctam_core.Schedule.run machine assignment dg));
+        Test.make ~name:"simulate (serial stream)"
+          (Staged.stage (fun () ->
+               Ctam_cachesim.Engine.run_serial hierarchy stream));
+        Test.make ~name:"compile TopologyAware end-to-end"
+          (Staged.stage (fun () ->
+               Ctam_core.Mapping.compile ~params Ctam_core.Mapping.Topology_aware
+                 ~machine prog));
+      ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) ()
+    in
+    let raw_results = Benchmark.all cfg instances tests in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    let results = Analyze.merge ols instances results in
+    results
+  in
+  let results = benchmark () in
+  print_endline "\nMicro-benchmarks (monotonic clock, ns per run)";
+  print_endline "----------------------------------------------";
+  Hashtbl.iter
+    (fun _metric tbl ->
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some (t :: _) -> Printf.printf "%-45s %12.0f ns\n" name t
+          | _ -> Printf.printf "%-45s (no estimate)\n" name)
+        tbl)
+    results
+
+(* --- experiment driver ---------------------------------------------- *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let args = List.filter (fun a -> a <> "--quick" && a <> "--full") args in
+  match args with
+  | [ "micro" ] -> micro ()
+  | [] ->
+      Printf.printf
+        "Running all paper experiments (%s sizes; pass --quick for the \
+         quarter-cost configuration, 'micro' for micro-benchmarks)\n"
+        (if quick then "quick" else "full");
+      List.iter
+        (fun (name, report) ->
+          Printf.printf "\n###### %s ######\n%s%!" name report)
+        (Experiments.all ~quick ())
+  | names ->
+      List.iter
+        (fun name ->
+          match Experiments.by_name name with
+          | runner -> Printf.printf "%s%!" (runner ~quick ())
+          | exception Not_found ->
+              Printf.eprintf
+                "unknown experiment %s (known: %s, micro)\n" name
+                (String.concat ", " Experiments.names);
+              exit 1)
+        names

@@ -1,0 +1,396 @@
+(* ctamap: the cache-topology-aware computation mapper, as a CLI.
+
+   Compiles loop-nest programs written in the paper's C-like DSL (or a
+   built-in workload), maps them onto a cache topology with any of the
+   paper's schemes, emits per-core loop code, and simulates execution
+   on the machine's cache hierarchy. *)
+
+open Cmdliner
+open Ctam_ir
+open Ctam_arch
+open Ctam_cachesim
+open Ctam_blocks
+open Ctam_core
+open Ctam_workloads
+
+(* --- shared helpers -------------------------------------------------- *)
+
+let load_program source =
+  (* [source] is a DSL file path or the name of a built-in workload. *)
+  if Sys.file_exists source then begin
+    let ic = open_in_bin source in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    try Ok (Ctam_frontend.Lower.compile text)
+    with Ctam_frontend.Parse_error.Error (pos, msg) ->
+      Error (Ctam_frontend.Parse_error.render ~source:text pos msg)
+  end
+  else
+    match Suite.by_name source with
+    | k -> Ok (Kernel.program k)
+    | exception Not_found ->
+        Error
+          (Printf.sprintf
+             "'%s' is neither a file nor a built-in workload (workloads: %s)"
+             source
+             (String.concat ", " (List.map (fun k -> k.Kernel.name) Suite.all)))
+
+let scheme_of_string = function
+  | "base" -> Ok Mapping.Base
+  | "base+" | "baseplus" -> Ok Mapping.Base_plus
+  | "local" -> Ok Mapping.Local
+  | "topology" | "topology-aware" | "ta" -> Ok Mapping.Topology_aware
+  | "combined" -> Ok Mapping.Combined
+  | s -> Error (Printf.sprintf "unknown scheme '%s'" s)
+
+let machine_arg =
+  let doc =
+    "Target machine: harpertown, nehalem, dunnington, arch-i, arch-ii — or \
+     a topology description file (see Topo_parse)."
+  in
+  Arg.(value & opt string "dunnington" & info [ "m"; "machine" ] ~doc)
+
+let scale_arg =
+  let doc = "Cache-capacity scale divisor (1 = the paper's Table 1 sizes)." in
+  Arg.(value & opt int 16 & info [ "scale" ] ~doc)
+
+let scheme_arg =
+  let doc = "Mapping scheme: base, base+, local, topology-aware, combined." in
+  Arg.(value & opt string "combined" & info [ "s"; "scheme" ] ~doc)
+
+let block_arg =
+  let doc = "Data block size in bytes (the paper's default is 2048)." in
+  Arg.(value & opt int 2048 & info [ "b"; "block" ] ~doc)
+
+let source_arg =
+  let doc = "DSL source file, or the name of a built-in workload." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let get_machine name scale =
+  if Sys.file_exists name then begin
+    let ic = open_in_bin name in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    match Topo_parse.parse text with
+    | t ->
+        (* Scale file-described machines the same way as presets. *)
+        Ok
+          (Topology.map_caches
+             (fun p ->
+               let set = p.Topology.assoc * p.Topology.line in
+               {
+                 p with
+                 Topology.size_bytes =
+                   max set (p.Topology.size_bytes / scale / set * set);
+               })
+             t)
+    | exception Topo_parse.Error msg ->
+        Error (Printf.sprintf "%s: %s" name msg)
+  end
+  else
+    match Machines.by_name ~scale name with
+    | m -> Ok m
+    | exception Not_found -> Error (Printf.sprintf "unknown machine '%s'" name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e)
+
+(* --- commands --------------------------------------------------------- *)
+
+let machines_cmd =
+  let run scale =
+    List.iter
+      (fun m -> Fmt.pr "%a@.@." Topology.pp m)
+      (Machines.commercial ~scale ()
+      @ [ Machines.arch_i ~scale (); Machines.arch_ii ~scale () ]);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "machines" ~doc:"List the built-in cache topologies.")
+    Term.(ret (const run $ scale_arg))
+
+let groups_cmd =
+  let run source machine scale block limit =
+    let* prog = load_program source in
+    let* machine = get_machine machine scale in
+    let params = { Mapping.default_params with block_size = block } in
+    match Program.parallel_nests prog with
+    | [] -> `Error (false, "program has no parallel nest")
+    | nest :: _ ->
+        let _grouping, groups, dag =
+          Mapping.grouping_for ~params ~machine prog nest
+        in
+        Fmt.pr "nest %s: %d iteration groups, %d dependence edges@."
+          nest.Nest.name (Array.length groups)
+          (Ctam_deps.Dep_graph.num_edges dag);
+        Array.iteri
+          (fun i g -> if i < limit then Fmt.pr "  %a@." Iter_group.pp g)
+          groups;
+        if Array.length groups > limit then
+          Fmt.pr "  ... (%d more)@." (Array.length groups - limit);
+        `Ok ()
+  in
+  let limit =
+    Arg.(value & opt int 16 & info [ "n"; "limit" ] ~doc:"Groups to print.")
+  in
+  Cmd.v
+    (Cmd.info "groups"
+       ~doc:"Show the iteration groups (tags) of a program's parallel nest.")
+    Term.(
+      ret (const run $ source_arg $ machine_arg $ scale_arg $ block_arg $ limit))
+
+let map_cmd =
+  let run source machine scale scheme block =
+    let* prog = load_program source in
+    let* machine = get_machine machine scale in
+    let* scheme = scheme_of_string scheme in
+    let params = { Mapping.default_params with block_size = block } in
+    let compiled = Mapping.compile ~params scheme ~machine prog in
+    Fmt.pr "program %s mapped with %s for %s@." prog.Program.name
+      (Mapping.scheme_name scheme) machine.Topology.name;
+    List.iter
+      (fun info ->
+        Fmt.pr "  nest %-12s groups=%-5d rounds=%-4d dep-edges=%-5d block=%dB@."
+          info.Mapping.nest_name info.Mapping.num_groups info.Mapping.num_rounds
+          info.Mapping.dep_edges info.Mapping.used_block_size)
+      compiled.Mapping.infos;
+    (* Per-core access counts of the first phase. *)
+    (match compiled.Mapping.phases with
+    | phase :: _ ->
+        Fmt.pr "first phase accesses per core:@.";
+        Array.iteri (fun c s -> Fmt.pr "  core %2d: %d@." c (Array.length s)) phase
+    | [] -> ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:"Compile a program and print the mapping summary.")
+    Term.(
+      ret (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
+           $ block_arg))
+
+let simulate_cmd =
+  let run source machine scale scheme block =
+    let* prog = load_program source in
+    let* machine = get_machine machine scale in
+    let* scheme = scheme_of_string scheme in
+    let params = { Mapping.default_params with block_size = block } in
+    let stats = Mapping.run ~params scheme ~machine prog in
+    Fmt.pr "%s on %s (%s):@.%a@."
+      prog.Program.name machine.Topology.name (Mapping.scheme_name scheme)
+      Stats.pp stats;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Compile and execute a program on the simulated hierarchy.")
+    Term.(
+      ret (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
+           $ block_arg))
+
+let compare_cmd =
+  let run source machine scale block =
+    let* prog = load_program source in
+    let* machine = get_machine machine scale in
+    let params = { Mapping.default_params with block_size = block } in
+    let base = ref 1 in
+    Fmt.pr "%-15s %12s %10s %10s@." "scheme" "cycles" "mem" "vs Base";
+    List.iter
+      (fun scheme ->
+        let stats = Mapping.run ~params scheme ~machine prog in
+        if scheme = Mapping.Base then base := stats.Stats.cycles;
+        Fmt.pr "%-15s %12d %10d %10.3f@."
+          (Mapping.scheme_name scheme)
+          stats.Stats.cycles stats.Stats.mem_accesses
+          (float_of_int stats.Stats.cycles /. float_of_int !base))
+      Mapping.all_schemes;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all mapping schemes on one program.")
+    Term.(ret (const run $ source_arg $ machine_arg $ scale_arg $ block_arg))
+
+let codegen_cmd =
+  let run source machine scale core block =
+    let* prog = load_program source in
+    let* machine = get_machine machine scale in
+    let params = { Mapping.default_params with block_size = block } in
+    match Program.parallel_nests prog with
+    | [] -> `Error (false, "program has no parallel nest")
+    | nest :: _ ->
+        if core < 0 || core >= machine.Topology.num_cores then
+          `Error (false, "core out of range")
+        else begin
+          let _grouping, groups, dag =
+            Mapping.grouping_for ~params ~machine prog nest
+          in
+          let assignment = Distribute.run machine groups in
+          let sched = Schedule.run machine assignment dag in
+          let per_core = Schedule.per_core sched in
+          Fmt.pr "// code for core %d of %s (%d groups)@." core
+            machine.Topology.name
+            (List.length per_core.(core));
+          let body =
+            Fmt.str "%a"
+              (Fmt.list ~sep:(Fmt.any " ")
+                 (Ctam_ir.Stmt.pp ~names:nest.Nest.index_names))
+              nest.Nest.body
+          in
+          List.iter
+            (fun g ->
+              let cg = Ctam_poly.Codegen.decompose g.Iter_group.iters in
+              Fmt.pr "// group %d, tag weight %d@.%s" g.Iter_group.id
+                (Bitset.count g.Iter_group.tag)
+                (Ctam_poly.Codegen.emit ~names:nest.Nest.index_names ~body cg))
+            per_core.(core);
+          `Ok ()
+        end
+  in
+  let core =
+    Arg.(value & opt int 0 & info [ "c"; "core" ] ~doc:"Core to emit code for.")
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:
+         "Emit the C-like loop nests that enumerate one core's iteration \
+          groups (the Omega-style codegen step).")
+    Term.(
+      ret (const run $ source_arg $ machine_arg $ scale_arg $ core $ block_arg))
+
+let dump_cmd =
+  let run source output =
+    let* prog = load_program source in
+    let text = Ctam_frontend.Unparse.program prog in
+    (match output with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Fmt.pr "wrote %s@." path
+    | None -> print_string text);
+    `Ok ()
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the DSL text to this file.")
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Render a program (e.g. a built-in workload) as DSL source.")
+    Term.(ret (const run $ source_arg $ output))
+
+let reuse_cmd =
+  let run source machine scale scheme block =
+    let* prog = load_program source in
+    let* machine = get_machine machine scale in
+    let* scheme = scheme_of_string scheme in
+    let params = { Mapping.default_params with block_size = block } in
+    let compiled = Mapping.compile ~params scheme ~machine prog in
+    let line =
+      match Topology.caches machine with p :: _ -> p.Topology.line | [] -> 64
+    in
+    let l1_lines = Mapping.l1_capacity machine / line in
+    (* Per-core reuse profile of the first phase. *)
+    (match compiled.Mapping.phases with
+    | [] -> ()
+    | phase :: _ ->
+        let hists =
+          Array.to_list (Array.map (fun s -> Reuse.of_stream s ~line) phase)
+        in
+        Array.iteri
+          (fun c s ->
+            if Array.length s > 0 then begin
+              let h = Reuse.of_stream s ~line in
+              Fmt.pr
+                "core %2d: %7d accesses, %6d cold, mean distance %8.1f, \
+                 L1-size hit ratio %.2f@."
+                c (Array.length s) h.Reuse.cold (Reuse.mean_distance h)
+                (Reuse.hit_ratio_at h ~lines:l1_lines)
+            end)
+          phase;
+        let m = Reuse.merge hists in
+        Fmt.pr "machine:  %7d accesses, %6d cold, mean distance %8.1f@."
+          m.Reuse.total m.Reuse.cold (Reuse.mean_distance m));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "reuse"
+       ~doc:
+         "Reuse-distance (LRU stack distance) profile of a mapping's \
+          per-core access streams.")
+    Term.(
+      ret (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
+           $ block_arg))
+
+let emit_c_cmd =
+  let run source machine scale scheme block output =
+    let* prog = load_program source in
+    let* machine = get_machine machine scale in
+    let* scheme = scheme_of_string scheme in
+    let params = { Mapping.default_params with block_size = block } in
+    let compiled = Mapping.compile ~params scheme ~machine prog in
+    let code = Emit_c.program compiled in
+    (match output with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc code;
+        close_out oc;
+        Fmt.pr "wrote %s (%d bytes); compile with: gcc -fopenmp -O2 %s@." path
+          (String.length code) path
+    | None -> print_string code);
+    `Ok ()
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~doc:"Write the C program to this file.")
+  in
+  Cmd.v
+    (Cmd.info "emit-c"
+       ~doc:
+         "Emit the mapped program as a complete OpenMP C file (per-core           loop nests, barriers between scheduling rounds).")
+    Term.(
+      ret (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
+           $ block_arg $ output))
+
+let experiment_cmd =
+  let run name quick =
+    match Ctam_exp.Experiments.by_name name with
+    | runner ->
+        print_string (runner ~quick ());
+        `Ok ()
+    | exception Not_found ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown experiment '%s' (known: %s)" name
+              (String.concat ", " Ctam_exp.Experiments.names) )
+  in
+  let exp_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"Experiment name, e.g. fig13.")
+  in
+  let quick =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Quarter-size workloads.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one of the paper's experiments.")
+    Term.(ret (const run $ exp_name $ quick))
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  let doc = "cache-topology-aware computation mapping (PLDI 2010)" in
+  let info = Cmd.info "ctamap" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            machines_cmd; groups_cmd; map_cmd; simulate_cmd; compare_cmd;
+            codegen_cmd; dump_cmd; emit_c_cmd; reuse_cmd; experiment_cmd;
+          ]))

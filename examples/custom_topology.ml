@@ -1,0 +1,80 @@
+(* Defining your own cache topology and mapping for it.
+
+   The mapper is driven entirely by the topology tree, so exploring a
+   hypothetical machine takes a few lines: here, an asymmetric 6-core
+   part where one socket has a shared L2 and the other has private
+   ones, a shape none of the built-in machines cover.
+
+   Run with:  dune exec examples/custom_topology.exe *)
+
+open Ctam_arch
+open Ctam_core
+open Ctam_cachesim
+
+let kb n = n * 1024
+
+let l1 id =
+  Topology.Cache
+    ( {
+        Topology.cache_name = Printf.sprintf "L1#%d" id;
+        level = 1;
+        size_bytes = kb 2;
+        assoc = 8;
+        line = 64;
+        latency = 4;
+      },
+      [ Topology.Core id ] )
+
+let l2 name size children =
+  Topology.Cache
+    ( {
+        Topology.cache_name = name;
+        level = 2;
+        size_bytes = size;
+        assoc = 8;
+        line = 64;
+        latency = 12;
+      },
+      children )
+
+let l3 name children =
+  Topology.Cache
+    ( {
+        Topology.cache_name = name;
+        level = 3;
+        size_bytes = kb 768;
+        assoc = 16;
+        line = 64;
+        latency = 34;
+      },
+      children )
+
+(* Socket 0: three cores behind one big shared L2.
+   Socket 1: three cores with small private L2s under an L3. *)
+let frankenstein =
+  Topology.make ~name:"Frankenstein" ~clock_ghz:2.0 ~mem_latency:150
+    [
+      l2 "L2#shared" (kb 384) [ l1 0; l1 1; l1 2 ];
+      l3 "L3#1" [ l2 "L2#3" (kb 64) [ l1 3 ];
+                  l2 "L2#4" (kb 64) [ l1 4 ];
+                  l2 "L2#5" (kb 64) [ l1 5 ] ];
+    ]
+
+let () =
+  Fmt.pr "%a@." Topology.pp frankenstein;
+  Fmt.pr "first shared level: %a@."
+    Fmt.(option ~none:(any "none") int)
+    (Topology.first_shared_level frankenstein);
+
+  let program = Ctam_workloads.Kernel.program Ctam_workloads.Suite.cg in
+  let base = ref 1 in
+  Fmt.pr "@.%-15s %12s %8s@." "scheme" "cycles" "vs Base";
+  List.iter
+    (fun scheme ->
+      let stats = Mapping.run scheme ~machine:frankenstein program in
+      if scheme = Mapping.Base then base := stats.Stats.cycles;
+      Fmt.pr "%-15s %12d %8.3f@."
+        (Mapping.scheme_name scheme)
+        stats.Stats.cycles
+        (float_of_int stats.Stats.cycles /. float_of_int !base))
+    Mapping.all_schemes

@@ -1,0 +1,81 @@
+(* 62 payload bits per word keeps everything in OCaml's unboxed int
+   range on 64-bit platforms. *)
+let bits_per_word = 62
+
+type t = { width : int; words : int array }
+
+let words_for n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create";
+  { width = n; words = Array.make (words_for n) 0 }
+
+let check t j =
+  if j < 0 || j >= t.width then invalid_arg "Bitset: bit index out of range"
+
+let set t j =
+  check t j;
+  let words = Array.copy t.words in
+  words.(j / bits_per_word) <-
+    words.(j / bits_per_word) lor (1 lsl (j mod bits_per_word));
+  { t with words }
+
+let clear t j =
+  check t j;
+  let words = Array.copy t.words in
+  words.(j / bits_per_word) <-
+    words.(j / bits_per_word) land lnot (1 lsl (j mod bits_per_word));
+  { t with words }
+
+let get t j =
+  check t j;
+  t.words.(j / bits_per_word) land (1 lsl (j mod bits_per_word)) <> 0
+
+let singleton n j = set (create n) j
+let of_list n js = List.fold_left set (create n) js
+
+let width t = t.width
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let count t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let map2 f a b =
+  if a.width <> b.width then invalid_arg "Bitset: width mismatch";
+  { a with words = Array.map2 f a.words b.words }
+
+let union a b = map2 ( lor ) a b
+let inter a b = map2 ( land ) a b
+let diff a b = map2 (fun x y -> x land lnot y) a b
+
+let fold2 f init a b =
+  if a.width <> b.width then invalid_arg "Bitset: width mismatch";
+  let acc = ref init in
+  for i = 0 to Array.length a.words - 1 do
+    acc := f !acc a.words.(i) b.words.(i)
+  done;
+  !acc
+
+let dot a b = fold2 (fun acc x y -> acc + popcount (x land y)) 0 a b
+let hamming a b = fold2 (fun acc x y -> acc + popcount (x lxor y)) 0 a b
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+let equal a b = a.width = b.width && a.words = b.words
+let subset a b = fold2 (fun acc x y -> acc && x land lnot y = 0) true a b
+let compare a b = Stdlib.compare (a.width, a.words) (b.width, b.words)
+let hash t = Hashtbl.hash (t.width, t.words)
+
+let iter f t =
+  for j = 0 to t.width - 1 do
+    if t.words.(j / bits_per_word) land (1 lsl (j mod bits_per_word)) <> 0 then
+      f j
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun j -> acc := j :: !acc) t;
+  List.rev !acc
+
+let to_string t = String.init t.width (fun j -> if get t j then '1' else '0')
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,38 @@
+open Ctam_ir
+
+type t = { block_size : int; layout : Layout.t; num_blocks : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let make ~block_size layout =
+  if block_size <= 0 then invalid_arg "Block_map.make: block_size";
+  if Layout.align layout mod block_size <> 0 then
+    invalid_arg "Block_map.make: layout alignment must be a block multiple";
+  let total = Layout.total_bytes layout in
+  { block_size; layout; num_blocks = (total + block_size - 1) / block_size }
+
+let for_program ~block_size ~line p =
+  let layout = Layout.of_program ~align:(lcm line block_size) p in
+  (make ~block_size layout, layout)
+
+let block_size t = t.block_size
+let num_blocks t = t.num_blocks
+
+let block_of_addr t addr =
+  if addr < 0 || addr >= Layout.total_bytes t.layout then
+    invalid_arg "Block_map.block_of_addr: address out of range";
+  addr / t.block_size
+
+let blocks_of_array t name =
+  let base = Layout.base t.layout name in
+  let decl = Layout.decl t.layout name in
+  let last = base + Array_decl.byte_size decl - 1 in
+  (base / t.block_size, last / t.block_size)
+
+let layout t = t.layout
+
+let pp ppf t =
+  Fmt.pf ppf "block_map(%d B blocks, %d blocks over %d B)" t.block_size
+    t.num_blocks
+    (Layout.total_bytes t.layout)

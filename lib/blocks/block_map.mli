@@ -1,0 +1,33 @@
+(** Logical data blocks (§3.3).
+
+    Data is partitioned into equal-sized blocks numbered sequentially;
+    blocks never cross array boundaries.  The latter holds because the
+    memory layout aligns each array base to a multiple of the block
+    size, so the simple [addr / block_size] rule respects boundaries. *)
+
+open Ctam_ir
+
+type t
+
+(** [make ~block_size layout].
+    @raise Invalid_argument if [block_size <= 0] or the layout's
+    alignment is not a multiple of [block_size] (a block would cross an
+    array boundary). *)
+val make : block_size:int -> Layout.t -> t
+
+(** [for_program ~block_size ~line p] builds the canonical layout
+    (aligned to [lcm line block_size]) and its block map. *)
+val for_program : block_size:int -> line:int -> Program.t -> t * Layout.t
+
+val block_size : t -> int
+val num_blocks : t -> int
+
+(** [block_of_addr t addr] is the block containing a byte address.
+    @raise Invalid_argument if [addr] is outside the laid-out data. *)
+val block_of_addr : t -> int -> int
+
+(** Blocks spanned by an array, as an inclusive range. *)
+val blocks_of_array : t -> string -> int * int
+
+val layout : t -> Layout.t
+val pp : t Fmt.t

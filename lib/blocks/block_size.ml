@@ -1,0 +1,22 @@
+let default_candidates = [ 8192; 4096; 2048; 1024; 512; 256 ]
+
+let max_group_footprint nest bm =
+  let grouping = Tags.group nest bm in
+  Array.fold_left
+    (fun acc g -> max acc (Bitset.count g.Iter_group.tag))
+    0 grouping.Tags.groups
+  * Block_map.block_size bm
+
+let choose ?(candidates = default_candidates) ~l1_capacity ~line nest p =
+  let candidates = List.sort (fun a b -> compare b a) candidates in
+  let rec go = function
+    | [] -> invalid_arg "Block_size.choose: no candidates"
+    | [ last ] ->
+        let bm, _ = Block_map.for_program ~block_size:last ~line p in
+        (last, bm)
+    | b :: rest ->
+        let bm, _ = Block_map.for_program ~block_size:b ~line p in
+        if max_group_footprint nest bm <= l1_capacity then (b, bm)
+        else go rest
+  in
+  go candidates

@@ -1,0 +1,27 @@
+(** Data-block-size selection (§4.1).
+
+    The paper profiles the application and picks the largest block size
+    such that the data touched by the most aggressive iteration group
+    (the one whose tag has the most 1s) still fits in the L1 cache;
+    smaller sizes are always admissible (they trade compile time for
+    finer clustering, Figure 16). *)
+
+open Ctam_ir
+
+(** Power-of-two candidates from 256 B to 8 KB, descending. *)
+val default_candidates : int list
+
+(** Bytes touched by the most aggressive group under this blocking. *)
+val max_group_footprint : Nest.t -> Block_map.t -> int
+
+(** [choose ?candidates ~l1_capacity ~line nest p] profiles the nest
+    for each candidate (largest first) and returns the first block size
+    whose most-aggressive-group footprint fits in L1, together with its
+    block map; falls back to the smallest candidate if none fits. *)
+val choose :
+  ?candidates:int list ->
+  l1_capacity:int ->
+  line:int ->
+  Nest.t ->
+  Program.t ->
+  int * Block_map.t

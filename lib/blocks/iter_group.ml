@@ -1,0 +1,18 @@
+open Ctam_poly
+
+type t = { id : int; tag : Bitset.t; iters : Iterset.t }
+
+let size g = Iterset.cardinal g.iters
+let dot a b = Bitset.dot a.tag b.tag
+
+let split_at n g =
+  let left, right = Iterset.split_at n g.iters in
+  ({ g with iters = left }, { g with iters = right })
+
+let split g =
+  let n = size g in
+  if n < 2 then invalid_arg "Iter_group.split: too small";
+  split_at (n / 2) g
+
+let pp ppf g =
+  Fmt.pf ppf "group#%d tag=%a |iters|=%d" g.id Bitset.pp g.tag (size g)

@@ -1,0 +1,26 @@
+(** Iteration groups (§3.3): maximal sets of iterations with the same
+    tag (identical data-block access signatures). *)
+
+open Ctam_poly
+
+type t = {
+  id : int;           (** dense id within one grouping *)
+  tag : Bitset.t;     (** the data-block signature *)
+  iters : Iterset.t;  (** the member iterations *)
+}
+
+(** Number of iterations — the paper's S(Θ). *)
+val size : t -> int
+
+(** [dot a b] is the tag dot-product: the affinity between groups. *)
+val dot : t -> t -> int
+
+(** [split g] halves a group (lexicographically) into two groups with
+    the same tag — used by load balancing when no whole group fits.
+    @raise Invalid_argument on a singleton or empty group. *)
+val split : t -> t * t
+
+(** [split_at n g] puts the first [n] iterations in the left part. *)
+val split_at : int -> t -> t * t
+
+val pp : t Fmt.t

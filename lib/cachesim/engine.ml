@@ -1,0 +1,70 @@
+type phase = int array array
+
+let encode_access ~addr ~write = (addr * 2) + if write then 1 else 0
+let decode_access e = (e / 2, e land 1 = 1)
+
+type config = { issue_cost : int; barrier_cost : int }
+
+let default_config = { issue_cost = 1; barrier_cost = 64 }
+
+let run ?(config = default_config) h phases =
+  let topo = Hierarchy.topology h in
+  let n = topo.Ctam_arch.Topology.num_cores in
+  List.iter
+    (fun (p : phase) ->
+      if Array.length p <> n then
+        invalid_arg "Engine.run: phase core-count mismatch")
+    phases;
+  Hierarchy.clear h;
+  let clock = Array.make n 0 in
+  let busy = Array.make n 0 in
+  let total_accesses = ref 0 in
+  let nphases = List.length phases in
+  List.iteri
+    (fun pi streams ->
+      let pos = Array.make n 0 in
+      (* Event-driven interleaving: the core with the smallest local
+         clock (among cores with work left) issues the next access. *)
+      let remaining = ref 0 in
+      Array.iter (fun s -> remaining := !remaining + Array.length s) streams;
+      total_accesses := !total_accesses + !remaining;
+      while !remaining > 0 do
+        let best = ref (-1) in
+        for c = 0 to n - 1 do
+          if
+            pos.(c) < Array.length streams.(c)
+            && (!best < 0 || clock.(c) < clock.(!best))
+          then best := c
+        done;
+        let c = !best in
+        let addr, write = decode_access streams.(c).(pos.(c)) in
+        pos.(c) <- pos.(c) + 1;
+        let lat = Hierarchy.access h ~core:c ~addr ~write in
+        let cost = config.issue_cost + lat in
+        clock.(c) <- clock.(c) + cost;
+        busy.(c) <- busy.(c) + cost;
+        decr remaining
+      done;
+      (* Barrier after every phase but the last. *)
+      if pi < nphases - 1 then begin
+        let tmax = Array.fold_left max 0 clock in
+        for c = 0 to n - 1 do
+          clock.(c) <- tmax + config.barrier_cost
+        done
+      end)
+    phases;
+  {
+    Stats.per_level = Hierarchy.level_stats h;
+    mem_accesses = Hierarchy.mem_accesses h;
+    total_accesses = !total_accesses;
+    cycles = Array.fold_left max 0 clock;
+    core_cycles = busy;
+    barriers = max 0 (nphases - 1);
+  }
+
+let run_serial ?config h stream =
+  let topo = Hierarchy.topology h in
+  let n = topo.Ctam_arch.Topology.num_cores in
+  let phase = Array.make n [||] in
+  phase.(0) <- stream;
+  run ?config h [ phase ]

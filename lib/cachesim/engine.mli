@@ -1,0 +1,36 @@
+(** Parallel execution engine.
+
+    Executes per-core access streams on a {!Hierarchy}, interleaving
+    cores in simulated-time order (the core with the smallest local
+    clock issues next), which models concurrent execution over shared
+    caches.  Streams are grouped into phases separated by barriers:
+    within a phase cores run freely; at a barrier every core waits for
+    the slowest.
+
+    An access is encoded as [addr * 2 + (if write then 1 else 0)] so a
+    stream is a flat [int array] (see {!encode_access}). *)
+
+type phase = int array array
+(** [phase.(core)] is the encoded access stream of [core] in this
+    phase.  All phases of a run must have the same number of cores as
+    the hierarchy's topology. *)
+
+val encode_access : addr:int -> write:bool -> int
+val decode_access : int -> int * bool
+
+type config = {
+  issue_cost : int;    (** cycles to issue each access, beyond latency *)
+  barrier_cost : int;  (** cycles added to every core at each barrier *)
+}
+
+val default_config : config
+
+(** [run ?config h phases] clears [h], executes the phases and returns
+    statistics.  The number of barriers reported is
+    [max 0 (List.length phases - 1)].
+    @raise Invalid_argument on core-count mismatch. *)
+val run : ?config:config -> Hierarchy.t -> phase list -> Stats.t
+
+(** [run_serial ?config h stream] executes a single stream on core 0 —
+    the paper's single-core baseline (Table 2). *)
+val run_serial : ?config:config -> Hierarchy.t -> int array -> Stats.t

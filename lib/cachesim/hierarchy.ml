@@ -1,0 +1,135 @@
+open Ctam_arch
+
+type instance = {
+  params : Topology.cache_params;
+  cache : Setassoc.t;
+}
+
+type t = {
+  topo : Topology.t;
+  instances : instance array;
+  (* paths.(core) = indices into [instances], L1 first (ascending). *)
+  paths : int array array;
+  coherence : bool;
+  line : int;
+  mutable mem_accesses : int;
+}
+
+let create ?(coherence = true) topo =
+  let params = Topology.caches topo in
+  let line =
+    match params with
+    | [] -> invalid_arg "Hierarchy.create: no caches"
+    | p :: rest ->
+        List.iter
+          (fun q ->
+            if q.Topology.line <> p.Topology.line then
+              invalid_arg "Hierarchy.create: mixed line sizes")
+          rest;
+        p.Topology.line
+  in
+  let instances =
+    Array.of_list
+      (List.map
+         (fun (p : Topology.cache_params) ->
+           let sets = p.size_bytes / (p.assoc * p.line) in
+           { params = p; cache = Setassoc.create ~sets ~assoc:p.assoc })
+         params)
+  in
+  let index_of name =
+    let rec go i =
+      if i >= Array.length instances then
+        invalid_arg "Hierarchy.create: cache not found"
+      else if instances.(i).params.cache_name = name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let paths =
+    Array.init topo.Topology.num_cores (fun c ->
+        Topology.path_of_core topo c
+        |> List.map (fun (p : Topology.cache_params) -> index_of p.cache_name)
+        |> Array.of_list)
+  in
+  { topo; instances; paths; coherence; line; mem_accesses = 0 }
+
+let topology t = t.topo
+
+let access t ~core ~addr ~write =
+  if core < 0 || core >= Array.length t.paths then
+    invalid_arg "Hierarchy.access: core out of range";
+  let line = addr / t.line in
+  let path = t.paths.(core) in
+  let n = Array.length path in
+  (* Probe upward until a hit; accumulate probe latencies. *)
+  let latency = ref 0 in
+  let hit_at = ref (-1) in
+  let k = ref 0 in
+  while !hit_at < 0 && !k < n do
+    let inst = t.instances.(path.(!k)) in
+    latency := !latency + inst.params.latency;
+    if Setassoc.access inst.cache line then hit_at := !k else incr k
+  done;
+  if !hit_at < 0 then begin
+    t.mem_accesses <- t.mem_accesses + 1;
+    latency := !latency + t.topo.Topology.mem_latency
+  end;
+  (* Inclusive fill: bring the line into every cache on the path below
+     the hit point (all of them on a memory miss). *)
+  let fill_upto = if !hit_at < 0 then n - 1 else !hit_at - 1 in
+  for j = 0 to fill_upto do
+    ignore (Setassoc.insert t.instances.(path.(j)).cache line)
+  done;
+  (* Write-invalidate: peers not on this core's path lose the line. *)
+  if write && t.coherence then begin
+    let on_path i = Array.exists (fun j -> j = i) path in
+    Array.iteri
+      (fun i inst ->
+        if not (on_path i) then ignore (Setassoc.invalidate inst.cache line))
+      t.instances
+  end;
+  !latency
+
+let hit_latency t ~core ~level =
+  let path = t.paths.(core) in
+  let latency = ref 0 in
+  let found = ref false in
+  Array.iter
+    (fun i ->
+      let inst = t.instances.(i) in
+      if not !found then begin
+        latency := !latency + inst.params.latency;
+        if inst.params.level = level then found := true
+      end)
+    path;
+  if !found then Some !latency else None
+
+let miss_latency t ~core =
+  let path = t.paths.(core) in
+  Array.fold_left
+    (fun acc i -> acc + t.instances.(i).params.latency)
+    t.topo.Topology.mem_latency path
+
+let level_stats t =
+  let by_level = Hashtbl.create 8 in
+  Array.iter
+    (fun inst ->
+      let l = inst.params.level in
+      let h, m =
+        match Hashtbl.find_opt by_level l with Some x -> x | None -> (0, 0)
+      in
+      Hashtbl.replace by_level l
+        (h + Setassoc.hits inst.cache, m + Setassoc.misses inst.cache))
+    t.instances;
+  Hashtbl.fold
+    (fun level (hits, misses) acc -> { Stats.level; hits; misses } :: acc)
+    by_level []
+  |> List.sort (fun a b -> compare a.Stats.level b.Stats.level)
+
+let mem_accesses t = t.mem_accesses
+
+let clear t =
+  Array.iter (fun inst -> Setassoc.clear inst.cache) t.instances;
+  t.mem_accesses <- 0
+
+let line_size t = t.line

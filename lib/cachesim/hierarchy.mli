@@ -1,0 +1,43 @@
+(** A simulated instance of a cache topology.
+
+    Instantiates one {!Setassoc} per cache in a {!Ctam_arch.Topology},
+    maintains inclusive fills along each core's path, and optionally a
+    write-invalidate coherence action across same-level peers. *)
+
+type t
+
+(** [create ?coherence topo].  When [coherence] is true (default),
+    a write invalidates the line in every cache that is not on the
+    writing core's path, modelling an invalidation-based protocol. *)
+val create : ?coherence:bool -> Ctam_arch.Topology.t -> t
+
+val topology : t -> Ctam_arch.Topology.t
+
+(** [access t ~core ~addr ~write] simulates one byte-address access and
+    returns its latency in cycles: the sum of the latencies of every
+    cache probed, plus memory latency if all levels miss.  Fills the
+    line into every cache on the core's path.
+    @raise Invalid_argument if [core] is out of range. *)
+val access : t -> core:int -> addr:int -> write:bool -> int
+
+(** Latency of a hit in the given core's level-[l] cache, including the
+    probe costs of the levels below; used by analytic cost models.
+    [None] if the core has no level-[l] cache. *)
+val hit_latency : t -> core:int -> level:int -> int option
+
+(** Latency of missing everywhere (probes on the path + memory). *)
+val miss_latency : t -> core:int -> int
+
+(** Snapshot of per-level hit/miss counters (cycles fields are zero;
+    the engine fills them in). *)
+val level_stats : t -> Stats.level_stats list
+
+(** Number of accesses that reached memory. *)
+val mem_accesses : t -> int
+
+(** Reset contents and counters. *)
+val clear : t -> unit
+
+(** Line size used for address-to-line mapping (caches of one machine
+    share it). *)
+val line_size : t -> int

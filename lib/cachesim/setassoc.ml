@@ -1,0 +1,95 @@
+(* Each set is a segment of [lines]: ways ordered MRU-first; -1 = empty.
+   LRU on a small array segment is a shift, which beats pointer chasing
+   at the associativities we model (<= 24). *)
+type t = {
+  sets : int;
+  assoc : int;
+  lines : int array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~sets ~assoc =
+  if sets <= 0 || assoc <= 0 then invalid_arg "Setassoc.create";
+  { sets; assoc; lines = Array.make (sets * assoc) (-1); hits = 0; misses = 0 }
+
+let sets t = t.sets
+let assoc t = t.assoc
+let capacity_lines t = t.sets * t.assoc
+let set_base t line = line mod t.sets * t.assoc
+
+let find_way t base line =
+  let rec go w =
+    if w >= t.assoc then -1
+    else if t.lines.(base + w) = line then w
+    else go (w + 1)
+  in
+  go 0
+
+let promote t base w =
+  (* Move way [w] to MRU position, shifting the younger ways down. *)
+  let line = t.lines.(base + w) in
+  for k = w downto 1 do
+    t.lines.(base + k) <- t.lines.(base + k - 1)
+  done;
+  t.lines.(base) <- line
+
+let access t line =
+  let base = set_base t line in
+  let w = find_way t base line in
+  if w >= 0 then begin
+    t.hits <- t.hits + 1;
+    promote t base w;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let insert t line =
+  let base = set_base t line in
+  let w = find_way t base line in
+  if w >= 0 then begin
+    promote t base w;
+    None
+  end
+  else begin
+    let victim = t.lines.(base + t.assoc - 1) in
+    for k = t.assoc - 1 downto 1 do
+      t.lines.(base + k) <- t.lines.(base + k - 1)
+    done;
+    t.lines.(base) <- line;
+    if victim = -1 then None else Some victim
+  end
+
+let contains t line = find_way t (set_base t line) line >= 0
+
+let invalidate t line =
+  let base = set_base t line in
+  let w = find_way t base line in
+  if w < 0 then false
+  else begin
+    (* Compact: shift older ways up, free the last slot. *)
+    for k = w to t.assoc - 2 do
+      t.lines.(base + k) <- t.lines.(base + k + 1)
+    done;
+    t.lines.(base + t.assoc - 1) <- -1;
+    true
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+let accesses t = t.hits + t.misses
+
+let clear t =
+  Array.fill t.lines 0 (Array.length t.lines) (-1);
+  t.hits <- 0;
+  t.misses <- 0
+
+let resident t =
+  Array.to_list t.lines |> List.filter (fun l -> l >= 0)
+
+let pp ppf t =
+  Fmt.pf ppf "cache(%d sets x %d ways, %d hits / %d misses)" t.sets t.assoc
+    t.hits t.misses

@@ -1,0 +1,45 @@
+(** A set-associative cache with LRU replacement.
+
+    Operates on line numbers (byte address / line size); the caller
+    does the division.  Mutable, one instance per cache in the
+    hierarchy.  Hit/miss counters are built in. *)
+
+type t
+
+(** [create ~sets ~assoc] builds an empty cache.
+    @raise Invalid_argument on non-positive arguments. *)
+val create : sets:int -> assoc:int -> t
+
+val sets : t -> int
+val assoc : t -> int
+
+(** Number of lines the cache can hold. *)
+val capacity_lines : t -> int
+
+(** [access t line] looks up [line]; on hit, promotes it to MRU and
+    returns [true]; on miss returns [false] and does NOT insert (use
+    {!insert} to model the fill). *)
+val access : t -> int -> bool
+
+(** [insert t line] fills [line] as MRU, evicting the LRU line of its
+    set if full.  Returns the evicted line, if any. *)
+val insert : t -> int -> int option
+
+(** Pure lookup without LRU update or counter changes. *)
+val contains : t -> int -> bool
+
+(** [invalidate t line] drops [line] if present; returns whether it was
+    present. *)
+val invalidate : t -> int -> bool
+
+val hits : t -> int
+val misses : t -> int
+val accesses : t -> int
+
+(** Reset contents and counters. *)
+val clear : t -> unit
+
+(** Lines currently resident (unordered). *)
+val resident : t -> int list
+
+val pp : t Fmt.t

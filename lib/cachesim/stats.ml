@@ -1,0 +1,32 @@
+type level_stats = { level : int; hits : int; misses : int }
+
+type t = {
+  per_level : level_stats list;
+  mem_accesses : int;
+  total_accesses : int;
+  cycles : int;
+  core_cycles : int array;
+  barriers : int;
+}
+
+let miss_rate ls =
+  let total = ls.hits + ls.misses in
+  if total = 0 then 0. else float_of_int ls.misses /. float_of_int total
+
+let level t l = List.find (fun ls -> ls.level = l) t.per_level
+
+let misses_at t l =
+  match List.find_opt (fun ls -> ls.level = l) t.per_level with
+  | Some ls -> ls.misses
+  | None -> 0
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>cycles: %d  accesses: %d  mem: %d  barriers: %d@,"
+    t.cycles t.total_accesses t.mem_accesses t.barriers;
+  List.iter
+    (fun ls ->
+      Fmt.pf ppf "L%d: %d hits, %d misses (%.2f%% miss)@," ls.level ls.hits
+        ls.misses
+        (100. *. miss_rate ls))
+    t.per_level;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,27 @@
+(** Aggregated simulation statistics. *)
+
+type level_stats = {
+  level : int;
+  hits : int;
+  misses : int;
+}
+
+type t = {
+  per_level : level_stats list;  (** ascending level *)
+  mem_accesses : int;            (** accesses served by off-chip memory *)
+  total_accesses : int;
+  cycles : int;                  (** parallel completion time *)
+  core_cycles : int array;       (** per-core busy time *)
+  barriers : int;
+}
+
+val miss_rate : level_stats -> float
+
+(** [level t l] finds the stats of level [l].  @raise Not_found. *)
+val level : t -> int -> level_stats
+
+(** [misses_at t l] is 0 when the level does not exist (convenience for
+    cross-machine comparisons). *)
+val misses_at : t -> int -> int
+
+val pp : t Fmt.t

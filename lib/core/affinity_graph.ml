@@ -1,0 +1,31 @@
+open Ctam_blocks
+
+type t = { tags : Bitset.t array }
+
+let build groups =
+  { tags = Array.map (fun g -> g.Iter_group.tag) groups }
+
+let num_nodes t = Array.length t.tags
+
+let weight t a b =
+  if a < 0 || a >= num_nodes t || b < 0 || b >= num_nodes t then
+    invalid_arg "Affinity_graph.weight";
+  Bitset.dot t.tags.(a) t.tags.(b)
+
+let edges t =
+  let n = num_nodes t in
+  let acc = ref [] in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      let w = Bitset.dot t.tags.(a) t.tags.(b) in
+      if w > 0 then acc := (a, b, w) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let total_weight t =
+  List.fold_left (fun acc (_, _, w) -> acc + w) 0 (edges t)
+
+let pp ppf t =
+  Fmt.pf ppf "affinity_graph(%d nodes, %d weighted edges)" (num_nodes t)
+    (List.length (edges t))

@@ -1,0 +1,25 @@
+(** The iteration-group affinity graph (the paper's BuildGraph step).
+
+    Nodes are iteration groups; the weight of edge [(a, b)] is the
+    number of common 1s between the two tags — the degree of data-block
+    sharing between the groups.  The clustering of {!Distribute} uses
+    these weights through cluster-tag dot products; this module gives
+    the graph a first-class representation for inspection and tests. *)
+
+open Ctam_blocks
+
+type t
+
+val build : Iter_group.t array -> t
+val num_nodes : t -> int
+
+(** [weight t a b] is the tag dot-product between groups [a] and [b]. *)
+val weight : t -> int -> int -> int
+
+(** Edges with nonzero weight, [(a, b, w)] with [a < b]. *)
+val edges : t -> (int * int * int) list
+
+(** Sum of all edge weights (a sharing-intensity diagnostic). *)
+val total_weight : t -> int
+
+val pp : t Fmt.t

@@ -1,0 +1,78 @@
+open Ctam_poly
+open Ctam_arch
+open Ctam_ir
+open Ctam_blocks
+
+let block_partition ~n nest =
+  if n <= 0 then invalid_arg "Baselines.block_partition";
+  let iters = Domain.to_list nest.Nest.domain in
+  let total = List.length iters in
+  let result = Array.make n [] in
+  (* Chunk c gets iterations [c*total/n, (c+1)*total/n). *)
+  List.iteri
+    (fun i iv ->
+      let c = min (n - 1) (i * n / total) in
+      result.(c) <- iv :: result.(c))
+    iters;
+  Array.map List.rev result
+
+let block_partition_sets ~n groups =
+  match Array.length groups with
+  | 0 -> invalid_arg "Baselines.block_partition_sets: no groups"
+  | _ ->
+      let enc = Iterset.encoder groups.(0).Iter_group.iters in
+      let all =
+        Array.fold_left
+          (fun acc g -> Iterset.union acc g.Iter_group.iters)
+          (Iterset.empty enc) groups
+      in
+      let keys = Iterset.keys all in
+      let total = Array.length keys in
+      Array.init n (fun c ->
+          let lo = c * total / n and hi = (c + 1) * total / n in
+          Iterset.of_keys enc (Array.sub keys lo (hi - lo)))
+
+let default_assignment ~topo groups =
+  let n = topo.Topology.num_cores in
+  match Array.length groups with
+  | 0 -> Array.make n []
+  | _ ->
+      let enc = Iterset.encoder groups.(0).Iter_group.iters in
+      (* Chunk boundaries are key ranks over the full iteration set; a
+         group's members fall into a chunk iff their key lies between
+         two boundary key values, so each group splits by binary
+         search instead of set intersection. *)
+      let all_keys =
+        let parts = Array.map (fun g -> Iterset.keys g.Iter_group.iters) groups in
+        let merged = Array.concat (Array.to_list parts) in
+        Array.sort compare merged;
+        merged
+      in
+      let total = Array.length all_keys in
+      let boundary c =
+        (* First key value belonging to chunk [c]. *)
+        let r = c * total / n in
+        if r >= total then max_int else all_keys.(r)
+      in
+      let result = Array.make n [] in
+      Array.iter
+        (fun g ->
+          let keys = Iterset.keys g.Iter_group.iters in
+          let m = Array.length keys in
+          let start = ref 0 in
+          for c = 0 to n - 1 do
+            let upper = boundary (c + 1) in
+            let fin = ref !start in
+            while !fin < m && keys.(!fin) < upper do
+              incr fin
+            done;
+            if !fin > !start then begin
+              let part = Array.sub keys !start (!fin - !start) in
+              result.(c) <-
+                { g with Iter_group.iters = Iterset.of_keys enc part }
+                :: result.(c)
+            end;
+            start := !fin
+          done)
+        groups;
+      Array.map List.rev result

@@ -1,0 +1,33 @@
+(** The paper's comparison points (§4.1).
+
+    - [Base]: the original parallel code — iterations split into
+      contiguous equal chunks (lexicographic order), each core runs its
+      chunk in program order.
+    - [Base+]: the same chunks, but each core's iterations are
+      reordered by locality-driven loop permutation plus iteration-
+      space tiling — the state-of-the-art intra-core locality scheme.
+    - [Local]: the same (default) distribution as Base, but the
+      iteration groups of each chunk are scheduled with the Figure 7
+      algorithm — isolating the benefit of local reorganization.
+
+    Base, Base+ and Topology-Aware execute the same iteration sets in
+    parallel; only partitioning and order differ (as in the paper). *)
+
+open Ctam_poly
+open Ctam_arch
+open Ctam_ir
+open Ctam_blocks
+
+(** Contiguous equal partition of a nest's iterations over [n] cores,
+    in lexicographic order. *)
+val block_partition : n:int -> Nest.t -> int array list array
+
+(** Same partition expressed as itersets (for group intersection). *)
+val block_partition_sets : n:int -> Iter_group.t array -> Iterset.t array
+
+(** Restrict groups to the default per-core chunks: each core receives
+    the nonempty intersections of every group with its chunk (split
+    parts keep their origin id, so the dependence graph still applies).
+    This is the input Local feeds to the scheduler. *)
+val default_assignment :
+  topo:Topology.t -> Iter_group.t array -> Iter_group.t list array

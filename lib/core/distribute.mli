@@ -1,0 +1,57 @@
+(** Cache-topology-aware loop-iteration distribution (paper Figure 6).
+
+    Clusters iteration groups hierarchically along the cache-hierarchy
+    tree: at each tree node, groups are agglomeratively merged by
+    maximal tag dot-product until the number of clusters equals the
+    node's number of children (splitting the largest cluster when there
+    are too few), then cluster sizes are balanced to within a tolerable
+    threshold, and each cluster recurses into one child.  Leaves of the
+    recursion are cores; the result is the per-core iteration-group
+    assignment.
+
+    Off-chip memory acts as the root when the topology has several
+    last-level caches, exactly as in the paper. *)
+
+open Ctam_arch
+open Ctam_blocks
+
+(** Maximum tolerable imbalance as a fraction of the average cluster
+    size; the paper's experiments use 0.10. *)
+val default_balance_threshold : float
+
+(** How loop-carried dependences are handled (paper §3.5.2):
+    [Synchronize] (the default, the paper's second option) distributes
+    dependent groups freely and leaves correctness to the barrier
+    rounds of {!Schedule}; [Cluster] (the first option) forces every
+    weakly-connected set of dependent groups onto one core — no
+    synchronization needed, at the cost of parallelism. *)
+type dependence_mode = Synchronize | Cluster
+
+(** [run ?balance_threshold topo groups] assigns every group (possibly
+    split for balance; split parts keep their original [id]) to a core.
+    [result.(c)] lists core [c]'s groups in assignment order.  The
+    union of all assigned iterations equals the input's. *)
+val run :
+  ?balance_threshold:float ->
+  ?dependence_mode:dependence_mode ->
+  ?dep_graph:Ctam_deps.Dep_graph.t ->
+  Topology.t ->
+  Iter_group.t array ->
+  Iter_group.t list array
+
+(** One clustering step: agglomerate [groups] into exactly [k] clusters
+    by maximal tag dot-product (splitting when fewer than [k]), without
+    balancing.  Exposed for unit tests and the worked example. *)
+val cluster_into :
+  ?allow_splits:bool -> int -> Iter_group.t list -> Iter_group.t list list
+
+(** Balance clusters to targets proportional to [weights] within the
+    threshold.  [allow_splits] (default true) permits splitting a group
+    when no whole-group move fits; [Cluster]-mode distributions disable
+    it.  Exposed for unit tests. *)
+val balance :
+  ?allow_splits:bool ->
+  threshold:float ->
+  weights:int array ->
+  Iter_group.t list array ->
+  Iter_group.t list array

@@ -1,0 +1,426 @@
+open Ctam_arch
+open Ctam_ir
+open Ctam_blocks
+open Ctam_deps
+open Ctam_cachesim
+
+type scheme = Base | Base_plus | Local | Topology_aware | Combined
+
+let scheme_name = function
+  | Base -> "Base"
+  | Base_plus -> "Base+"
+  | Local -> "Local"
+  | Topology_aware -> "TopologyAware"
+  | Combined -> "Combined"
+
+let all_schemes = [ Base; Base_plus; Local; Topology_aware; Combined ]
+
+type params = {
+  block_size : int;
+  auto_block : bool;
+  balance_threshold : float;
+  alpha : float;
+  beta : float;
+  max_groups : int;
+  dependence_mode : Distribute.dependence_mode;
+}
+
+let default_params =
+  {
+    block_size = 2048;
+    auto_block = false;
+    balance_threshold = Distribute.default_balance_threshold;
+    alpha = Schedule.default_alpha;
+    beta = Schedule.default_beta;
+    max_groups = 3000;
+    dependence_mode = Distribute.Synchronize;
+  }
+
+type nest_info = {
+  nest_name : string;
+  num_groups : int;
+  num_rounds : int;
+  dep_edges : int;
+  used_block_size : int;
+}
+
+type nest_plan = {
+  plan_nest : Nest.t;
+  plan_rounds : Iter_group.t list array list;
+  plan_barriers : bool;
+}
+
+type compiled = {
+  scheme : scheme;
+  map_topo : Topology.t;
+  machine : Topology.t;
+  program : Program.t;
+  layout : Layout.t;
+  phases : Engine.phase list;
+  infos : nest_info list;
+  plans : nest_plan list;
+}
+
+let l1_capacity topo =
+  match Topology.path_of_core topo 0 with
+  | p :: _ -> p.Topology.size_bytes
+  | [] -> invalid_arg "Mapping.l1_capacity: no caches"
+
+let line_size topo =
+  match Topology.caches topo with
+  | p :: _ -> p.Topology.line
+  | [] -> invalid_arg "Mapping.line_size: no caches"
+
+(* Block size selection: fixed, or the §4.1 L1-fitting rule driven by
+   the first parallel nest. *)
+let pick_block_size ~params ~machine program =
+  if not params.auto_block then params.block_size
+  else
+    match Program.parallel_nests program with
+    | [] -> params.block_size
+    | nest :: _ ->
+        let bs, _ =
+          Block_size.choose ~l1_capacity:(l1_capacity machine)
+            ~line:(line_size machine) nest program
+        in
+        bs
+
+let grouping_with ~block_size ~line ~max_groups program nest =
+  let bm, _layout = Block_map.for_program ~block_size ~line program in
+  let grouping = Tags.group_capped ~max_groups nest bm in
+  let dg0 = Group_deps.compute grouping in
+  let groups, dag =
+    if Dep_graph.is_empty dg0 then (grouping.Tags.groups, dg0)
+    else Group_deps.merge_cycles grouping dg0
+  in
+  (grouping, groups, dag)
+
+let grouping_for ~params ~machine program nest =
+  let block_size = pick_block_size ~params ~machine program in
+  grouping_with ~block_size ~line:(line_size machine)
+    ~max_groups:params.max_groups program nest
+
+(* A chunk of explicitly ordered iterations as a pseudo-group (empty
+   tag): baselines are represented in the same structural form as the
+   topology-aware plans.  Iteration order within a pseudo-group is
+   lexicographic, so callers split order-sensitive sequences (tiles)
+   into one pseudo-group per contiguous run. *)
+let pseudo_group ~encoder ~id iters =
+  {
+    Iter_group.id;
+    tag = Bitset.create 0;
+    iters = Ctam_poly.Iterset.of_list encoder iters;
+  }
+
+(* One pseudo-group per tile, in tiled execution order. *)
+let tile_pseudo_groups ~encoder ~tile ~perm iters =
+  let ordered = Tiling.apply ~tile ~perm iters in
+  let runs = ref [] and current = ref [] and cur_tc = ref None in
+  let tc iv = Array.to_list (Array.mapi (fun k t -> iv.(k) / t) tile) in
+  List.iter
+    (fun iv ->
+      let c = tc iv in
+      (match !cur_tc with
+      | Some c' when c' = c -> ()
+      | None -> cur_tc := Some c
+      | Some _ ->
+          runs := List.rev !current :: !runs;
+          current := [];
+          cur_tc := Some c);
+      current := iv :: !current)
+    ordered;
+  if !current <> [] then runs := List.rev !current :: !runs;
+  List.rev !runs |> List.mapi (fun i run -> pseudo_group ~encoder ~id:i run)
+
+(* Streams for a schedule.  Barriers exist to enforce dependences; for
+   a dependence-free nest the rounds collapse into one phase (keeping
+   the round-robin interleaving order per core), exactly like the
+   paper, whose Figure 7 inserts synchronization for dependences. *)
+let phases_of_schedule ~with_barriers layout nest (sched : Schedule.t) =
+  if with_barriers then
+    List.map
+      (fun round ->
+        Array.map (fun gs -> Trace.of_groups layout nest gs) round)
+      sched.Schedule.rounds
+  else
+    [
+      Array.map
+        (fun gs -> Trace.of_groups layout nest gs)
+        (Schedule.per_core sched);
+    ]
+
+let compile ?(params = default_params) ?map_topo scheme ~machine program =
+  let map_topo = Option.value map_topo ~default:machine in
+  let n = map_topo.Topology.num_cores in
+  let block_size = pick_block_size ~params ~machine:map_topo program in
+  let line = line_size map_topo in
+  let bm, layout = Block_map.for_program ~block_size ~line program in
+  ignore bm;
+  let infos = ref [] in
+  let plans = ref [] in
+  let push_plan nest rounds barriers =
+    plans := { plan_nest = nest; plan_rounds = rounds; plan_barriers = barriers } :: !plans
+  in
+  let phases =
+    List.concat_map
+      (fun nest ->
+        if not nest.Nest.parallel then begin
+          (* Serial nest: core 0 executes it as its own phase. *)
+          let phase = Array.make n [||] in
+          phase.(0) <- Trace.serial layout nest;
+          infos :=
+            {
+              nest_name = nest.Nest.name;
+              num_groups = 1;
+              num_rounds = 1;
+              dep_edges = 0;
+              used_block_size = block_size;
+            }
+            :: !infos;
+          let encoder = Ctam_poly.Iterset.encoder_of_domain nest.Nest.domain in
+          let round = Array.make n [] in
+          round.(0) <-
+            [ pseudo_group ~encoder ~id:0 (Ctam_poly.Domain.to_list nest.Nest.domain) ];
+          push_plan nest [ round ] false;
+          [ phase ]
+        end
+        else
+          match scheme with
+          | Base when Dep_test.nest_may_carry_deps nest ->
+              (* The original parallel code must synchronize a loop
+                 with carried dependences too: Base becomes the default
+                 chunk distribution with dependence-only scheduling and
+                 barrier rounds. *)
+              let _grouping, groups, dag =
+                grouping_with ~block_size ~line ~max_groups:params.max_groups
+                  program nest
+              in
+              let assignment =
+                Baselines.default_assignment ~topo:map_topo groups
+              in
+              let sched = Schedule.run ~alpha:0. ~beta:0. map_topo assignment dag in
+              infos :=
+                {
+                  nest_name = nest.Nest.name;
+                  num_groups = Array.length groups;
+                  num_rounds = Schedule.num_rounds sched;
+                  dep_edges = Dep_graph.num_edges dag;
+                  used_block_size = block_size;
+                }
+                :: !infos;
+              push_plan nest sched.Schedule.rounds true;
+              phases_of_schedule ~with_barriers:true layout nest sched
+          | Base ->
+              let chunks = Baselines.block_partition ~n nest in
+              infos :=
+                {
+                  nest_name = nest.Nest.name;
+                  num_groups = n;
+                  num_rounds = 1;
+                  dep_edges = 0;
+                  used_block_size = block_size;
+                }
+                :: !infos;
+              let encoder =
+                Ctam_poly.Iterset.encoder_of_domain nest.Nest.domain
+              in
+              push_plan nest
+                [
+                  Array.mapi
+                    (fun c iters ->
+                      if iters = [] then []
+                      else [ pseudo_group ~encoder ~id:c iters ])
+                    chunks;
+                ]
+                false;
+              [ Array.map (fun iters -> Trace.of_iters layout nest iters) chunks ]
+          | Base_plus when Dep_test.nest_may_carry_deps nest ->
+              (* Intra-core reordering is dependence-constrained; treat
+                 Base+ as synchronized Base on such nests (the paper's
+                 Base+ transformations must preserve dependences). *)
+              let _grouping, groups, dag =
+                grouping_with ~block_size ~line ~max_groups:params.max_groups
+                  program nest
+              in
+              let assignment =
+                Baselines.default_assignment ~topo:map_topo groups
+              in
+              let sched = Schedule.run ~alpha:0. ~beta:0. map_topo assignment dag in
+              infos :=
+                {
+                  nest_name = nest.Nest.name;
+                  num_groups = Array.length groups;
+                  num_rounds = Schedule.num_rounds sched;
+                  dep_edges = Dep_graph.num_edges dag;
+                  used_block_size = block_size;
+                }
+                :: !infos;
+              push_plan nest sched.Schedule.rounds true;
+              phases_of_schedule ~with_barriers:true layout nest sched
+          | Base_plus ->
+              let chunks = Baselines.block_partition ~n nest in
+              let perm = Permute.best_order layout nest in
+              let t0 =
+                Tiling.choose_tile ~l1_bytes:(l1_capacity map_topo) layout nest
+              in
+              (* The paper selects the best-performing tile size by
+                 search; candidates include "untiled but permuted" so
+                 Base+ never loses to a plain permutation. *)
+              let candidates = [ None; Some t0; Some (max 4 (t0 / 2)) ] in
+              let phase_for tile_opt =
+                Array.map
+                  (fun iters ->
+                    let ordered =
+                      match tile_opt with
+                      | None -> Permute.sort_iters perm iters
+                      | Some edge ->
+                          let tile = Tiling.uniform (Nest.depth nest) edge in
+                          Tiling.apply ~tile ~perm iters
+                    in
+                    Trace.of_iters layout nest ordered)
+                  chunks
+              in
+              let best_tile, best_phase =
+                let h = Hierarchy.create map_topo in
+                List.map
+                  (fun t ->
+                    let phase = phase_for t in
+                    let stats = Engine.run h [ phase ] in
+                    (stats.Stats.cycles, (t, phase)))
+                  candidates
+                |> List.sort (fun (a, _) (b, _) -> compare a b)
+                |> List.hd |> snd
+              in
+              infos :=
+                {
+                  nest_name = nest.Nest.name;
+                  num_groups = n;
+                  num_rounds = 1;
+                  dep_edges = 0;
+                  used_block_size = block_size;
+                }
+                :: !infos;
+              let encoder =
+                Ctam_poly.Iterset.encoder_of_domain nest.Nest.domain
+              in
+              push_plan nest
+                [
+                  Array.map
+                    (fun iters ->
+                      if iters = [] then []
+                      else
+                        match best_tile with
+                        | None ->
+                            [
+                              pseudo_group ~encoder ~id:0
+                                (Permute.sort_iters perm iters);
+                            ]
+                        | Some edge ->
+                            tile_pseudo_groups ~encoder
+                              ~tile:(Tiling.uniform (Nest.depth nest) edge)
+                              ~perm iters)
+                    chunks;
+                ]
+                false;
+              [ best_phase ]
+          | Local | Topology_aware | Combined ->
+              let _grouping, groups, dag =
+                grouping_with ~block_size ~line ~max_groups:params.max_groups
+                  program nest
+              in
+              let cluster_mode =
+                params.dependence_mode = Distribute.Cluster
+                && not (Dep_graph.is_empty dag)
+              in
+              let assignment =
+                match scheme with
+                | Local -> Baselines.default_assignment ~topo:map_topo groups
+                | Topology_aware | Combined ->
+                    Distribute.run
+                      ~balance_threshold:params.balance_threshold
+                      ~dependence_mode:params.dependence_mode ~dep_graph:dag
+                      map_topo groups
+                | Base | Base_plus -> assert false
+              in
+              (* Under the clustering option every dependent set sits on
+                 one core and runs in sequential order, so no barriers
+                 (and no dependence constraints) remain. *)
+              let dag =
+                if cluster_mode && scheme <> Local then Dep_graph.create 0
+                else dag
+              in
+              let alpha, beta =
+                match scheme with
+                | Topology_aware -> (0., 0.)  (* dependence-only order *)
+                | _ -> (params.alpha, params.beta)
+              in
+              let sched = Schedule.run ~alpha ~beta map_topo assignment dag in
+              (* Figure 7's barriers enforce dependences; on a
+                 dependence-free nest the rounds collapse into one
+                 phase whose per-core order keeps the round-robin
+                 alignment (real barriers would only add noise: each
+                 round then waits for its slowest core). *)
+              let with_barriers = not (Dep_graph.is_empty dag) in
+              infos :=
+                {
+                  nest_name = nest.Nest.name;
+                  num_groups = Array.length groups;
+                  num_rounds =
+                    (if with_barriers then Schedule.num_rounds sched else 1);
+                  dep_edges = Dep_graph.num_edges dag;
+                  used_block_size = block_size;
+                }
+                :: !infos;
+              (if with_barriers then push_plan nest sched.Schedule.rounds true
+               else
+                 push_plan nest
+                   [ Schedule.per_core sched ]
+                   false);
+              phases_of_schedule ~with_barriers layout nest sched)
+      program.Program.nests
+  in
+  {
+    scheme;
+    map_topo;
+    machine;
+    program;
+    layout;
+    phases;
+    infos = List.rev !infos;
+    plans = List.rev !plans;
+  }
+
+let port c ~machine =
+  let n_from = c.map_topo.Topology.num_cores in
+  let n_to = machine.Topology.num_cores in
+  let phases =
+    List.map
+      (fun phase ->
+        let streams = Array.make n_to [] in
+        Array.iteri
+          (fun t s -> streams.(t mod n_to) <- s :: streams.(t mod n_to))
+          phase;
+        Array.map (fun parts -> Array.concat (List.rev parts)) streams)
+      c.phases
+  in
+  ignore n_from;
+  { c with machine; phases }
+
+let simulate ?config ?coherence c =
+  let h = Hierarchy.create ?coherence c.machine in
+  Engine.run ?config h c.phases
+
+let run ?params ?map_topo ?config scheme ~machine program =
+  simulate ?config (compile ?params ?map_topo scheme ~machine program)
+
+let simulate_serial ?config ~machine program =
+  (* One core executes all nests back to back, original order. *)
+  let layout =
+    Layout.of_program ~align:(line_size machine) program
+  in
+  let stream =
+    Array.concat
+      (List.map (fun nest -> Trace.serial layout nest) program.Program.nests)
+  in
+  let h = Hierarchy.create machine in
+  Engine.run_serial ?config h stream

@@ -1,0 +1,117 @@
+(** End-to-end mapping pipeline: program -> per-core access phases.
+
+    Compiles a program for a target cache topology under one of the
+    paper's schemes, producing the phases the simulation engine
+    executes.  The topology used by the *mapper* can differ from the
+    machine the code runs on ({!port}), which is how the cross-machine
+    experiments (Figures 2 and 14) are built. *)
+
+open Ctam_arch
+open Ctam_ir
+open Ctam_blocks
+open Ctam_deps
+open Ctam_cachesim
+
+type scheme =
+  | Base            (** original parallel code: contiguous chunks *)
+  | Base_plus       (** Base + per-core permutation and tiling *)
+  | Local           (** Base distribution + Figure 7 scheduling *)
+  | Topology_aware  (** Figure 6 distribution, dependence-only order *)
+  | Combined        (** Figure 6 distribution + Figure 7 scheduling *)
+
+val scheme_name : scheme -> string
+val all_schemes : scheme list
+
+type params = {
+  block_size : int;           (** data block size in bytes (paper: 2 KB) *)
+  auto_block : bool;          (** derive block size by the §4.1 rule *)
+  balance_threshold : float;
+  alpha : float;
+  beta : float;
+  max_groups : int;           (** compile-time cap; coarser units above *)
+  dependence_mode : Distribute.dependence_mode;
+      (** §3.5.2: synchronize (default) or cluster dependent groups *)
+}
+
+val default_params : params
+
+type nest_info = {
+  nest_name : string;
+  num_groups : int;           (** after cycle merging *)
+  num_rounds : int;           (** scheduling rounds (1 = no barriers) *)
+  dep_edges : int;            (** edges in the group dependence graph *)
+  used_block_size : int;
+}
+
+(** Structural form of one nest's mapping: per-round, per-core group
+    lists (one round when no barriers are needed).  Baselines express
+    their chunks as pseudo-groups.  Drives code emission
+    ({!Emit_c}) and inspection; the [phases] field is the flattened
+    simulator form of the same plan. *)
+type nest_plan = {
+  plan_nest : Nest.t;
+  plan_rounds : Iter_group.t list array list;
+  plan_barriers : bool;
+}
+
+type compiled = {
+  scheme : scheme;
+  map_topo : Topology.t;      (** topology the mapping was built for *)
+  machine : Topology.t;       (** machine the phases are shaped for *)
+  program : Program.t;
+  layout : Layout.t;
+  phases : Engine.phase list;
+  infos : nest_info list;
+  plans : nest_plan list;
+}
+
+(** [compile ?params ?map_topo scheme ~machine program] maps every nest
+    of [program] (parallel nests under [scheme]; serial nests run on
+    core 0).  [map_topo] defaults to [machine]. *)
+val compile :
+  ?params:params ->
+  ?map_topo:Topology.t ->
+  scheme ->
+  machine:Topology.t ->
+  Program.t ->
+  compiled
+
+(** Re-target a compiled mapping to a different machine: thread [t] of
+    the mapping runs on core [t mod cores(machine)] (threads beyond the
+    core count are oversubscribed round-robin, extra cores idle).  This
+    reproduces the paper's porting methodology (e.g. the Dunnington
+    version running with fewer threads elsewhere). *)
+val port : compiled -> machine:Topology.t -> compiled
+
+(** [simulate ?config ?coherence c] builds the machine's hierarchy and
+    runs the phases. *)
+val simulate :
+  ?config:Engine.config -> ?coherence:bool -> compiled -> Stats.t
+
+(** One-call convenience: compile then simulate. *)
+val run :
+  ?params:params ->
+  ?map_topo:Topology.t ->
+  ?config:Engine.config ->
+  scheme ->
+  machine:Topology.t ->
+  Program.t ->
+  Stats.t
+
+(** Sequential execution of the whole program on one core of the
+    machine (the paper's Table 2 baseline). *)
+val simulate_serial :
+  ?config:Engine.config -> machine:Topology.t -> Program.t -> Stats.t
+
+(** The grouping + acyclic dependence DAG used for a nest under
+    [params] (exposed for {!Optimal} and the examples). *)
+val grouping_for :
+  params:params ->
+  machine:Topology.t ->
+  Program.t ->
+  Nest.t ->
+  Tags.grouping * Iter_group.t array * Dep_graph.t
+
+(** L1 capacity (bytes) of the machine's first core — the budget the
+    block-size rule and Base+ tiling use. *)
+val l1_capacity : Topology.t -> int

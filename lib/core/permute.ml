@@ -1,0 +1,64 @@
+open Ctam_poly
+open Ctam_ir
+
+(* Mean |byte stride| of bumping index [j]: for each reference, the
+   address delta is sum over array dims of coeff * row-major dim
+   stride * elem size. *)
+let stride layout nest j =
+  let refs = Nest.refs nest in
+  let total =
+    List.fold_left
+      (fun acc r ->
+        let decl = Layout.decl layout r.Reference.array_name in
+        let dims = decl.Array_decl.dims in
+        let rank = Array.length dims in
+        let dim_stride = Array.make rank decl.Array_decl.elem_size in
+        for k = rank - 2 downto 0 do
+          dim_stride.(k) <- dim_stride.(k + 1) * dims.(k + 1)
+        done;
+        let delta = ref 0 in
+        Array.iteri
+          (fun k s -> delta := !delta + (Affine.coeff s j * dim_stride.(k)))
+          r.Reference.subs;
+        acc + abs !delta)
+      0 refs
+  in
+  float_of_int total /. float_of_int (max 1 (List.length refs))
+
+let best_order layout nest =
+  let d = Nest.depth nest in
+  let order = Array.init d Fun.id in
+  let key j =
+    let s = stride layout nest j in
+    (* Indices that do not move any address (stride 0) stay outermost;
+       otherwise larger strides go outer, smallest stride innermost. *)
+    if s = 0. then infinity else s
+  in
+  let keys = Array.init d key in
+  Array.sort (fun a b -> compare keys.(b) keys.(a)) order;
+  order
+
+let check_perm d perm =
+  if Array.length perm <> d then invalid_arg "Permute: wrong length";
+  let seen = Array.make d false in
+  Array.iter
+    (fun j ->
+      if j < 0 || j >= d || seen.(j) then
+        invalid_arg "Permute: not a permutation";
+      seen.(j) <- true)
+    perm
+
+let sort_iters perm iters =
+  (match iters with
+  | [] -> ()
+  | iv :: _ -> check_perm (Array.length iv) perm);
+  let compare_perm a b =
+    let rec go k =
+      if k >= Array.length perm then 0
+      else
+        let c = compare a.(perm.(k)) b.(perm.(k)) in
+        if c <> 0 then c else go (k + 1)
+    in
+    go 0
+  in
+  List.stable_sort compare_perm iters

@@ -1,0 +1,26 @@
+(** Loop permutation: the linear-transformation half of Base+.
+
+    Chooses the loop order that maximizes spatial locality: the index
+    that advances addresses by the smallest stride across all
+    references should iterate innermost (unit-stride heuristic, the
+    classic locality-driven permutation of the literature the paper
+    cites for its Base+ configuration). *)
+
+open Ctam_ir
+
+(** [best_order layout nest] returns a permutation [p] of the nest's
+    dimensions, outermost first: dimension [p.(depth-1)] has the
+    smallest average address stride and runs innermost. *)
+val best_order : Layout.t -> Nest.t -> int array
+
+(** [stride layout nest j] is the mean absolute byte-stride that
+    incrementing index [j] by one causes over the nest's references. *)
+val stride : Layout.t -> Nest.t -> int -> float
+
+(** [sort_iters perm iters] orders iterations lexicographically under
+    the permuted index order. *)
+val sort_iters : int array -> int array list -> int array list
+
+(** Validity: a permutation must be a bijection on [0..d-1].
+    @raise Invalid_argument otherwise (used by {!sort_iters}). *)
+val check_perm : int -> int array -> unit

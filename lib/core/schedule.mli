@@ -1,0 +1,54 @@
+(** Dependence-aware local iteration-group scheduling (paper Figure 7).
+
+    Given the per-core assignment produced by {!Distribute} (or any
+    other distribution) and the group dependence graph, orders each
+    core's groups into rounds.  Within a round, each core picks the
+    legal group maximizing
+
+    [alpha * dot(tag, last group of the previous core this round)  +
+     beta  * dot(tag, last group scheduled on this core)]
+
+    — the horizontal term targets shared-cache reuse across cores of
+    the same sharing domain, the vertical term targets L1 reuse.  A
+    barrier separates rounds, which both enforces dependences and keeps
+    sharing cores temporally aligned.  Cores keep scheduling in a round
+    until their iteration count catches up with their predecessor,
+    which balances per-round work (important under barriers). *)
+
+open Ctam_arch
+open Ctam_blocks
+open Ctam_deps
+
+type t = {
+  rounds : Iter_group.t list array list;
+      (** each round maps core -> groups scheduled in that round *)
+  num_cores : int;
+}
+
+(** Paper default: equal weights. *)
+val default_alpha : float
+
+val default_beta : float
+
+(** [run ?alpha ?beta topo assignment dg] schedules every group of
+    [assignment].  [dg] is indexed by group [id]s (split parts share
+    their origin's id; their dependences are enforced at origin
+    granularity).  Scheduling never loses iterations. *)
+val run :
+  ?alpha:float ->
+  ?beta:float ->
+  ?quantum:int ->
+  Topology.t ->
+  Iter_group.t list array ->
+  Dep_graph.t ->
+  t
+
+(** Per-core flat group order (rounds concatenated). *)
+val per_core : t -> Iter_group.t list array
+
+(** Number of rounds (= barriers + 1 when more than one). *)
+val num_rounds : t -> int
+
+(** True iff every group's origin-predecessors are fully scheduled in
+    strictly earlier rounds (the correctness invariant). *)
+val respects_deps : t -> Dep_graph.t -> bool

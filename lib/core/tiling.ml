@@ -1,0 +1,48 @@
+open Ctam_ir
+
+let footprint_per_iter layout nest =
+  List.fold_left
+    (fun acc r ->
+      let decl = Layout.decl layout r.Reference.array_name in
+      acc + decl.Array_decl.elem_size)
+    0 (Nest.refs nest)
+
+let choose_tile ~l1_bytes layout nest =
+  let d = Nest.depth nest in
+  let per_iter = max 1 (footprint_per_iter layout nest) in
+  let budget_iters = max 1 (l1_bytes / 2 / per_iter) in
+  let edge =
+    int_of_float (Float.round (float_of_int budget_iters ** (1. /. float_of_int d)))
+  in
+  max 4 (min 256 edge)
+
+let uniform d t = Array.make d t
+
+let apply ~tile ~perm iters =
+  (match iters with
+  | [] -> ()
+  | iv :: _ ->
+      Permute.check_perm (Array.length iv) perm;
+      if Array.length tile <> Array.length iv then
+        invalid_arg "Tiling.apply: tile length";
+      Array.iter (fun t -> if t <= 0 then invalid_arg "Tiling.apply: tile") tile);
+  let compare_tiled a b =
+    let d = Array.length perm in
+    (* Tile coordinates first (in permuted order), then the intra-tile
+       coordinates (also permuted). *)
+    let rec tiles k =
+      if k >= d then intra 0
+      else
+        let j = perm.(k) in
+        let c = compare (a.(j) / tile.(j)) (b.(j) / tile.(j)) in
+        if c <> 0 then c else tiles (k + 1)
+    and intra k =
+      if k >= d then 0
+      else
+        let j = perm.(k) in
+        let c = compare a.(j) b.(j) in
+        if c <> 0 then c else intra (k + 1)
+    in
+    tiles 0
+  in
+  List.stable_sort compare_tiled iters

@@ -1,0 +1,27 @@
+(** Iteration-space tiling (blocking): the second half of Base+.
+
+    Reorders a core's iterations so that all iterations of one tile run
+    before the next tile starts, improving temporal reuse in outer
+    dimensions.  The tile size is chosen so a tile's data footprint
+    fits in half the L1 cache (the paper selects the best-performing
+    size by search; the half-L1 rule is the standard model it
+    approximates — see {!choose_tile} and the bench sweep). *)
+
+open Ctam_ir
+
+(** [footprint_per_iter layout nest] estimates bytes of distinct data
+    touched per iteration (counts each reference once). *)
+val footprint_per_iter : Layout.t -> Nest.t -> int
+
+(** [choose_tile ~l1_bytes layout nest] returns a uniform tile edge
+    for all dimensions, clamped to [4, 256]. *)
+val choose_tile : l1_bytes:int -> Layout.t -> Nest.t -> int
+
+(** [apply ~tile ~perm iters] sorts iterations by (permuted tile
+    coordinates, then permuted intra-tile coordinates).  [tile.(j)] is
+    the tile edge of dimension [j].
+    @raise Invalid_argument on bad [perm] or non-positive tile. *)
+val apply : tile:int array -> perm:int array -> int array list -> int array list
+
+(** Uniform tile vector helper. *)
+val uniform : int -> int -> int array

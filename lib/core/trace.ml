@@ -1,0 +1,62 @@
+open Ctam_poly
+open Ctam_ir
+open Ctam_blocks
+open Ctam_cachesim
+
+let refs_of nest =
+  Nest.refs nest
+  |> List.map (fun r -> (r, Reference.is_write r))
+  |> Array.of_list
+
+let of_iters layout nest iters =
+  let refs = refs_of nest in
+  let nrefs = Array.length refs in
+  let out = Array.make (List.length iters * nrefs) 0 in
+  let k = ref 0 in
+  List.iter
+    (fun iv ->
+      Array.iter
+        (fun (r, write) ->
+          out.(!k) <-
+            Engine.encode_access ~addr:(Layout.ref_addr layout r iv) ~write;
+          incr k)
+        refs)
+    iters;
+  out
+
+let of_iterset layout nest s =
+  let refs = refs_of nest in
+  let nrefs = Array.length refs in
+  let out = Array.make (Iterset.cardinal s * nrefs) 0 in
+  let k = ref 0 in
+  Iterset.iter
+    (fun iv ->
+      Array.iter
+        (fun (r, write) ->
+          out.(!k) <-
+            Engine.encode_access ~addr:(Layout.ref_addr layout r iv) ~write;
+          incr k)
+        refs)
+    s;
+  out
+
+let of_group layout nest g = of_iterset layout nest g.Iter_group.iters
+
+let of_groups layout nest gs =
+  Array.concat (List.map (of_group layout nest) gs)
+
+let serial layout nest =
+  let refs = refs_of nest in
+  let nrefs = Array.length refs in
+  let out = Array.make (Nest.trip_count nest * nrefs) 0 in
+  let k = ref 0 in
+  Domain.iter
+    (fun iv ->
+      Array.iter
+        (fun (r, write) ->
+          out.(!k) <-
+            Engine.encode_access ~addr:(Layout.ref_addr layout r iv) ~write;
+          incr k)
+        refs)
+    nest.Nest.domain;
+  out

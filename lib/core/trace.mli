@@ -1,0 +1,23 @@
+(** Building simulator access streams from iteration orders. *)
+
+open Ctam_poly
+open Ctam_ir
+open Ctam_blocks
+
+(** [of_iters layout nest iters] emits, for each iteration in order,
+    one encoded access per reference of the nest body (program order:
+    reads of each statement, then its write). *)
+val of_iters : Layout.t -> Nest.t -> int array list -> int array
+
+(** [of_group layout nest g] enumerates the group's iterations in
+    lexicographic order. *)
+val of_group : Layout.t -> Nest.t -> Iter_group.t -> int array
+
+(** [of_groups layout nest gs] concatenates the groups in list order. *)
+val of_groups : Layout.t -> Nest.t -> Iter_group.t list -> int array
+
+(** Whole-nest sequential stream in original program order. *)
+val serial : Layout.t -> Nest.t -> int array
+
+(** [of_iterset layout nest s] lexicographic stream of a set. *)
+val of_iterset : Layout.t -> Nest.t -> Iterset.t -> int array

@@ -1,0 +1,39 @@
+(** Iteration-group dependence graphs (the paper's DG, §3.5.2).
+
+    Nodes are iteration-group ids [0..n-1]; an edge [(a, b)] means
+    group [b] depends on group [a] (so [a] must execute no later than
+    the round in which [b] runs). *)
+
+type t
+
+val create : int -> t
+val of_edges : int -> (int * int) list -> t
+val num_nodes : t -> int
+val add_edge : t -> int -> int -> unit
+val has_edge : t -> int -> int -> bool
+
+(** Groups that [v] depends on. *)
+val preds : t -> int -> int list
+
+(** Groups that depend on [v]. *)
+val succs : t -> int -> int list
+
+val num_edges : t -> int
+val is_empty : t -> bool
+val edges : t -> (int * int) list
+
+(** Strongly connected components (Tarjan).  Returns [comp] mapping
+    each node to a component id in [0..k-1], and [k].  Component ids
+    are in reverse topological order of the condensation (a component
+    never depends on a higher-numbered one). *)
+val scc : t -> int array * int
+
+(** [condense t] merges every cycle: returns [(comp, dag)] where [dag]
+    is the acyclic graph over component ids (no self-edges). *)
+val condense : t -> int array * t
+
+(** Topological order of an acyclic graph.
+    @raise Invalid_argument if the graph has a cycle. *)
+val topo_order : t -> int list
+
+val pp : t Fmt.t

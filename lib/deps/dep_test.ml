@@ -1,0 +1,247 @@
+open Ctam_poly
+open Ctam_ir
+
+type verdict = Independent | MaybeDependent
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* f(I) = g(I') over disjoint variable vectors has an integer solution
+   iff gcd of all coefficients divides the constant difference. *)
+let gcd_test f g =
+  let coeffs =
+    Array.to_list (Array.init (Affine.depth f) (Affine.coeff f))
+    @ Array.to_list (Array.init (Affine.depth g) (Affine.coeff g))
+  in
+  let d = List.fold_left (fun acc c -> gcd acc (abs c)) 0 coeffs in
+  let diff = (Affine.eval g (Array.make (Affine.depth g) 0))
+             - (Affine.eval f (Array.make (Affine.depth f) 0)) in
+  if d = 0 then if diff = 0 then MaybeDependent else Independent
+  else if diff mod d = 0 then MaybeDependent
+  else Independent
+
+(* Conservative per-dimension [lo, hi] box of a domain, by interval
+   evaluation of the affine bounds outermost-first. *)
+let bounding_box dom =
+  let d = Domain.depth dom in
+  let lo = Array.make d 0 and hi = Array.make d 0 in
+  let bounds = Domain.bounds dom in
+  (* min/max of an affine expr when var j ranges over [lo.(j), hi.(j)]
+     (only dims < upto are meaningful). *)
+  let eval_min e upto =
+    let acc = ref (Affine.eval e (Array.make d 0)) in
+    for j = 0 to upto - 1 do
+      let c = Affine.coeff e j in
+      acc := !acc + (if c > 0 then c * lo.(j) else c * hi.(j))
+    done;
+    !acc
+  in
+  let eval_max e upto =
+    let acc = ref (Affine.eval e (Array.make d 0)) in
+    for j = 0 to upto - 1 do
+      let c = Affine.coeff e j in
+      acc := !acc + (if c > 0 then c * hi.(j) else c * lo.(j))
+    done;
+    !acc
+  in
+  Array.iteri
+    (fun j (l, h) ->
+      lo.(j) <- eval_min l j;
+      hi.(j) <- eval_max h j)
+    bounds;
+  (lo, hi)
+
+let affine_range (lo, hi) e =
+  let d = Affine.depth e in
+  let zero = Array.make d 0 in
+  let mn = ref (Affine.eval e zero) and mx = ref (Affine.eval e zero) in
+  for j = 0 to d - 1 do
+    let c = Affine.coeff e j in
+    if c > 0 then begin
+      mn := !mn + (c * lo.(j));
+      mx := !mx + (c * hi.(j))
+    end
+    else if c < 0 then begin
+      mn := !mn + (c * hi.(j));
+      mx := !mx + (c * lo.(j))
+    end
+  done;
+  (!mn, !mx)
+
+let banerjee_test dom f g =
+  let box = bounding_box dom in
+  let fmin, fmax = affine_range box f in
+  let gmin, gmax = affine_range box g in
+  (* f(I) - g(I') ranges over [fmin - gmax, fmax - gmin]. *)
+  if fmin - gmax > 0 || fmax - gmin < 0 then Independent else MaybeDependent
+
+(* Is the subscript map injective by the simple structural rule: every
+   loop variable with a nonzero coefficient appears in exactly one
+   subscript dimension, and within that dimension it is the only
+   variable or combines with others injectively (we only accept the
+   single-variable-per-dimension case). *)
+let injective_map subs =
+  let d = Affine.depth subs.(0) in
+  let used = Array.make d false in
+  let ok = ref true in
+  Array.iter
+    (fun s ->
+      let vars =
+        List.filter (fun j -> Affine.coeff s j <> 0) (List.init d Fun.id)
+      in
+      match vars with
+      | [] -> ()
+      | [ j ] ->
+          if used.(j) then ok := false
+          else if abs (Affine.coeff s j) <> 1 then
+            (* strided but still injective in this dim *)
+            used.(j) <- true
+          else used.(j) <- true
+      | _ :: _ :: _ -> ok := false)
+    subs;
+  (* Every variable that influences the address must be covered. *)
+  !ok
+
+(* Omega-style exact-direction test: encode both iteration copies I
+   and I' as one linear system (bounds + guards for each copy,
+   subscript equalities, and a lexicographic-difference constraint at
+   one level), and let Fourier-Motzkin prove emptiness.  A dependence
+   between *different* iterations exists only if one of the 2*d leveled
+   systems is feasible. *)
+let omega_pair_test dom r1 r2 =
+  let d = Domain.depth dom in
+  let total = 2 * d in
+  let row_of ~offset e =
+    let coeffs = Array.make total 0 in
+    for j = 0 to d - 1 do
+      coeffs.(offset + j) <- Affine.coeff e j
+    done;
+    (coeffs, Affine.eval e (Array.make d 0))
+  in
+  let add_domain sys ~offset =
+    let sys = ref sys in
+    Array.iteri
+      (fun j (lo, hi) ->
+        (* x_j - lo >= 0 *)
+        let lo_coeffs, lo_k = row_of ~offset lo in
+        let c1 = Array.copy lo_coeffs in
+        Array.iteri (fun i c -> c1.(i) <- -c) lo_coeffs;
+        c1.(offset + j) <- c1.(offset + j) + 1;
+        sys := Fm.add_ge !sys c1 (-lo_k);
+        (* hi - x_j >= 0 *)
+        let hi_coeffs, hi_k = row_of ~offset hi in
+        let c2 = Array.copy hi_coeffs in
+        c2.(offset + j) <- c2.(offset + j) - 1;
+        sys := Fm.add_ge !sys c2 hi_k)
+      (Domain.bounds dom);
+    List.fold_left
+      (fun sys g ->
+        match g with
+        | Constrnt.Ge e ->
+            let coeffs, k = row_of ~offset e in
+            Fm.add_ge sys coeffs k
+        | Constrnt.Eq e ->
+            let coeffs, k = row_of ~offset e in
+            Fm.add_eq sys coeffs k)
+      !sys (Domain.guards dom)
+  in
+  let base =
+    let sys = Fm.make ~num_vars:total in
+    let sys = add_domain sys ~offset:0 in
+    let sys = add_domain sys ~offset:d in
+    (* Subscript equalities f_k(I) = g_k(I'). *)
+    let subs1 = r1.Reference.subs and subs2 = r2.Reference.subs in
+    let sys = ref sys in
+    Array.iteri
+      (fun k s1 ->
+        let c1, k1 = row_of ~offset:0 s1 in
+        let c2, k2 = row_of ~offset:d subs2.(k) in
+        let coeffs = Array.init total (fun i -> c1.(i) - c2.(i)) in
+        sys := Fm.add_eq !sys coeffs (k1 - k2))
+      subs1;
+    !sys
+  in
+  (* Leveled lexicographic difference: prefix equal, strict at level l,
+     in either direction. *)
+  let feasible_at level sign =
+    let sys = ref base in
+    for j = 0 to level - 1 do
+      let coeffs =
+        Array.init total (fun i ->
+            (if i = j then 1 else 0) - if i = d + j then 1 else 0)
+      in
+      sys := Fm.add_eq !sys coeffs 0
+    done;
+    (* sign = +1: I_l + 1 <= I'_l, i.e. I'_l - I_l - 1 >= 0. *)
+    let coeffs = Array.make total 0 in
+    coeffs.(level) <- -sign;
+    coeffs.(d + level) <- sign;
+    sys := Fm.add_ge !sys coeffs (-1);
+    Fm.rational_feasible !sys
+  in
+  let any =
+    List.exists
+      (fun l -> feasible_at l 1 || feasible_at l (-1))
+      (List.init d Fun.id)
+  in
+  if any then MaybeDependent else Independent
+
+let pair_test dom r1 r2 =
+  if r1.Reference.array_name <> r2.Reference.array_name then Independent
+  else begin
+    let subs1 = r1.Reference.subs and subs2 = r2.Reference.subs in
+    let dims = Array.length subs1 in
+    let any_independent = ref false in
+    for k = 0 to dims - 1 do
+      if gcd_test subs1.(k) subs2.(k) = Independent then
+        any_independent := true;
+      if banerjee_test dom subs1.(k) subs2.(k) = Independent then
+        any_independent := true
+    done;
+    if !any_independent then Independent
+    else if
+      Array.for_all2 Affine.equal subs1 subs2 && injective_map subs1
+      (* identical injective subscripts: only I = I' collides, which is
+         not a loop-carried dependence *)
+    then Independent
+    else
+      (* Sharpest (still conservative) decision: the leveled
+         Fourier-Motzkin emptiness test. *)
+      omega_pair_test dom r1 r2
+  end
+
+let nest_may_carry_deps nest =
+  let refs = Nest.refs nest in
+  let writes = List.filter Reference.is_write refs in
+  List.exists
+    (fun w ->
+      List.exists
+        (fun r -> pair_test nest.Nest.domain w r = MaybeDependent)
+        refs)
+    writes
+
+let nest_carries_deps_exact nest layout =
+  let refs = Array.of_list (Nest.refs nest) in
+  let enc = Iterset.encoder_of_domain nest.Nest.domain in
+  (* addr -> (first iteration key, any write seen) *)
+  let table : (int, int * bool) Hashtbl.t = Hashtbl.create 4096 in
+  let found = ref false in
+  (try
+     Domain.iter
+       (fun iv ->
+         let key = Iterset.encode enc iv in
+         Array.iter
+           (fun r ->
+             let addr = Layout.ref_addr layout r iv in
+             let w = Reference.is_write r in
+             match Hashtbl.find_opt table addr with
+             | None -> Hashtbl.replace table addr (key, w)
+             | Some (k0, w0) ->
+                 if k0 <> key && (w || w0) then begin
+                   found := true;
+                   raise Exit
+                 end
+                 else if w && not w0 then Hashtbl.replace table addr (k0, true))
+           refs)
+       nest.Nest.domain
+   with Exit -> ());
+  !found

@@ -1,0 +1,43 @@
+(** Loop-carried data-dependence tests on affine references.
+
+    Conservative tests (GCD and Banerjee-style bound tests) answer
+    "definitely independent" or "maybe dependent"; an exact
+    enumeration-based test decides small domains precisely.  The
+    distribution scheme only needs a nest-level verdict (fully parallel
+    or not); the scheduler additionally needs the group-level graph
+    (see {!Group_deps}). *)
+
+open Ctam_poly
+open Ctam_ir
+
+type verdict = Independent | MaybeDependent
+
+(** [pair_test dom r1 r2] tests whether two references to the same
+    array can touch the same element from two *different* iterations of
+    [dom].  Returns [Independent] when provably impossible.  References
+    to different arrays are trivially [Independent]. *)
+val pair_test : Domain.t -> Reference.t -> Reference.t -> verdict
+
+(** GCD test on one subscript dimension pair: can
+    [f(I) = g(I')] have integer solutions at all? *)
+val gcd_test : Affine.t -> Affine.t -> verdict
+
+(** Banerjee-style bound test: evaluates min/max of [f(I) - g(I')] over
+    the domain's bounding box; [Independent] if 0 is excluded in some
+    dimension. *)
+val banerjee_test : Domain.t -> Affine.t -> Affine.t -> verdict
+
+(** Omega-style leveled emptiness test: encodes both iteration copies,
+    the subscript equalities and a lexicographic-difference level into
+    linear systems and proves emptiness by Fourier-Motzkin
+    ({!Ctam_poly.Fm}).  [Independent] is exact (no integer solution);
+    [MaybeDependent] is conservative. *)
+val omega_pair_test : Domain.t -> Reference.t -> Reference.t -> verdict
+
+(** Conservative nest-level verdict: [false] means provably no
+    loop-carried dependence (safe to run fully parallel). *)
+val nest_may_carry_deps : Nest.t -> bool
+
+(** Exact nest-level verdict by enumeration — O(accesses).
+    Use for tests and small nests. *)
+val nest_carries_deps_exact : Nest.t -> Layout.t -> bool

@@ -1,0 +1,24 @@
+(** Building the iteration-group dependence graph of a grouping.
+
+    If the conservative nest-level tests prove the nest fully parallel,
+    the graph is empty; otherwise dependences are found exactly by
+    enumerating the accesses of the nest in sequential order. *)
+
+open Ctam_blocks
+
+(** [compute grouping] returns the group DG (edge [a -> b] iff some
+    iteration of group [b] depends on an iteration of group [a], i.e.
+    they touch a common element, at least one access is a write, and
+    [a]'s access comes first in sequential order). *)
+val compute : Tags.grouping -> Dep_graph.t
+
+(** [merge_cycles grouping dg] merges every dependence cycle into a
+    single group (paper §3.5.2), returning the condensed group array
+    (ids renumbered densely) and the acyclic DG over them.  Groups stay
+    ordered by their first iteration. *)
+val merge_cycles :
+  Tags.grouping -> Dep_graph.t -> Iter_group.t array * Dep_graph.t
+
+(** Fraction of parallel-loop groups with any dependence (diagnostic;
+    the paper reports 14% of parallel loops carry dependences). *)
+val dependent_fraction : Dep_graph.t -> float

@@ -1,0 +1,48 @@
+let table ~header rows =
+  let all = header :: rows in
+  let ncols = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row <> ncols then invalid_arg "Report.table: ragged row")
+    rows;
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell ->
+           let w = List.nth widths c in
+           if c = 0 then Printf.sprintf "%-*s" w cell
+           else Printf.sprintf "%*s" w cell)
+         row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+  ^ "\n"
+
+let normalized ~base values =
+  if base <= 0. then invalid_arg "Report.normalized: base";
+  List.map (fun v -> v /. base) values
+
+let f2 v = Printf.sprintf "%.2f" v
+let f3 v = Printf.sprintf "%.3f" v
+
+let geomean = function
+  | [] -> invalid_arg "Report.geomean: empty"
+  | vs ->
+      List.iter (fun v -> if v <= 0. then invalid_arg "Report.geomean: <= 0") vs;
+      exp (List.fold_left (fun acc v -> acc +. log v) 0. vs
+           /. float_of_int (List.length vs))
+
+let mean = function
+  | [] -> invalid_arg "Report.mean: empty"
+  | vs -> List.fold_left ( +. ) 0. vs /. float_of_int (List.length vs)
+
+let improvement_pct ~base ~opt = 100. *. (base -. opt) /. base
+
+let section title =
+  Printf.sprintf "\n%s\n%s\n" title (String.make (String.length title) '=')

@@ -1,0 +1,26 @@
+(** ASCII tables and normalized bar series for experiment output. *)
+
+(** A table: column headers and string rows, left-aligned first column,
+    right-aligned others. *)
+val table : header:string list -> string list list -> string
+
+(** [normalized ~base values] divides every value by [base].
+    @raise Invalid_argument if [base <= 0]. *)
+val normalized : base:float -> float list -> float list
+
+val f2 : float -> string
+val f3 : float -> string
+
+(** Geometric mean (the usual summary for normalized ratios).
+    @raise Invalid_argument on empty or non-positive input. *)
+val geomean : float list -> float
+
+(** Arithmetic mean.  @raise Invalid_argument on empty input. *)
+val mean : float list -> float
+
+(** [improvement_pct ~base ~opt] is the percentage reduction of [opt]
+    relative to [base] (positive = better). *)
+val improvement_pct : base:float -> opt:float -> float
+
+(** A titled section with underline, for experiment logs. *)
+val section : string -> string

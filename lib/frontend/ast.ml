@@ -1,0 +1,45 @@
+type pos = Token.pos
+
+type aexpr =
+  | A_int of int
+  | A_var of string * pos
+  | A_add of aexpr * aexpr
+  | A_sub of aexpr * aexpr
+  | A_mul of aexpr * aexpr * pos
+  | A_neg of aexpr
+
+type expr =
+  | E_num of float
+  | E_index of string * pos
+  | E_ref of string * aexpr list * pos
+  | E_add of expr * expr
+  | E_sub of expr * expr
+  | E_mul of expr * expr
+  | E_div of expr * expr
+
+type stmt = {
+  lhs_array : string;
+  lhs_subs : aexpr list;
+  lhs_pos : pos;
+  rhs : expr;
+}
+
+type loop = {
+  var : string;
+  var_pos : pos;
+  lo : aexpr;
+  hi : aexpr;
+  strict : bool;
+  body : body;
+}
+
+and body = B_loop of loop | B_stmts of stmt list
+
+type elem_type = T_double | T_float | T_int | T_char
+
+type decl = { arr_name : string; arr_ty : elem_type; arr_dims : int list; arr_pos : pos }
+
+type nest = { nest_parallel : bool; nest_loop : loop; nest_pos : pos }
+type program = { prog_name : string; decls : decl list; nests : nest list }
+
+let elem_size = function T_double -> 8 | T_float -> 4 | T_int -> 4 | T_char -> 1

@@ -1,0 +1,50 @@
+(** Abstract syntax of the loop-nest DSL, before affine checking. *)
+
+type pos = Token.pos
+
+(** Index/bound/subscript expressions (checked affine during lowering). *)
+type aexpr =
+  | A_int of int
+  | A_var of string * pos
+  | A_add of aexpr * aexpr
+  | A_sub of aexpr * aexpr
+  | A_mul of aexpr * aexpr * pos  (** position kept for non-affine errors *)
+  | A_neg of aexpr
+
+(** Body (floating-point) expressions. *)
+type expr =
+  | E_num of float
+  | E_index of string * pos       (** a loop index used as a value *)
+  | E_ref of string * aexpr list * pos
+  | E_add of expr * expr
+  | E_sub of expr * expr
+  | E_mul of expr * expr
+  | E_div of expr * expr
+
+type stmt = {
+  lhs_array : string;
+  lhs_subs : aexpr list;
+  lhs_pos : pos;
+  rhs : expr;
+}
+
+type loop = {
+  var : string;
+  var_pos : pos;
+  lo : aexpr;
+  hi : aexpr;
+  strict : bool;  (** [true] for [<], [false] for [<=] *)
+  body : body;
+}
+
+and body = B_loop of loop | B_stmts of stmt list
+
+type elem_type = T_double | T_float | T_int | T_char
+
+type decl = { arr_name : string; arr_ty : elem_type; arr_dims : int list; arr_pos : pos }
+
+type nest = { nest_parallel : bool; nest_loop : loop; nest_pos : pos }
+
+type program = { prog_name : string; decls : decl list; nests : nest list }
+
+val elem_size : elem_type -> int

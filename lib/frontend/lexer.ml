@@ -1,0 +1,146 @@
+open Token
+
+type state = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let pos st = { line = st.line; col = st.col }
+let at_end st = st.off >= String.length st.src
+let peek st = if at_end st then '\000' else st.src.[st.off]
+
+let peek2 st =
+  if st.off + 1 >= String.length st.src then '\000' else st.src.[st.off + 1]
+
+let advance st =
+  if not (at_end st) then begin
+    if st.src.[st.off] = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    st.off <- st.off + 1
+  end
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let rec skip_ws st =
+  match peek st with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance st;
+      skip_ws st
+  | '/' when peek2 st = '/' ->
+      while (not (at_end st)) && peek st <> '\n' do
+        advance st
+      done;
+      skip_ws st
+  | '/' when peek2 st = '*' ->
+      let start = pos st in
+      advance st;
+      advance st;
+      let rec go () =
+        if at_end st then Parse_error.fail start "unterminated comment"
+        else if peek st = '*' && peek2 st = '/' then begin
+          advance st;
+          advance st
+        end
+        else begin
+          advance st;
+          go ()
+        end
+      in
+      go ();
+      skip_ws st
+  | _ -> ()
+
+let lex_number st =
+  let p = pos st in
+  let start = st.off in
+  while is_digit (peek st) do
+    advance st
+  done;
+  let is_float =
+    if peek st = '.' && is_digit (peek2 st) then begin
+      advance st;
+      while is_digit (peek st) do
+        advance st
+      done;
+      true
+    end
+    else false
+  in
+  let text = String.sub st.src start (st.off - start) in
+  if is_float then { tok = FLOAT (float_of_string text); pos = p }
+  else
+    match int_of_string_opt text with
+    | Some n -> { tok = INT n; pos = p }
+    | None -> Parse_error.fail p "integer literal out of range: %s" text
+
+let keyword = function
+  | "program" -> Some KW_PROGRAM
+  | "parallel" -> Some KW_PARALLEL
+  | "for" -> Some KW_FOR
+  | "double" -> Some KW_DOUBLE
+  | "float" -> Some KW_FLOAT
+  | "int" -> Some KW_INT
+  | "char" -> Some KW_CHAR
+  | _ -> None
+
+let lex_ident st =
+  let p = pos st in
+  let start = st.off in
+  while is_alnum (peek st) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.off - start) in
+  match keyword text with
+  | Some kw -> { tok = kw; pos = p }
+  | None -> { tok = IDENT text; pos = p }
+
+let next st =
+  skip_ws st;
+  let p = pos st in
+  if at_end st then { tok = EOF; pos = p }
+  else
+    let c = peek st in
+    if is_digit c then lex_number st
+    else if is_alpha c then lex_ident st
+    else begin
+      let simple tok =
+        advance st;
+        { tok; pos = p }
+      in
+      let two tok =
+        advance st;
+        advance st;
+        { tok; pos = p }
+      in
+      match c with
+      | '(' -> simple LPAREN
+      | ')' -> simple RPAREN
+      | '[' -> simple LBRACKET
+      | ']' -> simple RBRACKET
+      | '{' -> simple LBRACE
+      | '}' -> simple RBRACE
+      | ';' -> simple SEMI
+      | '+' -> if peek2 st = '+' then two PLUSPLUS else simple PLUS
+      | '-' -> simple MINUS
+      | '*' -> simple STAR
+      | '/' -> simple SLASH
+      | '<' -> if peek2 st = '=' then two LE else simple LT
+      | '>' -> if peek2 st = '=' then two GE else simple GT
+      | '=' -> simple ASSIGN
+      | c -> Parse_error.fail p "illegal character '%c'" c
+    end
+
+let tokenize src =
+  let st = { src; off = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let t = next st in
+    if t.tok = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,9 @@
+(** Hand-written lexer for the loop-nest DSL.
+
+    Supports line comments [// ...], block comments [/* ... */] and
+    the token set of {!Token}. *)
+
+(** Tokenize a whole source string, ending with [EOF].
+    @raise Parse_error.Error on illegal characters or malformed
+    numbers/comments. *)
+val tokenize : string -> Token.spanned list

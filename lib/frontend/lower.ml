@@ -1,0 +1,115 @@
+open Ctam_poly
+open Ctam_ir
+open Ast
+
+(* Lower a subscript/bound expression to an affine form over a nest of
+   depth [d], with [env] mapping loop-variable names to dimensions. *)
+let rec lower_aexpr ~d ~env = function
+  | A_int n -> Affine.const d n
+  | A_var (v, pos) -> (
+      match List.assoc_opt v env with
+      | Some j -> Affine.var d j
+      | None -> Parse_error.fail pos "'%s' is not a loop variable in scope" v)
+  | A_add (a, b) -> Affine.add (lower_aexpr ~d ~env a) (lower_aexpr ~d ~env b)
+  | A_sub (a, b) -> Affine.sub (lower_aexpr ~d ~env a) (lower_aexpr ~d ~env b)
+  | A_neg a -> Affine.neg (lower_aexpr ~d ~env a)
+  | A_mul (a, b, pos) -> (
+      let la = lower_aexpr ~d ~env a and lb = lower_aexpr ~d ~env b in
+      match (Affine.is_const la, Affine.is_const lb) with
+      | true, _ -> Affine.scale (Affine.eval la (Array.make d 0)) lb
+      | _, true -> Affine.scale (Affine.eval lb (Array.make d 0)) la
+      | false, false ->
+          Parse_error.fail pos "non-affine subscript: product of two indices")
+
+let lower_ref ~d ~env ~kind name subs pos =
+  if subs = [] then Parse_error.fail pos "'%s' used without subscripts" name;
+  let subs = Array.of_list (List.map (lower_aexpr ~d ~env) subs) in
+  Reference.make ~array_name:name ~subs ~kind
+
+let rec lower_expr ~d ~env = function
+  | E_num f -> Expr.const f
+  | E_index (v, pos) -> (
+      match List.assoc_opt v env with
+      | Some j -> Expr.index j
+      | None ->
+          Parse_error.fail pos
+            "'%s' is not a loop variable (scalars are not supported)" v)
+  | E_ref (name, subs, pos) ->
+      Expr.load (lower_ref ~d ~env ~kind:Reference.Read name subs pos)
+  | E_add (a, b) -> Expr.add (lower_expr ~d ~env a) (lower_expr ~d ~env b)
+  | E_sub (a, b) -> Expr.sub (lower_expr ~d ~env a) (lower_expr ~d ~env b)
+  | E_mul (a, b) -> Expr.mul (lower_expr ~d ~env a) (lower_expr ~d ~env b)
+  | E_div (a, b) -> Expr.div (lower_expr ~d ~env a) (lower_expr ~d ~env b)
+
+let lower_stmt ~d ~env s =
+  let lhs =
+    lower_ref ~d ~env ~kind:Reference.Write s.lhs_array s.lhs_subs s.lhs_pos
+  in
+  Stmt.assign lhs (lower_expr ~d ~env s.rhs)
+
+(* Flatten the loop chain of a nest into (var, lo, hi, strict) levels
+   and the innermost statement list. *)
+let rec collect_levels acc loop =
+  let level = (loop.var, loop.var_pos, loop.lo, loop.hi, loop.strict) in
+  match loop.body with
+  | B_loop inner -> collect_levels (level :: acc) inner
+  | B_stmts stmts -> (List.rev (level :: acc), stmts)
+
+let lower_nest ~name (nest : Ast.nest) =
+  let levels, stmts = collect_levels [] nest.nest_loop in
+  let d = List.length levels in
+  let env =
+    List.mapi (fun j (v, pos, _, _, _) -> (v, pos, j)) levels
+    |> List.map (fun (v, _, j) -> (v, j))
+  in
+  (* Reject duplicate loop variables. *)
+  List.iteri
+    (fun j (v, pos, _, _, _) ->
+      List.iteri
+        (fun j' (v', _, _, _, _) ->
+          if j' < j && v = v' then
+            Parse_error.fail pos "duplicate loop variable '%s'" v)
+        levels)
+    levels;
+  let bounds =
+    Array.of_list
+      (List.map
+         (fun (_, pos, lo, hi, strict) ->
+           let lo = lower_aexpr ~d ~env lo in
+           let hi = lower_aexpr ~d ~env hi in
+           let hi = if strict then Affine.add_const (-1) hi else hi in
+           (pos, lo, hi))
+         levels)
+  in
+  let domain =
+    try
+      Domain.make ~bounds:(Array.map (fun (_, lo, hi) -> (lo, hi)) bounds)
+        ~guards:[]
+    with Invalid_argument _ ->
+      let pos, _, _ = bounds.(0) in
+      Parse_error.fail pos "loop bounds may only reference outer loop indices"
+  in
+  let body = List.map (lower_stmt ~d ~env) stmts in
+  Nest.make ~name
+    ~index_names:(Array.of_list (List.map (fun (v, _, _, _, _) -> v) levels))
+    ~domain ~body ~parallel:nest.nest_parallel
+
+let lower_program (p : Ast.program) =
+  let arrays =
+    List.map
+      (fun dcl ->
+        Array_decl.make ~name:dcl.arr_name
+          ~dims:(Array.of_list dcl.arr_dims)
+          ~elem_size:(elem_size dcl.arr_ty))
+      p.decls
+  in
+  let nests =
+    List.mapi
+      (fun i n -> lower_nest ~name:(Printf.sprintf "%s_nest%d" p.prog_name i) n)
+      p.nests
+  in
+  try Program.make ~name:p.prog_name ~arrays ~nests
+  with Invalid_argument msg ->
+    Parse_error.fail { Token.line = 1; col = 1 } "%s" msg
+
+let compile src = lower_program (Parser.parse src)

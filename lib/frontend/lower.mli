@@ -1,0 +1,13 @@
+(** Lowering: DSL abstract syntax to the affine loop IR.
+
+    Performs the affine checks the grammar cannot express: subscripts
+    and loop bounds must be affine in the loop indices, bounds may only
+    reference outer indices, and every identifier in index position
+    must be a loop variable of the enclosing nest.
+
+    @raise Parse_error.Error on any violation, with a source position. *)
+
+val lower_program : Ast.program -> Ctam_ir.Program.t
+
+(** Convenience: parse then lower. *)
+val compile : string -> Ctam_ir.Program.t

@@ -1,0 +1,13 @@
+exception Error of Token.pos * string
+
+let fail pos fmt = Format.kasprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+let render ~source pos msg =
+  let lines = String.split_on_char '\n' source in
+  let line_text =
+    match List.nth_opt lines (pos.Token.line - 1) with
+    | Some l -> l
+    | None -> ""
+  in
+  let caret = String.make (max 0 (pos.Token.col - 1)) ' ' ^ "^" in
+  Fmt.str "%a: %s@.  %s@.  %s" Token.pp_pos pos msg line_text caret

@@ -1,0 +1,9 @@
+(** Frontend diagnostics. *)
+
+exception Error of Token.pos * string
+
+(** [fail pos fmt ...] raises {!Error} with a formatted message. *)
+val fail : Token.pos -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Render an error against the source text, with a caret line. *)
+val render : source:string -> Token.pos -> string -> string

@@ -1,0 +1,19 @@
+(** Recursive-descent parser for the loop-nest DSL.
+
+    Grammar (LL(1)):
+    {v
+    program  ::= "program" IDENT ";" decl* nest+
+    decl     ::= type IDENT ("[" INT "]")+ ";"
+    nest     ::= ["parallel"] loop
+    loop     ::= "for" "(" IDENT "=" aexpr ";"
+                          IDENT ("<" | "<=") aexpr ";"
+                          IDENT "++" ")" body
+    body     ::= loop | "{" stmt+ "}" | stmt
+    stmt     ::= IDENT ("[" aexpr "]")+ "=" expr ";"
+    v} *)
+
+(** Parse a full program.  @raise Parse_error.Error on syntax errors. *)
+val parse : string -> Ast.program
+
+(** Parse from a token list (exposed for tests). *)
+val parse_tokens : Token.spanned list -> Ast.program

@@ -1,0 +1,65 @@
+type pos = { line : int; col : int }
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_PROGRAM
+  | KW_PARALLEL
+  | KW_FOR
+  | KW_DOUBLE
+  | KW_FLOAT
+  | KW_INT
+  | KW_CHAR
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PLUSPLUS
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+type spanned = { tok : t; pos : pos }
+
+let describe = function
+  | INT n -> Printf.sprintf "integer %d" n
+  | FLOAT f -> Printf.sprintf "float %g" f
+  | IDENT s -> Printf.sprintf "identifier '%s'" s
+  | KW_PROGRAM -> "'program'"
+  | KW_PARALLEL -> "'parallel'"
+  | KW_FOR -> "'for'"
+  | KW_DOUBLE -> "'double'"
+  | KW_FLOAT -> "'float'"
+  | KW_INT -> "'int'"
+  | KW_CHAR -> "'char'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | SEMI -> "';'"
+  | ASSIGN -> "'='"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PLUSPLUS -> "'++'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EOF -> "end of input"
+
+let pp_pos ppf p = Fmt.pf ppf "line %d, column %d" p.line p.col

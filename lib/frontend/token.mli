@@ -1,0 +1,38 @@
+(** Tokens of the loop-nest DSL (the paper's C-like pseudo-language). *)
+
+type pos = { line : int; col : int }
+
+type t =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_PROGRAM
+  | KW_PARALLEL
+  | KW_FOR
+  | KW_DOUBLE
+  | KW_FLOAT
+  | KW_INT
+  | KW_CHAR
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | ASSIGN      (** [=] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PLUSPLUS    (** [++] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+type spanned = { tok : t; pos : pos }
+
+val describe : t -> string
+val pp_pos : pos Fmt.t

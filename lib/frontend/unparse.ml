@@ -1,0 +1,92 @@
+open Ctam_poly
+open Ctam_ir
+
+let dsl_type arr =
+  match arr.Array_decl.elem_size with
+  | 8 -> "double"
+  | 4 -> "float"
+  | 1 -> "char"
+  | n ->
+      invalid_arg
+        (Printf.sprintf "Unparse: no DSL type for %d-byte elements" n)
+
+let render_decl buf arr =
+  Buffer.add_string buf (dsl_type arr);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf arr.Array_decl.name;
+  Array.iter
+    (fun d -> Buffer.add_string buf (Printf.sprintf "[%d]" d))
+    arr.Array_decl.dims;
+  Buffer.add_string buf ";\n"
+
+let affine ~names e = Affine.to_string ~names e
+
+let render_ref ~names buf r =
+  Buffer.add_string buf r.Reference.array_name;
+  Array.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "[%s]" (affine ~names s)))
+    r.Reference.subs
+
+let rec render_expr ~names buf = function
+  | Expr.Const c ->
+      (* Keep a decimal point so the token stays a FLOAT. *)
+      if Float.is_integer c then
+        Buffer.add_string buf (Printf.sprintf "%.1f" c)
+      else Buffer.add_string buf (Printf.sprintf "%g" c)
+  | Expr.Index j ->
+      Buffer.add_string buf
+        (if j < Array.length names then names.(j) else Printf.sprintf "i%d" j)
+  | Expr.Load r -> render_ref ~names buf r
+  | Expr.Binop (op, a, b) ->
+      Buffer.add_char buf '(';
+      render_expr ~names buf a;
+      Buffer.add_string buf
+        (match op with
+        | Expr.Add -> " + "
+        | Expr.Sub -> " - "
+        | Expr.Mul -> " * "
+        | Expr.Div -> " / ");
+      render_expr ~names buf b;
+      Buffer.add_char buf ')'
+
+let render_nest buf nest =
+  let names = nest.Nest.index_names in
+  let d = Nest.depth nest in
+  if nest.Nest.parallel then Buffer.add_string buf "parallel ";
+  Array.iteri
+    (fun j (lo, hi) ->
+      if j > 0 then begin
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (2 * j) ' ')
+      end;
+      Buffer.add_string buf
+        (Printf.sprintf "for (%s = %s; %s <= %s; %s++)" names.(j)
+           (affine ~names lo) names.(j) (affine ~names hi) names.(j)))
+    (Domain.bounds nest.Nest.domain);
+  Buffer.add_string buf " {\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (String.make (2 * d) ' ');
+      render_ref ~names buf s.Stmt.lhs;
+      Buffer.add_string buf " = ";
+      render_expr ~names buf s.Stmt.rhs;
+      Buffer.add_string buf ";\n")
+    nest.Nest.body;
+  Buffer.add_string buf (String.make (2 * (d - 1)) ' ');
+  Buffer.add_string buf "}\n"
+
+let program (p : Program.t) =
+  List.iter
+    (fun nest ->
+      if Domain.guards nest.Nest.domain <> [] then
+        invalid_arg "Unparse: guarded domains have no DSL form")
+    p.Program.nests;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "program %s;\n\n" p.Program.name);
+  List.iter (render_decl buf) p.Program.arrays;
+  List.iter
+    (fun nest ->
+      Buffer.add_char buf '\n';
+      render_nest buf nest)
+    p.Program.nests;
+  Buffer.contents buf

@@ -1,0 +1,11 @@
+(** Unparsing: render an IR program back into DSL source text.
+
+    Round-trips with {!Lower.compile}: recompiling the rendered text
+    yields a structurally equivalent program (same domains, references
+    and parallel flags).  Useful for dumping synthesized workloads as
+    editable `.ctam` files. *)
+
+(** [program p] renders the whole program.
+    @raise Invalid_argument for element sizes with no DSL type
+    (supported: 8 = double, 4 = float, 1 = char). *)
+val program : Ctam_ir.Program.t -> string

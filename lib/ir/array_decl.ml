@@ -1,0 +1,31 @@
+type t = { name : string; dims : int array; elem_size : int }
+
+let make ~name ~dims ~elem_size =
+  if elem_size <= 0 then invalid_arg "Array_decl.make: elem_size";
+  if Array.length dims = 0 then invalid_arg "Array_decl.make: rank 0";
+  Array.iter (fun d -> if d <= 0 then invalid_arg "Array_decl.make: extent") dims;
+  { name; dims = Array.copy dims; elem_size }
+
+let cardinal a = Array.fold_left ( * ) 1 a.dims
+let byte_size a = cardinal a * a.elem_size
+let rank a = Array.length a.dims
+
+let linearize a idx =
+  let r = rank a in
+  if Array.length idx <> r then invalid_arg "Array_decl.linearize: rank";
+  let off = ref 0 in
+  for k = 0 to r - 1 do
+    if idx.(k) < 0 || idx.(k) >= a.dims.(k) then
+      invalid_arg
+        (Printf.sprintf "Array_decl.linearize: %s index %d out of [0,%d)"
+           a.name idx.(k) a.dims.(k));
+    off := (!off * a.dims.(k)) + idx.(k)
+  done;
+  !off
+
+let equal a b = a.name = b.name && a.dims = b.dims && a.elem_size = b.elem_size
+
+let pp ppf a =
+  Fmt.pf ppf "%s%a (%d B/elem)" a.name
+    Fmt.(array ~sep:nop (brackets int))
+    a.dims a.elem_size

@@ -1,0 +1,26 @@
+(** Array declarations: the data spaces of the paper's framework. *)
+
+type t = {
+  name : string;
+  dims : int array;      (** extent of each dimension; row-major layout *)
+  elem_size : int;       (** bytes per element, e.g. 8 for double *)
+}
+
+(** [make ~name ~dims ~elem_size] declares an array.
+    @raise Invalid_argument on non-positive extents or element size. *)
+val make : name:string -> dims:int array -> elem_size:int -> t
+
+(** Number of elements. *)
+val cardinal : t -> int
+
+(** Footprint in bytes. *)
+val byte_size : t -> int
+
+val rank : t -> int
+
+(** [linearize a idx] is the row-major element offset of [idx] in [a].
+    @raise Invalid_argument if any index is out of bounds. *)
+val linearize : t -> int array -> int
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,48 @@
+type binop = Add | Sub | Mul | Div
+
+type t =
+  | Const of float
+  | Index of int
+  | Load of Reference.t
+  | Binop of binop * t * t
+
+let const c = Const c
+let index j = Index j
+let load r = Load r
+let add a b = Binop (Add, a, b)
+let sub a b = Binop (Sub, a, b)
+let mul a b = Binop (Mul, a, b)
+let div a b = Binop (Div, a, b)
+
+let refs e =
+  let rec go acc = function
+    | Const _ | Index _ -> acc
+    | Load r -> r :: acc
+    | Binop (_, a, b) -> go (go acc a) b
+  in
+  List.rev (go [] e)
+
+let rec eval ~load ~index = function
+  | Const c -> c
+  | Index j -> index j
+  | Load r -> load r
+  | Binop (op, a, b) -> (
+      let va = eval ~load ~index a and vb = eval ~load ~index b in
+      match op with
+      | Add -> va +. vb
+      | Sub -> va -. vb
+      | Mul -> va *. vb
+      | Div -> va /. vb)
+
+let op_str = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let rec pp ?names ppf = function
+  | Const c ->
+      if Float.is_integer c then Fmt.pf ppf "%.0f" c else Fmt.pf ppf "%g" c
+  | Index j -> (
+      match names with
+      | Some ns when j < Array.length ns -> Fmt.string ppf ns.(j)
+      | _ -> Fmt.pf ppf "i%d" j)
+  | Load r -> Reference.pp ?names ppf r
+  | Binop (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" (pp ?names) a (op_str op) (pp ?names) b

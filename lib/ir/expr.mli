@@ -1,0 +1,32 @@
+(** Right-hand-side expressions of loop-body statements.
+
+    The mapping algorithms only need the set of references an
+    expression contains, but keeping a real expression tree lets the
+    frontend round-trip programs and the pretty-printer emit readable
+    code. *)
+
+type binop = Add | Sub | Mul | Div
+
+type t =
+  | Const of float
+  | Index of int           (** value of loop index [i_j] *)
+  | Load of Reference.t    (** array read *)
+  | Binop of binop * t * t
+
+val const : float -> t
+val index : int -> t
+val load : Reference.t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+(** All array references in the expression, left to right. *)
+val refs : t -> Reference.t list
+
+(** Evaluate with an environment for loads (used by tests to check
+    semantic preservation of reordered schedules over commutative
+    bodies). *)
+val eval : load:(Reference.t -> float) -> index:(int -> float) -> t -> float
+
+val pp : ?names:string array -> t Fmt.t

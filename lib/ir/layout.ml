@@ -1,0 +1,48 @@
+type entry = { decl : Array_decl.t; base : int }
+
+type t = {
+  align : int;
+  by_name : (string, entry) Hashtbl.t;
+  order : Array_decl.t list;
+  total : int;
+}
+
+let round_up x align = (x + align - 1) / align * align
+
+let make ~align arrays =
+  if align <= 0 then invalid_arg "Layout.make: align";
+  let by_name = Hashtbl.create 16 in
+  let cursor = ref 0 in
+  List.iter
+    (fun decl ->
+      let base = round_up !cursor align in
+      Hashtbl.replace by_name decl.Array_decl.name { decl; base };
+      cursor := base + Array_decl.byte_size decl)
+    arrays;
+  { align; by_name; order = arrays; total = !cursor }
+
+let of_program ~align p = make ~align p.Program.arrays
+let align t = t.align
+
+let entry t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some e -> e
+  | None -> raise Not_found
+
+let base t name = (entry t name).base
+let decl t name = (entry t name).decl
+let total_bytes t = t.total
+
+let elem_addr t name idx =
+  let e = entry t name in
+  e.base + (Array_decl.linearize e.decl idx * e.decl.Array_decl.elem_size)
+
+let ref_addr t r iv = elem_addr t r.Reference.array_name (Reference.target r iv)
+let arrays t = t.order
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>layout (align %d, %d B total):@,%a@]" t.align t.total
+    Fmt.(
+      list ~sep:cut (fun ppf d ->
+          pf ppf "  %s @@ %d" d.Array_decl.name (base t d.Array_decl.name)))
+    t.order

@@ -1,0 +1,44 @@
+open Ctam_poly
+
+type t = {
+  name : string;
+  index_names : string array;
+  domain : Domain.t;
+  body : Stmt.t list;
+  parallel : bool;
+}
+
+let make ~name ~index_names ~domain ~body ~parallel =
+  let d = Domain.depth domain in
+  if Array.length index_names <> d then
+    invalid_arg "Nest.make: index_names length";
+  if body = [] then invalid_arg "Nest.make: empty body";
+  List.iter
+    (fun s -> if Stmt.depth s <> d then invalid_arg "Nest.make: stmt depth")
+    body;
+  { name; index_names = Array.copy index_names; domain; body; parallel }
+
+let depth t = Domain.depth t.domain
+let refs t = List.concat_map Stmt.refs t.body
+
+let arrays_used t =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun r ->
+      let n = r.Reference.array_name in
+      if Hashtbl.mem seen n then None
+      else begin
+        Hashtbl.add seen n ();
+        Some n
+      end)
+    (refs t)
+
+let trip_count t = Domain.cardinal t.domain
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%s%s: %a@,%a@]" t.name
+    (if t.parallel then " (parallel)" else "")
+    (Domain.pp ~names:t.index_names)
+    t.domain
+    Fmt.(list ~sep:cut (Stmt.pp ~names:t.index_names))
+    t.body

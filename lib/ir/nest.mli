@@ -1,0 +1,37 @@
+(** Loop nests: an iteration domain plus a body of statements.
+
+    A nest is the unit the paper optimizes: the iterations of a nest
+    marked [parallel] are distributed across cores. *)
+
+open Ctam_poly
+
+type t = {
+  name : string;
+  index_names : string array;  (** one per nest dimension *)
+  domain : Domain.t;
+  body : Stmt.t list;
+  parallel : bool;
+}
+
+(** [make ~name ~index_names ~domain ~body ~parallel].
+    @raise Invalid_argument on depth mismatches or empty body. *)
+val make :
+  name:string ->
+  index_names:string array ->
+  domain:Domain.t ->
+  body:Stmt.t list ->
+  parallel:bool ->
+  t
+
+val depth : t -> int
+
+(** All array references of the body, in program order. *)
+val refs : t -> Reference.t list
+
+(** Names of all arrays the nest touches, deduplicated, first-use order. *)
+val arrays_used : t -> string list
+
+(** Number of iterations. *)
+val trip_count : t -> int
+
+val pp : t Fmt.t

@@ -1,0 +1,46 @@
+type t = { name : string; arrays : Array_decl.t list; nests : Nest.t list }
+
+let find_array_opt arrays name =
+  List.find_opt (fun a -> a.Array_decl.name = name) arrays
+
+let make ~name ~arrays ~nests =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let n = a.Array_decl.name in
+      if Hashtbl.mem seen n then
+        invalid_arg (Printf.sprintf "Program.make: duplicate array %s" n);
+      Hashtbl.add seen n ())
+    arrays;
+  List.iter
+    (fun nest ->
+      List.iter
+        (fun r ->
+          match find_array_opt arrays r.Reference.array_name with
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Program.make: undeclared array %s"
+                   r.Reference.array_name)
+          | Some a ->
+              if Array_decl.rank a <> Reference.rank r then
+                invalid_arg
+                  (Printf.sprintf "Program.make: rank mismatch on %s"
+                     r.Reference.array_name))
+        (Nest.refs nest))
+    nests;
+  { name; arrays; nests }
+
+let find_array p name =
+  match find_array_opt p.arrays name with
+  | Some a -> a
+  | None -> raise Not_found
+
+let parallel_nests p = List.filter (fun n -> n.Nest.parallel) p.nests
+let data_bytes p = List.fold_left (fun acc a -> acc + Array_decl.byte_size a) 0 p.arrays
+
+let pp ppf p =
+  Fmt.pf ppf "@[<v>program %s@,%a@,%a@]" p.name
+    Fmt.(list ~sep:cut Array_decl.pp)
+    p.arrays
+    Fmt.(list ~sep:cut Nest.pp)
+    p.nests

@@ -1,0 +1,20 @@
+(** Whole programs: array declarations plus a sequence of loop nests. *)
+
+type t = { name : string; arrays : Array_decl.t list; nests : Nest.t list }
+
+(** [make ~name ~arrays ~nests] checks that every reference targets a
+    declared array with matching rank.
+    @raise Invalid_argument otherwise. *)
+val make : name:string -> arrays:Array_decl.t list -> nests:Nest.t list -> t
+
+(** [find_array p name] looks up a declaration.
+    @raise Not_found when absent. *)
+val find_array : t -> string -> Array_decl.t
+
+(** Nests marked parallel, in program order. *)
+val parallel_nests : t -> Nest.t list
+
+(** Total data footprint in bytes. *)
+val data_bytes : t -> int
+
+val pp : t Fmt.t

@@ -1,0 +1,40 @@
+open Ctam_poly
+
+type kind = Read | Write
+type t = { array_name : string; subs : Affine.t array; kind : kind }
+
+let make ~array_name ~subs ~kind =
+  if Array.length subs = 0 then invalid_arg "Reference.make: no subscripts";
+  let d = Affine.depth subs.(0) in
+  Array.iter
+    (fun s -> if Affine.depth s <> d then invalid_arg "Reference.make: depth")
+    subs;
+  { array_name; subs = Array.copy subs; kind }
+
+let depth r = Affine.depth r.subs.(0)
+let rank r = Array.length r.subs
+let target r iv = Array.map (fun s -> Affine.eval s iv) r.subs
+
+let in_bounds r arr iv =
+  if arr.Array_decl.name <> r.array_name then
+    invalid_arg "Reference.in_bounds: wrong array";
+  let idx = target r iv in
+  Array.length idx = Array_decl.rank arr
+  && (let ok = ref true in
+      Array.iteri
+        (fun k v -> if v < 0 || v >= arr.Array_decl.dims.(k) then ok := false)
+        idx;
+      !ok)
+
+let is_write r = r.kind = Write
+
+let equal a b =
+  a.array_name = b.array_name && a.kind = b.kind
+  && Array.length a.subs = Array.length b.subs
+  && Array.for_all2 Affine.equal a.subs b.subs
+
+let pp ?names ppf r =
+  Fmt.pf ppf "%s%a%s" r.array_name
+    Fmt.(array ~sep:nop (brackets (Affine.pp ?names)))
+    r.subs
+    (match r.kind with Read -> "" | Write -> " (w)")

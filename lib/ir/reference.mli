@@ -1,0 +1,33 @@
+(** Array references: affine maps from iteration space to data space.
+
+    A reference [R] is an array name plus one affine subscript per
+    array dimension; [R(I)] (paper §3.2) is computed by [target]. *)
+
+open Ctam_poly
+
+type kind = Read | Write
+
+type t = {
+  array_name : string;
+  subs : Affine.t array;  (** one affine subscript per array dimension *)
+  kind : kind;
+}
+
+(** [make ~array_name ~subs ~kind] builds a reference; all subscripts
+    must share the same nest depth.
+    @raise Invalid_argument otherwise. *)
+val make : array_name:string -> subs:Affine.t array -> kind:kind -> t
+
+val depth : t -> int
+val rank : t -> int
+
+(** [target r iv] is the data-space index accessed by iteration [iv]. *)
+val target : t -> int array -> int array
+
+(** [in_bounds r arr iv] tests whether [target r iv] lies inside [arr].
+    @raise Invalid_argument if [arr] is not the referenced array. *)
+val in_bounds : t -> Array_decl.t -> int array -> bool
+
+val is_write : t -> bool
+val equal : t -> t -> bool
+val pp : ?names:string array -> t Fmt.t

@@ -1,0 +1,18 @@
+type t = { lhs : Reference.t; rhs : Expr.t }
+
+let assign lhs rhs =
+  if not (Reference.is_write lhs) then invalid_arg "Stmt.assign: lhs not write";
+  List.iter
+    (fun r ->
+      if Reference.depth r <> Reference.depth lhs then
+        invalid_arg "Stmt.assign: depth mismatch")
+    (Expr.refs rhs);
+  { lhs; rhs }
+
+let refs s = Expr.refs s.rhs @ [ s.lhs ]
+let reads s = Expr.refs s.rhs
+let writes s = [ s.lhs ]
+let depth s = Reference.depth s.lhs
+
+let pp ?names ppf s =
+  Fmt.pf ppf "%a = %a;" (Reference.pp ?names) s.lhs (Expr.pp ?names) s.rhs

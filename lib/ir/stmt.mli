@@ -1,0 +1,15 @@
+(** Loop-body statements: assignments [A[f(I)] = expr]. *)
+
+type t = { lhs : Reference.t; rhs : Expr.t }
+
+(** [assign lhs rhs] builds a statement.
+    @raise Invalid_argument if [lhs] is not a write or depths differ. *)
+val assign : Reference.t -> Expr.t -> t
+
+(** All references of the statement: reads of [rhs] then the write. *)
+val refs : t -> Reference.t list
+
+val reads : t -> Reference.t list
+val writes : t -> Reference.t list
+val depth : t -> int
+val pp : ?names:string array -> t Fmt.t

@@ -1,0 +1,77 @@
+type t = { coeffs : int array; const : int }
+
+let make coeffs const = { coeffs = Array.copy coeffs; const }
+let const d k = { coeffs = Array.make d 0; const = k }
+
+let var d j =
+  if j < 0 || j >= d then invalid_arg "Affine.var: index out of range";
+  let coeffs = Array.make d 0 in
+  coeffs.(j) <- 1;
+  { coeffs; const = 0 }
+
+let depth e = Array.length e.coeffs
+
+let eval e iv =
+  let d = depth e in
+  if Array.length iv <> d then invalid_arg "Affine.eval: dimension mismatch";
+  let acc = ref e.const in
+  for j = 0 to d - 1 do
+    acc := !acc + (e.coeffs.(j) * iv.(j))
+  done;
+  !acc
+
+let map2_coeffs f a b =
+  let d = depth a in
+  if depth b <> d then invalid_arg "Affine: dimension mismatch";
+  { coeffs = Array.init d (fun j -> f a.coeffs.(j) b.coeffs.(j));
+    const = f a.const b.const }
+
+let add a b = map2_coeffs ( + ) a b
+let sub a b = map2_coeffs ( - ) a b
+let neg a = { coeffs = Array.map (fun c -> -c) a.coeffs; const = -a.const }
+let scale k a = { coeffs = Array.map (fun c -> k * c) a.coeffs; const = k * a.const }
+let add_const k a = { a with const = a.const + k }
+let is_const a = Array.for_all (fun c -> c = 0) a.coeffs
+let coeff a j = a.coeffs.(j)
+
+let extend d' a =
+  let d = depth a in
+  if d' < d then invalid_arg "Affine.extend: cannot shrink";
+  { coeffs = Array.init d' (fun j -> if j < d then a.coeffs.(j) else 0);
+    const = a.const }
+
+let equal a b = a.const = b.const && a.coeffs = b.coeffs
+let compare a b = Stdlib.compare (a.const, a.coeffs) (b.const, b.coeffs)
+let hash a = Hashtbl.hash (a.const, a.coeffs)
+
+let pp ?names ppf a =
+  let name j =
+    match names with
+    | Some ns when j < Array.length ns -> ns.(j)
+    | _ -> Printf.sprintf "i%d" j
+  in
+  let first = ref true in
+  let emit_term c j =
+    if c <> 0 then begin
+      if !first then begin
+        if c = -1 then Fmt.string ppf "-"
+        else if c <> 1 then Fmt.pf ppf "%d*" c
+      end
+      else if c > 0 then begin
+        Fmt.string ppf " + ";
+        if c <> 1 then Fmt.pf ppf "%d*" c
+      end
+      else begin
+        Fmt.string ppf " - ";
+        if c <> -1 then Fmt.pf ppf "%d*" (-c)
+      end;
+      Fmt.string ppf (name j);
+      first := false
+    end
+  in
+  Array.iteri (fun j c -> emit_term c j) a.coeffs;
+  if !first then Fmt.int ppf a.const
+  else if a.const > 0 then Fmt.pf ppf " + %d" a.const
+  else if a.const < 0 then Fmt.pf ppf " - %d" (-a.const)
+
+let to_string ?names a = Fmt.str "%a" (pp ?names) a

@@ -1,0 +1,60 @@
+(** Affine integer expressions over a vector of loop-index variables.
+
+    An affine expression over a nest of depth [d] has the form
+    [c0*i0 + c1*i1 + ... + c(d-1)*i(d-1) + k].  These are the building
+    blocks of iteration spaces, array subscript functions and loop
+    bounds — the fragment the paper manipulates with the Omega library. *)
+
+type t = private {
+  coeffs : int array;  (** one coefficient per nest variable *)
+  const : int;
+}
+
+(** [make coeffs const] builds an affine expression; the array is copied. *)
+val make : int array -> int -> t
+
+(** [const d k] is the constant expression [k] over a depth-[d] nest. *)
+val const : int -> int -> t
+
+(** [var d j] is the expression [i_j] over a depth-[d] nest.
+    @raise Invalid_argument if [j] is out of range. *)
+val var : int -> int -> t
+
+(** Number of nest variables the expression ranges over. *)
+val depth : t -> int
+
+(** [eval e iv] evaluates [e] at iteration vector [iv].
+    @raise Invalid_argument if the dimensions disagree. *)
+val eval : t -> int array -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+(** [scale k e] multiplies every coefficient and the constant by [k]. *)
+val scale : int -> t -> t
+
+(** [add_const k e] is [e + k]. *)
+val add_const : int -> t -> t
+
+(** True iff all variable coefficients are zero. *)
+val is_const : t -> bool
+
+(** [coeff e j] is the coefficient of variable [j]. *)
+val coeff : t -> int -> int
+
+(** [extend d' e] reinterprets [e] over a deeper nest of depth [d'],
+    padding new inner coefficients with zero.
+    @raise Invalid_argument if [d' < depth e]. *)
+val extend : int -> t -> t
+
+(** Structural equality. *)
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Pretty-print as e.g. [2*i0 - i2 + 3], using [names] when given. *)
+val pp : ?names:string array -> t Fmt.t
+
+val to_string : ?names:string array -> t -> string

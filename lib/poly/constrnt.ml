@@ -1,0 +1,24 @@
+type t = Ge of Affine.t | Eq of Affine.t
+
+let ge e = Ge e
+let eq e = Eq e
+let le a b = Ge (Affine.sub b a)
+let lt a b = Ge (Affine.add_const (-1) (Affine.sub b a))
+let between lo x hi = [ le lo x; le x hi ]
+
+let sat c iv =
+  match c with
+  | Ge e -> Affine.eval e iv >= 0
+  | Eq e -> Affine.eval e iv = 0
+
+let sat_all cs iv = List.for_all (fun c -> sat c iv) cs
+let depth = function Ge e | Eq e -> Affine.depth e
+
+let equal a b =
+  match (a, b) with
+  | Ge x, Ge y | Eq x, Eq y -> Affine.equal x y
+  | Ge _, Eq _ | Eq _, Ge _ -> false
+
+let pp ?names ppf = function
+  | Ge e -> Fmt.pf ppf "%a >= 0" (Affine.pp ?names) e
+  | Eq e -> Fmt.pf ppf "%a = 0" (Affine.pp ?names) e

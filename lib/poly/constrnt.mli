@@ -1,0 +1,34 @@
+(** Affine constraints: the atoms of iteration-space descriptions.
+
+    A constraint is either [e >= 0] or [e = 0] for an affine [e].
+    Conjunctions of these describe the (convex) polyhedral sets the
+    paper's framework manipulates. *)
+
+type t =
+  | Ge of Affine.t  (** [e >= 0] *)
+  | Eq of Affine.t  (** [e = 0] *)
+
+(** [ge e] is the constraint [e >= 0]. *)
+val ge : Affine.t -> t
+
+(** [eq e] is the constraint [e = 0]. *)
+val eq : Affine.t -> t
+
+(** [le a b] is [a <= b], i.e. [b - a >= 0]. *)
+val le : Affine.t -> Affine.t -> t
+
+(** [lt a b] is [a < b] over the integers, i.e. [b - a - 1 >= 0]. *)
+val lt : Affine.t -> Affine.t -> t
+
+(** [between lo x hi] is the pair of constraints [lo <= x] and [x <= hi]. *)
+val between : Affine.t -> Affine.t -> Affine.t -> t list
+
+(** [sat c iv] tests whether the iteration vector satisfies the constraint. *)
+val sat : t -> int array -> bool
+
+(** [sat_all cs iv] tests a conjunction of constraints. *)
+val sat_all : t list -> int array -> bool
+
+val depth : t -> int
+val equal : t -> t -> bool
+val pp : ?names:string array -> t Fmt.t

@@ -1,0 +1,48 @@
+(** Iteration domains: bounded affine loop nests with guards.
+
+    A domain of depth [d] is described by, for each dimension [j], a
+    lower and an upper affine bound that may refer only to outer
+    dimensions [0..j-1], plus an optional conjunction of extra guard
+    constraints over all [d] dimensions.  This is exactly the class of
+    iteration spaces produced by the paper's loop nests (rectangular or
+    triangular bounds, unit stride), and is rich enough to represent
+    the Omega-style sets used for iteration groups. *)
+
+type t
+
+(** [make ~bounds ~guards] builds a domain.  [bounds.(j) = (lo, hi)]
+    where both are affine over the full depth but must have zero
+    coefficients on dimensions [>= j].
+    @raise Invalid_argument on malformed bounds. *)
+val make : bounds:(Affine.t * Affine.t) array -> guards:Constrnt.t list -> t
+
+(** [box ranges] builds a rectangular domain from constant ranges
+    [(lo, hi)] inclusive. *)
+val box : (int * int) array -> t
+
+val depth : t -> int
+val bounds : t -> (Affine.t * Affine.t) array
+val guards : t -> Constrnt.t list
+
+(** [mem d iv] tests membership of an iteration vector. *)
+val mem : t -> int array -> bool
+
+(** [iter f d] calls [f] on every point of [d] in lexicographic order.
+    The array passed to [f] is a scratch buffer: copy it if you keep it. *)
+val iter : (int array -> unit) -> t -> unit
+
+val fold : ('a -> int array -> 'a) -> 'a -> t -> 'a
+
+(** All points, each a fresh array, in lexicographic order. *)
+val to_list : t -> int array list
+
+(** Number of points (by enumeration of the box, filtered by guards). *)
+val cardinal : t -> int
+
+(** True iff the domain contains no point. *)
+val is_empty : t -> bool
+
+(** [add_guards cs d] conjoins extra constraints. *)
+val add_guards : Constrnt.t list -> t -> t
+
+val pp : ?names:string array -> t Fmt.t

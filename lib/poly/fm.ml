@@ -1,0 +1,96 @@
+(* Each constraint is (coeffs, k) meaning sum coeffs.(i)*x_i + k >= 0. *)
+type t = { num_vars : int; rows : (int array * int) list }
+
+let make ~num_vars =
+  if num_vars < 0 then invalid_arg "Fm.make";
+  { num_vars; rows = [] }
+
+let num_vars t = t.num_vars
+let num_constraints t = List.length t.rows
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Divide a row by the gcd of its coefficients (keeping the constant's
+   floor: for c.x + k >= 0 with gcd g of the c_i, the tightest sound
+   form is c/g . x + floor(k/g) >= 0). *)
+let normalize (coeffs, k) =
+  let g = Array.fold_left (fun acc c -> gcd acc c) 0 coeffs in
+  if g <= 1 then (coeffs, k)
+  else
+    ( Array.map (fun c -> c / g) coeffs,
+      (* floor division also for negative constants *)
+      if k >= 0 then k / g else -(((-k) + g - 1) / g) )
+
+let add_ge t coeffs k =
+  if Array.length coeffs <> t.num_vars then invalid_arg "Fm.add_ge: arity";
+  { t with rows = normalize (Array.copy coeffs, k) :: t.rows }
+
+let add_le t coeffs k = add_ge t (Array.map (fun c -> -c) coeffs) (-k)
+
+let add_eq t coeffs k = add_le (add_ge t coeffs k) coeffs k
+
+let is_ground (coeffs, _) = Array.for_all (fun c -> c = 0) coeffs
+
+let eliminate t j =
+  if j < 0 || j >= t.num_vars then invalid_arg "Fm.eliminate";
+  let pos, neg, rest =
+    List.fold_left
+      (fun (pos, neg, rest) ((coeffs, _) as row) ->
+        let c = coeffs.(j) in
+        if c > 0 then (row :: pos, neg, rest)
+        else if c < 0 then (pos, row :: neg, rest)
+        else (pos, neg, row :: rest))
+      ([], [], []) t.rows
+  in
+  (* For a.x_j + P >= 0 (a > 0) and -b.x_j + N >= 0 (b > 0):
+     x_j >= -P/a and x_j <= N/b, so b.P + a.N >= 0. *)
+  let combined =
+    List.concat_map
+      (fun (pc, pk) ->
+        let a = pc.(j) in
+        List.map
+          (fun (nc, nk) ->
+            let b = -nc.(j) in
+            let coeffs =
+              Array.init t.num_vars (fun i ->
+                  if i = j then 0 else (b * pc.(i)) + (a * nc.(i)))
+            in
+            normalize (coeffs, (b * pk) + (a * nk)))
+          neg)
+      pos
+  in
+  { t with rows = combined @ rest }
+
+let rational_feasible t =
+  (* FM can square the constraint count per elimination; past this cap
+     we conservatively answer "feasible" (sound for independence). *)
+  let cap = 5000 in
+  let rec go t j =
+    (* Early exit on an unsatisfiable ground row. *)
+    if List.exists (fun ((_, k) as row) -> is_ground row && k < 0) t.rows then
+      false
+    else if j >= t.num_vars then true
+    else if num_constraints t > cap then true
+    else go (eliminate t j) (j + 1)
+  in
+  go t 0
+
+let sat t x =
+  if Array.length x <> t.num_vars then invalid_arg "Fm.sat: arity";
+  List.for_all
+    (fun (coeffs, k) ->
+      let acc = ref k in
+      Array.iteri (fun i c -> acc := !acc + (c * x.(i))) coeffs;
+      !acc >= 0)
+    t.rows
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>system over %d vars:@," t.num_vars;
+  List.iter
+    (fun (coeffs, k) ->
+      Array.iteri
+        (fun i c -> if c <> 0 then Fmt.pf ppf "%+d*x%d " c i)
+        coeffs;
+      Fmt.pf ppf "%+d >= 0@," k)
+    t.rows;
+  Fmt.pf ppf "@]"

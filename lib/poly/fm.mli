@@ -1,0 +1,41 @@
+(** Fourier–Motzkin elimination over linear integer constraint systems.
+
+    The decision core of the Omega-style dependence test: a system of
+    linear inequalities [sum c_i * x_i + k >= 0] (equalities are two
+    inequalities) is tested for *rational* feasibility by eliminating
+    variables one at a time.  Rational infeasibility soundly proves
+    that no integer point exists either — exactly the direction a
+    dependence test needs ("definitely independent").  Coefficients
+    are reduced by their gcd at every step to control growth. *)
+
+type t
+
+(** [make ~num_vars] is the unconstrained system. *)
+val make : num_vars:int -> t
+
+val num_vars : t -> int
+val num_constraints : t -> int
+
+(** [add_ge t coeffs k] conjoins [sum coeffs.(i) * x_i + k >= 0].
+    @raise Invalid_argument on length mismatch. *)
+val add_ge : t -> int array -> int -> t
+
+(** [add_eq t coeffs k] conjoins [sum coeffs.(i) * x_i + k = 0]. *)
+val add_eq : t -> int array -> int -> t
+
+(** [add_le t coeffs k] conjoins [sum coeffs.(i) * x_i + k <= 0]. *)
+val add_le : t -> int array -> int -> t
+
+(** [eliminate t j] projects out variable [j] (its column becomes 0 in
+    every remaining constraint). *)
+val eliminate : t -> int -> t
+
+(** [rational_feasible t] eliminates every variable and checks the
+    resulting ground constraints.  [false] is a proof that the system
+    has no rational (hence no integer) solution. *)
+val rational_feasible : t -> bool
+
+(** [sat t x] tests a concrete integer point (for tests). *)
+val sat : t -> int array -> bool
+
+val pp : t Fmt.t

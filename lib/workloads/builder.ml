@@ -1,0 +1,37 @@
+open Ctam_poly
+open Ctam_ir
+
+let aff d terms k =
+  let coeffs = Array.make d 0 in
+  List.iter (fun (c, j) -> coeffs.(j) <- coeffs.(j) + c) terms;
+  Affine.make coeffs k
+
+let v d j = Affine.var d j
+let c d k = Affine.const d k
+
+let read name subs =
+  Reference.make ~array_name:name ~subs:(Array.of_list subs)
+    ~kind:Reference.Read
+
+let write name subs =
+  Reference.make ~array_name:name ~subs:(Array.of_list subs)
+    ~kind:Reference.Write
+
+let assign lhs rhs_reads =
+  let rhs =
+    match rhs_reads with
+    | [] -> Expr.const 1.0
+    | r :: rest ->
+        List.fold_left (fun acc r -> Expr.add acc (Expr.load r)) (Expr.load r)
+          rest
+  in
+  Stmt.assign lhs rhs
+
+let darr name dims =
+  Array_decl.make ~name ~dims:(Array.of_list dims) ~elem_size:8
+
+let nest ~name ~vars ~ranges ?(guards = []) ?(parallel = true) body =
+  let domain = Domain.add_guards guards (Domain.box (Array.of_list ranges)) in
+  Nest.make ~name ~index_names:(Array.of_list vars) ~domain ~body ~parallel
+
+let program name arrays nests = Program.make ~name ~arrays ~nests

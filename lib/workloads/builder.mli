@@ -1,0 +1,37 @@
+(** Concise IR construction helpers for the workload kernels. *)
+
+open Ctam_poly
+open Ctam_ir
+
+(** [aff d terms k] is [sum (c * i_j) + k] for [(c, j)] in [terms]. *)
+val aff : int -> (int * int) list -> int -> Affine.t
+
+(** [v d j] is index variable [j]; [c d k] a constant. *)
+val v : int -> int -> Affine.t
+
+val c : int -> int -> Affine.t
+
+(** [read name subs] / [write name subs] build references. *)
+val read : string -> Affine.t list -> Reference.t
+
+val write : string -> Affine.t list -> Reference.t
+
+(** [assign lhs rhs_reads] is [lhs = sum of reads] (the canonical
+    commutative body: reference sets are all the mapper sees). *)
+val assign : Reference.t -> Reference.t list -> Stmt.t
+
+(** [darr name dims] declares an array of doubles. *)
+val darr : string -> int list -> Array_decl.t
+
+(** [nest ~name ~vars ~ranges ?guards ?parallel body] builds a nest
+    over the rectangular (or affine-bounded) ranges. *)
+val nest :
+  name:string ->
+  vars:string list ->
+  ranges:(int * int) list ->
+  ?guards:Constrnt.t list ->
+  ?parallel:bool ->
+  Stmt.t list ->
+  Nest.t
+
+val program : string -> Array_decl.t list -> Nest.t list -> Program.t

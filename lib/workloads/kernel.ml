@@ -1,0 +1,18 @@
+open Ctam_ir
+
+type kind = Parallel_bench | Sequential_app
+
+type t = {
+  name : string;
+  origin : string;
+  description : string;
+  kind : kind;
+  default_size : int;
+  build : int -> Program.t;
+}
+
+let program ?size k =
+  let size = Option.value size ~default:k.default_size in
+  k.build size
+
+let small_program k = k.build (max 32 (k.default_size / 4))

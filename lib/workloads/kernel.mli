@@ -1,0 +1,30 @@
+(** Workload kernels: the synthetic stand-ins for the paper's twelve
+    applications (Table 2).
+
+    Each kernel reproduces the access-pattern *class* of its namesake
+    (stencil, transposed sweep, shared-vector reduction, strided
+    gather, wavefront with loop-carried dependences, ...) at a size
+    parameterizable for the scaled simulator machines. *)
+
+open Ctam_ir
+
+type kind =
+  | Parallel_bench   (** came parallel (SpecOMP / NAS / Parsec) *)
+  | Sequential_app   (** sequential; parallelism extracted first *)
+
+type t = {
+  name : string;
+  origin : string;       (** suite the namesake app comes from *)
+  description : string;  (** the access-pattern class modelled *)
+  kind : kind;
+  default_size : int;    (** linear size parameter *)
+  build : int -> Program.t;
+}
+
+(** [program ?size k] instantiates the kernel ([size] defaults to
+    [k.default_size]). *)
+val program : ?size:int -> t -> Program.t
+
+(** A reduced instance (quarter linear size, floored at 32) for
+    expensive studies such as the optimal-mapping search. *)
+val small_program : t -> Program.t

@@ -1,0 +1,390 @@
+open Builder
+
+(* Every kernel writes one array per statement and reads a handful of
+   references; the mapper only sees the reference sets, so the
+   commutative sum bodies built by [Builder.assign] lose nothing. *)
+
+(* -- applu: 3D SSOR-like 7-point stencil (SpecOMP) ------------------- *)
+let applu_build s =
+  let d = 3 in
+  let n = s + 2 in
+  let i = v d 0 and j = v d 1 and k = v d 2 in
+  let p e delta = Ctam_poly.Affine.add_const delta e in
+  program "applu"
+    [ darr "A" [ n; n; n ]; darr "B" [ n; n; n ] ]
+    [
+      nest ~name:"ssor" ~vars:[ "i"; "j"; "k" ]
+        ~ranges:[ (1, s); (1, s); (1, s) ]
+        [
+          assign
+            (write "B" [ i; j; k ])
+            [
+              read "A" [ i; j; k ];
+              read "A" [ p i (-1); j; k ];
+              read "A" [ p i 1; j; k ];
+              read "A" [ i; p j (-1); k ];
+              read "A" [ i; p j 1; k ];
+            ];
+        ];
+    ]
+
+let applu =
+  {
+    Kernel.name = "applu";
+    origin = "SpecOMP";
+    description = "3D 7-point SSOR sweep over two fields";
+    kind = Kernel.Parallel_bench;
+    default_size = 50;
+    build = applu_build;
+  }
+
+(* -- galgel: 2D 5-point stencil (SpecOMP fluid dynamics) ------------- *)
+let galgel_build s =
+  let d = 2 in
+  let n = s + 2 in
+  let i = v d 0 and j = v d 1 in
+  let p e delta = Ctam_poly.Affine.add_const delta e in
+  program "galgel"
+    [ darr "U" [ n; n ]; darr "V" [ n; n ] ]
+    [
+      nest ~name:"oscill" ~vars:[ "i"; "j" ]
+        ~ranges:[ (1, s); (1, s) ]
+        [
+          assign
+            (write "V" [ i; j ])
+            [
+              read "U" [ i; j ];
+              read "U" [ p i (-1); j ];
+              read "U" [ p i 1; j ];
+              read "U" [ i; p j (-1) ];
+              read "U" [ i; p j 1 ];
+            ];
+        ];
+    ]
+
+let galgel =
+  {
+    Kernel.name = "galgel";
+    origin = "SpecOMP";
+    description = "2D 5-point oscillatory-instability stencil";
+    kind = Kernel.Parallel_bench;
+    default_size = 384;
+    build = galgel_build;
+  }
+
+(* -- equake: transposed sweep (SpecOMP earthquake) ------------------- *)
+let equake_build s =
+  let d = 2 in
+  let n = s + 2 in
+  let i = v d 0 and j = v d 1 in
+  let p e delta = Ctam_poly.Affine.add_const delta e in
+  program "equake"
+    [ darr "E" [ n; n ]; darr "K" [ n; n ]; darr "M" [ n; n ] ]
+    [
+      nest ~name:"quake" ~vars:[ "i"; "j" ]
+        ~ranges:[ (0, s - 1); (0, s - 1) ]
+        [
+          assign
+            (write "E" [ i; j ])
+            [ read "K" [ j; i ]; read "K" [ p j 1; i ]; read "M" [ i; j ] ];
+        ];
+    ]
+
+let equake =
+  {
+    Kernel.name = "equake";
+    origin = "SpecOMP";
+    description = "row sweep reading a transposed stiffness field";
+    kind = Kernel.Parallel_bench;
+    default_size = 360;
+    build = equake_build;
+  }
+
+(* -- cg: shared-vector mat-vec (NAS) --------------------------------- *)
+let cg_build s =
+  let d = 2 in
+  (* Few long rows over a shared vector far larger than any single
+     shared-cache slice: the default row-major chunking makes every
+     core stream all of [p], while a topology-aware column partition
+     gives affine cores a resident slice. *)
+  let rows = 4 and cols = s * 128 in
+  let i = v d 0 and j = v d 1 in
+  program "cg"
+    [ darr "A" [ rows; cols ]; darr "p" [ cols ]; darr "q" [ rows; cols ] ]
+    [
+      nest ~name:"matvec" ~vars:[ "i"; "j" ]
+        ~ranges:[ (0, rows - 1); (0, cols - 1) ]
+        [
+          assign
+            (write "q" [ i; j ])
+            [ read "A" [ i; j ]; read "p" [ j ] ];
+        ];
+    ]
+
+let cg =
+  {
+    Kernel.name = "cg";
+    origin = "NAS";
+    description = "mat-vec with a globally shared vector";
+    kind = Kernel.Parallel_bench;
+    default_size = 256;
+    build = cg_build;
+  }
+
+(* -- sp: the paper's Figure 5 loop (NAS); carries dependences -------- *)
+let sp_build s =
+  let d = 1 in
+  (* m = 12k data blocks of k elements each, as in the worked example. *)
+  let k = s in
+  let m = 12 * k in
+  let j = v d 0 in
+  let a coeff const = aff d [ (coeff, 0) ] const in
+  program "sp"
+    [ darr "B" [ m + (2 * k) + 2 ]; darr "W" [ m + (2 * k) + 2 ] ]
+    [
+      nest ~name:"penta" ~vars:[ "j" ]
+        ~ranges:[ (2 * k, m - (2 * k)) ]
+        [
+          assign
+            (write "B" [ j ])
+            [
+              read "B" [ j ];
+              read "B" [ a 1 (2 * k) ];
+              read "B" [ a 1 (-2 * k) ];
+              read "W" [ j ];
+            ];
+        ];
+    ]
+
+let sp =
+  {
+    Kernel.name = "sp";
+    origin = "NAS";
+    description = "1D penta-diagonal update (Figure 5); loop-carried deps";
+    kind = Kernel.Parallel_bench;
+    default_size = 8192;
+    build = sp_build;
+  }
+
+(* -- bodytrack: particle x feature streaming (Parsec) ---------------- *)
+let bodytrack_build s =
+  let d = 2 in
+  let particles = 16 and feats = s * 16 in
+  let i = v d 0 and j = v d 1 in
+  program "bodytrack"
+    [
+      darr "Wt" [ particles; feats ];
+      darr "P" [ particles; feats ];
+      darr "T" [ feats ];
+    ]
+    [
+      nest ~name:"likelihood" ~vars:[ "i"; "j" ]
+        ~ranges:[ (0, particles - 1); (0, feats - 1) ]
+        [
+          assign
+            (write "Wt" [ i; j ])
+            [ read "Wt" [ i; j ]; read "P" [ i; j ]; read "T" [ j ] ];
+        ];
+    ]
+
+let bodytrack =
+  {
+    Kernel.name = "bodytrack";
+    origin = "Parsec";
+    description = "particle-filter weights with a shared template row";
+    kind = Kernel.Parallel_bench;
+    default_size = 512;
+    build = bodytrack_build;
+  }
+
+(* -- facesim: coarse-stride relaxation (Parsec); carries deps -------- *)
+let facesim_build s =
+  let d = 2 in
+  (* Relaxation with a coarse-grid coupling at stride g = s/4: rows in
+     the same residue band are independent (wide parallelism), while
+     bands form dependence chains of length 4 that exercise the
+    dependence-aware scheduler without serializing the machine. *)
+  let g = max 1 (s / 4) in
+  let n = s + g + 2 in
+  let i = v d 0 and j = v d 1 in
+  let p e delta = Ctam_poly.Affine.add_const delta e in
+  program "facesim"
+    [ darr "U" [ n; n ]; darr "F" [ n; n ] ]
+    [
+      nest ~name:"relax" ~vars:[ "i"; "j" ]
+        ~ranges:[ (g, g + s - 1); (1, s) ]
+        [
+          assign
+            (write "U" [ i; j ])
+            [
+              read "U" [ i; j ];
+              read "U" [ p i (-g); j ];
+              read "F" [ i; j ];
+            ];
+        ];
+    ]
+
+let facesim =
+  {
+    Kernel.name = "facesim";
+    origin = "Parsec";
+    description = "coarse-stride relaxation; loop-carried deps";
+    kind = Kernel.Parallel_bench;
+    default_size = 360;
+    build = facesim_build;
+  }
+
+(* -- freqmine: strided gather (Parsec) ------------------------------- *)
+let freqmine_build s =
+  let d = 2 in
+  let rows = s / 4 and cols = s * 2 in
+  let i = v d 0 and j = v d 1 in
+  let two_i delta = aff d [ (2, 0) ] delta in
+  program "freqmine"
+    [ darr "C" [ rows; cols ]; darr "D" [ 2 * rows; cols ] ]
+    [
+      nest ~name:"mine" ~vars:[ "i"; "j" ]
+        ~ranges:[ (0, rows - 1); (0, cols - 1) ]
+        [
+          assign
+            (write "C" [ i; j ])
+            [ read "C" [ i; j ]; read "D" [ two_i 0; j ]; read "D" [ two_i 1; j ] ];
+        ];
+    ]
+
+let freqmine =
+  {
+    Kernel.name = "freqmine";
+    origin = "Parsec";
+    description = "2:1 strided row gather (FP-tree projection)";
+    kind = Kernel.Parallel_bench;
+    default_size = 256;
+    build = freqmine_build;
+  }
+
+(* -- namd: 1D neighbour forces (Spec2006, sequential) ---------------- *)
+let namd_build s =
+  let d = 1 in
+  let n = s + 2 in
+  let i = v d 0 in
+  let p delta = aff d [ (1, 0) ] delta in
+  program "namd"
+    [ darr "F" [ n ]; darr "X" [ n ] ]
+    [
+      nest ~name:"forces" ~vars:[ "i" ]
+        ~ranges:[ (1, s) ]
+        [
+          assign
+            (write "F" [ i ])
+            [ read "F" [ i ]; read "X" [ p (-1) ]; read "X" [ p 0 ]; read "X" [ p 1 ] ];
+        ];
+    ]
+
+let namd =
+  {
+    Kernel.name = "namd";
+    origin = "Spec2006";
+    description = "1D neighbour-list force accumulation";
+    kind = Kernel.Sequential_app;
+    default_size = 131072;
+    build = namd_build;
+  }
+
+(* -- povray: scanline sweep with shared scene (Spec2006, sequential) - *)
+let povray_build s =
+  let d = 2 in
+  let rows = 8 and cols = s * 32 in
+  let i = v d 0 and j = v d 1 in
+  let p e delta = Ctam_poly.Affine.add_const delta e in
+  program "povray"
+    [ darr "Img" [ rows; cols ]; darr "Scene" [ cols + 1 ] ]
+    [
+      nest ~name:"render" ~vars:[ "i"; "j" ]
+        ~ranges:[ (0, rows - 1); (0, cols - 1) ]
+        [
+          assign
+            (write "Img" [ i; j ])
+            [ read "Img" [ i; j ]; read "Scene" [ j ]; read "Scene" [ p j 1 ] ];
+        ];
+    ]
+
+let povray =
+  {
+    Kernel.name = "povray";
+    origin = "Spec2006";
+    description = "scanline rendering against a shared scene vector";
+    kind = Kernel.Sequential_app;
+    default_size = 512;
+    build = povray_build;
+  }
+
+(* -- mesa: transpose (local, sequential) ----------------------------- *)
+let mesa_build s =
+  let d = 2 in
+  let n = s + 2 in
+  let i = v d 0 and j = v d 1 in
+  let p e delta = Ctam_poly.Affine.add_const delta e in
+  program "mesa"
+    [ darr "OutA" [ n; n ]; darr "InA" [ n; n ] ]
+    [
+      nest ~name:"transpose" ~vars:[ "i"; "j" ]
+        ~ranges:[ (0, s - 1); (0, s - 1) ]
+        [
+          assign
+            (write "OutA" [ i; j ])
+            [ read "InA" [ j; i ]; read "InA" [ p j 1; i ] ];
+        ];
+    ]
+
+let mesa =
+  {
+    Kernel.name = "mesa";
+    origin = "local";
+    description = "texture transpose (column reads, row writes)";
+    kind = Kernel.Sequential_app;
+    default_size = 360;
+    build = mesa_build;
+  }
+
+(* -- h264: motion-estimation window (local, sequential) -------------- *)
+let h264_build s =
+  let d = 2 in
+  let n = s + 2 in
+  let i = v d 0 and j = v d 1 in
+  let p e delta = Ctam_poly.Affine.add_const delta e in
+  program "h264"
+    [ darr "S" [ n; n ]; darr "R" [ n; n ]; darr "Cf" [ n; n ] ]
+    [
+      nest ~name:"sad" ~vars:[ "i"; "j" ]
+        ~ranges:[ (1, s); (1, s) ]
+        [
+          assign
+            (write "S" [ i; j ])
+            [
+              read "R" [ i; j ];
+              read "R" [ p i 1; j ];
+              read "Cf" [ i; p j 1 ];
+              read "Cf" [ i; p j (-1) ];
+            ];
+        ];
+    ]
+
+let h264 =
+  {
+    Kernel.name = "h264";
+    origin = "local";
+    description = "block-matching SAD over reference and current frames";
+    kind = Kernel.Sequential_app;
+    default_size = 352;
+    build = h264_build;
+  }
+
+let all =
+  [
+    applu; galgel; equake; cg; sp; bodytrack; facesim; freqmine; namd; povray;
+    mesa; h264;
+  ]
+
+let by_name name =
+  let name = String.lowercase_ascii name in
+  List.find (fun k -> String.lowercase_ascii k.Kernel.name = name) all

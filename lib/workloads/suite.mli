@@ -1,0 +1,26 @@
+(** The twelve-application suite of the paper (Table 2).
+
+    Parallel benchmarks: applu, galgel, equake (SpecOMP); cg, sp (NAS);
+    bodytrack, facesim, freqmine (Parsec).  Sequential applications:
+    namd, povray (Spec2006); mesa, H.264 (local).  Two kernels (sp and
+    facesim) carry loop-carried dependences, matching the paper's
+    observation that a minority (~14%) of parallel loops do. *)
+
+val applu : Kernel.t
+val galgel : Kernel.t
+val equake : Kernel.t
+val cg : Kernel.t
+val sp : Kernel.t
+val bodytrack : Kernel.t
+val facesim : Kernel.t
+val freqmine : Kernel.t
+val namd : Kernel.t
+val povray : Kernel.t
+val mesa : Kernel.t
+val h264 : Kernel.t
+
+(** All twelve, in the paper's Table 2 order. *)
+val all : Kernel.t list
+
+(** Find by name (case-insensitive).  @raise Not_found. *)
+val by_name : string -> Kernel.t

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Incremental fallback: run each experiment separately so partial
+# completion still leaves a valid bench_output.txt.
+set -e
+OUT=${1:-bench_output.txt}
+: > "$OUT"
+for e in table1 depstats table2 fig2 fig15 fig16 depmode dynamic fig13 fig14 fig17 fig18 fig19 alphabeta overhead fig20; do
+  echo "" >> "$OUT"
+  echo "###### $e ######" >> "$OUT"
+  ./_build/default/bench/main.exe --quick "$e" >> "$OUT" 2>&1 || echo "($e failed)" >> "$OUT"
+done

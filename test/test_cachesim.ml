@@ -1,0 +1,323 @@
+(* Tests for the cache simulator: set-associative LRU caches, the
+   hierarchy, and the parallel execution engine. *)
+
+open Ctam_arch
+open Ctam_cachesim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Setassoc ------------------------------------------------------- *)
+
+let test_setassoc_basics () =
+  let c = Setassoc.create ~sets:4 ~assoc:2 in
+  check_int "capacity" 8 (Setassoc.capacity_lines c);
+  check_bool "cold miss" false (Setassoc.access c 0);
+  ignore (Setassoc.insert c 0);
+  check_bool "hit after fill" true (Setassoc.access c 0);
+  check_int "hits" 1 (Setassoc.hits c);
+  check_int "misses" 1 (Setassoc.misses c)
+
+let test_setassoc_lru () =
+  let c = Setassoc.create ~sets:1 ~assoc:2 in
+  ignore (Setassoc.insert c 10);
+  ignore (Setassoc.insert c 20);
+  (* Touch 10 so 20 becomes LRU; inserting 30 must evict 20. *)
+  check_bool "10 hit" true (Setassoc.access c 10);
+  Alcotest.(check (option int)) "evicts LRU" (Some 20) (Setassoc.insert c 30);
+  check_bool "20 gone" false (Setassoc.contains c 20);
+  check_bool "10 stays" true (Setassoc.contains c 10);
+  check_bool "30 in" true (Setassoc.contains c 30)
+
+let test_setassoc_sets_disjoint () =
+  let c = Setassoc.create ~sets:2 ~assoc:1 in
+  ignore (Setassoc.insert c 0);  (* set 0 *)
+  ignore (Setassoc.insert c 1);  (* set 1 *)
+  check_bool "both resident" true
+    (Setassoc.contains c 0 && Setassoc.contains c 1);
+  (* line 2 maps to set 0: evicts 0 but not 1. *)
+  Alcotest.(check (option int)) "evict same set" (Some 0) (Setassoc.insert c 2);
+  check_bool "1 survives" true (Setassoc.contains c 1)
+
+let test_setassoc_invalidate () =
+  let c = Setassoc.create ~sets:1 ~assoc:4 in
+  ignore (Setassoc.insert c 1);
+  ignore (Setassoc.insert c 2);
+  check_bool "invalidate hit" true (Setassoc.invalidate c 1);
+  check_bool "gone" false (Setassoc.contains c 1);
+  check_bool "2 stays" true (Setassoc.contains c 2);
+  check_bool "invalidate miss" false (Setassoc.invalidate c 9);
+  (* Freed way is reusable without eviction. *)
+  ignore (Setassoc.insert c 3);
+  ignore (Setassoc.insert c 4);
+  Alcotest.(check (option int)) "no eviction" None (Setassoc.insert c 5)
+
+let test_setassoc_clear () =
+  let c = Setassoc.create ~sets:2 ~assoc:2 in
+  ignore (Setassoc.insert c 7);
+  ignore (Setassoc.access c 7);
+  Setassoc.clear c;
+  check_int "hits reset" 0 (Setassoc.hits c);
+  check_bool "empty" false (Setassoc.contains c 7);
+  check_int "resident" 0 (List.length (Setassoc.resident c))
+
+let prop_lru_never_exceeds_capacity =
+  QCheck.Test.make ~name:"resident lines never exceed capacity" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 200) (int_range 0 63))
+    (fun lines ->
+      let c = Setassoc.create ~sets:4 ~assoc:2 in
+      List.iter
+        (fun l -> if not (Setassoc.access c l) then ignore (Setassoc.insert c l))
+        lines;
+      List.length (Setassoc.resident c) <= Setassoc.capacity_lines c)
+
+let prop_access_after_insert_hits =
+  QCheck.Test.make ~name:"immediate re-access hits" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 255))
+    (fun lines ->
+      let c = Setassoc.create ~sets:8 ~assoc:4 in
+      List.for_all
+        (fun l ->
+          if not (Setassoc.access c l) then ignore (Setassoc.insert c l);
+          Setassoc.access c l)
+        lines)
+
+(* --- Hierarchy ------------------------------------------------------ *)
+
+let tiny_machine () =
+  (* 2 cores, private L1 (2 sets x 2), shared L2 (8 sets x 2). *)
+  let l1 id =
+    Topology.Cache
+      ( {
+          Topology.cache_name = Printf.sprintf "L1#%d" id;
+          level = 1;
+          size_bytes = 2 * 2 * 64;
+          assoc = 2;
+          line = 64;
+          latency = 2;
+        },
+        [ Topology.Core id ] )
+  in
+  Topology.make ~name:"tiny" ~clock_ghz:1. ~mem_latency:100
+    [
+      Topology.Cache
+        ( {
+            Topology.cache_name = "L2#0";
+            level = 2;
+            size_bytes = 8 * 2 * 64;
+            assoc = 2;
+            line = 64;
+            latency = 10;
+          },
+          [ l1 0; l1 1 ] );
+    ]
+
+let test_hierarchy_latencies () =
+  let h = Hierarchy.create (tiny_machine ()) in
+  (* Cold: L1 probe (2) + L2 probe (10) + memory (100). *)
+  check_int "cold miss" 112 (Hierarchy.access h ~core:0 ~addr:0 ~write:false);
+  (* Now resident in both caches: L1 hit. *)
+  check_int "L1 hit" 2 (Hierarchy.access h ~core:0 ~addr:0 ~write:false);
+  (* Other core: misses its L1, hits shared L2. *)
+  check_int "L2 hit via sharing" 12
+    (Hierarchy.access h ~core:1 ~addr:0 ~write:false);
+  check_int "hit_latency L2" 12
+    (Option.get (Hierarchy.hit_latency h ~core:0 ~level:2));
+  check_int "miss latency" 112 (Hierarchy.miss_latency h ~core:0)
+
+let test_hierarchy_inclusive_fill () =
+  let h = Hierarchy.create (tiny_machine ()) in
+  ignore (Hierarchy.access h ~core:0 ~addr:0 ~write:false);
+  (* After the fill the line is in both the L1 and the L2: evicting it
+     from L1 (capacity) still leaves an L2 hit. *)
+  ignore (Hierarchy.access h ~core:0 ~addr:(64 * 2) ~write:false);
+  ignore (Hierarchy.access h ~core:0 ~addr:(64 * 4) ~write:false);
+  (* set 0 of L1 now held 0,2,4 -> 0 was evicted. *)
+  check_int "L2 hit after L1 eviction" 12
+    (Hierarchy.access h ~core:0 ~addr:0 ~write:false)
+
+let test_hierarchy_coherence () =
+  let h = Hierarchy.create ~coherence:true (tiny_machine ()) in
+  ignore (Hierarchy.access h ~core:1 ~addr:0 ~write:false);
+  check_int "core1 hit" 2 (Hierarchy.access h ~core:1 ~addr:0 ~write:false);
+  (* A write by core 0 invalidates core 1's L1 copy. *)
+  ignore (Hierarchy.access h ~core:0 ~addr:0 ~write:true);
+  check_int "core1 refetches from L2" 12
+    (Hierarchy.access h ~core:1 ~addr:0 ~write:false)
+
+let test_hierarchy_stats () =
+  let h = Hierarchy.create (tiny_machine ()) in
+  ignore (Hierarchy.access h ~core:0 ~addr:0 ~write:false);
+  ignore (Hierarchy.access h ~core:0 ~addr:0 ~write:false);
+  let stats = Hierarchy.level_stats h in
+  let l1 = List.find (fun s -> s.Stats.level = 1) stats in
+  check_int "l1 hits" 1 l1.Stats.hits;
+  check_int "l1 misses" 1 l1.Stats.misses;
+  check_int "mem accesses" 1 (Hierarchy.mem_accesses h);
+  Hierarchy.clear h;
+  check_int "cleared" 0 (Hierarchy.mem_accesses h)
+
+(* --- Engine --------------------------------------------------------- *)
+
+let test_engine_serial () =
+  let h = Hierarchy.create (tiny_machine ()) in
+  let stream =
+    Array.of_list
+      (List.map
+         (fun (a, w) -> Engine.encode_access ~addr:a ~write:w)
+         [ (0, false); (0, true); (64, false) ])
+  in
+  let stats = Engine.run_serial h stream in
+  check_int "accesses" 3 stats.Stats.total_accesses;
+  (* cold(112) + hit(2) + cold(112), plus 1 issue cycle each. *)
+  check_int "cycles" (112 + 2 + 112 + 3) stats.Stats.cycles;
+  check_int "no barriers" 0 stats.Stats.barriers
+
+let test_engine_parallel_max () =
+  let h = Hierarchy.create (tiny_machine ()) in
+  (* Core 0 does 4 accesses to distinct lines, core 1 does 1. *)
+  let enc a = Engine.encode_access ~addr:a ~write:false in
+  let phase =
+    [| Array.init 4 (fun i -> enc (i * 64 * 16)); [| enc (64 * 3) |] |]
+  in
+  let stats = Engine.run h [ phase ] in
+  (* Completion is the slowest core, roughly 4 cold misses. *)
+  check_bool "max over cores" true
+    (stats.Stats.cycles >= 4 * 112 && stats.Stats.cycles < 5 * 113);
+  check_int "busy cores" 2
+    (Array.length (Array.of_list (List.filter (fun c -> c > 0) (Array.to_list stats.Stats.core_cycles))))
+
+let test_engine_barrier () =
+  let h = Hierarchy.create (tiny_machine ()) in
+  let enc a = Engine.encode_access ~addr:a ~write:false in
+  let p1 = [| [| enc 0 |]; [||] |] in
+  let p2 = [| [||]; [| enc (64 * 17) |] |] in
+  let stats = Engine.run h [ p1; p2 ] in
+  check_int "one barrier" 1 stats.Stats.barriers;
+  (* Phase 2 starts only after phase 1's max plus the barrier cost. *)
+  check_bool "barrier serializes" true
+    (stats.Stats.cycles >= (112 + 1) + Engine.default_config.barrier_cost + 112)
+
+let test_engine_sharing_constructive () =
+  (* Two cores reading the same lines: the second reader should hit in
+     the shared L2 after the first brings lines in. *)
+  let h = Hierarchy.create (tiny_machine ()) in
+  let enc a = Engine.encode_access ~addr:a ~write:false in
+  let same = Array.init 8 (fun i -> enc (i * 64)) in
+  let stats = Engine.run h [ [| same; same |] |> Array.map Array.copy ] in
+  check_bool "L2 sees hits" true
+    (let l2 = List.find (fun s -> s.Stats.level = 2) stats.Stats.per_level in
+     l2.Stats.hits > 0);
+  check_int "mem only once per line" 8 stats.Stats.mem_accesses
+
+let test_engine_core_count_mismatch () =
+  let h = Hierarchy.create (tiny_machine ()) in
+  Alcotest.check_raises "phase mismatch"
+    (Invalid_argument "Engine.run: phase core-count mismatch") (fun () ->
+      ignore (Engine.run h [ [| [||] |] ]))
+
+let test_encode_roundtrip () =
+  List.iter
+    (fun (a, w) ->
+      let a', w' = Engine.decode_access (Engine.encode_access ~addr:a ~write:w) in
+      check_int "addr" a a';
+      check_bool "write" w w')
+    [ (0, false); (12345, true); (1 lsl 40, false) ]
+
+(* --- Reuse ------------------------------------------------------------ *)
+
+let test_reuse_simple () =
+  (* Stream: a b a b -> distances: cold, cold, 1, 1. *)
+  let h = Reuse.of_lines [| 1; 2; 1; 2 |] in
+  check_int "cold" 2 h.Reuse.cold;
+  check_int "total" 4 h.Reuse.total;
+  (* distance 1 lands in bucket 1 ([1,2)). *)
+  check_int "bucket1" 2 h.Reuse.buckets.(1);
+  (* Consecutive re-access: distance 0. *)
+  let h0 = Reuse.of_lines [| 7; 7; 7 |] in
+  check_int "bucket0" 2 h0.Reuse.buckets.(0)
+
+let test_reuse_distance_counts_distinct () =
+  (* a x x b a: distance of the second a is 2 distinct lines (x, b). *)
+  let h = Reuse.of_lines [| 1; 2; 2; 3; 1 |] in
+  (* distance 2 -> bucket 2 ([2,4)). *)
+  check_int "distinct lines" 1 h.Reuse.buckets.(2)
+
+let test_reuse_hit_ratio () =
+  (* Cyclic sweep over 8 lines, 4 times: every non-cold access has
+     distance 7. *)
+  let stream = Array.init 32 (fun i -> i mod 8) in
+  let h = Reuse.of_lines stream in
+  check_int "cold" 8 h.Reuse.cold;
+  check_bool "hits with 8 lines" true (Reuse.hit_ratio_at h ~lines:8 >= 0.99);
+  check_bool "misses with 4 lines" true (Reuse.hit_ratio_at h ~lines:4 <= 0.01);
+  check_bool "mean distance in bucket [4,8)" true
+    (let m = Reuse.mean_distance h in m >= 4. && m < 8.)
+
+let test_reuse_merge () =
+  let h1 = Reuse.of_lines [| 1; 1 |] and h2 = Reuse.of_lines [| 2; 2 |] in
+  let m = Reuse.merge [ h1; h2 ] in
+  check_int "total" 4 m.Reuse.total;
+  check_int "cold" 2 m.Reuse.cold
+
+let prop_reuse_agrees_with_fullassoc_lru =
+  (* The reuse histogram's hit count below capacity C must equal the
+     hits of a fully-associative LRU cache of capacity C (for C a
+     bucket boundary power of two). *)
+  QCheck.Test.make ~name:"reuse histogram matches full-assoc LRU" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 300) (int_range 0 15))
+    (fun lines_list ->
+      let lines = Array.of_list lines_list in
+      let h = Reuse.of_lines lines in
+      let capacity = 8 in
+      let cache = Setassoc.create ~sets:1 ~assoc:capacity in
+      Array.iter
+        (fun l -> if not (Setassoc.access cache l) then ignore (Setassoc.insert cache l))
+        lines;
+      let expected_hits = Setassoc.hits cache in
+      (* Buckets 0..3 cover distances 0..7 (< 8). *)
+      let hist_hits =
+        h.Reuse.buckets.(0) + h.Reuse.buckets.(1) + h.Reuse.buckets.(2)
+        + h.Reuse.buckets.(3)
+      in
+      expected_hits = hist_hits)
+
+let () =
+  Alcotest.run "cachesim"
+    [
+      ( "setassoc",
+        [
+          Alcotest.test_case "basics" `Quick test_setassoc_basics;
+          Alcotest.test_case "lru" `Quick test_setassoc_lru;
+          Alcotest.test_case "sets disjoint" `Quick test_setassoc_sets_disjoint;
+          Alcotest.test_case "invalidate" `Quick test_setassoc_invalidate;
+          Alcotest.test_case "clear" `Quick test_setassoc_clear;
+          QCheck_alcotest.to_alcotest prop_lru_never_exceeds_capacity;
+          QCheck_alcotest.to_alcotest prop_access_after_insert_hits;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "latencies" `Quick test_hierarchy_latencies;
+          Alcotest.test_case "inclusive fill" `Quick test_hierarchy_inclusive_fill;
+          Alcotest.test_case "coherence" `Quick test_hierarchy_coherence;
+          Alcotest.test_case "stats" `Quick test_hierarchy_stats;
+        ] );
+      ( "reuse",
+        [
+          Alcotest.test_case "simple" `Quick test_reuse_simple;
+          Alcotest.test_case "distinct" `Quick test_reuse_distance_counts_distinct;
+          Alcotest.test_case "hit ratio" `Quick test_reuse_hit_ratio;
+          Alcotest.test_case "merge" `Quick test_reuse_merge;
+          QCheck_alcotest.to_alcotest prop_reuse_agrees_with_fullassoc_lru;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "serial" `Quick test_engine_serial;
+          Alcotest.test_case "parallel max" `Quick test_engine_parallel_max;
+          Alcotest.test_case "barrier" `Quick test_engine_barrier;
+          Alcotest.test_case "constructive sharing" `Quick
+            test_engine_sharing_constructive;
+          Alcotest.test_case "core mismatch" `Quick test_engine_core_count_mismatch;
+          Alcotest.test_case "encode roundtrip" `Quick test_encode_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,558 @@
+(* Tests for the core mapping library: affinity graph, distribution
+   (Fig. 6), scheduling (Fig. 7), baselines, the end-to-end pipeline
+   and the optimal search. *)
+
+open Ctam_poly
+open Ctam_ir
+open Ctam_arch
+open Ctam_blocks
+open Ctam_deps
+open Ctam_core
+open Ctam_cachesim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A small machine keeps these tests fast: Dunnington topology at 1/64
+   capacity. *)
+let machine = Machines.dunnington ~scale:64 ()
+
+(* The paper's worked example: Figure 5 loop, 12 blocks, 8 groups. *)
+let fig5_program k =
+  let m = 12 * k in
+  let d = 1 in
+  let j = Affine.var d 0 in
+  let b sub = Reference.make ~array_name:"B" ~subs:[| sub |] ~kind:Reference.Read in
+  let wr = Reference.make ~array_name:"B" ~subs:[| j |] ~kind:Reference.Write in
+  let nest =
+    Nest.make ~name:"fig5" ~index_names:[| "j" |]
+      ~domain:(Domain.box [| (2 * k, m - (2 * k) - 1) |])
+      ~body:
+        [
+          Stmt.assign wr
+            (Expr.add
+               (Expr.add (Expr.load (b j))
+                  (Expr.load (b (Affine.add_const (2 * k) j))))
+               (Expr.load (b (Affine.add_const (-2 * k) j))));
+        ]
+      ~parallel:true
+  in
+  Program.make ~name:"fig5"
+    ~arrays:[ Array_decl.make ~name:"B" ~dims:[| m |] ~elem_size:8 ]
+    ~nests:[ nest ]
+
+let groups_of ?(block = 2048) p =
+  let nest = List.hd (Program.parallel_nests p) in
+  let bm, _ = Block_map.for_program ~block_size:block ~line:64 p in
+  let grouping = Tags.group nest bm in
+  (nest, grouping)
+
+let total_groups_iters gs =
+  List.fold_left (fun a g -> a + Iter_group.size g) 0 gs
+
+(* --- Affinity_graph -------------------------------------------------- *)
+
+let test_affinity_graph () =
+  let _, grouping = groups_of (fig5_program 256) in
+  let g = Affinity_graph.build grouping.Tags.groups in
+  check_int "nodes" 8 (Affinity_graph.num_nodes g);
+  (* Groups 0 (101010...) and 1 (010101...) share no blocks. *)
+  check_int "disjoint tags" 0 (Affinity_graph.weight g 0 1);
+  (* Groups 0 and 2 (001010100000) share blocks 2 and 4. *)
+  check_int "overlap" 2 (Affinity_graph.weight g 0 2);
+  check_bool "edges exist" true (Affinity_graph.edges g <> []);
+  check_bool "total weight positive" true (Affinity_graph.total_weight g > 0)
+
+(* --- Distribute ------------------------------------------------------ *)
+
+let test_distribute_partition_preserved () =
+  let _, grouping = groups_of (fig5_program 256) in
+  let groups = grouping.Tags.groups in
+  let assignment = Distribute.run machine groups in
+  check_int "core count" 12 (Array.length assignment);
+  let before = Array.fold_left (fun a g -> a + Iter_group.size g) 0 groups in
+  let after = Array.fold_left (fun a gs -> a + total_groups_iters gs) 0 assignment in
+  check_int "iterations preserved" before after;
+  (* Disjointness across cores. *)
+  let enc = grouping.Tags.encoder in
+  let union =
+    Array.fold_left
+      (fun acc gs ->
+        List.fold_left
+          (fun acc g ->
+            check_bool "cores disjoint" true
+              (Iterset.is_empty (Iterset.inter acc g.Iter_group.iters));
+            Iterset.union acc g.Iter_group.iters)
+          acc gs)
+      (Iterset.empty enc) assignment
+  in
+  check_int "union covers" before (Iterset.cardinal union)
+
+let test_distribute_balanced () =
+  let _, grouping = groups_of (fig5_program 256) in
+  let assignment =
+    Distribute.run ~balance_threshold:0.10 machine grouping.Tags.groups
+  in
+  let sizes = Array.map total_groups_iters assignment in
+  let total = Array.fold_left ( + ) 0 sizes in
+  let avg = float_of_int total /. 12. in
+  Array.iter
+    (fun s ->
+      check_bool "within global threshold" true
+        (abs_float (float_of_int s -. avg) <= (0.10 *. avg) +. 1.))
+    sizes
+
+let test_cluster_into () =
+  let _, grouping = groups_of (fig5_program 256) in
+  let clusters = Distribute.cluster_into 3 (Array.to_list grouping.Tags.groups) in
+  check_int "three clusters" 3 (List.length clusters);
+  let all = List.concat clusters in
+  check_int "no group lost" 8 (List.length all);
+  (* More clusters than groups: splitting must provide them. *)
+  let clusters10 = Distribute.cluster_into 10 (Array.to_list grouping.Tags.groups) in
+  check_int "ten clusters" 10 (List.length clusters10);
+  check_int "iterations preserved"
+    (Tags.total_iterations grouping)
+    (List.fold_left (fun a c -> a + total_groups_iters c) 0 clusters10)
+
+let test_balance_respects_weights () =
+  let _, grouping = groups_of (fig5_program 256) in
+  let gs = Array.to_list grouping.Tags.groups in
+  let clusters = [| gs; [] |] in
+  let balanced = Distribute.balance ~threshold:0.05 ~weights:[| 3; 1 |] clusters in
+  let s0 = total_groups_iters balanced.(0)
+  and s1 = total_groups_iters balanced.(1) in
+  let total = float_of_int (s0 + s1) in
+  check_bool "3:1 split" true
+    (abs_float (float_of_int s0 -. (0.75 *. total)) <= (0.06 *. total) +. 1.)
+
+(* Affinity property: the distribution should put the groups sharing
+   blocks on affine cores more often than a random split would. *)
+let test_distribute_affinity_quality () =
+  let _, grouping = groups_of (fig5_program 256) in
+  let groups = grouping.Tags.groups in
+  let assignment = Distribute.run machine groups in
+  (* For every pair of groups with positive dot sharing a socket's
+     cores, count; the fig5 chain decomposes into odd/even chains that
+     should not straddle sockets more than necessary. *)
+  let core_of = Hashtbl.create 16 in
+  Array.iteri
+    (fun c gs -> List.iter (fun g -> Hashtbl.replace core_of g.Iter_group.id c) gs)
+    assignment;
+  let cross = ref 0 and affine = ref 0 in
+  Array.iteri
+    (fun i gi ->
+      Array.iteri
+        (fun j gj ->
+          if i < j && Iter_group.dot gi gj > 0 then begin
+            match
+              ( Hashtbl.find_opt core_of gi.Iter_group.id,
+                Hashtbl.find_opt core_of gj.Iter_group.id )
+            with
+            | Some ci, Some cj ->
+                if Topology.affinity_level machine ci cj = None then incr cross
+                else incr affine
+            | _ -> ()
+          end)
+        groups)
+    groups;
+  check_bool "sharing pairs mostly affine" true (!affine >= !cross)
+
+(* --- Schedule -------------------------------------------------------- *)
+
+let test_schedule_preserves_groups () =
+  let _, grouping = groups_of (fig5_program 256) in
+  let groups = grouping.Tags.groups in
+  let assignment = Distribute.run machine groups in
+  let dg = Dep_graph.create (Array.length groups) in
+  let sched = Schedule.run machine assignment dg in
+  let per_core = Schedule.per_core sched in
+  Array.iteri
+    (fun c gs ->
+      check_int
+        (Printf.sprintf "core %d same iterations" c)
+        (total_groups_iters assignment.(c))
+        (total_groups_iters gs))
+    per_core
+
+let test_schedule_respects_deps () =
+  let k = 256 in
+  let p = fig5_program k in
+  let nest, _ = groups_of p in
+  ignore nest;
+  let bm, _ = Block_map.for_program ~block_size:2048 ~line:64 p in
+  let nest = List.hd (Program.parallel_nests p) in
+  let grouping = Tags.group nest bm in
+  let dg0 = Group_deps.compute grouping in
+  let groups, dag = Group_deps.merge_cycles grouping dg0 in
+  let assignment = Distribute.run machine groups in
+  let sched = Schedule.run machine assignment dag in
+  check_bool "dependences respected" true (Schedule.respects_deps sched dag);
+  check_bool "multiple rounds" true (Schedule.num_rounds sched > 1)
+
+let test_schedule_quantum () =
+  let _, grouping = groups_of (fig5_program 256) in
+  let groups = grouping.Tags.groups in
+  let assignment = Distribute.run machine groups in
+  let dg = Dep_graph.create (Array.length groups) in
+  let one_round = Schedule.run ~quantum:max_int machine assignment dg in
+  check_int "single round when quantum is huge" 1 (Schedule.num_rounds one_round)
+
+(* --- Baselines ------------------------------------------------------- *)
+
+let test_block_partition () =
+  let p = fig5_program 256 in
+  let nest = List.hd (Program.parallel_nests p) in
+  let chunks = Baselines.block_partition ~n:4 nest in
+  check_int "4 chunks" 4 (Array.length chunks);
+  let sizes = Array.map List.length chunks in
+  let total = Array.fold_left ( + ) 0 sizes in
+  check_int "covers" (Nest.trip_count nest) total;
+  Array.iter
+    (fun s -> check_bool "even" true (abs (s - (total / 4)) <= 1))
+    sizes;
+  (* Chunks are contiguous in lexicographic order. *)
+  let flat = List.concat (Array.to_list (Array.map (fun c -> c) chunks)) in
+  let sorted = List.sort compare (List.map (fun iv -> iv.(0)) flat) in
+  Alcotest.(check (list int)) "in order" sorted (List.map (fun iv -> iv.(0)) flat)
+
+let test_default_assignment () =
+  let _, grouping = groups_of (fig5_program 256) in
+  let assignment = Baselines.default_assignment ~topo:machine grouping.Tags.groups in
+  check_int "cores" 12 (Array.length assignment);
+  let total = Array.fold_left (fun a gs -> a + total_groups_iters gs) 0 assignment in
+  check_int "iterations preserved" (Tags.total_iterations grouping) total
+
+(* --- Permute / Tiling ------------------------------------------------- *)
+
+let transpose_program n =
+  let d = 2 in
+  let i = Affine.var d 0 and j = Affine.var d 1 in
+  let wr = Reference.make ~array_name:"OutA" ~subs:[| i; j |] ~kind:Reference.Write in
+  let rd = Reference.make ~array_name:"InA" ~subs:[| j; i |] ~kind:Reference.Read in
+  let nest =
+    Nest.make ~name:"tr" ~index_names:[| "i"; "j" |]
+      ~domain:(Domain.box [| (0, n - 1); (0, n - 1) |])
+      ~body:[ Stmt.assign wr (Expr.load rd) ]
+      ~parallel:true
+  in
+  Program.make ~name:"tr"
+    ~arrays:
+      [
+        Array_decl.make ~name:"OutA" ~dims:[| n; n |] ~elem_size:8;
+        Array_decl.make ~name:"InA" ~dims:[| n; n |] ~elem_size:8;
+      ]
+    ~nests:[ nest ]
+
+let test_permute_stride () =
+  let p = transpose_program 64 in
+  let layout = Layout.of_program ~align:64 p in
+  let nest = List.hd p.Program.nests in
+  (* Bumping j moves OutA by 8 bytes and InA by a whole row. *)
+  let sj = Permute.stride layout nest 1 in
+  let si = Permute.stride layout nest 0 in
+  (* Symmetric for a pure transpose: both indices average the same. *)
+  Alcotest.(check (float 1.)) "sym" si sj;
+  (* On a row sweep (galgel-like) j is clearly innermost. *)
+  let p2 =
+    Program.make ~name:"row"
+      ~arrays:[ Array_decl.make ~name:"A" ~dims:[| 64; 64 |] ~elem_size:8 ]
+      ~nests:
+        [
+          Nest.make ~name:"row" ~index_names:[| "i"; "j" |]
+            ~domain:(Domain.box [| (0, 62); (0, 63) |])
+            ~body:
+              [
+                Stmt.assign
+                  (Reference.make ~array_name:"A"
+                     ~subs:[| Affine.var 2 0; Affine.var 2 1 |]
+                     ~kind:Reference.Write)
+                  (Expr.load
+                     (Reference.make ~array_name:"A"
+                        ~subs:[| Affine.add_const 1 (Affine.var 2 0); Affine.var 2 1 |]
+                        ~kind:Reference.Read));
+              ]
+            ~parallel:true;
+        ]
+  in
+  let layout2 = Layout.of_program ~align:64 p2 in
+  let nest2 = List.hd p2.Program.nests in
+  let order = Permute.best_order layout2 nest2 in
+  check_int "j innermost" 1 order.(1)
+
+let test_tiling_apply () =
+  let iters =
+    List.concat_map (fun i -> List.map (fun j -> [| i; j |]) [ 0; 1; 2; 3 ]) [ 0; 1; 2; 3 ]
+  in
+  let tiled = Tiling.apply ~tile:[| 2; 2 |] ~perm:[| 0; 1 |] iters in
+  (* First tile fully enumerated before the second one starts. *)
+  Alcotest.(check (list (array int)))
+    "tile order"
+    [ [| 0; 0 |]; [| 0; 1 |]; [| 1; 0 |]; [| 1; 1 |] ]
+    (List.filteri (fun i _ -> i < 4) tiled);
+  check_int "same count" 16 (List.length tiled);
+  Alcotest.check_raises "bad tile" (Invalid_argument "Tiling.apply: tile")
+    (fun () -> ignore (Tiling.apply ~tile:[| 0; 2 |] ~perm:[| 0; 1 |] iters))
+
+let test_choose_tile_bounds () =
+  let p = transpose_program 64 in
+  let layout = Layout.of_program ~align:64 p in
+  let nest = List.hd p.Program.nests in
+  let t = Tiling.choose_tile ~l1_bytes:2048 layout nest in
+  check_bool "clamped" true (t >= 4 && t <= 256)
+
+(* --- Mapping pipeline ------------------------------------------------- *)
+
+let test_compile_all_schemes_cover () =
+  let p = fig5_program 256 in
+  let nest = List.hd (Program.parallel_nests p) in
+  let expected = Nest.trip_count nest * 4 (* refs per iteration *) in
+  List.iter
+    (fun scheme ->
+      let c = Mapping.compile scheme ~machine p in
+      let total =
+        List.fold_left
+          (fun acc phase ->
+            Array.fold_left (fun acc s -> acc + Array.length s) acc phase)
+          0 c.Mapping.phases
+      in
+      check_int
+        (Mapping.scheme_name scheme ^ " emits every access")
+        expected total)
+    Mapping.all_schemes
+
+let test_simulate_deterministic () =
+  let p = fig5_program 256 in
+  let s1 = Mapping.run Mapping.Combined ~machine p in
+  let s2 = Mapping.run Mapping.Combined ~machine p in
+  check_int "same cycles" s1.Stats.cycles s2.Stats.cycles;
+  check_int "same misses" s1.Stats.mem_accesses s2.Stats.mem_accesses
+
+let test_port_shapes () =
+  let p = fig5_program 256 in
+  let c = Mapping.compile Mapping.Combined ~machine p in
+  let target = Machines.harpertown ~scale:64 () in
+  let ported = Mapping.port c ~machine:target in
+  List.iter
+    (fun phase -> check_int "8 streams" 8 (Array.length phase))
+    ported.Mapping.phases;
+  (* Porting preserves every access. *)
+  let count phases =
+    List.fold_left
+      (fun acc phase -> Array.fold_left (fun a s -> a + Array.length s) acc phase)
+      0 phases
+  in
+  check_int "accesses preserved" (count c.Mapping.phases) (count ported.Mapping.phases);
+  let stats = Mapping.simulate ported in
+  check_bool "runs" true (stats.Stats.cycles > 0)
+
+let test_serial_baseline () =
+  let p = fig5_program 64 in
+  let stats = Mapping.simulate_serial ~machine p in
+  let nest = List.hd (Program.parallel_nests p) in
+  check_int "serial accesses" (Nest.trip_count nest * 4) stats.Stats.total_accesses
+
+let test_topology_beats_base_on_fig5 () =
+  (* The headline effect on the paper's own example loop. *)
+  let p = fig5_program 1024 in
+  let base = Mapping.run Mapping.Base ~machine p in
+  let topo = Mapping.run Mapping.Topology_aware ~machine p in
+  check_bool "topology-aware wins" true
+    (topo.Stats.cycles < base.Stats.cycles)
+
+(* --- Optimal ---------------------------------------------------------- *)
+
+let test_optimal_not_worse () =
+  let p = fig5_program 256 in
+  let combined = Mapping.run Mapping.Combined ~machine p in
+  let result = Optimal.search ~budget:60 ~exhaustive_limit:10 ~machine p in
+  (* The whole-group local search cannot use the splits Combined's
+     balancing performs, so allow a modest margin. *)
+  check_bool "optimal close to or better than combined" true
+    (float_of_int result.Optimal.stats.Stats.cycles
+     <= 1.10 *. float_of_int combined.Stats.cycles);
+  check_bool "spent evaluations" true (result.Optimal.evaluations > 0)
+
+(* --- additional behaviour tests -------------------------------------- *)
+
+let test_alpha_beta_extremes () =
+  (* Extreme alpha/beta weights must still produce complete, legal
+     schedules (they only change the picking order). *)
+  let _, grouping = groups_of (fig5_program 256) in
+  let groups = grouping.Tags.groups in
+  let assignment = Distribute.run machine groups in
+  let dg = Dep_graph.create (Array.length groups) in
+  List.iter
+    (fun (alpha, beta) ->
+      let sched = Schedule.run ~alpha ~beta machine assignment dg in
+      let total =
+        Array.fold_left
+          (fun a gs -> a + total_groups_iters gs)
+          0 (Schedule.per_core sched)
+      in
+      check_int
+        (Printf.sprintf "complete at a=%.1f b=%.1f" alpha beta)
+        (Array.fold_left (fun a gs -> a + total_groups_iters gs) 0 assignment)
+        total)
+    [ (0., 0.); (1., 0.); (0., 1.); (1., 1.) ]
+
+let test_port_oversubscription () =
+  (* Porting a 12-core mapping to an 8-core machine oversubscribes
+     cores round-robin; porting to a larger machine leaves cores idle. *)
+  let p = fig5_program 256 in
+  let c = Mapping.compile Mapping.Topology_aware ~machine p in
+  let smaller = Machines.harpertown ~scale:64 () in
+  let ported = Mapping.port c ~machine:smaller in
+  List.iter
+    (fun phase ->
+      check_int "8 streams" 8 (Array.length phase))
+    ported.Mapping.phases;
+  let bigger = Machines.arch_i ~scale:64 () in
+  let ported_up = Mapping.port c ~machine:bigger in
+  List.iter
+    (fun phase ->
+      check_int "16 streams" 16 (Array.length phase);
+      (* Cores 12..15 receive nothing. *)
+      for core = 12 to 15 do
+        check_int "idle core" 0 (Array.length phase.(core))
+      done)
+    ported_up.Mapping.phases
+
+let test_serial_nest_runs_on_core0 () =
+  (* A non-parallel nest executes serially on core 0 regardless of the
+     scheme. *)
+  let d = 1 in
+  let i = Affine.var d 0 in
+  let wr = Reference.make ~array_name:"A" ~subs:[| i |] ~kind:Reference.Write in
+  let serial_nest =
+    Nest.make ~name:"serial" ~index_names:[| "i" |]
+      ~domain:(Domain.box [| (0, 99) |])
+      ~body:[ Stmt.assign wr (Expr.const 1.) ]
+      ~parallel:false
+  in
+  let p =
+    Program.make ~name:"mixed"
+      ~arrays:[ Array_decl.make ~name:"A" ~dims:[| 100 |] ~elem_size:8 ]
+      ~nests:[ serial_nest ]
+  in
+  let c = Mapping.compile Mapping.Combined ~machine p in
+  match c.Mapping.phases with
+  | [ phase ] ->
+      check_int "core 0 has the work" 100 (Array.length phase.(0));
+      for core = 1 to 11 do
+        check_int "others idle" 0 (Array.length phase.(core))
+      done
+  | _ -> Alcotest.fail "expected exactly one phase"
+
+let test_auto_block () =
+  let p = fig5_program 256 in
+  let params = { Mapping.default_params with auto_block = true } in
+  let c = Mapping.compile ~params Mapping.Topology_aware ~machine p in
+  let info = List.hd c.Mapping.infos in
+  (* The chosen block size must keep the most aggressive group's
+     footprint within L1 (or be the smallest candidate). *)
+  check_bool "block size chosen" true (info.Mapping.used_block_size > 0);
+  check_bool "power of two" true
+    (info.Mapping.used_block_size land (info.Mapping.used_block_size - 1) = 0)
+
+let test_map_topo_differs_from_machine () =
+  (* Figure 20's level-subset versions: the mapper sees a truncated
+     topology but the phases run on the full machine. *)
+  let p = fig5_program 256 in
+  let truncated = Topology.truncate_levels 2 machine in
+  let c = Mapping.compile ~map_topo:truncated Mapping.Topology_aware ~machine p in
+  check_int "cores unchanged" 12
+    (match c.Mapping.phases with
+    | phase :: _ -> Array.length phase
+    | [] -> 0);
+  let stats = Mapping.simulate c in
+  check_bool "simulates" true (stats.Stats.cycles > 0)
+
+let test_base_plus_never_beaten_by_plain_permutation () =
+  (* Base+ searches tile candidates including the untiled permuted
+     order, so it can only match or beat it. *)
+  let p = Ctam_workloads.Kernel.small_program Ctam_workloads.Suite.mesa in
+  let bp = Mapping.run Mapping.Base_plus ~machine p in
+  let b = Mapping.run Mapping.Base ~machine p in
+  check_bool "base+ <= base * 1.001 on a transpose" true
+    (float_of_int bp.Stats.cycles <= 1.001 *. float_of_int b.Stats.cycles)
+
+let test_dynamic_sched () =
+  (* Dynamic central-queue scheduling executes every access exactly
+     once and, lacking affinity, does not beat the topology-aware
+     mapping on a sharing-heavy kernel (the paper's section 5 remark). *)
+  let p = fig5_program 512 in
+  let nest = List.hd (Program.parallel_nests p) in
+  let d = Dynamic_sched.run ~machine p in
+  check_int "all accesses" (Nest.trip_count nest * 4) d.Stats.total_accesses;
+  (* Dispatch overhead is monotone: a costlier queue pull can only
+     slow execution down. *)
+  let cheap = Dynamic_sched.run ~steal_cost:10 ~machine p in
+  let dear = Dynamic_sched.run ~steal_cost:5000 ~machine p in
+  check_bool "steal cost is paid" true
+    (dear.Stats.cycles > cheap.Stats.cycles)
+
+let test_scheme_names () =
+  Alcotest.(check (list string))
+    "names"
+    [ "Base"; "Base+"; "Local"; "TopologyAware"; "Combined" ]
+    (List.map Mapping.scheme_name Mapping.all_schemes)
+
+let () =
+  Alcotest.run "core"
+    [
+      ("affinity", [ Alcotest.test_case "graph" `Quick test_affinity_graph ]);
+      ( "distribute",
+        [
+          Alcotest.test_case "partition preserved" `Quick
+            test_distribute_partition_preserved;
+          Alcotest.test_case "balanced" `Quick test_distribute_balanced;
+          Alcotest.test_case "cluster_into" `Quick test_cluster_into;
+          Alcotest.test_case "weights" `Quick test_balance_respects_weights;
+          Alcotest.test_case "affinity quality" `Quick
+            test_distribute_affinity_quality;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "preserves groups" `Quick
+            test_schedule_preserves_groups;
+          Alcotest.test_case "respects deps" `Quick test_schedule_respects_deps;
+          Alcotest.test_case "quantum" `Quick test_schedule_quantum;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "block partition" `Quick test_block_partition;
+          Alcotest.test_case "default assignment" `Quick test_default_assignment;
+        ] );
+      ( "transforms",
+        [
+          Alcotest.test_case "permute stride" `Quick test_permute_stride;
+          Alcotest.test_case "tiling apply" `Quick test_tiling_apply;
+          Alcotest.test_case "choose tile" `Quick test_choose_tile_bounds;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "schemes cover" `Quick test_compile_all_schemes_cover;
+          Alcotest.test_case "deterministic" `Quick test_simulate_deterministic;
+          Alcotest.test_case "port" `Quick test_port_shapes;
+          Alcotest.test_case "serial" `Quick test_serial_baseline;
+          Alcotest.test_case "fig5 wins" `Quick test_topology_beats_base_on_fig5;
+        ] );
+      ( "optimal",
+        [ Alcotest.test_case "not worse" `Quick test_optimal_not_worse ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "alpha/beta extremes" `Quick
+            test_alpha_beta_extremes;
+          Alcotest.test_case "port oversubscription" `Quick
+            test_port_oversubscription;
+          Alcotest.test_case "serial nest" `Quick test_serial_nest_runs_on_core0;
+          Alcotest.test_case "auto block" `Quick test_auto_block;
+          Alcotest.test_case "map topo != machine" `Quick
+            test_map_topo_differs_from_machine;
+          Alcotest.test_case "base+ sanity" `Quick
+            test_base_plus_never_beaten_by_plain_permutation;
+          Alcotest.test_case "dynamic scheduling" `Quick test_dynamic_sched;
+          Alcotest.test_case "scheme names" `Quick test_scheme_names;
+        ] );
+    ]

@@ -1,0 +1,126 @@
+(* Tests for C code emission: structure always; compilation and
+   semantic equivalence with gcc when available. *)
+
+open Ctam_core
+open Ctam_workloads
+
+let check_bool = Alcotest.(check bool)
+let contains ~affix s = Astring.String.is_infix ~affix s
+let machine = Ctam_arch.Machines.dunnington ~scale:64 ()
+
+let sp_prog = Kernel.program ~size:512 Suite.sp
+let galgel_prog = Kernel.program ~size:64 Suite.galgel
+
+let test_structure () =
+  let c = Mapping.compile Mapping.Combined ~machine sp_prog in
+  let code = Emit_c.program c in
+  check_bool "has omp parallel" true
+    (contains ~affix:"#pragma omp parallel num_threads(12)" code);
+  check_bool "has thread switch" true
+    (contains ~affix:"switch (ctam_core)" code);
+  check_bool "has for loops" true (contains ~affix:"for (j = " code);
+  check_bool "has barriers (sp carries deps)" true
+    (contains ~affix:"#pragma omp barrier" code);
+  check_bool "has checksum" true (contains ~affix:"checksum" code);
+  check_bool "declares arrays" true
+    (contains ~affix:"static double B" code)
+
+let test_base_structure () =
+  let c = Mapping.compile Mapping.Base ~machine galgel_prog in
+  let code = Emit_c.program c in
+  (* Dependence-free Base: one round, no inter-round barriers beyond
+     the nest separator. *)
+  check_bool "single round" true (contains ~affix:"/* round 0 */" code);
+  check_bool "no round 1" false (contains ~affix:"/* round 1 */" code);
+  check_bool "2D loops" true (contains ~affix:"for (i = " code)
+
+let test_plan_core_view () =
+  let c = Mapping.compile Mapping.Combined ~machine sp_prog in
+  let plan = List.hd c.Mapping.plans in
+  let code = Emit_c.nest_for_core ~plan ~core:0 in
+  check_bool "core has code" true (String.length code > 0);
+  check_bool "core view has loops" true (contains ~affix:"for (" code)
+
+let test_every_scheme_emits () =
+  List.iter
+    (fun scheme ->
+      let c = Mapping.compile scheme ~machine galgel_prog in
+      let code = Emit_c.program c in
+      check_bool (Mapping.scheme_name scheme ^ " emits") true
+        (String.length code > 500))
+    Mapping.all_schemes
+
+(* --- gcc-backed tests (skipped when gcc is unavailable) -------------- *)
+
+let gcc_available =
+  Sys.command "gcc --version > /dev/null 2>&1" = 0
+
+let compile_and_run code name =
+  let dir = Filename.get_temp_dir_name () in
+  let src = Filename.concat dir (name ^ ".c") in
+  let exe = Filename.concat dir name in
+  let oc = open_out src in
+  output_string oc code;
+  close_out oc;
+  let rc =
+    Sys.command (Printf.sprintf "gcc -fopenmp -O1 -o %s %s 2>/dev/null" exe src)
+  in
+  Alcotest.(check int) (name ^ " compiles") 0 rc;
+  let ic = Unix.open_process_in exe in
+  let line = input_line ic in
+  ignore (Unix.close_process_in ic);
+  line
+
+let test_gcc_semantic_equivalence () =
+  if not gcc_available then ()
+  else begin
+    (* Two legal schedules of the dependence-carrying loop must compute
+       the same values: the mapping is semantics-preserving. *)
+    let base =
+      compile_and_run
+        (Emit_c.program (Mapping.compile Mapping.Base ~machine sp_prog))
+        "ctam_test_base"
+    in
+    let combined =
+      compile_and_run
+        (Emit_c.program (Mapping.compile Mapping.Combined ~machine sp_prog))
+        "ctam_test_combined"
+    in
+    Alcotest.(check string) "same checksum" base combined
+  end
+
+let test_gcc_dep_free_equivalence () =
+  if not gcc_available then ()
+  else begin
+    let base =
+      compile_and_run
+        (Emit_c.program (Mapping.compile Mapping.Base ~machine galgel_prog))
+        "ctam_test_gbase"
+    in
+    let topo =
+      compile_and_run
+        (Emit_c.program
+           (Mapping.compile Mapping.Topology_aware ~machine galgel_prog))
+        "ctam_test_gtopo"
+    in
+    Alcotest.(check string) "same checksum" base topo
+  end
+
+let () =
+  Alcotest.run "emit_c"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "openmp shape" `Quick test_structure;
+          Alcotest.test_case "base shape" `Quick test_base_structure;
+          Alcotest.test_case "per-core view" `Quick test_plan_core_view;
+          Alcotest.test_case "all schemes" `Quick test_every_scheme_emits;
+        ] );
+      ( "gcc",
+        [
+          Alcotest.test_case "dependence-carrying equivalence" `Slow
+            test_gcc_semantic_equivalence;
+          Alcotest.test_case "dependence-free equivalence" `Slow
+            test_gcc_dep_free_equivalence;
+        ] );
+    ]

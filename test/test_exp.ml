@@ -1,0 +1,57 @@
+(* Tests for the experiment-support library. *)
+
+open Ctam_exp
+
+let check_bool = Alcotest.(check bool)
+
+let test_table () =
+  let t =
+    Report.table ~header:[ "app"; "Base"; "Topo" ]
+      [ [ "galgel"; "1.00"; "0.72" ]; [ "cg"; "1.00"; "0.69" ] ]
+  in
+  check_bool "has header" true (Astring.String.is_infix ~affix:"app" t);
+  check_bool "has row" true (Astring.String.is_infix ~affix:"galgel" t);
+  check_bool "has separator" true (Astring.String.is_infix ~affix:"---" t)
+
+let test_table_ragged () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Report.table: ragged row")
+    (fun () -> ignore (Report.table ~header:[ "a"; "b" ] [ [ "x" ] ]))
+
+let test_normalized () =
+  Alcotest.(check (list (float 1e-9)))
+    "normalize" [ 1.0; 0.5; 2.0 ]
+    (Report.normalized ~base:4. [ 4.; 2.; 8. ]);
+  Alcotest.check_raises "zero base"
+    (Invalid_argument "Report.normalized: base") (fun () ->
+      ignore (Report.normalized ~base:0. [ 1. ]))
+
+let test_means () =
+  Alcotest.(check (float 1e-9)) "geomean" 2. (Report.geomean [ 1.; 4. ]);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Report.mean [ 1.; 4. ]);
+  Alcotest.(check (float 1e-9)) "improvement" 25.
+    (Report.improvement_pct ~base:4. ~opt:3.);
+  Alcotest.check_raises "geomean empty"
+    (Invalid_argument "Report.geomean: empty") (fun () ->
+      ignore (Report.geomean []))
+
+let prop_geomean_between =
+  QCheck.Test.make ~name:"geomean within min/max" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 10) (float_range 0.1 10.))
+    (fun vs ->
+      let g = Report.geomean vs in
+      let mn = List.fold_left min infinity vs in
+      let mx = List.fold_left max 0. vs in
+      g >= mn -. 1e-9 && g <= mx +. 1e-9)
+
+let () =
+  Alcotest.run "exp"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "table" `Quick test_table;
+          Alcotest.test_case "ragged" `Quick test_table_ragged;
+          Alcotest.test_case "normalized" `Quick test_normalized;
+          Alcotest.test_case "means" `Quick test_means;
+          QCheck_alcotest.to_alcotest prop_geomean_between;
+        ] );
+    ]

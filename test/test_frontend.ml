@@ -1,0 +1,222 @@
+(* Tests for the DSL frontend: lexer, parser, lowering diagnostics. *)
+
+open Ctam_frontend
+open Ctam_ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let contains ~affix s = Astring.String.is_infix ~affix s
+
+let sample =
+  {|
+program demo;
+double A[100][102];
+double B[210];
+
+// the Figure 4 loop of the paper
+parallel for (i1 = 0; i1 < 99; i1++)
+  for (i2 = 2; i2 < 102; i2++)
+    A[i1+1][i2-1] = A[i1][i2-2] + 0.5;
+
+for (j = 4; j <= 200; j++)
+  B[j] = B[j] + B[2*j - 190] + 1.0;
+|}
+
+(* --- lexer ---------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "for (i = 0; i < 10; i++) A[i] = 0.5;" in
+  let kinds = List.map (fun t -> t.Token.tok) toks in
+  check_bool "starts with for" true (List.hd kinds = Token.KW_FOR);
+  check_bool "has plusplus" true (List.mem Token.PLUSPLUS kinds);
+  check_bool "has float" true (List.mem (Token.FLOAT 0.5) kinds);
+  check_bool "ends with EOF" true
+    (List.nth kinds (List.length kinds - 1) = Token.EOF)
+
+let test_lexer_comments () =
+  let toks = Lexer.tokenize "program /* block\ncomment */ p; // line\n" in
+  check_int "token count" 4 (List.length toks) (* program, p, ;, EOF *)
+
+let test_lexer_positions () =
+  let toks = Lexer.tokenize "program\n  p;" in
+  match toks with
+  | _ :: { tok = Token.IDENT "p"; pos } :: _ ->
+      check_int "line" 2 pos.Token.line;
+      check_int "col" 3 pos.Token.col
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lexer_errors () =
+  check_bool "illegal char raises" true
+    (try
+       ignore (Lexer.tokenize "program p; @");
+       false
+     with Parse_error.Error (_, _) -> true);
+  check_bool "unterminated comment" true
+    (try
+       ignore (Lexer.tokenize "/* oops");
+       false
+     with Parse_error.Error (_, _) -> true)
+
+(* --- parser --------------------------------------------------------- *)
+
+let test_parse_program () =
+  let ast = Parser.parse sample in
+  Alcotest.(check string) "name" "demo" ast.Ast.prog_name;
+  check_int "decls" 2 (List.length ast.Ast.decls);
+  check_int "nests" 2 (List.length ast.Ast.nests);
+  let n0 = List.hd ast.Ast.nests in
+  check_bool "parallel flag" true n0.Ast.nest_parallel;
+  let n1 = List.nth ast.Ast.nests 1 in
+  check_bool "second not parallel" false n1.Ast.nest_parallel
+
+let expect_syntax_error src =
+  try
+    ignore (Parser.parse src);
+    Alcotest.fail "expected syntax error"
+  with Parse_error.Error (_, _) -> ()
+
+let test_parse_errors () =
+  expect_syntax_error "program; double A[4];";
+  expect_syntax_error "program p; double A; for (i=0;i<4;i++) A[i]=0;";
+  expect_syntax_error "program p; double A[4]; for (i=0;j<4;i++) A[i]=0;";
+  expect_syntax_error "program p; double A[4]; for (i=0;i<4;j++) A[i]=0;";
+  expect_syntax_error "program p; double A[4];";
+  expect_syntax_error "program p; double A[4]; for (i=0;i<4;i++) { }"
+
+(* --- lowering ------------------------------------------------------- *)
+
+let test_lower_basic () =
+  let p = Lower.compile sample in
+  check_int "arrays" 2 (List.length p.Program.arrays);
+  check_int "nests" 2 (List.length p.Program.nests);
+  let n0 = List.hd p.Program.nests in
+  check_int "depth" 2 (Nest.depth n0);
+  check_int "trip count" (99 * 100) (Nest.trip_count n0);
+  check_bool "parallel" true n0.Nest.parallel;
+  let writes = List.filter Reference.is_write (Nest.refs n0) in
+  check_int "one write" 1 (List.length writes);
+  Alcotest.(check (array int))
+    "write target" [| 5; 6 |]
+    (Reference.target (List.hd writes) [| 4; 7 |])
+
+let expect_lower_error src =
+  try
+    ignore (Lower.compile src);
+    Alcotest.fail "expected lowering error"
+  with Parse_error.Error (_, _) -> ()
+
+let test_lower_errors () =
+  expect_lower_error
+    "program p; double A[10][10]; for (i=0;i<10;i++) for (j=0;j<10;j++) A[i*j][j] = 1.0;";
+  expect_lower_error "program p; double A[10]; for (i=0;i<10;i++) A[k] = 1.0;";
+  expect_lower_error
+    "program p; double A[10][10]; for (i=0;i<j;i++) for (j=0;j<10;j++) A[i][j] = 1.0;";
+  expect_lower_error
+    "program p; double A[10][10]; for (i=0;i<10;i++) for (i=0;i<10;i++) A[i][i] = 1.0;";
+  expect_lower_error "program p; double A[10]; for (i=0;i<10;i++) Z[i] = 1.0;";
+  expect_lower_error
+    "program p; double A[10]; for (i=0;i<10;i++) A[i][i] = 1.0;"
+
+let test_lower_triangular () =
+  let p =
+    Lower.compile
+      "program t; double A[10][10]; for (i=0;i<10;i++) for (j=0;j<=i;j++) A[i][j] = 1.0;"
+  in
+  let n = List.hd p.Program.nests in
+  check_int "triangular trip" 55 (Nest.trip_count n)
+
+let test_lower_affine_arith () =
+  let p =
+    Lower.compile
+      "program a; double A[100]; for (i=0;i<20;i++) A[2*i + 3] = A[(i+1)*2] + 1.0;"
+  in
+  let n = List.hd p.Program.nests in
+  let refs = Nest.refs n in
+  let read = List.hd (List.filter (fun r -> not (Reference.is_write r)) refs) in
+  Alcotest.(check (array int)) "(i+1)*2 at i=4" [| 10 |] (Reference.target read [| 4 |])
+
+let test_error_render () =
+  let src = "program p; double A[10]; for (i=0;i<10;i++) A[k] = 1.0;" in
+  try
+    ignore (Lower.compile src);
+    Alcotest.fail "expected error"
+  with Parse_error.Error (pos, msg) ->
+    let rendered = Parse_error.render ~source:src pos msg in
+    check_bool "mentions k" true (contains ~affix:"'k'" rendered);
+    check_bool "has caret" true (contains ~affix:"^" rendered)
+
+let test_lower_matches_builder () =
+  let src =
+    "program g; double U[12][12]; double V[12][12];\n\
+     parallel for (i = 1; i <= 10; i++) for (j = 1; j <= 10; j++)\n\
+     V[i][j] = U[i-1][j] + U[i+1][j] + U[i][j-1] + U[i][j+1];"
+  in
+  let p = Lower.compile src in
+  let n = List.hd p.Program.nests in
+  check_int "trip" 100 (Nest.trip_count n);
+  check_int "refs" 5 (List.length (Nest.refs n))
+
+(* --- Unparse ---------------------------------------------------------- *)
+
+let structurally_equal p1 p2 =
+  let open Ctam_ir in
+  List.length p1.Program.arrays = List.length p2.Program.arrays
+  && List.for_all2 Array_decl.equal p1.Program.arrays p2.Program.arrays
+  && List.length p1.Program.nests = List.length p2.Program.nests
+  && List.for_all2
+       (fun n1 n2 ->
+         n1.Nest.parallel = n2.Nest.parallel
+         && Nest.trip_count n1 = Nest.trip_count n2
+         && List.length (Nest.refs n1) = List.length (Nest.refs n2)
+         && List.for_all2 Reference.equal (Nest.refs n1) (Nest.refs n2))
+       p1.Program.nests p2.Program.nests
+
+let test_unparse_roundtrip_suite () =
+  List.iter
+    (fun k ->
+      let p = Ctam_workloads.Kernel.small_program k in
+      let text = Unparse.program p in
+      let p' = Lower.compile text in
+      check_bool (k.Ctam_workloads.Kernel.name ^ " round-trips") true
+        (structurally_equal p p'))
+    Ctam_workloads.Suite.all
+
+let test_unparse_triangular () =
+  let src =
+    "program t; double A[12][12];\n\
+     parallel for (i = 0; i < 10; i++) for (j = 0; j <= i; j++) A[i][j] = 1.0;"
+  in
+  let p = Lower.compile src in
+  let p' = Lower.compile (Unparse.program p) in
+  check_bool "triangular round-trips" true (structurally_equal p p')
+
+let () =
+  Alcotest.run "frontend"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "comments" `Quick test_lexer_comments;
+          Alcotest.test_case "positions" `Quick test_lexer_positions;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "program" `Quick test_parse_program;
+          Alcotest.test_case "syntax errors" `Quick test_parse_errors;
+        ] );
+      ( "lower",
+        [
+          Alcotest.test_case "basic" `Quick test_lower_basic;
+          Alcotest.test_case "errors" `Quick test_lower_errors;
+          Alcotest.test_case "triangular" `Quick test_lower_triangular;
+          Alcotest.test_case "affine arithmetic" `Quick test_lower_affine_arith;
+          Alcotest.test_case "error rendering" `Quick test_error_render;
+          Alcotest.test_case "builder equivalence" `Quick test_lower_matches_builder;
+        ] );
+      ( "unparse",
+        [
+          Alcotest.test_case "suite round-trip" `Quick test_unparse_roundtrip_suite;
+          Alcotest.test_case "triangular round-trip" `Quick test_unparse_triangular;
+        ] );
+    ]

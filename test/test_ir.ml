@@ -1,0 +1,134 @@
+(* Tests for the loop-nest IR: arrays, references, statements, nests,
+   programs and memory layout. *)
+
+open Ctam_poly
+open Ctam_ir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let arr_a = Array_decl.make ~name:"A" ~dims:[| 4; 6 |] ~elem_size:8
+let arr_b = Array_decl.make ~name:"B" ~dims:[| 100 |] ~elem_size:8
+
+let test_array_decl () =
+  check_int "cardinal" 24 (Array_decl.cardinal arr_a);
+  check_int "bytes" 192 (Array_decl.byte_size arr_a);
+  check_int "rank" 2 (Array_decl.rank arr_a);
+  check_int "linearize" 13 (Array_decl.linearize arr_a [| 2; 1 |]);
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Array_decl.linearize: A index 6 out of [0,6)")
+    (fun () -> ignore (Array_decl.linearize arr_a [| 2; 6 |]));
+  Alcotest.check_raises "bad extent"
+    (Invalid_argument "Array_decl.make: extent") (fun () ->
+      ignore (Array_decl.make ~name:"X" ~dims:[| 0 |] ~elem_size:8))
+
+let ref_a =
+  (* A[i+1][j-1] — the reference of the paper's Figure 4 example. *)
+  Reference.make ~array_name:"A"
+    ~subs:[| Affine.make [| 1; 0 |] 1; Affine.make [| 0; 1 |] (-1) |]
+    ~kind:Reference.Read
+
+let test_reference () =
+  Alcotest.(check (array int)) "target" [| 3; 1 |] (Reference.target ref_a [| 2; 2 |]);
+  check_bool "in bounds" true (Reference.in_bounds ref_a arr_a [| 2; 2 |]);
+  check_bool "out of bounds" false (Reference.in_bounds ref_a arr_a [| 3; 2 |]);
+  check_int "depth" 2 (Reference.depth ref_a);
+  check_int "rank" 2 (Reference.rank ref_a)
+
+let wr_a =
+  Reference.make ~array_name:"A"
+    ~subs:[| Affine.var 2 0; Affine.var 2 1 |]
+    ~kind:Reference.Write
+
+let test_stmt () =
+  let s = Stmt.assign wr_a (Expr.add (Expr.load ref_a) (Expr.const 1.)) in
+  check_int "refs" 2 (List.length (Stmt.refs s));
+  check_int "reads" 1 (List.length (Stmt.reads s));
+  check_bool "write last" true
+    (Reference.is_write (List.nth (Stmt.refs s) 1));
+  Alcotest.check_raises "lhs must be write"
+    (Invalid_argument "Stmt.assign: lhs not write") (fun () ->
+      ignore (Stmt.assign ref_a (Expr.const 0.)))
+
+let test_expr_eval () =
+  let e =
+    Expr.mul (Expr.add (Expr.const 2.) (Expr.index 0)) (Expr.load ref_a)
+  in
+  let v =
+    Expr.eval ~load:(fun _ -> 10.) ~index:(fun _ -> 3.) e
+  in
+  Alcotest.(check (float 1e-9)) "eval" 50. v;
+  check_int "refs" 1 (List.length (Expr.refs e))
+
+let nest0 =
+  Nest.make ~name:"n0" ~index_names:[| "i"; "j" |]
+    ~domain:(Domain.box [| (0, 2); (1, 4) |])
+    ~body:[ Stmt.assign wr_a (Expr.load ref_a) ]
+    ~parallel:true
+
+let test_nest () =
+  check_int "depth" 2 (Nest.depth nest0);
+  check_int "trip" 12 (Nest.trip_count nest0);
+  check_int "refs" 2 (List.length (Nest.refs nest0));
+  Alcotest.(check (list string)) "arrays" [ "A" ] (Nest.arrays_used nest0)
+
+let prog = Program.make ~name:"p" ~arrays:[ arr_a; arr_b ] ~nests:[ nest0 ]
+
+let test_program () =
+  check_int "data bytes" (192 + 800) (Program.data_bytes prog);
+  check_int "parallel nests" 1 (List.length (Program.parallel_nests prog));
+  check_bool "find" true (Array_decl.equal (Program.find_array prog "B") arr_b);
+  Alcotest.check_raises "undeclared array"
+    (Invalid_argument "Program.make: undeclared array C") (fun () ->
+      let bad =
+        Reference.make ~array_name:"C" ~subs:[| Affine.var 1 0 |]
+          ~kind:Reference.Write
+      in
+      let nest =
+        Nest.make ~name:"bad" ~index_names:[| "i" |]
+          ~domain:(Domain.box [| (0, 1) |])
+          ~body:[ Stmt.assign bad (Expr.const 0.) ]
+          ~parallel:true
+      in
+      ignore (Program.make ~name:"p2" ~arrays:[ arr_a ] ~nests:[ nest ]))
+
+let test_layout () =
+  let l = Layout.make ~align:256 [ arr_a; arr_b ] in
+  check_int "base A" 0 (Layout.base l "A");
+  (* A is 192 bytes; B starts at the next 256 boundary. *)
+  check_int "base B" 256 (Layout.base l "B");
+  check_int "total" (256 + 800) (Layout.total_bytes l);
+  check_int "elem addr" (256 + (8 * 3)) (Layout.elem_addr l "B" [| 3 |]);
+  check_int "ref addr"
+    (8 * Array_decl.linearize arr_a [| 3; 1 |])
+    (Layout.ref_addr l ref_a [| 2; 2 |]);
+  Alcotest.check_raises "not found" Not_found (fun () ->
+      ignore (Layout.base l "Z"))
+
+let test_layout_alignment_blocks () =
+  (* Arrays never share an aligned block: base mod align = 0. *)
+  let l = Layout.of_program ~align:2048 prog in
+  List.iter
+    (fun a ->
+      check_int
+        ("aligned " ^ a.Array_decl.name)
+        0
+        (Layout.base l a.Array_decl.name mod 2048))
+    (Layout.arrays l)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "array_decl",
+        [ Alcotest.test_case "basics" `Quick test_array_decl ] );
+      ("reference", [ Alcotest.test_case "basics" `Quick test_reference ]);
+      ("stmt", [ Alcotest.test_case "basics" `Quick test_stmt ]);
+      ("expr", [ Alcotest.test_case "eval" `Quick test_expr_eval ]);
+      ("nest", [ Alcotest.test_case "basics" `Quick test_nest ]);
+      ("program", [ Alcotest.test_case "basics" `Quick test_program ]);
+      ( "layout",
+        [
+          Alcotest.test_case "placement" `Quick test_layout;
+          Alcotest.test_case "block alignment" `Quick test_layout_alignment_blocks;
+        ] );
+    ]

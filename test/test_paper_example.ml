@@ -1,0 +1,214 @@
+(* The paper's worked example, end to end (§3.5.4, Figures 9-11).
+
+   Machine: Figure 9 — four cores, two L2s shared by pairs, one L3
+   (root).  Program: Figure 5 — B[j] = B[j] + B[2k+j] + B[j-2k] with
+   twelve data blocks.  The iterations form eight groups whose tags are
+   listed in Figure 10(a); groups with even first-block (tags
+   1010100000.., 0010101000.., ...) share blocks only with each other,
+   likewise the odd chain.  Clustering for the two L2s must separate
+   the two chains (Figure 10(b)/(c)): cores under one L2 receive
+   groups of one parity. *)
+
+open Ctam_poly
+open Ctam_ir
+open Ctam_arch
+open Ctam_blocks
+open Ctam_deps
+open Ctam_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Figure 9: 4 cores, L1 per core, L2 per pair, L3 root. *)
+let figure9 =
+  let l1 id =
+    Topology.Cache
+      ( {
+          Topology.cache_name = Printf.sprintf "L1#%d" id;
+          level = 1;
+          size_bytes = 1024;
+          assoc = 8;
+          line = 64;
+          latency = 4;
+        },
+        [ Topology.Core id ] )
+  in
+  let l2 p cores =
+    Topology.Cache
+      ( {
+          Topology.cache_name = Printf.sprintf "L2#%d" p;
+          level = 2;
+          size_bytes = 16 * 1024;
+          assoc = 8;
+          line = 64;
+          latency = 12;
+        },
+        cores )
+  in
+  Topology.make ~name:"Figure9" ~clock_ghz:1. ~mem_latency:120
+    [
+      Topology.Cache
+        ( {
+            Topology.cache_name = "L3#0";
+            level = 3;
+            size_bytes = 64 * 1024;
+            assoc = 16;
+            line = 64;
+            latency = 30;
+          },
+          [ l2 0 [ l1 0; l1 1 ]; l2 1 [ l1 2; l1 3 ] ] );
+    ]
+
+let k = 512 (* elements per data block (x8 bytes = 4KB blocks) *)
+
+let fig5_program =
+  let m = 12 * k in
+  let d = 1 in
+  let j = Affine.var d 0 in
+  let b sub =
+    Reference.make ~array_name:"B" ~subs:[| sub |] ~kind:Reference.Read
+  in
+  let wr = Reference.make ~array_name:"B" ~subs:[| j |] ~kind:Reference.Write in
+  let nest =
+    Nest.make ~name:"fig5" ~index_names:[| "j" |]
+      ~domain:(Domain.box [| (2 * k, m - (2 * k) - 1) |])
+      ~body:
+        [
+          Stmt.assign wr
+            (Expr.add
+               (Expr.add (Expr.load (b j))
+                  (Expr.load (b (Affine.add_const (2 * k) j))))
+               (Expr.load (b (Affine.add_const (-2 * k) j))));
+        ]
+      ~parallel:true
+  in
+  Program.make ~name:"fig5"
+    ~arrays:[ Array_decl.make ~name:"B" ~dims:[| m |] ~elem_size:8 ]
+    ~nests:[ nest ]
+
+let grouping () =
+  let nest = List.hd fig5_program.Program.nests in
+  let bm, _ = Block_map.for_program ~block_size:(k * 8) ~line:64 fig5_program in
+  (nest, bm, Tags.group nest bm)
+
+(* Figure 10(a): the eight tags, j-range by j-range. *)
+let test_figure10a_tags () =
+  let _, bm, g = grouping () in
+  check_int "twelve blocks" 12 (Block_map.num_blocks bm);
+  check_int "eight groups" 8 (Array.length g.Tags.groups);
+  let expected =
+    [|
+      "101010000000";
+      "010101000000";
+      "001010100000";
+      "000101010000";
+      "000010101000";
+      "000001010100";
+      "000000101010";
+      "000000010101";
+    |]
+  in
+  Array.iteri
+    (fun i grp ->
+      Alcotest.(check string)
+        (Printf.sprintf "tag of group %d" i)
+        expected.(i)
+        (Bitset.to_string grp.Iter_group.tag))
+    g.Tags.groups
+
+(* The two parity chains share no blocks across each other. *)
+let test_parity_chains_disjoint () =
+  let _, _, g = grouping () in
+  Array.iteri
+    (fun i gi ->
+      Array.iteri
+        (fun j gj ->
+          if i < j then begin
+            let same_parity = (i - j) mod 2 = 0 in
+            let share = Iter_group.dot gi gj > 0 in
+            if not same_parity then
+              check_bool
+                (Printf.sprintf "groups %d,%d (different chains) disjoint" i j)
+                false share
+          end)
+        g.Tags.groups)
+    g.Tags.groups
+
+(* Figure 10(b): clustering for the two L2s separates the chains. *)
+let test_figure10b_l2_clustering () =
+  let _, _, g = grouping () in
+  let assignment = Distribute.run figure9 g.Tags.groups in
+  check_int "four cores" 4 (Array.length assignment);
+  (* Parities of groups on each L2 pair. *)
+  let parity_set cores =
+    List.concat_map
+      (fun c -> List.map (fun grp -> grp.Iter_group.id mod 2) assignment.(c))
+      cores
+    |> List.sort_uniq compare
+  in
+  let pair0 = parity_set [ 0; 1 ] and pair1 = parity_set [ 2; 3 ] in
+  (* Each pair holds groups of a single parity, and the two pairs hold
+     different parities (which pair gets which chain is arbitrary). *)
+  check_int "pair0 single parity" 1 (List.length pair0);
+  check_int "pair1 single parity" 1 (List.length pair1);
+  check_bool "opposite parities" true (pair0 <> pair1)
+
+(* Load balancing: every core ends up with two groups' worth of
+   iterations (the example's final assignment gives 2 groups/core). *)
+let test_figure11_balance () =
+  let _, _, g = grouping () in
+  let assignment = Distribute.run figure9 g.Tags.groups in
+  let sizes =
+    Array.map
+      (fun gs -> List.fold_left (fun a x -> a + Iter_group.size x) 0 gs)
+      assignment
+  in
+  let total = Array.fold_left ( + ) 0 sizes in
+  check_int "all iterations" (8 * k) total;
+  Array.iteri
+    (fun c s ->
+      check_bool
+        (Printf.sprintf "core %d balanced" c)
+        true
+        (abs (s - (total / 4)) <= total / 20))
+    sizes
+
+(* Scheduling: the Figure 5 loop carries dependences (stride 2k); the
+   final schedule must respect them across the rounds. *)
+let test_figure11_schedule_legal () =
+  let _, _, g = grouping () in
+  let dg0 = Group_deps.compute g in
+  check_bool "fig5 carries dependences" true (not (Dep_graph.is_empty dg0));
+  let groups, dag = Group_deps.merge_cycles g dg0 in
+  let assignment = Distribute.run figure9 groups in
+  let sched = Schedule.run figure9 assignment dag in
+  check_bool "legal" true (Schedule.respects_deps sched dag);
+  (* Within each chain, group 2i+2 depends on group 2i (B[j-2k] reads
+     what an earlier group wrote): at least two rounds are needed. *)
+  check_bool "multiple rounds" true (Schedule.num_rounds sched >= 2)
+
+(* End to end: on the example machine, the topology-aware mapping beats
+   the synchronized default distribution. *)
+let test_example_end_to_end () =
+  let base = Mapping.run Mapping.Base ~machine:figure9 fig5_program in
+  let topo = Mapping.run Mapping.Topology_aware ~machine:figure9 fig5_program in
+  check_bool "topology-aware wins on the worked example" true
+    (topo.Ctam_cachesim.Stats.cycles < base.Ctam_cachesim.Stats.cycles)
+
+let () =
+  Alcotest.run "paper_example"
+    [
+      ( "figure 10",
+        [
+          Alcotest.test_case "tags (10a)" `Quick test_figure10a_tags;
+          Alcotest.test_case "chains disjoint" `Quick test_parity_chains_disjoint;
+          Alcotest.test_case "L2 clustering (10b)" `Quick
+            test_figure10b_l2_clustering;
+        ] );
+      ( "figure 11",
+        [
+          Alcotest.test_case "balance" `Quick test_figure11_balance;
+          Alcotest.test_case "legal schedule" `Quick test_figure11_schedule_legal;
+          Alcotest.test_case "end to end" `Quick test_example_end_to_end;
+        ] );
+    ]

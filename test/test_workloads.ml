@@ -1,0 +1,113 @@
+(* Tests for the twelve-application suite. *)
+
+open Ctam_ir
+open Ctam_workloads
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_twelve () =
+  check_int "twelve applications" 12 (List.length Suite.all);
+  let names = List.map (fun k -> k.Kernel.name) Suite.all in
+  Alcotest.(check (list string))
+    "paper order"
+    [
+      "applu"; "galgel"; "equake"; "cg"; "sp"; "bodytrack"; "facesim";
+      "freqmine"; "namd"; "povray"; "mesa"; "h264";
+    ]
+    names
+
+let test_all_build_and_validate () =
+  (* Program.make validates rank/declaration consistency; building at a
+     reduced size must succeed for every kernel. *)
+  List.iter
+    (fun k ->
+      let p = Kernel.small_program k in
+      check_bool (k.Kernel.name ^ " nonempty")
+        true
+        (Program.data_bytes p > 0 && Program.parallel_nests p <> []))
+    Suite.all
+
+let test_in_bounds () =
+  (* Every reference of every kernel stays inside its array for every
+     iteration (at reduced size, by exhaustive check). *)
+  List.iter
+    (fun k ->
+      let p = Kernel.small_program k in
+      List.iter
+        (fun nest ->
+          let refs = Nest.refs nest in
+          Ctam_poly.Domain.iter
+            (fun iv ->
+              List.iter
+                (fun r ->
+                  let arr = Program.find_array p r.Reference.array_name in
+                  if not (Reference.in_bounds r arr iv) then
+                    Alcotest.failf "%s: %s out of bounds" k.Kernel.name
+                      r.Reference.array_name)
+                refs)
+            nest.Nest.domain)
+        p.Program.nests)
+    Suite.all
+
+let test_kinds () =
+  let seqs =
+    List.filter (fun k -> k.Kernel.kind = Kernel.Sequential_app) Suite.all
+  in
+  check_int "four sequential apps" 4 (List.length seqs);
+  Alcotest.(check (list string))
+    "sequential names"
+    [ "namd"; "povray"; "mesa"; "h264" ]
+    (List.map (fun k -> k.Kernel.name) seqs)
+
+let test_dependence_mix () =
+  (* The paper: a minority of parallel loops carry dependences (sp and
+     facesim here). *)
+  let carries k =
+    let p = Kernel.small_program k in
+    List.exists Ctam_deps.Dep_test.nest_may_carry_deps
+      (Program.parallel_nests p)
+  in
+  check_bool "sp carries" true (carries (Suite.by_name "sp"));
+  check_bool "facesim carries" true (carries (Suite.by_name "facesim"));
+  check_bool "galgel free" false (carries (Suite.by_name "galgel"));
+  check_bool "cg free" false (carries (Suite.by_name "cg"));
+  let n_dep = List.length (List.filter carries Suite.all) in
+  check_int "two dependence-carrying kernels" 2 n_dep
+
+let test_size_parameter () =
+  let small = Kernel.program ~size:64 Suite.galgel in
+  let big = Kernel.program ~size:128 Suite.galgel in
+  check_bool "size scales data" true
+    (Program.data_bytes big > Program.data_bytes small)
+
+let test_by_name () =
+  check_bool "case insensitive" true
+    ((Suite.by_name "GALGEL").Kernel.name = "galgel");
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      ignore (Suite.by_name "doom"))
+
+let test_builder_helpers () =
+  let d = 2 in
+  let a = Builder.aff d [ (2, 0); (-1, 1) ] 5 in
+  check_int "aff eval" (2 * 3 - 4 + 5) (Ctam_poly.Affine.eval a [| 3; 4 |]);
+  let r = Builder.read "X" [ Builder.v d 0; Builder.c d 7 ] in
+  Alcotest.(check (array int)) "read target" [| 3; 7 |] (Reference.target r [| 3; 0 |]);
+  check_bool "write kind" true (Reference.is_write (Builder.write "X" [ Builder.v d 0; Builder.v d 1 ]))
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "twelve" `Quick test_twelve;
+          Alcotest.test_case "build + validate" `Quick test_all_build_and_validate;
+          Alcotest.test_case "in bounds" `Slow test_in_bounds;
+          Alcotest.test_case "kinds" `Quick test_kinds;
+          Alcotest.test_case "dependence mix" `Quick test_dependence_mix;
+          Alcotest.test_case "size parameter" `Quick test_size_parameter;
+          Alcotest.test_case "by_name" `Quick test_by_name;
+        ] );
+      ( "builder",
+        [ Alcotest.test_case "helpers" `Quick test_builder_helpers ] );
+    ]
