@@ -5,10 +5,16 @@
      bench/main.exe --quick          quarter-cost configuration
      bench/main.exe fig13 fig15      run selected experiments
      bench/main.exe micro            run the Bechamel micro-benchmarks
+     bench/main.exe --json [M...]    machine-readable trajectories: one JSON
+                                     object per scheme x machine (JSONL),
+                                     machines default to the three
+                                     commercial ones
 
    One runner per table/figure of the paper regenerates the
    corresponding rows/series (see DESIGN.md's per-experiment index and
-   EXPERIMENTS.md for measured-vs-paper numbers). *)
+   EXPERIMENTS.md for measured-vs-paper numbers).  The JSON mode is
+   what run_bench_incremental.sh snapshots, so bench trajectories diff
+   cleanly across PRs. *)
 
 open Ctam_exp
 
@@ -81,12 +87,38 @@ let micro () =
         tbl)
     results
 
+(* --- machine-readable sweep ------------------------------------------ *)
+
+let json_sweep ~quick machines =
+  let machines =
+    match machines with
+    | [] -> [ "harpertown"; "nehalem"; "dunnington" ]
+    | ms -> ms
+  in
+  List.iter
+    (fun name ->
+      match Ctam_arch.Machines.by_name ~scale:16 name with
+      | machine ->
+          List.iter
+            (fun obj ->
+              print_endline (Ctam_util.Json.to_string ~minify:true obj))
+            (Run_report.bench_sweep ~quick ~machine ())
+      | exception Not_found ->
+          Printf.eprintf "unknown machine %s\n" name;
+          exit 1)
+    machines
+
 (* --- experiment driver ---------------------------------------------- *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "--quick" args in
-  let args = List.filter (fun a -> a <> "--quick" && a <> "--full") args in
+  let json = List.mem "--json" args in
+  let args =
+    List.filter (fun a -> a <> "--quick" && a <> "--full" && a <> "--json") args
+  in
+  if json then json_sweep ~quick args
+  else
   match args with
   | [ "micro" ] -> micro ()
   | [] ->

@@ -36,6 +36,29 @@ let load_program source =
              source
              (String.concat ", " (List.map (fun k -> k.Kernel.name) Suite.all)))
 
+(* Like [load_program], but times the parse and lower phases
+   separately (for the run report); built-in workloads report zeros. *)
+let load_program_timed source =
+  if Sys.file_exists source then begin
+    let ic = open_in_bin source in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    try
+      let t0 = Unix.gettimeofday () in
+      let ast = Ctam_frontend.Parser.parse text in
+      let t1 = Unix.gettimeofday () in
+      let prog = Ctam_frontend.Lower.lower_program ast in
+      let t2 = Unix.gettimeofday () in
+      Ok (prog, [ ("parse", t1 -. t0); ("lower", t2 -. t1) ])
+    with Ctam_frontend.Parse_error.Error (pos, msg) ->
+      Error (Ctam_frontend.Parse_error.render ~source:text pos msg)
+  end
+  else
+    match load_program source with
+    | Ok prog -> Ok (prog, [ ("parse", 0.); ("lower", 0.) ])
+    | Error e -> Error e
+
 let scheme_of_string = function
   | "base" -> Ok Mapping.Base
   | "base+" | "baseplus" -> Ok Mapping.Base_plus
@@ -189,22 +212,157 @@ let simulate_cmd =
       ret (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
            $ block_arg))
 
+let run_cmd =
+  let run source machine scale scheme block json profile =
+    let* prog, frontend_timings = load_program_timed source in
+    let* machine = get_machine machine scale in
+    let* scheme = scheme_of_string scheme in
+    let params = { Mapping.default_params with block_size = block } in
+    let p =
+      Ctam_exp.Run_report.profile ~params ~frontend_timings scheme ~machine
+        prog
+    in
+    Fmt.pr "%s on %s (%s):@.%a@." prog.Program.name machine.Topology.name
+      (Mapping.scheme_name scheme)
+      Stats.pp p.Ctam_exp.Run_report.stats;
+    let counters = p.Ctam_exp.Run_report.counters in
+    let reuse = p.Ctam_exp.Run_report.reuse in
+    if profile then begin
+      let timings =
+        frontend_timings
+        @ p.Ctam_exp.Run_report.compiled.Mapping.timings
+        @ [ ("simulate", p.Ctam_exp.Run_report.sim_seconds) ]
+      in
+      Fmt.pr "@.compile/simulate phases:@.%s"
+        (Ctam_exp.Report.table
+           ~header:[ "phase"; "seconds" ]
+           (List.map
+              (fun (k, v) -> [ k; Printf.sprintf "%.6f" v ])
+              timings));
+      let levels = Probe_sinks.Counters.levels counters in
+      let header =
+        [ "core"; "accesses"; "mem" ]
+        @ List.concat_map
+            (fun l ->
+              [ Printf.sprintf "L%d-miss" l; Printf.sprintf "L%d-rate" l ])
+            levels
+      in
+      let rows =
+        List.init machine.Topology.num_cores (fun core ->
+            string_of_int core
+            :: string_of_int (Probe_sinks.Counters.accesses counters ~core)
+            :: string_of_int (Probe_sinks.Counters.mem counters ~core)
+            :: List.concat_map
+                 (fun level ->
+                   let h = Probe_sinks.Counters.hits counters ~core ~level in
+                   let m = Probe_sinks.Counters.misses counters ~core ~level in
+                   [
+                     string_of_int m;
+                     (if h + m = 0 then "-"
+                      else
+                        Printf.sprintf "%.3f"
+                          (float_of_int m /. float_of_int (h + m)));
+                   ])
+                 levels)
+      in
+      Fmt.pr "@.per-core counters:@.%s"
+        (Ctam_exp.Report.table ~geomean:"geomean" ~header rows);
+      let top_groups =
+        Probe_sinks.Counters.group_stats counters
+        |> List.sort
+             (fun (_, a) (_, b) ->
+               compare
+                 b.Probe_sinks.Counters.g_mem
+                 a.Probe_sinks.Counters.g_mem)
+        |> fun l -> List.filteri (fun i _ -> i < 10) l
+      in
+      if top_groups <> [] then
+        Fmt.pr "@.hottest groups (by memory accesses):@.%s"
+          (Ctam_exp.Report.table
+             ~header:[ "nest:group"; "accesses"; "mem" ]
+             (List.map
+                (fun (seg, g) ->
+                  let nest, group =
+                    match List.assoc_opt seg p.Ctam_exp.Run_report.legend with
+                    | Some ng -> ng
+                    | None -> ("?", seg)
+                  in
+                  [
+                    Printf.sprintf "%s:%d" nest group;
+                    string_of_int g.Probe_sinks.Counters.g_accesses;
+                    string_of_int g.Probe_sinks.Counters.g_mem;
+                  ])
+                top_groups));
+      let v = Probe_sinks.Reuse_split.vertical reuse in
+      let hz = Probe_sinks.Reuse_split.horizontal reuse in
+      let x = Probe_sinks.Reuse_split.cross reuse in
+      Fmt.pr
+        "@.reuse: %d accesses, %d cold; vertical %d (mean dist %.1f), \
+         horizontal %d (mean dist %.1f), cross-socket %d@."
+        (Probe_sinks.Reuse_split.total reuse)
+        (Probe_sinks.Reuse_split.cold reuse)
+        v.Reuse.total (Reuse.mean_distance v) hz.Reuse.total
+        (Reuse.mean_distance hz) x.Reuse.total
+    end;
+    match json with
+    | Some path -> (
+        try
+          Ctam_exp.Run_report.write_file path p.Ctam_exp.Run_report.report;
+          Fmt.pr "wrote %s@." path;
+          `Ok ()
+        with Sys_error msg -> `Error (false, "cannot write report: " ^ msg))
+    | None -> `Ok ()
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the structured JSON run report to $(docv).")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print compile-phase timings, per-core/per-level counters, \
+             per-group miss attribution and the reuse split.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Compile and execute a program with the observability probes \
+          attached (counters, per-group attribution, reuse split); \
+          optionally emit a JSON run report.")
+    Term.(
+      ret
+        (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
+       $ block_arg $ json $ profile))
+
 let compare_cmd =
   let run source machine scale block =
     let* prog = load_program source in
     let* machine = get_machine machine scale in
     let params = { Mapping.default_params with block_size = block } in
     let base = ref 1 in
-    Fmt.pr "%-15s %12s %10s %10s@." "scheme" "cycles" "mem" "vs Base";
-    List.iter
-      (fun scheme ->
-        let stats = Mapping.run ~params scheme ~machine prog in
-        if scheme = Mapping.Base then base := stats.Stats.cycles;
-        Fmt.pr "%-15s %12d %10d %10.3f@."
-          (Mapping.scheme_name scheme)
-          stats.Stats.cycles stats.Stats.mem_accesses
-          (float_of_int stats.Stats.cycles /. float_of_int !base))
-      Mapping.all_schemes;
+    let rows =
+      List.map
+        (fun scheme ->
+          let stats = Mapping.run ~params scheme ~machine prog in
+          if scheme = Mapping.Base then base := stats.Stats.cycles;
+          [
+            Mapping.scheme_name scheme;
+            string_of_int stats.Stats.cycles;
+            string_of_int stats.Stats.mem_accesses;
+            Printf.sprintf "%.3f"
+              (float_of_int stats.Stats.cycles /. float_of_int !base);
+          ])
+        Mapping.all_schemes
+    in
+    print_string
+      (Ctam_exp.Report.table ~geomean:"geomean"
+         ~header:[ "scheme"; "cycles"; "mem"; "vs Base" ]
+         rows);
     `Ok ()
   in
   Cmd.v
@@ -391,6 +549,7 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [
-            machines_cmd; groups_cmd; map_cmd; simulate_cmd; compare_cmd;
-            codegen_cmd; dump_cmd; emit_c_cmd; reuse_cmd; experiment_cmd;
+            machines_cmd; groups_cmd; map_cmd; run_cmd; simulate_cmd;
+            compare_cmd; codegen_cmd; dump_cmd; emit_c_cmd; reuse_cmd;
+            experiment_cmd;
           ]))

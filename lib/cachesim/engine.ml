@@ -16,12 +16,16 @@ let run ?(config = default_config) h phases =
         invalid_arg "Engine.run: phase core-count mismatch")
     phases;
   Hierarchy.clear h;
+  let probe = Hierarchy.probe h in
+  let observed = not (Probe.is_null probe) in
+  let line_size = Hierarchy.line_size h in
   let clock = Array.make n 0 in
   let busy = Array.make n 0 in
   let total_accesses = ref 0 in
   let nphases = List.length phases in
   List.iteri
     (fun pi streams ->
+      if observed then probe.Probe.on_phase_start ~phase:pi;
       let pos = Array.make n 0 in
       (* Event-driven interleaving: the core with the smallest local
          clock (among cores with work left) issues the next access. *)
@@ -39,18 +43,27 @@ let run ?(config = default_config) h phases =
         let c = !best in
         let addr, write = decode_access streams.(c).(pos.(c)) in
         pos.(c) <- pos.(c) + 1;
+        if observed then
+          probe.Probe.on_access ~core:c ~addr ~line:(addr / line_size) ~write;
         let lat = Hierarchy.access h ~core:c ~addr ~write in
         let cost = config.issue_cost + lat in
         clock.(c) <- clock.(c) + cost;
         busy.(c) <- busy.(c) + cost;
         decr remaining
       done;
+      if observed then
+        probe.Probe.on_phase_end ~phase:pi
+          ~cycles:(Array.fold_left max 0 clock);
       (* Barrier after every phase but the last. *)
       if pi < nphases - 1 then begin
         let tmax = Array.fold_left max 0 clock in
+        if observed then probe.Probe.on_barrier_enter ~phase:pi ~cycles:tmax;
         for c = 0 to n - 1 do
           clock.(c) <- tmax + config.barrier_cost
-        done
+        done;
+        if observed then
+          probe.Probe.on_barrier_exit ~phase:pi
+            ~cycles:(tmax + config.barrier_cost)
       end)
     phases;
   {

@@ -28,6 +28,13 @@ val default_config : config
 (** [run ?config h phases] clears [h], executes the phases and returns
     statistics.  The number of barriers reported is
     [max 0 (List.length phases - 1)].
+
+    If a {!Probe} is attached to [h] the engine fires
+    [on_phase_start]/[on_phase_end] around each phase,
+    [on_barrier_enter]/[on_barrier_exit] around each barrier, and
+    [on_access] before every resolved access (the hierarchy then fires
+    the per-level events); with the default null probe no callback is
+    invoked and the run is identical to an unobserved one.
     @raise Invalid_argument on core-count mismatch. *)
 val run : ?config:config -> Hierarchy.t -> phase list -> Stats.t
 

@@ -13,9 +13,11 @@ type t = {
   coherence : bool;
   line : int;
   mutable mem_accesses : int;
+  mutable probe : Probe.t;
+  mutable observed : bool;  (* probe != Probe.null, cached for the hot path *)
 }
 
-let create ?(coherence = true) topo =
+let create ?(coherence = true) ?(probe = Probe.null) topo =
   let params = Topology.caches topo in
   let line =
     match params with
@@ -51,9 +53,23 @@ let create ?(coherence = true) topo =
         |> List.map (fun (p : Topology.cache_params) -> index_of p.cache_name)
         |> Array.of_list)
   in
-  { topo; instances; paths; coherence; line; mem_accesses = 0 }
+  {
+    topo;
+    instances;
+    paths;
+    coherence;
+    line;
+    mem_accesses = 0;
+    probe;
+    observed = not (Probe.is_null probe);
+  }
 
 let topology t = t.topo
+let probe t = t.probe
+
+let set_probe t p =
+  t.probe <- p;
+  t.observed <- not (Probe.is_null p)
 
 let access t ~core ~addr ~write =
   if core < 0 || core >= Array.length t.paths then
@@ -61,6 +77,7 @@ let access t ~core ~addr ~write =
   let line = addr / t.line in
   let path = t.paths.(core) in
   let n = Array.length path in
+  let observed = t.observed in
   (* Probe upward until a hit; accumulate probe latencies. *)
   let latency = ref 0 in
   let hit_at = ref (-1) in
@@ -68,24 +85,37 @@ let access t ~core ~addr ~write =
   while !hit_at < 0 && !k < n do
     let inst = t.instances.(path.(!k)) in
     latency := !latency + inst.params.latency;
-    if Setassoc.access inst.cache line then hit_at := !k else incr k
+    let hit = Setassoc.access inst.cache line in
+    if observed then
+      t.probe.Probe.on_level ~core ~level:inst.params.level
+        ~set:(Setassoc.set_of_line inst.cache line)
+        ~line ~hit;
+    if hit then hit_at := !k else incr k
   done;
   if !hit_at < 0 then begin
     t.mem_accesses <- t.mem_accesses + 1;
-    latency := !latency + t.topo.Topology.mem_latency
+    latency := !latency + t.topo.Topology.mem_latency;
+    if observed then t.probe.Probe.on_mem ~core ~line
   end;
   (* Inclusive fill: bring the line into every cache on the path below
      the hit point (all of them on a memory miss). *)
   let fill_upto = if !hit_at < 0 then n - 1 else !hit_at - 1 in
   for j = 0 to fill_upto do
-    ignore (Setassoc.insert t.instances.(path.(j)).cache line)
+    let inst = t.instances.(path.(j)) in
+    match Setassoc.insert inst.cache line with
+    | None -> ()
+    | Some victim ->
+        if observed then
+          t.probe.Probe.on_evict ~core ~level:inst.params.level ~line:victim
   done;
   (* Write-invalidate: peers not on this core's path lose the line. *)
   if write && t.coherence then begin
     let on_path i = Array.exists (fun j -> j = i) path in
     Array.iteri
       (fun i inst ->
-        if not (on_path i) then ignore (Setassoc.invalidate inst.cache line))
+        if not (on_path i) then
+          if Setassoc.invalidate inst.cache line && observed then
+            t.probe.Probe.on_invalidate ~core ~level:inst.params.level ~line)
       t.instances
   end;
   !latency
@@ -127,6 +157,13 @@ let level_stats t =
   |> List.sort (fun a b -> compare a.Stats.level b.Stats.level)
 
 let mem_accesses t = t.mem_accesses
+
+let sets_at t ~level =
+  Array.fold_left
+    (fun acc inst ->
+      if inst.params.level = level then max acc (Setassoc.sets inst.cache)
+      else acc)
+    0 t.instances
 
 let clear t =
   Array.iter (fun inst -> Setassoc.clear inst.cache) t.instances;

@@ -6,12 +6,24 @@
 
 type t
 
-(** [create ?coherence topo].  When [coherence] is true (default),
-    a write invalidates the line in every cache that is not on the
-    writing core's path, modelling an invalidation-based protocol. *)
-val create : ?coherence:bool -> Ctam_arch.Topology.t -> t
+(** [create ?coherence ?probe topo].  When [coherence] is true
+    (default), a write invalidates the line in every cache that is not
+    on the writing core's path, modelling an invalidation-based
+    protocol.  [probe] (default {!Probe.null}) observes per-level
+    hits/misses, evictions, invalidations and memory accesses; the
+    engine fires its issue/phase/barrier events through the same
+    probe. *)
+val create :
+  ?coherence:bool -> ?probe:Probe.t -> Ctam_arch.Topology.t -> t
 
 val topology : t -> Ctam_arch.Topology.t
+
+(** The attached probe ({!Probe.null} when none). *)
+val probe : t -> Probe.t
+
+(** Replace the attached probe (e.g. to observe one run of a shared
+    hierarchy). *)
+val set_probe : t -> Probe.t -> unit
 
 (** [access t ~core ~addr ~write] simulates one byte-address access and
     returns its latency in cycles: the sum of the latencies of every
@@ -34,6 +46,10 @@ val level_stats : t -> Stats.level_stats list
 
 (** Number of accesses that reached memory. *)
 val mem_accesses : t -> int
+
+(** Largest number of sets of any cache at [level] (0 when the level
+    does not exist) — sizes the set-conflict histograms. *)
+val sets_at : t -> level:int -> int
 
 (** Reset contents and counters. *)
 val clear : t -> unit

@@ -1,0 +1,62 @@
+type t = {
+  on_access : core:int -> addr:int -> line:int -> write:bool -> unit;
+  on_level : core:int -> level:int -> set:int -> line:int -> hit:bool -> unit;
+  on_mem : core:int -> line:int -> unit;
+  on_evict : core:int -> level:int -> line:int -> unit;
+  on_invalidate : core:int -> level:int -> line:int -> unit;
+  on_phase_start : phase:int -> unit;
+  on_phase_end : phase:int -> cycles:int -> unit;
+  on_barrier_enter : phase:int -> cycles:int -> unit;
+  on_barrier_exit : phase:int -> cycles:int -> unit;
+}
+
+let null =
+  {
+    on_access = (fun ~core:_ ~addr:_ ~line:_ ~write:_ -> ());
+    on_level = (fun ~core:_ ~level:_ ~set:_ ~line:_ ~hit:_ -> ());
+    on_mem = (fun ~core:_ ~line:_ -> ());
+    on_evict = (fun ~core:_ ~level:_ ~line:_ -> ());
+    on_invalidate = (fun ~core:_ ~level:_ ~line:_ -> ());
+    on_phase_start = (fun ~phase:_ -> ());
+    on_phase_end = (fun ~phase:_ ~cycles:_ -> ());
+    on_barrier_enter = (fun ~phase:_ ~cycles:_ -> ());
+    on_barrier_exit = (fun ~phase:_ ~cycles:_ -> ());
+  }
+
+let is_null p = p == null
+
+let seq = function
+  | [] -> null
+  | [ p ] -> p
+  | ps ->
+      let ps = List.filter (fun p -> not (is_null p)) ps in
+      (match ps with
+      | [] -> null
+      | [ p ] -> p
+      | ps ->
+          {
+            on_access =
+              (fun ~core ~addr ~line ~write ->
+                List.iter (fun p -> p.on_access ~core ~addr ~line ~write) ps);
+            on_level =
+              (fun ~core ~level ~set ~line ~hit ->
+                List.iter (fun p -> p.on_level ~core ~level ~set ~line ~hit) ps);
+            on_mem = (fun ~core ~line -> List.iter (fun p -> p.on_mem ~core ~line) ps);
+            on_evict =
+              (fun ~core ~level ~line ->
+                List.iter (fun p -> p.on_evict ~core ~level ~line) ps);
+            on_invalidate =
+              (fun ~core ~level ~line ->
+                List.iter (fun p -> p.on_invalidate ~core ~level ~line) ps);
+            on_phase_start =
+              (fun ~phase -> List.iter (fun p -> p.on_phase_start ~phase) ps);
+            on_phase_end =
+              (fun ~phase ~cycles ->
+                List.iter (fun p -> p.on_phase_end ~phase ~cycles) ps);
+            on_barrier_enter =
+              (fun ~phase ~cycles ->
+                List.iter (fun p -> p.on_barrier_enter ~phase ~cycles) ps);
+            on_barrier_exit =
+              (fun ~phase ~cycles ->
+                List.iter (fun p -> p.on_barrier_exit ~phase ~cycles) ps);
+          })

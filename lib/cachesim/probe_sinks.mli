@@ -1,0 +1,94 @@
+(** Concrete probe sinks: counter matrices with per-group attribution,
+    and reuse/set-conflict histograms split by sharing direction.
+
+    Each sink is a mutable accumulator plus a {!Probe.t} view; attach
+    with [Hierarchy.create ~probe:(Probe_sinks.Counters.probe c)] (or
+    [Probe.seq] to attach several) and read the accumulators after
+    {!Engine.run}. *)
+
+(** {1 Per-core × per-level counters, per-group attribution} *)
+
+module Counters : sig
+  type t
+
+  (** Per-group totals, charged to the group whose iterations issued
+      the access (see [segments] below). *)
+  type group_stat = {
+    g_accesses : int;        (** accesses issued while the group ran *)
+    g_misses : int array;    (** per level, aligned with {!levels} *)
+    g_mem : int;             (** accesses that reached memory *)
+  }
+
+  (** [create ?segments topo] builds a sink for machines shaped like
+      [topo].  [segments], when given, must align with the engine's
+      phase list: for each phase, for each core, the sorted
+      [(start_access_index, group_id)] boundaries of the iteration
+      groups concatenated into that core's stream (see
+      [Mapping.segments]); misses are then charged to the group that
+      issued them. *)
+  val create :
+    ?segments:(int * int) array array list -> Ctam_arch.Topology.t -> t
+
+  val probe : t -> Probe.t
+
+  (** Cache levels observed, ascending (the topology's levels). *)
+  val levels : t -> int list
+
+  val hits : t -> core:int -> level:int -> int
+  val misses : t -> core:int -> level:int -> int
+
+  (** Accesses issued by the core (engine [on_access] events). *)
+  val accesses : t -> core:int -> int
+
+  val writes : t -> core:int -> int
+
+  (** Accesses by this core that were served by memory. *)
+  val mem : t -> core:int -> int
+
+  (** Summed over cores — equals [Stats.per_level] of the same run. *)
+  val per_level_totals : t -> Stats.level_stats list
+
+  val total_accesses : t -> int
+  val mem_total : t -> int
+  val evictions : t -> core:int -> level:int -> int
+  val invalidations_total : t -> int
+  val barriers : t -> int
+  val phases : t -> int
+
+  (** Groups seen (id as given in [segments]), ascending. *)
+  val group_stats : t -> (int * group_stat) list
+end
+
+(** {1 Reuse-distance and set-conflict histograms}
+
+    Classifies every non-cold access by who touched the line last:
+    the same core ({e vertical} reuse, served by private caches), a
+    different core sharing an on-chip cache ({e horizontal} reuse, the
+    paper's α direction), or a core of another socket (reachable only
+    through memory). *)
+
+module Reuse_split : sig
+  type t
+
+  val create : Ctam_arch.Topology.t -> t
+  val probe : t -> Probe.t
+
+  (** Reuse by the same core — the β (vertical) direction. *)
+  val vertical : t -> Reuse.histogram
+
+  (** Reuse across cores that share an on-chip cache — α (horizontal). *)
+  val horizontal : t -> Reuse.histogram
+
+  (** Reuse across sockets (no shared cache). *)
+  val cross : t -> Reuse.histogram
+
+  (** First-touch accesses (in no histogram). *)
+  val cold : t -> int
+
+  val total : t -> int
+
+  (** [(level, per_set_misses)] ascending by level: how misses at each
+      level distribute over cache sets (summed across same-level
+      instances), exposing set conflicts. *)
+  val conflicts : t -> (int * int array) list
+end

@@ -38,6 +38,45 @@ module Fenwick = struct
   let range t lo hi = if hi < lo then 0 else prefix t hi - prefix t (lo - 1)
 end
 
+module Online = struct
+  type t = {
+    mutable fw : Fenwick.t;
+    mutable cap : int;
+    last : (int, int) Hashtbl.t;
+    mutable time : int;
+  }
+
+  let create () =
+    { fw = Fenwick.create 1024; cap = 1024; last = Hashtbl.create 1024; time = 0 }
+
+  (* The Fenwick tree holds one mark at the latest access time of every
+     live line, so growing it is a rebuild from [last] — O(k log n),
+     amortised over the doublings. *)
+  let grow t =
+    let cap = t.cap * 2 in
+    let fw = Fenwick.create cap in
+    Hashtbl.iter (fun _line t0 -> Fenwick.add fw t0 1) t.last;
+    t.fw <- fw;
+    t.cap <- cap
+
+  let touch t line =
+    if t.time + 1 >= t.cap then grow t;
+    let d =
+      match Hashtbl.find_opt t.last line with
+      | None -> None
+      | Some t0 ->
+          let d = Fenwick.range t.fw (t0 + 1) (t.time - 1) in
+          Fenwick.add t.fw t0 (-1);
+          Some d
+    in
+    Hashtbl.replace t.last line t.time;
+    Fenwick.add t.fw t.time 1;
+    t.time <- t.time + 1;
+    d
+
+  let touched t = t.time
+end
+
 let of_lines lines =
   let n = Array.length lines in
   let fw = Fenwick.create (n + 1) in

@@ -16,6 +16,27 @@ type histogram = {
   total : int;
 }
 
+(** Number of histogram buckets ([buckets] arrays have this length). *)
+val nbuckets : int
+
+(** [bucket_of d] is the histogram bucket of finite distance [d]. *)
+val bucket_of : int -> int
+
+(** An incremental LRU-stack recorder, for observers that see one
+    access at a time (the probe sinks) rather than a whole stream. *)
+module Online : sig
+  type t
+
+  val create : unit -> t
+
+  (** [touch t line] records an access to [line] and returns its reuse
+      distance — [None] on a cold (first) touch. *)
+  val touch : t -> int -> int option
+
+  (** Accesses recorded so far. *)
+  val touched : t -> int
+end
+
 (** [of_lines lines] profiles a single stream of line numbers with an
     exact (balanced-tree) LRU stack. *)
 val of_lines : int array -> histogram

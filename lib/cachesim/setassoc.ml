@@ -16,7 +16,8 @@ let create ~sets ~assoc =
 let sets t = t.sets
 let assoc t = t.assoc
 let capacity_lines t = t.sets * t.assoc
-let set_base t line = line mod t.sets * t.assoc
+let set_of_line t line = line mod t.sets
+let set_base t line = set_of_line t line * t.assoc
 
 let find_way t base line =
   let rec go w =

@@ -16,6 +16,11 @@ val assoc : t -> int
 (** Number of lines the cache can hold. *)
 val capacity_lines : t -> int
 
+(** [set_of_line t line] is the set index [line] maps to — exposed so
+    observability probes can attribute misses to sets (conflict
+    histograms) without duplicating the mapping rule. *)
+val set_of_line : t -> int -> int
+
 (** [access t line] looks up [line]; on hit, promotes it to MRU and
     returns [true]; on miss returns [false] and does NOT insert (use
     {!insert} to model the fill). *)

@@ -20,13 +20,64 @@ let misses_at t l =
   | Some ls -> ls.misses
   | None -> 0
 
+let mem_rate t =
+  if t.total_accesses = 0 then 0.
+  else float_of_int t.mem_accesses /. float_of_int t.total_accesses
+
 let pp ppf t =
-  Fmt.pf ppf "@[<v>cycles: %d  accesses: %d  mem: %d  barriers: %d@,"
-    t.cycles t.total_accesses t.mem_accesses t.barriers;
+  Fmt.pf ppf
+    "@[<v>cycles: %d  accesses: %d  mem: %d (%.2f%% of accesses)  barriers: \
+     %d@,"
+    t.cycles t.total_accesses t.mem_accesses
+    (100. *. mem_rate t)
+    t.barriers;
   List.iter
     (fun ls ->
-      Fmt.pf ppf "L%d: %d hits, %d misses (%.2f%% miss)@," ls.level ls.hits
-        ls.misses
+      Fmt.pf ppf "L%d: %d hits, %d misses (%.2f%% miss rate)@," ls.level
+        ls.hits ls.misses
         (100. *. miss_rate ls))
     t.per_level;
   Fmt.pf ppf "@]"
+
+let level_to_json ls =
+  Ctam_util.Json.Obj
+    [
+      ("level", Ctam_util.Json.Int ls.level);
+      ("hits", Ctam_util.Json.Int ls.hits);
+      ("misses", Ctam_util.Json.Int ls.misses);
+      ("miss_rate", Ctam_util.Json.Float (miss_rate ls));
+    ]
+
+let to_json t =
+  Ctam_util.Json.Obj
+    [
+      ("cycles", Ctam_util.Json.Int t.cycles);
+      ("total_accesses", Ctam_util.Json.Int t.total_accesses);
+      ("mem_accesses", Ctam_util.Json.Int t.mem_accesses);
+      ("barriers", Ctam_util.Json.Int t.barriers);
+      ( "core_cycles",
+        Ctam_util.Json.List
+          (Array.to_list (Array.map (fun c -> Ctam_util.Json.Int c) t.core_cycles))
+      );
+      ("per_level", Ctam_util.Json.List (List.map level_to_json t.per_level));
+    ]
+
+let of_json j =
+  let open Ctam_util.Json in
+  let int name = to_int (member_exn name j) in
+  let level_of_json lj =
+    {
+      level = to_int (member_exn "level" lj);
+      hits = to_int (member_exn "hits" lj);
+      misses = to_int (member_exn "misses" lj);
+    }
+  in
+  {
+    cycles = int "cycles";
+    total_accesses = int "total_accesses";
+    mem_accesses = int "mem_accesses";
+    barriers = int "barriers";
+    core_cycles =
+      Array.of_list (List.map to_int (to_list (member_exn "core_cycles" j)));
+    per_level = List.map level_of_json (to_list (member_exn "per_level" j));
+  }

@@ -24,4 +24,17 @@ val level : t -> int -> level_stats
     cross-machine comparisons). *)
 val misses_at : t -> int -> int
 
+(** Fraction of all accesses served by off-chip memory. *)
+val mem_rate : t -> float
+
+(** Prints the headline counters plus, per level, raw hits/misses and
+    the level's miss rate. *)
 val pp : t Fmt.t
+
+(** JSON image of the statistics (per-level entries carry a derived
+    [miss_rate] member for report consumers). *)
+val to_json : t -> Ctam_util.Json.t
+
+(** Inverse of {!to_json} (derived members are ignored).
+    @raise Invalid_argument on a malformed value. *)
+val of_json : Ctam_util.Json.t -> t

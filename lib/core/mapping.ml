@@ -59,6 +59,7 @@ type compiled = {
   phases : Engine.phase list;
   infos : nest_info list;
   plans : nest_plan list;
+  timings : (string * float) list;
 }
 
 let l1_capacity topo =
@@ -149,9 +150,22 @@ let phases_of_schedule ~with_barriers layout nest (sched : Schedule.t) =
         (Schedule.per_core sched);
     ]
 
-let compile ?(params = default_params) ?map_topo scheme ~machine program =
+(* Compile-phase names reported in [compiled.timings], in pipeline
+   order. *)
+let timing_keys = [ "group"; "distribute"; "schedule"; "trace" ]
+
+let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
+    ~machine program =
   let map_topo = Option.value map_topo ~default:machine in
   let n = map_topo.Topology.num_cores in
+  let times = Hashtbl.create 8 in
+  let timed key f =
+    let t0 = clock () in
+    let r = f () in
+    let acc = try Hashtbl.find times key with Not_found -> 0. in
+    Hashtbl.replace times key (acc +. (clock () -. t0));
+    r
+  in
   let block_size = pick_block_size ~params ~machine:map_topo program in
   let line = line_size map_topo in
   let bm, layout = Block_map.for_program ~block_size ~line program in
@@ -167,7 +181,7 @@ let compile ?(params = default_params) ?map_topo scheme ~machine program =
         if not nest.Nest.parallel then begin
           (* Serial nest: core 0 executes it as its own phase. *)
           let phase = Array.make n [||] in
-          phase.(0) <- Trace.serial layout nest;
+          phase.(0) <- timed "trace" (fun () -> Trace.serial layout nest);
           infos :=
             {
               nest_name = nest.Nest.name;
@@ -192,13 +206,18 @@ let compile ?(params = default_params) ?map_topo scheme ~machine program =
                  chunk distribution with dependence-only scheduling and
                  barrier rounds. *)
               let _grouping, groups, dag =
-                grouping_with ~block_size ~line ~max_groups:params.max_groups
-                  program nest
+                timed "group" (fun () ->
+                    grouping_with ~block_size ~line
+                      ~max_groups:params.max_groups program nest)
               in
               let assignment =
-                Baselines.default_assignment ~topo:map_topo groups
+                timed "distribute" (fun () ->
+                    Baselines.default_assignment ~topo:map_topo groups)
               in
-              let sched = Schedule.run ~alpha:0. ~beta:0. map_topo assignment dag in
+              let sched =
+                timed "schedule" (fun () ->
+                    Schedule.run ~alpha:0. ~beta:0. map_topo assignment dag)
+              in
               infos :=
                 {
                   nest_name = nest.Nest.name;
@@ -209,9 +228,12 @@ let compile ?(params = default_params) ?map_topo scheme ~machine program =
                 }
                 :: !infos;
               push_plan nest sched.Schedule.rounds true;
-              phases_of_schedule ~with_barriers:true layout nest sched
+              timed "trace" (fun () ->
+                  phases_of_schedule ~with_barriers:true layout nest sched)
           | Base ->
-              let chunks = Baselines.block_partition ~n nest in
+              let chunks =
+                timed "distribute" (fun () -> Baselines.block_partition ~n nest)
+              in
               infos :=
                 {
                   nest_name = nest.Nest.name;
@@ -233,19 +255,27 @@ let compile ?(params = default_params) ?map_topo scheme ~machine program =
                     chunks;
                 ]
                 false;
-              [ Array.map (fun iters -> Trace.of_iters layout nest iters) chunks ]
+              [
+                timed "trace" (fun () ->
+                    Array.map (fun iters -> Trace.of_iters layout nest iters) chunks);
+              ]
           | Base_plus when Dep_test.nest_may_carry_deps nest ->
               (* Intra-core reordering is dependence-constrained; treat
                  Base+ as synchronized Base on such nests (the paper's
                  Base+ transformations must preserve dependences). *)
               let _grouping, groups, dag =
-                grouping_with ~block_size ~line ~max_groups:params.max_groups
-                  program nest
+                timed "group" (fun () ->
+                    grouping_with ~block_size ~line
+                      ~max_groups:params.max_groups program nest)
               in
               let assignment =
-                Baselines.default_assignment ~topo:map_topo groups
+                timed "distribute" (fun () ->
+                    Baselines.default_assignment ~topo:map_topo groups)
               in
-              let sched = Schedule.run ~alpha:0. ~beta:0. map_topo assignment dag in
+              let sched =
+                timed "schedule" (fun () ->
+                    Schedule.run ~alpha:0. ~beta:0. map_topo assignment dag)
+              in
               infos :=
                 {
                   nest_name = nest.Nest.name;
@@ -256,12 +286,19 @@ let compile ?(params = default_params) ?map_topo scheme ~machine program =
                 }
                 :: !infos;
               push_plan nest sched.Schedule.rounds true;
-              phases_of_schedule ~with_barriers:true layout nest sched
+              timed "trace" (fun () ->
+                  phases_of_schedule ~with_barriers:true layout nest sched)
           | Base_plus ->
-              let chunks = Baselines.block_partition ~n nest in
-              let perm = Permute.best_order layout nest in
+              let chunks =
+                timed "distribute" (fun () -> Baselines.block_partition ~n nest)
+              in
+              let perm =
+                timed "schedule" (fun () -> Permute.best_order layout nest)
+              in
               let t0 =
-                Tiling.choose_tile ~l1_bytes:(l1_capacity map_topo) layout nest
+                timed "schedule" (fun () ->
+                    Tiling.choose_tile ~l1_bytes:(l1_capacity map_topo) layout
+                      nest)
               in
               (* The paper selects the best-performing tile size by
                  search; candidates include "untiled but permuted" so
@@ -281,15 +318,16 @@ let compile ?(params = default_params) ?map_topo scheme ~machine program =
                   chunks
               in
               let best_tile, best_phase =
-                let h = Hierarchy.create map_topo in
-                List.map
-                  (fun t ->
-                    let phase = phase_for t in
-                    let stats = Engine.run h [ phase ] in
-                    (stats.Stats.cycles, (t, phase)))
-                  candidates
-                |> List.sort (fun (a, _) (b, _) -> compare a b)
-                |> List.hd |> snd
+                timed "trace" (fun () ->
+                    let h = Hierarchy.create map_topo in
+                    List.map
+                      (fun t ->
+                        let phase = phase_for t in
+                        let stats = Engine.run h [ phase ] in
+                        (stats.Stats.cycles, (t, phase)))
+                      candidates
+                    |> List.sort (fun (a, _) (b, _) -> compare a b)
+                    |> List.hd |> snd)
               in
               infos :=
                 {
@@ -325,22 +363,25 @@ let compile ?(params = default_params) ?map_topo scheme ~machine program =
               [ best_phase ]
           | Local | Topology_aware | Combined ->
               let _grouping, groups, dag =
-                grouping_with ~block_size ~line ~max_groups:params.max_groups
-                  program nest
+                timed "group" (fun () ->
+                    grouping_with ~block_size ~line
+                      ~max_groups:params.max_groups program nest)
               in
               let cluster_mode =
                 params.dependence_mode = Distribute.Cluster
                 && not (Dep_graph.is_empty dag)
               in
               let assignment =
-                match scheme with
-                | Local -> Baselines.default_assignment ~topo:map_topo groups
-                | Topology_aware | Combined ->
-                    Distribute.run
-                      ~balance_threshold:params.balance_threshold
-                      ~dependence_mode:params.dependence_mode ~dep_graph:dag
-                      map_topo groups
-                | Base | Base_plus -> assert false
+                timed "distribute" (fun () ->
+                    match scheme with
+                    | Local ->
+                        Baselines.default_assignment ~topo:map_topo groups
+                    | Topology_aware | Combined ->
+                        Distribute.run
+                          ~balance_threshold:params.balance_threshold
+                          ~dependence_mode:params.dependence_mode
+                          ~dep_graph:dag map_topo groups
+                    | Base | Base_plus -> assert false)
               in
               (* Under the clustering option every dependent set sits on
                  one core and runs in sequential order, so no barriers
@@ -354,7 +395,10 @@ let compile ?(params = default_params) ?map_topo scheme ~machine program =
                 | Topology_aware -> (0., 0.)  (* dependence-only order *)
                 | _ -> (params.alpha, params.beta)
               in
-              let sched = Schedule.run ~alpha ~beta map_topo assignment dag in
+              let sched =
+                timed "schedule" (fun () ->
+                    Schedule.run ~alpha ~beta map_topo assignment dag)
+              in
               (* Figure 7's barriers enforce dependences; on a
                  dependence-free nest the rounds collapse into one
                  phase whose per-core order keeps the round-robin
@@ -376,7 +420,8 @@ let compile ?(params = default_params) ?map_topo scheme ~machine program =
                  push_plan nest
                    [ Schedule.per_core sched ]
                    false);
-              phases_of_schedule ~with_barriers layout nest sched)
+              timed "trace" (fun () ->
+                  phases_of_schedule ~with_barriers layout nest sched))
       program.Program.nests
   in
   {
@@ -388,7 +433,44 @@ let compile ?(params = default_params) ?map_topo scheme ~machine program =
     phases;
     infos = List.rev !infos;
     plans = List.rev !plans;
+    timings =
+      List.map
+        (fun k -> (k, try Hashtbl.find times k with Not_found -> 0.))
+        timing_keys;
   }
+
+(* The plans mirror the phase list exactly (one plan round per phase,
+   in nest order), so group boundaries inside each core's stream can be
+   reconstructed without re-tracing: a group contributes
+   [|iters| * #refs] accesses. *)
+let segments c =
+  let uid = ref 0 in
+  let legend = ref [] in
+  let phase_tables =
+    List.concat_map
+      (fun plan ->
+        let nrefs = List.length (Nest.refs plan.plan_nest) in
+        List.map
+          (fun round ->
+            Array.map
+              (fun groups ->
+                let pos = ref 0 in
+                List.map
+                  (fun (g : Iter_group.t) ->
+                    let id = !uid in
+                    incr uid;
+                    legend := (id, (plan.plan_nest.Nest.name, g.Iter_group.id)) :: !legend;
+                    let start = !pos in
+                    pos :=
+                      !pos + (Ctam_poly.Iterset.cardinal g.Iter_group.iters * nrefs);
+                    (start, id))
+                  groups
+                |> Array.of_list)
+              round)
+          plan.plan_rounds)
+      c.plans
+  in
+  (phase_tables, List.rev !legend)
 
 let port c ~machine =
   let n_from = c.map_topo.Topology.num_cores in
@@ -406,12 +488,12 @@ let port c ~machine =
   ignore n_from;
   { c with machine; phases }
 
-let simulate ?config ?coherence c =
-  let h = Hierarchy.create ?coherence c.machine in
+let simulate ?config ?coherence ?probe c =
+  let h = Hierarchy.create ?coherence ?probe c.machine in
   Engine.run ?config h c.phases
 
-let run ?params ?map_topo ?config scheme ~machine program =
-  simulate ?config (compile ?params ?map_topo scheme ~machine program)
+let run ?params ?map_topo ?config ?probe scheme ~machine program =
+  simulate ?config ?probe (compile ?params ?map_topo scheme ~machine program)
 
 let simulate_serial ?config ~machine program =
   (* One core executes all nests back to back, original order. *)

@@ -63,18 +63,37 @@ type compiled = {
   phases : Engine.phase list;
   infos : nest_info list;
   plans : nest_plan list;
+  timings : (string * float) list;
+      (** seconds spent per compile phase, in {!timing_keys} order *)
 }
 
-(** [compile ?params ?map_topo scheme ~machine program] maps every nest
-    of [program] (parallel nests under [scheme]; serial nests run on
-    core 0).  [map_topo] defaults to [machine]. *)
+(** The compile-phase names reported in [compiled.timings]:
+    ["group"; "distribute"; "schedule"; "trace"]. *)
+val timing_keys : string list
+
+(** [compile ?params ?clock ?map_topo scheme ~machine program] maps
+    every nest of [program] (parallel nests under [scheme]; serial
+    nests run on core 0).  [map_topo] defaults to [machine].  [clock]
+    (default [Sys.time]) supplies the timestamps for the per-phase
+    [timings]; pass a higher-resolution wall clock when profiling. *)
 val compile :
   ?params:params ->
+  ?clock:(unit -> float) ->
   ?map_topo:Topology.t ->
   scheme ->
   machine:Topology.t ->
   Program.t ->
   compiled
+
+(** [segments c] reconstructs, for every phase of [c.phases], the
+    per-core [(start_access_index, segment_id)] boundaries of the
+    iteration groups concatenated into that core's stream — the shape
+    [Probe_sinks.Counters.create ~segments] consumes.  Segment ids are
+    unique across the whole run; the returned legend maps each back to
+    its [(nest_name, group_id)] (baseline chunks appear as their
+    pseudo-groups). *)
+val segments :
+  compiled -> (int * int) array array list * (int * (string * int)) list
 
 (** Re-target a compiled mapping to a different machine: thread [t] of
     the mapping runs on core [t mod cores(machine)] (threads beyond the
@@ -83,16 +102,22 @@ val compile :
     version running with fewer threads elsewhere). *)
 val port : compiled -> machine:Topology.t -> compiled
 
-(** [simulate ?config ?coherence c] builds the machine's hierarchy and
-    runs the phases. *)
+(** [simulate ?config ?coherence ?probe c] builds the machine's
+    hierarchy (with [probe] attached, default null) and runs the
+    phases. *)
 val simulate :
-  ?config:Engine.config -> ?coherence:bool -> compiled -> Stats.t
+  ?config:Engine.config ->
+  ?coherence:bool ->
+  ?probe:Probe.t ->
+  compiled ->
+  Stats.t
 
 (** One-call convenience: compile then simulate. *)
 val run :
   ?params:params ->
   ?map_topo:Topology.t ->
   ?config:Engine.config ->
+  ?probe:Probe.t ->
   scheme ->
   machine:Topology.t ->
   Program.t ->

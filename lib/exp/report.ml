@@ -1,10 +1,36 @@
-let table ~header rows =
-  let all = header :: rows in
+let geomean = function
+  | [] -> invalid_arg "Report.geomean: empty"
+  | vs ->
+      List.iter (fun v -> if v <= 0. then invalid_arg "Report.geomean: <= 0") vs;
+      exp (List.fold_left (fun acc v -> acc +. log v) 0. vs
+           /. float_of_int (List.length vs))
+
+(* The geomean row summarises each numeric column; a column with any
+   non-numeric (or non-positive) cell gets a dash. *)
+let geomean_row ~label ncols rows =
+  label
+  :: List.init (ncols - 1) (fun c ->
+         let cells = List.map (fun row -> List.nth row (c + 1)) rows in
+         let values = List.filter_map float_of_string_opt cells in
+         if
+           List.length values = List.length cells
+           && List.for_all (fun v -> v > 0.) values
+         then Printf.sprintf "%.3f" (geomean values)
+         else "-")
+
+let table ?geomean:glabel ~header rows =
   let ncols = List.length header in
   List.iter
     (fun row ->
       if List.length row <> ncols then invalid_arg "Report.table: ragged row")
     rows;
+  let rows =
+    match glabel with
+    | Some label when rows <> [] && ncols > 1 ->
+        rows @ [ geomean_row ~label ncols rows ]
+    | _ -> rows
+  in
+  let all = header :: rows in
   let width c =
     List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
   in
@@ -30,13 +56,6 @@ let normalized ~base values =
 
 let f2 v = Printf.sprintf "%.2f" v
 let f3 v = Printf.sprintf "%.3f" v
-
-let geomean = function
-  | [] -> invalid_arg "Report.geomean: empty"
-  | vs ->
-      List.iter (fun v -> if v <= 0. then invalid_arg "Report.geomean: <= 0") vs;
-      exp (List.fold_left (fun acc v -> acc +. log v) 0. vs
-           /. float_of_int (List.length vs))
 
 let mean = function
   | [] -> invalid_arg "Report.mean: empty"

@@ -1,8 +1,12 @@
 (** ASCII tables and normalized bar series for experiment output. *)
 
 (** A table: column headers and string rows, left-aligned first column,
-    right-aligned others. *)
-val table : header:string list -> string list list -> string
+    right-aligned others.  With [?geomean:label] a trailing summary row
+    is appended holding the geometric mean of every column whose cells
+    all parse as positive numbers ("-" otherwise); no row is added when
+    [rows] is empty. *)
+val table :
+  ?geomean:string -> header:string list -> string list list -> string
 
 (** [normalized ~base values] divides every value by [base].
     @raise Invalid_argument if [base <= 0]. *)

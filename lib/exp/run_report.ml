@@ -1,0 +1,301 @@
+open Ctam_arch
+open Ctam_ir
+open Ctam_cachesim
+open Ctam_core
+module J = Ctam_util.Json
+
+type profile = {
+  compiled : Mapping.compiled;
+  stats : Stats.t;
+  counters : Probe_sinks.Counters.t;
+  reuse : Probe_sinks.Reuse_split.t;
+  legend : (int * (string * int)) list;
+  sim_seconds : float;
+  report : J.t;
+}
+
+let topology_json (topo : Topology.t) =
+  J.Obj
+    [
+      ("name", J.String topo.Topology.name);
+      ("clock_ghz", J.Float topo.Topology.clock_ghz);
+      ("mem_latency", J.Int topo.Topology.mem_latency);
+      ("num_cores", J.Int topo.Topology.num_cores);
+      ( "caches",
+        J.List
+          (List.map
+             (fun (p : Topology.cache_params) ->
+               J.Obj
+                 [
+                   ("name", J.String p.cache_name);
+                   ("level", J.Int p.level);
+                   ("size_bytes", J.Int p.size_bytes);
+                   ("assoc", J.Int p.assoc);
+                   ("line", J.Int p.line);
+                   ("latency", J.Int p.latency);
+                 ])
+             (Topology.caches topo)) );
+    ]
+
+let histogram_json (h : Reuse.histogram) =
+  let buckets = ref [] in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then
+        let lo = if i = 0 then 0 else 1 lsl (i - 1) in
+        let hi = if i = 0 then 1 else 1 lsl i in
+        buckets :=
+          J.Obj [ ("lo", J.Int lo); ("hi", J.Int hi); ("count", J.Int c) ]
+          :: !buckets)
+    h.Reuse.buckets;
+  J.Obj
+    [
+      ("total", J.Int h.Reuse.total);
+      ("cold", J.Int h.Reuse.cold);
+      ("buckets", J.List (List.rev !buckets));
+    ]
+
+let scheme_json = function
+  | Mapping.Base -> J.String "base"
+  | Mapping.Base_plus -> J.String "base+"
+  | Mapping.Local -> J.String "local"
+  | Mapping.Topology_aware -> J.String "topology-aware"
+  | Mapping.Combined -> J.String "combined"
+
+let params_json (p : Mapping.params) =
+  J.Obj
+    [
+      ("block_size", J.Int p.block_size);
+      ("auto_block", J.Bool p.auto_block);
+      ("balance_threshold", J.Float p.balance_threshold);
+      ("alpha", J.Float p.alpha);
+      ("beta", J.Float p.beta);
+      ("max_groups", J.Int p.max_groups);
+      ( "dependence_mode",
+        J.String
+          (match p.dependence_mode with
+          | Distribute.Synchronize -> "synchronize"
+          | Distribute.Cluster -> "cluster") );
+    ]
+
+let nest_json (i : Mapping.nest_info) =
+  J.Obj
+    [
+      ("name", J.String i.nest_name);
+      ("groups", J.Int i.num_groups);
+      ("rounds", J.Int i.num_rounds);
+      ("dep_edges", J.Int i.dep_edges);
+      ("block_size", J.Int i.used_block_size);
+    ]
+
+let per_core_json counters topo =
+  let levels = Probe_sinks.Counters.levels counters in
+  J.List
+    (List.init topo.Topology.num_cores (fun core ->
+         J.Obj
+           [
+             ("core", J.Int core);
+             ("accesses", J.Int (Probe_sinks.Counters.accesses counters ~core));
+             ("writes", J.Int (Probe_sinks.Counters.writes counters ~core));
+             ("mem", J.Int (Probe_sinks.Counters.mem counters ~core));
+             ( "levels",
+               J.List
+                 (List.map
+                    (fun level ->
+                      let hits =
+                        Probe_sinks.Counters.hits counters ~core ~level
+                      in
+                      let misses =
+                        Probe_sinks.Counters.misses counters ~core ~level
+                      in
+                      let total = hits + misses in
+                      J.Obj
+                        [
+                          ("level", J.Int level);
+                          ("hits", J.Int hits);
+                          ("misses", J.Int misses);
+                          ( "miss_rate",
+                            J.Float
+                              (if total = 0 then 0.
+                               else float_of_int misses /. float_of_int total)
+                          );
+                          ( "evictions",
+                            J.Int
+                              (Probe_sinks.Counters.evictions counters ~core
+                                 ~level) );
+                        ])
+                    levels) );
+           ]))
+
+let groups_json counters legend =
+  let levels = Probe_sinks.Counters.levels counters in
+  J.List
+    (List.map
+       (fun (seg, (g : Probe_sinks.Counters.group_stat)) ->
+         let nest, group =
+           match List.assoc_opt seg legend with
+           | Some ng -> ng
+           | None -> ("?", seg)
+         in
+         J.Obj
+           [
+             ("segment", J.Int seg);
+             ("nest", J.String nest);
+             ("group", J.Int group);
+             ("accesses", J.Int g.g_accesses);
+             ( "misses",
+               J.List
+                 (List.mapi
+                    (fun i level ->
+                      J.Obj
+                        [
+                          ("level", J.Int level);
+                          ("misses", J.Int g.g_misses.(i));
+                        ])
+                    levels) );
+             ("mem", J.Int g.g_mem);
+           ])
+       (Probe_sinks.Counters.group_stats counters))
+
+let conflicts_json reuse =
+  J.List
+    (List.map
+       (fun (level, per_set) ->
+         let sets = Array.length per_set in
+         let total = Array.fold_left ( + ) 0 per_set in
+         let maxm = Array.fold_left max 0 per_set in
+         let hot =
+           per_set
+           |> Array.mapi (fun s m -> (s, m))
+           |> Array.to_list
+           |> List.filter (fun (_, m) -> m > 0)
+           |> List.sort (fun (_, a) (_, b) -> compare b a)
+           |> (fun l -> List.filteri (fun i _ -> i < 8) l)
+           |> List.map (fun (s, m) ->
+                  J.Obj [ ("set", J.Int s); ("misses", J.Int m) ])
+         in
+         J.Obj
+           [
+             ("level", J.Int level);
+             ("sets", J.Int sets);
+             ("misses", J.Int total);
+             ("max_set_misses", J.Int maxm);
+             ( "mean_set_misses",
+               J.Float
+                 (if sets = 0 then 0. else float_of_int total /. float_of_int sets)
+             );
+             ("hot_sets", J.List hot);
+           ])
+       (Probe_sinks.Reuse_split.conflicts reuse))
+
+let profile ?(params = Mapping.default_params) ?config
+    ?(frontend_timings = []) scheme ~machine program =
+  let now = Unix.gettimeofday in
+  let compiled =
+    Mapping.compile ~params ~clock:now scheme ~machine program
+  in
+  let segments, legend = Mapping.segments compiled in
+  let counters = Probe_sinks.Counters.create ~segments machine in
+  let reuse = Probe_sinks.Reuse_split.create machine in
+  let probe =
+    Probe.seq
+      [ Probe_sinks.Counters.probe counters; Probe_sinks.Reuse_split.probe reuse ]
+  in
+  let t0 = now () in
+  let stats = Mapping.simulate ?config ~probe compiled in
+  let sim_seconds = now () -. t0 in
+  let timings =
+    frontend_timings @ compiled.Mapping.timings @ [ ("simulate", sim_seconds) ]
+  in
+  let report =
+    J.Obj
+      [
+        ("ctam_report_version", J.Int 1);
+        ("program", J.String program.Program.name);
+        ("scheme", scheme_json scheme);
+        ("machine", topology_json machine);
+        ("params", params_json params);
+        ("nests", J.List (List.map nest_json compiled.Mapping.infos));
+        ( "timings_seconds",
+          J.Obj (List.map (fun (k, v) -> (k, J.Float v)) timings) );
+        ("stats", Stats.to_json stats);
+        ("per_core", per_core_json counters machine);
+        ("groups", groups_json counters legend);
+        ( "reuse",
+          J.Obj
+            [
+              ("total", J.Int (Probe_sinks.Reuse_split.total reuse));
+              ("cold", J.Int (Probe_sinks.Reuse_split.cold reuse));
+              ( "vertical",
+                histogram_json (Probe_sinks.Reuse_split.vertical reuse) );
+              ( "horizontal",
+                histogram_json (Probe_sinks.Reuse_split.horizontal reuse) );
+              ( "cross_socket",
+                histogram_json (Probe_sinks.Reuse_split.cross reuse) );
+            ] );
+        ("conflicts", conflicts_json reuse);
+        ( "barriers",
+          J.Obj
+            [
+              ("count", J.Int (Probe_sinks.Counters.barriers counters));
+              ( "invalidations",
+                J.Int (Probe_sinks.Counters.invalidations_total counters) );
+            ] );
+      ]
+  in
+  { compiled; stats; counters; reuse; legend; sim_seconds; report }
+
+let write_file path json =
+  let oc = open_out path in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+let bench_sweep ~quick ~machine () =
+  let workloads = Ctam_workloads.Suite.all in
+  let program k =
+    if quick then Ctam_workloads.Kernel.small_program k
+    else Ctam_workloads.Kernel.program k
+  in
+  let base = Hashtbl.create 16 in
+  List.map
+    (fun scheme ->
+      let rows =
+        List.map
+          (fun (k : Ctam_workloads.Kernel.t) ->
+            let stats = Mapping.run scheme ~machine (program k) in
+            if scheme = Mapping.Base then
+              Hashtbl.replace base k.name stats.Stats.cycles;
+            let vs_base =
+              match Hashtbl.find_opt base k.name with
+              | Some b when b > 0 ->
+                  Some (float_of_int stats.Stats.cycles /. float_of_int b)
+              | _ -> None
+            in
+            ( vs_base,
+              J.Obj
+                ([
+                   ("name", J.String k.name);
+                   ("cycles", J.Int stats.Stats.cycles);
+                   ("mem_accesses", J.Int stats.Stats.mem_accesses);
+                   ("total_accesses", J.Int stats.Stats.total_accesses);
+                   ("barriers", J.Int stats.Stats.barriers);
+                 ]
+                @
+                match vs_base with
+                | Some r -> [ ("vs_base", J.Float r) ]
+                | None -> []) ))
+          workloads
+      in
+      let ratios = List.filter_map fst rows in
+      J.Obj
+        ([
+           ("machine", J.String machine.Topology.name);
+           ("scheme", scheme_json scheme);
+           ("quick", J.Bool quick);
+           ("workloads", J.List (List.map snd rows));
+         ]
+        @
+        if ratios = [] then []
+        else [ ("geomean_vs_base", J.Float (Report.geomean ratios)) ]))
+    Mapping.all_schemes

@@ -1,0 +1,63 @@
+(** Structured JSON run reports — the machine-readable face of the
+    observability layer.
+
+    [profile] compiles and simulates a program with the full probe
+    stack attached (counter matrices with per-group attribution, and
+    the horizontal/vertical reuse split) and assembles everything —
+    topology, scheme, params, per-nest mapping info, compile-phase
+    timings, aggregate stats, per-core × per-level counters, per-group
+    miss attribution, reuse and set-conflict histograms — into one JSON
+    object ([ctam_report_version] 1).  [ctamap run --json/--profile]
+    and the bench harness are thin wrappers over this module. *)
+
+open Ctam_arch
+open Ctam_ir
+open Ctam_cachesim
+open Ctam_core
+
+(** Everything one observed run produced.  [report] is the JSON
+    rendering of the other fields. *)
+type profile = {
+  compiled : Mapping.compiled;
+  stats : Stats.t;
+  counters : Probe_sinks.Counters.t;
+  reuse : Probe_sinks.Reuse_split.t;
+  legend : (int * (string * int)) list;
+      (** segment id -> (nest name, group id) *)
+  sim_seconds : float;
+  report : Ctam_util.Json.t;
+}
+
+(** [profile ?params ?config ?frontend_timings scheme ~machine program]
+    compiles (timing each compile phase with a wall clock), attaches
+    the counter and reuse sinks, simulates, and builds the report.
+    [frontend_timings] lets the caller prepend e.g.
+    [("parse", s); ("lower", s)] measured while loading the source. *)
+val profile :
+  ?params:Mapping.params ->
+  ?config:Engine.config ->
+  ?frontend_timings:(string * float) list ->
+  Mapping.scheme ->
+  machine:Topology.t ->
+  Program.t ->
+  profile
+
+(** JSON image of a topology (name, clock, memory latency, caches). *)
+val topology_json : Topology.t -> Ctam_util.Json.t
+
+(** JSON image of a reuse histogram: total/cold plus the non-empty
+    buckets as [{lo, hi, count}] (hi exclusive). *)
+val histogram_json : Reuse.histogram -> Ctam_util.Json.t
+
+(** [write_file path json] writes the pretty-printed JSON plus a
+    trailing newline. *)
+val write_file : string -> Ctam_util.Json.t -> unit
+
+(** One bench-trajectory object per scheme for [machine]: every suite
+    workload's cycles / memory accesses / per-level stats under that
+    scheme, with cycles normalized to the Base scheme of the same
+    machine, and a geomean summary.  [quick] uses quarter-size
+    workloads.  The objects are emitted by [bench/main.exe --json] one
+    per line, so trajectories diff cleanly across PRs. *)
+val bench_sweep :
+  quick:bool -> machine:Topology.t -> unit -> Ctam_util.Json.t list

@@ -1,0 +1,55 @@
+(** A minimal self-contained JSON value type, printer and parser.
+
+    The container this project builds in has no JSON library, so the
+    observability layer (run reports, bench trajectories) carries its
+    own: a strict RFC 8259 subset that round-trips everything we emit.
+    Integers are kept distinct from floats so counters survive a
+    round-trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** member order is preserved *)
+
+(** {1 Printing} *)
+
+(** [to_string ?minify v] renders [v]; by default pretty-printed with
+    two-space indentation, or single-line when [minify] is true. *)
+val to_string : ?minify:bool -> t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Parsing} *)
+
+(** [parse s] parses one JSON value (surrounded by optional
+    whitespace).  Returns [Error msg] with a position on malformed
+    input. *)
+val parse : string -> (t, string) result
+
+(** @raise Invalid_argument on malformed input. *)
+val parse_exn : string -> t
+
+(** {1 Accessors}
+
+    Total accessors for digging into parsed values; all raise
+    [Invalid_argument] with the offending shape on mismatch. *)
+
+(** [member name v] looks up an object member; [None] if absent.
+    @raise Invalid_argument when [v] is not an object. *)
+val member : string -> t -> t option
+
+(** [member_exn name v] like {!member} but the member must exist. *)
+val member_exn : string -> t -> t
+
+val to_int : t -> int
+
+(** Accepts both [Int] and [Float] payloads. *)
+val to_float : t -> float
+
+val to_bool : t -> bool
+val to_string_value : t -> string
+val to_list : t -> t list

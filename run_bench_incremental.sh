@@ -1,11 +1,15 @@
 #!/bin/sh
-# Incremental fallback: run each experiment separately so partial
-# completion still leaves a valid bench_output.txt.
+# Incremental bench snapshot: machine-readable trajectories.
+#
+# Emits one JSON object per scheme x machine (JSON Lines) via
+# `bench/main.exe --json`, running each machine separately so partial
+# completion still leaves a valid bench_output.json prefix.  Each
+# object carries per-workload cycles / memory accesses / barriers plus
+# the geomean-vs-Base summary (see DESIGN.md, "Observability").
 set -e
-OUT=${1:-bench_output.txt}
+OUT=${1:-bench_output.json}
 : > "$OUT"
-for e in table1 depstats table2 fig2 fig15 fig16 depmode dynamic fig13 fig14 fig17 fig18 fig19 alphabeta overhead fig20; do
-  echo "" >> "$OUT"
-  echo "###### $e ######" >> "$OUT"
-  ./_build/default/bench/main.exe --quick "$e" >> "$OUT" 2>&1 || echo "($e failed)" >> "$OUT"
+for m in harpertown nehalem dunnington; do
+  ./_build/default/bench/main.exe --quick --json "$m" >> "$OUT" \
+    || echo "{\"machine\":\"$m\",\"error\":\"bench failed\"}" >> "$OUT"
 done

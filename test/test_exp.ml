@@ -17,6 +17,38 @@ let test_table_ragged () =
   Alcotest.check_raises "ragged" (Invalid_argument "Report.table: ragged row")
     (fun () -> ignore (Report.table ~header:[ "a"; "b" ] [ [ "x" ] ]))
 
+let test_table_geomean () =
+  let t =
+    Report.table ~geomean:"geomean" ~header:[ "app"; "Base"; "Topo" ]
+      [ [ "galgel"; "1.00"; "0.72" ]; [ "cg"; "4.00"; "0.50" ] ]
+  in
+  check_bool "has geomean label" true
+    (Astring.String.is_infix ~affix:"geomean" t);
+  (* geomean(1,4)=2, geomean(0.72,0.50)=0.6 *)
+  check_bool "col 1 geomean" true (Astring.String.is_infix ~affix:"2.000" t);
+  check_bool "col 2 geomean" true (Astring.String.is_infix ~affix:"0.600" t);
+  (* non-numeric / non-positive columns get a dash, not an exception *)
+  let t2 =
+    Report.table ~geomean:"geomean" ~header:[ "app"; "val" ]
+      [ [ "a"; "n/a" ]; [ "b"; "1.0" ] ]
+  in
+  check_bool "dash for non-numeric" true
+    (Astring.String.is_infix ~affix:"geomean" t2);
+  let t3 =
+    Report.table ~geomean:"geomean" ~header:[ "app"; "val" ]
+      [ [ "a"; "0" ] ]
+  in
+  check_bool "zero column still renders" true
+    (Astring.String.is_infix ~affix:"geomean" t3)
+
+let test_table_geomean_empty () =
+  (* the edge case of the issue: no rows -> no geomean row, no crash *)
+  let t = Report.table ~geomean:"geomean" ~header:[ "a"; "b" ] [] in
+  check_bool "no geomean row on empty table" false
+    (Astring.String.is_infix ~affix:"geomean" t);
+  check_bool "header still present" true
+    (Astring.String.is_infix ~affix:"a" t)
+
 let test_normalized () =
   Alcotest.(check (list (float 1e-9)))
     "normalize" [ 1.0; 0.5; 2.0 ]
@@ -50,6 +82,9 @@ let () =
         [
           Alcotest.test_case "table" `Quick test_table;
           Alcotest.test_case "ragged" `Quick test_table_ragged;
+          Alcotest.test_case "geomean row" `Quick test_table_geomean;
+          Alcotest.test_case "geomean row empty" `Quick
+            test_table_geomean_empty;
           Alcotest.test_case "normalized" `Quick test_normalized;
           Alcotest.test_case "means" `Quick test_means;
           QCheck_alcotest.to_alcotest prop_geomean_between;

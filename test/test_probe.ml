@@ -1,0 +1,286 @@
+(* Probe/event-sink tests.
+
+   The central claim of the observability layer is that probes only
+   observe: summed probe events must exactly reproduce the Stats.t of
+   the same run, and attaching (or not attaching) a sink must not
+   change simulated time.  We check both against the paper's Figure 5
+   example program, for the parallel engine and the serial one. *)
+
+open Ctam_cachesim
+module Mapping = Ctam_core.Mapping
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fig5 =
+  lazy
+    (let ic = open_in "../examples/programs/fig5.ctam" in
+     let n = in_channel_length ic in
+     let text = really_input_string ic n in
+     close_in ic;
+     Ctam_frontend.Lower.lower_program (Ctam_frontend.Parser.parse text))
+
+let machine () = Ctam_arch.Machines.dunnington ~scale:16 ()
+
+let compiled () =
+  Mapping.compile Mapping.Topology_aware ~machine:(machine ())
+    (Lazy.force fig5)
+
+(* --- a raw recording sink (independent of Probe_sinks) -------------- *)
+
+type record = {
+  mutable r_accesses : int;
+  mutable r_mem : int;
+  mutable r_hits : (int, int) Hashtbl.t;    (* level -> hits *)
+  mutable r_misses : (int, int) Hashtbl.t;  (* level -> misses *)
+  mutable r_barriers : int;
+  mutable r_phases : int;
+}
+
+let recorder () =
+  let r =
+    {
+      r_accesses = 0;
+      r_mem = 0;
+      r_hits = Hashtbl.create 7;
+      r_misses = Hashtbl.create 7;
+      r_barriers = 0;
+      r_phases = 0;
+    }
+  in
+  let bump tbl level =
+    Hashtbl.replace tbl level (1 + Option.value ~default:0 (Hashtbl.find_opt tbl level))
+  in
+  let probe =
+    {
+      Probe.null with
+      on_access = (fun ~core:_ ~addr:_ ~line:_ ~write:_ -> r.r_accesses <- r.r_accesses + 1);
+      on_mem = (fun ~core:_ ~line:_ -> r.r_mem <- r.r_mem + 1);
+      on_level =
+        (fun ~core:_ ~level ~set:_ ~line:_ ~hit ->
+          bump (if hit then r.r_hits else r.r_misses) level);
+      on_barrier_enter = (fun ~phase:_ ~cycles:_ -> r.r_barriers <- r.r_barriers + 1);
+      on_phase_start = (fun ~phase:_ -> r.r_phases <- r.r_phases + 1);
+    }
+  in
+  (r, probe)
+
+let level_of tbl level = Option.value ~default:0 (Hashtbl.find_opt tbl level)
+
+(* Summed raw events = Stats.t, for the parallel engine. *)
+let test_recorder_matches_stats_run () =
+  let c = compiled () in
+  let r, probe = recorder () in
+  let stats = Mapping.simulate ~probe c in
+  check_int "accesses" stats.Stats.total_accesses r.r_accesses;
+  check_int "mem" stats.Stats.mem_accesses r.r_mem;
+  check_int "barriers" stats.Stats.barriers r.r_barriers;
+  check_int "phases" (List.length c.Mapping.phases) r.r_phases;
+  List.iter
+    (fun l ->
+      check_int
+        (Printf.sprintf "L%d hits" l.Stats.level)
+        l.Stats.hits
+        (level_of r.r_hits l.Stats.level);
+      check_int
+        (Printf.sprintf "L%d misses" l.Stats.level)
+        l.Stats.misses
+        (level_of r.r_misses l.Stats.level))
+    stats.Stats.per_level
+
+(* Same property for the serial engine (run_serial). *)
+let test_recorder_matches_stats_serial () =
+  let prog = Lazy.force fig5 in
+  let machine = machine () in
+  let nest = List.hd (Ctam_ir.Program.parallel_nests prog) in
+  let _, layout =
+    Ctam_blocks.Block_map.for_program ~block_size:2048 ~line:64 prog
+  in
+  let stream = Ctam_core.Trace.serial layout nest in
+  let r, probe = recorder () in
+  let h = Hierarchy.create ~probe machine in
+  let stats = Engine.run_serial h stream in
+  check_int "accesses" stats.Stats.total_accesses r.r_accesses;
+  check_int "mem" stats.Stats.mem_accesses r.r_mem;
+  check_int "barriers" stats.Stats.barriers r.r_barriers;
+  List.iter
+    (fun l ->
+      check_int
+        (Printf.sprintf "L%d hits" l.Stats.level)
+        l.Stats.hits
+        (level_of r.r_hits l.Stats.level);
+      check_int
+        (Printf.sprintf "L%d misses" l.Stats.level)
+        l.Stats.misses
+        (level_of r.r_misses l.Stats.level))
+    stats.Stats.per_level
+
+(* The Counters sink's matrices sum to the same aggregates. *)
+let test_counters_match_stats () =
+  let c = compiled () in
+  let segments, _legend = Mapping.segments c in
+  let cnt = Probe_sinks.Counters.create ~segments c.Mapping.machine in
+  let stats = Mapping.simulate ~probe:(Probe_sinks.Counters.probe cnt) c in
+  check_int "total accesses" stats.Stats.total_accesses
+    (Probe_sinks.Counters.total_accesses cnt);
+  check_int "mem" stats.Stats.mem_accesses
+    (Probe_sinks.Counters.mem_total cnt);
+  check_int "barriers" stats.Stats.barriers
+    (Probe_sinks.Counters.barriers cnt);
+  check_int "phases" (List.length c.Mapping.phases)
+    (Probe_sinks.Counters.phases cnt);
+  let totals = Probe_sinks.Counters.per_level_totals cnt in
+  check_int "level count" (List.length stats.Stats.per_level)
+    (List.length totals);
+  List.iter2
+    (fun (a : Stats.level_stats) (b : Stats.level_stats) ->
+      check_int "level" a.Stats.level b.Stats.level;
+      check_int (Printf.sprintf "L%d hits" a.Stats.level) a.Stats.hits b.Stats.hits;
+      check_int (Printf.sprintf "L%d misses" a.Stats.level) a.Stats.misses b.Stats.misses)
+    stats.Stats.per_level totals;
+  (* per-core matrices sum to the aggregates too *)
+  let cores = c.Mapping.machine.Ctam_arch.Topology.num_cores in
+  let sum f = List.fold_left (fun a core -> a + f ~core) 0 (List.init cores Fun.id) in
+  check_int "per-core accesses sum" stats.Stats.total_accesses
+    (sum (fun ~core -> Probe_sinks.Counters.accesses cnt ~core));
+  check_int "per-core mem sum" stats.Stats.mem_accesses
+    (sum (fun ~core -> Probe_sinks.Counters.mem cnt ~core))
+
+(* Group attribution: every access and miss is charged to exactly one
+   group, so group totals sum back to the aggregates. *)
+let test_group_attribution_sums () =
+  let c = compiled () in
+  let segments, legend = Mapping.segments c in
+  let cnt = Probe_sinks.Counters.create ~segments c.Mapping.machine in
+  let stats = Mapping.simulate ~probe:(Probe_sinks.Counters.probe cnt) c in
+  let groups = Probe_sinks.Counters.group_stats cnt in
+  check_bool "some groups" true (groups <> []);
+  let sum f = List.fold_left (fun a (_, g) -> a + f g) 0 groups in
+  check_int "group accesses sum" stats.Stats.total_accesses
+    (sum (fun g -> g.Probe_sinks.Counters.g_accesses));
+  check_int "group mem sum" stats.Stats.mem_accesses
+    (sum (fun g -> g.Probe_sinks.Counters.g_mem));
+  let levels = Probe_sinks.Counters.levels cnt in
+  List.iteri
+    (fun i level ->
+      check_int
+        (Printf.sprintf "group L%d misses sum" level)
+        (Stats.misses_at stats level)
+        (sum (fun g -> g.Probe_sinks.Counters.g_misses.(i))))
+    levels;
+  (* every segment id used by a group appears in the legend *)
+  List.iter
+    (fun (id, _) ->
+      check_bool
+        (Printf.sprintf "segment %d in legend" id)
+        true (List.mem_assoc id legend))
+    groups
+
+(* Reuse split partitions all accesses. *)
+let test_reuse_split_partitions () =
+  let c = compiled () in
+  let rs = Probe_sinks.Reuse_split.create c.Mapping.machine in
+  let stats = Mapping.simulate ~probe:(Probe_sinks.Reuse_split.probe rs) c in
+  let count (h : Reuse.histogram) =
+    Array.fold_left ( + ) 0 h.Reuse.buckets
+  in
+  check_int "total" stats.Stats.total_accesses
+    (Probe_sinks.Reuse_split.total rs);
+  check_int "partition" stats.Stats.total_accesses
+    (Probe_sinks.Reuse_split.cold rs
+    + count (Probe_sinks.Reuse_split.vertical rs)
+    + count (Probe_sinks.Reuse_split.horizontal rs)
+    + count (Probe_sinks.Reuse_split.cross rs));
+  (* conflicts: per-level per-set miss counts sum to the level's misses *)
+  List.iter
+    (fun (level, sets) ->
+      check_int
+        (Printf.sprintf "L%d conflict sum" level)
+        (Stats.misses_at stats level)
+        (Array.fold_left ( + ) 0 sets))
+    (Probe_sinks.Reuse_split.conflicts rs)
+
+(* Probes only observe: cycles identical with and without sinks. *)
+let test_null_sink_identical () =
+  let c = compiled () in
+  let plain = Mapping.simulate c in
+  let observed =
+    let cnt = Probe_sinks.Counters.create c.Mapping.machine in
+    let rs = Probe_sinks.Reuse_split.create c.Mapping.machine in
+    Mapping.simulate
+      ~probe:
+        (Probe.seq
+           [ Probe_sinks.Counters.probe cnt; Probe_sinks.Reuse_split.probe rs ])
+      c
+  in
+  check_int "cycles" plain.Stats.cycles observed.Stats.cycles;
+  check_int "mem" plain.Stats.mem_accesses observed.Stats.mem_accesses;
+  Array.iteri
+    (fun i t -> check_int (Printf.sprintf "core %d cycles" i) t
+        observed.Stats.core_cycles.(i))
+    plain.Stats.core_cycles
+
+(* Probe combinators. *)
+let test_probe_combinators () =
+  check_bool "null is null" true (Probe.is_null Probe.null);
+  check_bool "seq [] is null" true (Probe.is_null (Probe.seq []));
+  check_bool "seq [null; null] is null" true
+    (Probe.is_null (Probe.seq [ Probe.null; Probe.null ]));
+  let hits = ref 0 in
+  let p =
+    { Probe.null with on_mem = (fun ~core:_ ~line:_ -> incr hits) }
+  in
+  check_bool "non-null" false (Probe.is_null p);
+  let s = Probe.seq [ Probe.null; p; p ] in
+  s.Probe.on_mem ~core:0 ~line:0;
+  check_int "fan-out" 2 !hits;
+  (* sequencing a single non-null probe keeps it intact *)
+  (Probe.seq [ p ]).Probe.on_mem ~core:0 ~line:1;
+  check_int "single" 3 !hits
+
+(* Online reuse recorder agrees with the offline one. *)
+let test_online_reuse_matches_offline () =
+  let lines = [| 1; 2; 3; 1; 2; 3; 7; 1; 7; 7 |] in
+  let offline = Reuse.of_lines lines in
+  let online = Reuse.Online.create () in
+  let hist = Array.make (Array.length offline.Reuse.buckets) 0 in
+  let cold = ref 0 in
+  Array.iter
+    (fun line ->
+      match Reuse.Online.touch online line with
+      | None -> incr cold
+      | Some d -> hist.(Reuse.bucket_of d) <- hist.(Reuse.bucket_of d) + 1)
+    lines;
+  check_int "cold" offline.Reuse.cold !cold;
+  Array.iteri
+    (fun i c -> check_int (Printf.sprintf "bucket %d" i) c hist.(i))
+    offline.Reuse.buckets
+
+let () =
+  Alcotest.run "probe"
+    [
+      ( "events",
+        [
+          Alcotest.test_case "recorder = stats (Engine.run)" `Quick
+            test_recorder_matches_stats_run;
+          Alcotest.test_case "recorder = stats (run_serial)" `Quick
+            test_recorder_matches_stats_serial;
+          Alcotest.test_case "Counters sink = stats" `Quick
+            test_counters_match_stats;
+          Alcotest.test_case "group attribution sums" `Quick
+            test_group_attribution_sums;
+          Alcotest.test_case "reuse split partitions accesses" `Quick
+            test_reuse_split_partitions;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "null sink leaves cycles identical" `Quick
+            test_null_sink_identical;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "combinators" `Quick test_probe_combinators;
+          Alcotest.test_case "online reuse = offline" `Quick
+            test_online_reuse_matches_offline;
+        ] );
+    ]

@@ -1,0 +1,113 @@
+(* Tests for the small JSON library backing run reports. *)
+
+open Ctam_util
+
+let check_str = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse_ok s =
+  match Json.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let roundtrip v =
+  let s = Json.to_string v in
+  let v' = parse_ok s in
+  Alcotest.(check bool) ("round-trip " ^ s) true (v = v');
+  let m = Json.to_string ~minify:true v in
+  Alcotest.(check bool) ("minified round-trip " ^ m) true (parse_ok m = v)
+
+let test_print () =
+  check_str "minified object" {|{"a":1,"b":[true,null]}|}
+    (Json.to_string ~minify:true
+       (Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.Bool true; Json.Null ]) ]));
+  check_str "string escaping" {|"a\"b\\c\n"|}
+    (Json.to_string ~minify:true (Json.String "a\"b\\c\n"));
+  check_str "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  check_str "float repr" "1.5" (Json.to_string (Json.Float 1.5))
+
+let test_parse () =
+  check_bool "int" true (parse_ok "42" = Json.Int 42);
+  check_bool "negative float" true (parse_ok "-2.5e1" = Json.Float (-25.0));
+  check_bool "escapes" true
+    (parse_ok {|"A\t"|} = Json.String "A\t");
+  check_bool "surrogate pair" true
+    (parse_ok {|"😀"|} = Json.String "\xf0\x9f\x98\x80");
+  check_bool "nested" true
+    (parse_ok {| { "xs" : [1, 2, {"y": false}] } |}
+    = Json.Obj
+        [ ("xs", Json.List [ Json.Int 1; Json.Int 2; Json.Obj [ ("y", Json.Bool false) ] ]) ]);
+  check_bool "trailing garbage rejected" true
+    (Result.is_error (Json.parse "1 2"));
+  check_bool "unterminated rejected" true
+    (Result.is_error (Json.parse {|{"a": 1|}));
+  check_bool "bare word rejected" true (Result.is_error (Json.parse "nope"))
+
+let test_roundtrip () =
+  roundtrip Json.Null;
+  roundtrip (Json.Int (-7));
+  roundtrip (Json.Float 0.125);
+  roundtrip (Json.String "caché θ\n\"quoted\"");
+  roundtrip
+    (Json.Obj
+       [
+         ("empty_list", Json.List []);
+         ("empty_obj", Json.Obj []);
+         ("mix", Json.List [ Json.Bool false; Json.Null; Json.Float 3.5 ]);
+       ])
+
+let test_accessors () =
+  let v = parse_ok {|{"a": {"b": [10, 20]}, "f": 2.0}|} in
+  check_int "member chain" 20
+    (Json.member_exn "a" v |> Json.member_exn "b" |> Json.to_list
+    |> fun l -> Json.to_int (List.nth l 1));
+  check_bool "missing member" true (Json.member "zzz" v = None);
+  Alcotest.(check (float 0.0)) "to_float on int" 10.0
+    (Json.member_exn "a" v |> Json.member_exn "b" |> Json.to_list |> List.hd
+   |> Json.to_float);
+  Alcotest.(check (float 0.0)) "to_float on float" 2.0
+    (Json.to_float (Json.member_exn "f" v))
+
+(* Stats.to_json / of_json round-trip (satellite of the Stats work;
+   lives here because it exercises the JSON layer end to end). *)
+let test_stats_roundtrip () =
+  let open Ctam_cachesim in
+  let stats =
+    {
+      Stats.per_level =
+        [
+          { Stats.level = 1; hits = 100; misses = 10 };
+          { Stats.level = 2; hits = 7; misses = 3 };
+        ];
+      mem_accesses = 3;
+      total_accesses = 110;
+      cycles = 4242;
+      core_cycles = [| 4242; 17; 0 |];
+      barriers = 2;
+    }
+  in
+  let stats' = Stats.of_json (Stats.to_json stats) in
+  check_bool "round-trip" true (stats = stats');
+  (* and through the printer/parser *)
+  let reparsed = parse_ok (Json.to_string (Stats.to_json stats)) in
+  check_bool "textual round-trip" true (stats = Stats.of_json reparsed);
+  check_bool "malformed rejected" true
+    (try
+       ignore (Stats.of_json (Json.String "nope"));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "printing" `Quick test_print;
+          Alcotest.test_case "parsing" `Quick test_parse;
+          Alcotest.test_case "round-trips" `Quick test_roundtrip;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "to_json/of_json" `Quick test_stats_roundtrip ] );
+    ]

@@ -1,0 +1,24 @@
+#!/bin/sh
+# Run `ctamap run --json` over every example program and validate that
+# each emitted report parses as JSON (with the repo's own parser, via
+# tools/json_check.exe).  Wired into `dune runtest` from tools/dune;
+# also runnable by hand from the repo root:
+#
+#   dune build && sh tools/check_report.sh
+#
+# Args (all optional): CTAMAP_EXE JSON_CHECK_EXE PROGRAM_DIR
+set -e
+CTAMAP=${1:-./_build/default/bin/ctamap.exe}
+JSON_CHECK=${2:-./_build/default/tools/json_check.exe}
+DIR=${3:-examples/programs}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+count=0
+for f in "$DIR"/*.ctam; do
+  [ -e "$f" ] || { echo "check_report: no .ctam files in $DIR" >&2; exit 1; }
+  out="$tmp/$(basename "$f" .ctam).json"
+  "$CTAMAP" run "$f" --json "$out" > /dev/null
+  "$JSON_CHECK" "$out" > /dev/null
+  count=$((count + 1))
+done
+echo "check_report: $count example report(s) valid"

@@ -1,0 +1,41 @@
+(* Validate that each argument file parses as JSON (one document per
+   file, or one per line when the file looks like JSON Lines).  Exits
+   nonzero on the first failure; used by tools/check_report.sh and as a
+   standalone linter for bench_output.json. *)
+
+let check_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let fail msg =
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 1
+  in
+  let check_doc what doc =
+    match Ctam_util.Json.parse doc with
+    | Ok _ -> ()
+    | Error e -> fail (Printf.sprintf "%s: %s" what e)
+  in
+  match Ctam_util.Json.parse s with
+  | Ok _ -> ()
+  | Error whole_err -> (
+      (* Maybe JSON Lines: every non-empty line must parse on its own. *)
+      let lines =
+        String.split_on_char '\n' s
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      match lines with
+      | _ :: _ :: _ ->
+          List.iteri
+            (fun i l -> check_doc (Printf.sprintf "line %d" (i + 1)) l)
+            lines
+      | _ -> fail whole_err)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then (
+    prerr_endline "usage: json_check FILE...";
+    exit 2);
+  List.iter check_file args;
+  Printf.printf "json_check: %d file(s) ok\n" (List.length args)
