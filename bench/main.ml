@@ -9,12 +9,15 @@
                                      object per scheme x machine (JSONL),
                                      machines default to the three
                                      commercial ones
+     bench/main.exe --jobs N ...     domains for the sweep / experiment
+                                     drivers (default: $CTAM_JOBS or
+                                     Domain.recommended_domain_count)
 
    One runner per table/figure of the paper regenerates the
    corresponding rows/series (see DESIGN.md's per-experiment index and
    EXPERIMENTS.md for measured-vs-paper numbers).  The JSON mode is
    what run_bench_incremental.sh snapshots, so bench trajectories diff
-   cleanly across PRs. *)
+   cleanly across PRs; its output is byte-identical at any --jobs. *)
 
 open Ctam_exp
 
@@ -38,11 +41,22 @@ let micro () =
   let hierarchy = Ctam_cachesim.Hierarchy.create machine in
   let tag_a = groups.(0).Ctam_blocks.Iter_group.tag in
   let tag_b = groups.(Array.length groups - 1).Ctam_blocks.Iter_group.tag in
+  (* The serial stream as a phase, for the heap-vs-scan engine pair. *)
+  let serial_phase =
+    let p = Array.make machine.Ctam_arch.Topology.num_cores [||] in
+    p.(0) <- stream;
+    [ p ]
+  in
   let tests =
     Test.make_grouped ~name:"ctam" ~fmt:"%s %s"
       [
         Test.make ~name:"bitset-dot (tag affinity)"
           (Staged.stage (fun () -> Ctam_blocks.Bitset.dot tag_a tag_b));
+        Test.make ~name:"bitset-iter (word-skipping walk)"
+          (Staged.stage (fun () ->
+               let acc = ref 0 in
+               Ctam_blocks.Bitset.iter (fun j -> acc := !acc + j) tag_a;
+               !acc));
         Test.make ~name:"tagging (Tags.group, small galgel)"
           (Staged.stage (fun () -> Ctam_blocks.Tags.group nest bm));
         Test.make ~name:"distribute (Figure 6)"
@@ -53,6 +67,14 @@ let micro () =
         Test.make ~name:"simulate (serial stream)"
           (Staged.stage (fun () ->
                Ctam_cachesim.Engine.run_serial hierarchy stream));
+        Test.make ~name:"simulate (serial stream, scan engine)"
+          (Staged.stage (fun () ->
+               Ctam_cachesim.Engine.run_reference hierarchy serial_phase));
+        Test.make ~name:"parallel-map (8 tasks, 2 domains)"
+          (Staged.stage (fun () ->
+               Ctam_util.Parallel.map ~domains:2
+                 (fun x -> x * x)
+                 [ 1; 2; 3; 4; 5; 6; 7; 8 ]));
         Test.make ~name:"compile TopologyAware end-to-end"
           (Staged.stage (fun () ->
                Ctam_core.Mapping.compile ~params Ctam_core.Mapping.Topology_aware
@@ -89,7 +111,7 @@ let micro () =
 
 (* --- machine-readable sweep ------------------------------------------ *)
 
-let json_sweep ~quick machines =
+let json_sweep ?jobs ~quick machines =
   let machines =
     match machines with
     | [] -> [ "harpertown"; "nehalem"; "dunnington" ]
@@ -102,7 +124,7 @@ let json_sweep ~quick machines =
           List.iter
             (fun obj ->
               print_endline (Ctam_util.Json.to_string ~minify:true obj))
-            (Run_report.bench_sweep ~quick ~machine ())
+            (Run_report.bench_sweep ?jobs ~quick ~machine ())
       | exception Not_found ->
           Printf.eprintf "unknown machine %s\n" name;
           exit 1)
@@ -110,14 +132,36 @@ let json_sweep ~quick machines =
 
 (* --- experiment driver ---------------------------------------------- *)
 
+(* Extract "--jobs N" / "--jobs=N" from the argument list. *)
+let rec extract_jobs acc = function
+  | [] -> (None, List.rev acc)
+  | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
+      | _ ->
+          Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+          exit 1)
+  | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
+      let n = String.sub arg 7 (String.length arg - 7) in
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
+      | _ ->
+          Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
+          exit 1)
+  | [ "--jobs" ] ->
+      Printf.eprintf "--jobs expects a positive integer\n";
+      exit 1
+  | arg :: rest -> extract_jobs (arg :: acc) rest
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let jobs, args = extract_jobs [] args in
   let quick = List.mem "--quick" args in
   let json = List.mem "--json" args in
   let args =
     List.filter (fun a -> a <> "--quick" && a <> "--full" && a <> "--json") args
   in
-  if json then json_sweep ~quick args
+  if json then json_sweep ?jobs ~quick args
   else
   match args with
   | [ "micro" ] -> micro ()
@@ -129,7 +173,7 @@ let () =
       List.iter
         (fun (name, report) ->
           Printf.printf "\n###### %s ######\n%s%!" name report)
-        (Experiments.all ~quick ())
+        (Experiments.all ~quick ?jobs ())
   | names ->
       List.iter
         (fun name ->

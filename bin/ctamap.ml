@@ -339,16 +339,33 @@ let run_cmd =
         (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
        $ block_arg $ json $ profile))
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run the per-scheme simulations across $(docv) domains (default: \
+           \\$CTAM_JOBS or the machine's core count).  The output is \
+           byte-identical to a serial run.")
+
 let compare_cmd =
-  let run source machine scale block =
+  let run source machine scale block jobs =
     let* prog = load_program source in
     let* machine = get_machine machine scale in
     let params = { Mapping.default_params with block_size = block } in
+    (* Simulate every scheme in parallel, then assemble the table
+       serially so the Base-normalization and row order match the old
+       one-scheme-at-a-time loop exactly. *)
+    let results =
+      Ctam_util.Parallel.map ?domains:jobs
+        (fun scheme -> (scheme, Mapping.run ~params scheme ~machine prog))
+        Mapping.all_schemes
+    in
     let base = ref 1 in
     let rows =
       List.map
-        (fun scheme ->
-          let stats = Mapping.run ~params scheme ~machine prog in
+        (fun (scheme, (stats : Stats.t)) ->
           if scheme = Mapping.Base then base := stats.Stats.cycles;
           [
             Mapping.scheme_name scheme;
@@ -357,7 +374,7 @@ let compare_cmd =
             Printf.sprintf "%.3f"
               (float_of_int stats.Stats.cycles /. float_of_int !base);
           ])
-        Mapping.all_schemes
+        results
     in
     print_string
       (Ctam_exp.Report.table ~geomean:"geomean"
@@ -367,7 +384,10 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare all mapping schemes on one program.")
-    Term.(ret (const run $ source_arg $ machine_arg $ scale_arg $ block_arg))
+    Term.(
+      ret
+        (const run $ source_arg $ machine_arg $ scale_arg $ block_arg
+       $ jobs_arg))
 
 let codegen_cmd =
   let run source machine scale core block =

@@ -31,8 +31,21 @@ let get t j =
   check t j;
   t.words.(j / bits_per_word) land (1 lsl (j mod bits_per_word)) <> 0
 
-let singleton n j = set (create n) j
-let of_list n js = List.fold_left set (create n) js
+(* Builders write one freshly allocated word array in place instead of
+   copying it once per element (Tags.group builds tags through these). *)
+let of_list n js =
+  if n < 0 then invalid_arg "Bitset.create";
+  let words = Array.make (words_for n) 0 in
+  List.iter
+    (fun j ->
+      if j < 0 || j >= n then
+        invalid_arg "Bitset: bit index out of range";
+      words.(j / bits_per_word) <-
+        words.(j / bits_per_word) lor (1 lsl (j mod bits_per_word)))
+    js;
+  { width = n; words }
+
+let singleton n j = of_list n [ j ]
 
 let width t = t.width
 
@@ -66,10 +79,30 @@ let subset a b = fold2 (fun acc x y -> acc && x land lnot y = 0) true a b
 let compare a b = Stdlib.compare (a.width, a.words) (b.width, b.words)
 let hash t = Hashtbl.hash (t.width, t.words)
 
+(* Number of trailing zeros of a one-bit word (x = 1 lsl k returns k). *)
+let ntz x =
+  let n = ref 0 and x = ref x in
+  if !x land 0xFFFFFFFF = 0 then begin n := !n + 32; x := !x lsr 32 end;
+  if !x land 0xFFFF = 0 then begin n := !n + 16; x := !x lsr 16 end;
+  if !x land 0xFF = 0 then begin n := !n + 8; x := !x lsr 8 end;
+  if !x land 0xF = 0 then begin n := !n + 4; x := !x lsr 4 end;
+  if !x land 0x3 = 0 then begin n := !n + 2; x := !x lsr 2 end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
 let iter f t =
-  for j = 0 to t.width - 1 do
-    if t.words.(j / bits_per_word) land (1 lsl (j mod bits_per_word)) <> 0 then
-      f j
+  (* Walk set bits word by word: [w land (-w)] isolates the lowest set
+     bit, [w land (w - 1)] clears it — zero words and the zero tail of
+     each word cost nothing, instead of testing all [width] positions. *)
+  for i = 0 to Array.length t.words - 1 do
+    let w = ref t.words.(i) in
+    if !w <> 0 then begin
+      let base = i * bits_per_word in
+      while !w <> 0 do
+        f (base + ntz (!w land - !w));
+        w := !w land (!w - 1)
+      done
+    end
   done
 
 let to_list t =

@@ -7,14 +7,124 @@ type config = { issue_cost : int; barrier_cost : int }
 
 let default_config = { issue_cost = 1; barrier_cost = 64 }
 
-let run ?(config = default_config) h phases =
-  let topo = Hierarchy.topology h in
-  let n = topo.Ctam_arch.Topology.num_cores in
+(* Shared prologue/epilogue of both engine variants. *)
+
+let check_phases n phases =
   List.iter
     (fun (p : phase) ->
       if Array.length p <> n then
         invalid_arg "Engine.run: phase core-count mismatch")
+    phases
+
+let finish h clock busy total_accesses nphases =
+  {
+    Stats.per_level = Hierarchy.level_stats h;
+    mem_accesses = Hierarchy.mem_accesses h;
+    total_accesses;
+    cycles = Array.fold_left max 0 clock;
+    core_cycles = busy;
+    barriers = max 0 (nphases - 1);
+  }
+
+let run ?(config = default_config) h phases =
+  let topo = Hierarchy.topology h in
+  let n = topo.Ctam_arch.Topology.num_cores in
+  check_phases n phases;
+  Hierarchy.clear h;
+  let probe = Hierarchy.probe h in
+  let observed = not (Probe.is_null probe) in
+  let line_size = Hierarchy.line_size h in
+  let clock = Array.make n 0 in
+  let busy = Array.make n 0 in
+  let total_accesses = ref 0 in
+  let nphases = List.length phases in
+  (* Index min-heap over the cores that still have work, keyed by
+     (clock, core id) lexicographically.  The reference scan picks the
+     smallest clock and breaks ties toward the lowest core id; the
+     lexicographic key makes the heap minimum that exact core, so the
+     event order — and every derived statistic — is bit-identical
+     (proved by the differential tests in test_cachesim). *)
+  let heap = Array.make (max 1 n) 0 in
+  let size = ref 0 in
+  let less a b = clock.(a) < clock.(b) || (clock.(a) = clock.(b) && a < b) in
+  let sift_down i0 =
+    let i = ref i0 in
+    let stop = ref false in
+    while not !stop do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let s = ref !i in
+      if l < !size && less heap.(l) heap.(!s) then s := l;
+      if r < !size && less heap.(r) heap.(!s) then s := r;
+      if !s = !i then stop := true
+      else begin
+        let tmp = heap.(!i) in
+        heap.(!i) <- heap.(!s);
+        heap.(!s) <- tmp;
+        i := !s
+      end
+    done
+  in
+  List.iteri
+    (fun pi streams ->
+      if observed then probe.Probe.on_phase_start ~phase:pi;
+      let pos = Array.make n 0 in
+      (* Event-driven interleaving: the core with the smallest local
+         clock (among cores with work left) issues the next access. *)
+      size := 0;
+      for c = 0 to n - 1 do
+        if Array.length streams.(c) > 0 then begin
+          heap.(!size) <- c;
+          incr size;
+          total_accesses := !total_accesses + Array.length streams.(c)
+        end
+      done;
+      for i = (!size / 2) - 1 downto 0 do
+        sift_down i
+      done;
+      while !size > 0 do
+        let c = heap.(0) in
+        let s = streams.(c) in
+        let addr, write = decode_access s.(pos.(c)) in
+        pos.(c) <- pos.(c) + 1;
+        if observed then
+          probe.Probe.on_access ~core:c ~addr ~line:(addr / line_size) ~write;
+        let lat = Hierarchy.access h ~core:c ~addr ~write in
+        let cost = config.issue_cost + lat in
+        clock.(c) <- clock.(c) + cost;
+        busy.(c) <- busy.(c) + cost;
+        if pos.(c) >= Array.length s then begin
+          decr size;
+          heap.(0) <- heap.(!size)
+        end;
+        (* The root's key only grew (or was replaced): restore the
+           heap by sifting down. *)
+        sift_down 0
+      done;
+      if observed then
+        probe.Probe.on_phase_end ~phase:pi
+          ~cycles:(Array.fold_left max 0 clock);
+      (* Barrier after every phase but the last. *)
+      if pi < nphases - 1 then begin
+        let tmax = Array.fold_left max 0 clock in
+        if observed then probe.Probe.on_barrier_enter ~phase:pi ~cycles:tmax;
+        for c = 0 to n - 1 do
+          clock.(c) <- tmax + config.barrier_cost
+        done;
+        if observed then
+          probe.Probe.on_barrier_exit ~phase:pi
+            ~cycles:(tmax + config.barrier_cost)
+      end)
     phases;
+  finish h clock busy !total_accesses nphases
+
+(* The seed implementation: an O(num_cores) linear scan for the
+   minimum-clock core before every access.  Kept as the reference path
+   for the differential tests and the heap-vs-scan micro-benchmark;
+   not used by any driver. *)
+let run_reference ?(config = default_config) h phases =
+  let topo = Hierarchy.topology h in
+  let n = topo.Ctam_arch.Topology.num_cores in
+  check_phases n phases;
   Hierarchy.clear h;
   let probe = Hierarchy.probe h in
   let observed = not (Probe.is_null probe) in
@@ -27,8 +137,6 @@ let run ?(config = default_config) h phases =
     (fun pi streams ->
       if observed then probe.Probe.on_phase_start ~phase:pi;
       let pos = Array.make n 0 in
-      (* Event-driven interleaving: the core with the smallest local
-         clock (among cores with work left) issues the next access. *)
       let remaining = ref 0 in
       Array.iter (fun s -> remaining := !remaining + Array.length s) streams;
       total_accesses := !total_accesses + !remaining;
@@ -54,7 +162,6 @@ let run ?(config = default_config) h phases =
       if observed then
         probe.Probe.on_phase_end ~phase:pi
           ~cycles:(Array.fold_left max 0 clock);
-      (* Barrier after every phase but the last. *)
       if pi < nphases - 1 then begin
         let tmax = Array.fold_left max 0 clock in
         if observed then probe.Probe.on_barrier_enter ~phase:pi ~cycles:tmax;
@@ -66,14 +173,7 @@ let run ?(config = default_config) h phases =
             ~cycles:(tmax + config.barrier_cost)
       end)
     phases;
-  {
-    Stats.per_level = Hierarchy.level_stats h;
-    mem_accesses = Hierarchy.mem_accesses h;
-    total_accesses = !total_accesses;
-    cycles = Array.fold_left max 0 clock;
-    core_cycles = busy;
-    barriers = max 0 (nphases - 1);
-  }
+  finish h clock busy !total_accesses nphases
 
 let run_serial ?config h stream =
   let topo = Hierarchy.topology h in

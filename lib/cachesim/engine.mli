@@ -38,6 +38,13 @@ val default_config : config
     @raise Invalid_argument on core-count mismatch. *)
 val run : ?config:config -> Hierarchy.t -> phase list -> Stats.t
 
+(** The seed engine: a linear scan over all cores before every access
+    instead of {!run}'s index min-heap.  Identical semantics and event
+    order (ties on equal clocks go to the lowest core id in both);
+    kept as the reference path for differential tests and the
+    heap-vs-scan micro-benchmark. *)
+val run_reference : ?config:config -> Hierarchy.t -> phase list -> Stats.t
+
 (** [run_serial ?config h stream] executes a single stream on core 0 —
     the paper's single-core baseline (Table 2). *)
 val run_serial : ?config:config -> Hierarchy.t -> int array -> Stats.t

@@ -10,12 +10,30 @@ type t = {
   instances : instance array;
   (* paths.(core) = indices into [instances], L1 first (ascending). *)
   paths : int array array;
+  (* Flattened per-core path data, parallel to [paths.(core)]: the hot
+     access loop reads these int/cache arrays instead of chasing
+     [instance] records. *)
+  path_caches : Setassoc.t array array;
+  path_latencies : int array array;
+  path_levels : int array array;
+  (* Per-core instances NOT on the core's path, ascending instance
+     index (the order the seed's whole-array sweep visited them):
+     write-invalidate touches exactly these. *)
+  peer_caches : Setassoc.t array array;
+  peer_levels : int array array;
   coherence : bool;
   line : int;
+  line_shift : int;  (* log2 line when line is a power of two, -1 otherwise *)
+  levels : int array;  (* distinct cache levels, ascending *)
+  level_index : int array;  (* instance index -> index into [levels] *)
   mutable mem_accesses : int;
   mutable probe : Probe.t;
   mutable observed : bool;  (* probe != Probe.null, cached for the hot path *)
 }
+
+let log2_exact n =
+  let rec go s = if 1 lsl s = n then s else go (s + 1) in
+  if n > 0 && n land (n - 1) = 0 then go 0 else -1
 
 let create ?(coherence = true) ?(probe = Probe.null) topo =
   let params = Topology.caches topo in
@@ -53,12 +71,55 @@ let create ?(coherence = true) ?(probe = Probe.null) topo =
         |> List.map (fun (p : Topology.cache_params) -> index_of p.cache_name)
         |> Array.of_list)
   in
+  let path_caches =
+    Array.map (Array.map (fun i -> instances.(i).cache)) paths
+  in
+  let path_latencies =
+    Array.map (Array.map (fun i -> instances.(i).params.latency)) paths
+  in
+  let path_levels =
+    Array.map (Array.map (fun i -> instances.(i).params.level)) paths
+  in
+  let peers_of path =
+    Array.init (Array.length instances) Fun.id
+    |> Array.to_list
+    |> List.filter (fun i -> not (Array.exists (fun j -> j = i) path))
+    |> Array.of_list
+  in
+  let peer_caches =
+    Array.map (fun p -> Array.map (fun i -> instances.(i).cache) (peers_of p)) paths
+  in
+  let peer_levels =
+    Array.map
+      (fun p -> Array.map (fun i -> instances.(i).params.level) (peers_of p))
+      paths
+  in
+  let levels =
+    Array.of_list (List.sort_uniq compare (List.map (fun p -> p.Topology.level) params))
+  in
+  let level_index =
+    Array.map
+      (fun inst ->
+        let rec find i =
+          if levels.(i) = inst.params.level then i else find (i + 1)
+        in
+        find 0)
+      instances
+  in
   {
     topo;
     instances;
     paths;
+    path_caches;
+    path_latencies;
+    path_levels;
+    peer_caches;
+    peer_levels;
     coherence;
     line;
+    line_shift = log2_exact line;
+    levels;
+    level_index;
     mem_accesses = 0;
     probe;
     observed = not (Probe.is_null probe);
@@ -74,21 +135,26 @@ let set_probe t p =
 let access t ~core ~addr ~write =
   if core < 0 || core >= Array.length t.paths then
     invalid_arg "Hierarchy.access: core out of range";
-  let line = addr / t.line in
-  let path = t.paths.(core) in
-  let n = Array.length path in
+  (* Addresses are non-negative, so the shift matches the division. *)
+  let line =
+    if t.line_shift >= 0 then addr lsr t.line_shift else addr / t.line
+  in
+  let caches = t.path_caches.(core) in
+  let latencies = t.path_latencies.(core) in
+  let levels = t.path_levels.(core) in
+  let n = Array.length caches in
   let observed = t.observed in
   (* Probe upward until a hit; accumulate probe latencies. *)
   let latency = ref 0 in
   let hit_at = ref (-1) in
   let k = ref 0 in
   while !hit_at < 0 && !k < n do
-    let inst = t.instances.(path.(!k)) in
-    latency := !latency + inst.params.latency;
-    let hit = Setassoc.access inst.cache line in
+    let cache = caches.(!k) in
+    latency := !latency + latencies.(!k);
+    let hit = Setassoc.access cache line in
     if observed then
-      t.probe.Probe.on_level ~core ~level:inst.params.level
-        ~set:(Setassoc.set_of_line inst.cache line)
+      t.probe.Probe.on_level ~core ~level:levels.(!k)
+        ~set:(Setassoc.set_of_line cache line)
         ~line ~hit;
     if hit then hit_at := !k else incr k
   done;
@@ -101,22 +167,20 @@ let access t ~core ~addr ~write =
      the hit point (all of them on a memory miss). *)
   let fill_upto = if !hit_at < 0 then n - 1 else !hit_at - 1 in
   for j = 0 to fill_upto do
-    let inst = t.instances.(path.(j)) in
-    match Setassoc.insert inst.cache line with
+    match Setassoc.insert caches.(j) line with
     | None -> ()
     | Some victim ->
         if observed then
-          t.probe.Probe.on_evict ~core ~level:inst.params.level ~line:victim
+          t.probe.Probe.on_evict ~core ~level:levels.(j) ~line:victim
   done;
   (* Write-invalidate: peers not on this core's path lose the line. *)
   if write && t.coherence then begin
-    let on_path i = Array.exists (fun j -> j = i) path in
-    Array.iteri
-      (fun i inst ->
-        if not (on_path i) then
-          if Setassoc.invalidate inst.cache line && observed then
-            t.probe.Probe.on_invalidate ~core ~level:inst.params.level ~line)
-      t.instances
+    let pc = t.peer_caches.(core) in
+    let pl = t.peer_levels.(core) in
+    for i = 0 to Array.length pc - 1 do
+      if Setassoc.invalidate pc.(i) line && observed then
+        t.probe.Probe.on_invalidate ~core ~level:pl.(i) ~line
+    done
   end;
   !latency
 
@@ -141,20 +205,19 @@ let miss_latency t ~core =
     t.topo.Topology.mem_latency path
 
 let level_stats t =
-  let by_level = Hashtbl.create 8 in
-  Array.iter
-    (fun inst ->
-      let l = inst.params.level in
-      let h, m =
-        match Hashtbl.find_opt by_level l with Some x -> x | None -> (0, 0)
-      in
-      Hashtbl.replace by_level l
-        (h + Setassoc.hits inst.cache, m + Setassoc.misses inst.cache))
+  (* The level list is fixed at [create] time; one pass over the
+     instances accumulates into per-level slots (no per-call table). *)
+  let n = Array.length t.levels in
+  let hits = Array.make n 0 in
+  let misses = Array.make n 0 in
+  Array.iteri
+    (fun i inst ->
+      let li = t.level_index.(i) in
+      hits.(li) <- hits.(li) + Setassoc.hits inst.cache;
+      misses.(li) <- misses.(li) + Setassoc.misses inst.cache)
     t.instances;
-  Hashtbl.fold
-    (fun level (hits, misses) acc -> { Stats.level; hits; misses } :: acc)
-    by_level []
-  |> List.sort (fun a b -> compare a.Stats.level b.Stats.level)
+  List.init n (fun i ->
+      { Stats.level = t.levels.(i); hits = hits.(i); misses = misses.(i) })
 
 let mem_accesses t = t.mem_accesses
 

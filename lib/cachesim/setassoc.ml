@@ -4,6 +4,7 @@
 type t = {
   sets : int;
   assoc : int;
+  set_mask : int;  (* sets - 1 when sets is a power of two, -1 otherwise *)
   lines : int array;
   mutable hits : int;
   mutable misses : int;
@@ -11,12 +12,23 @@ type t = {
 
 let create ~sets ~assoc =
   if sets <= 0 || assoc <= 0 then invalid_arg "Setassoc.create";
-  { sets; assoc; lines = Array.make (sets * assoc) (-1); hits = 0; misses = 0 }
+  {
+    sets;
+    assoc;
+    set_mask = (if sets land (sets - 1) = 0 then sets - 1 else -1);
+    lines = Array.make (sets * assoc) (-1);
+    hits = 0;
+    misses = 0;
+  }
 
 let sets t = t.sets
 let assoc t = t.assoc
 let capacity_lines t = t.sets * t.assoc
-let set_of_line t line = line mod t.sets
+
+let set_of_line t line =
+  (* Lines are non-negative, so masking matches mod exactly. *)
+  if t.set_mask >= 0 then line land t.set_mask else line mod t.sets
+
 let set_base t line = set_of_line t line * t.assoc
 
 let find_way t base line =

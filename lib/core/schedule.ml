@@ -10,8 +10,16 @@ type t = {
 let default_alpha = 0.5
 let default_beta = 0.5
 
+(* Pending groups live in a fixed array (assignment order) with
+   tombstones: picking a group clears one flag instead of rebuilding a
+   list, and [first] skips the dead prefix.  Scans still visit the
+   array in assignment order, so score ties resolve exactly as the
+   seed's list traversal did. *)
 type core_state = {
-  mutable pending : Iter_group.t list;  (* assignment order *)
+  groups : Iter_group.t array;          (* assignment order, fixed *)
+  alive : bool array;                   (* still pending? *)
+  mutable first : int;                  (* lowest possibly-alive index *)
+  mutable live : int;                   (* number of alive entries *)
   mutable last : Iter_group.t option;   (* last group ever scheduled here *)
   mutable iters : int;                  (* total iterations scheduled *)
 }
@@ -51,7 +59,16 @@ let run ?(alpha = default_alpha) ?(beta = default_beta) ?quantum topo
   in
   let states =
     Array.map
-      (fun groups -> { pending = groups; last = None; iters = 0 })
+      (fun groups ->
+        let arr = Array.of_list groups in
+        {
+          groups = arr;
+          alive = Array.make (Array.length arr) true;
+          first = 0;
+          live = Array.length arr;
+          last = None;
+          iters = 0;
+        })
       assignment
   in
   (* Origin-granularity dependence tracking: a group unit is legal when
@@ -89,21 +106,28 @@ let run ?(alpha = default_alpha) ?(beta = default_beta) ?quantum topo
   let take st f =
     (* Ties prefer the earliest iterations (sequential order), which
        preserves spatial locality when affinity cannot discriminate. *)
+    let m = Array.length st.groups in
+    while st.first < m && not st.alive.(st.first) do
+      st.first <- st.first + 1
+    done;
     let best = ref None in
-    List.iter
-      (fun g ->
+    for i = st.first to m - 1 do
+      if st.alive.(i) then begin
+        let g = st.groups.(i) in
         if legal g then begin
           let s = f g in
           let key = Ctam_poly.Iterset.min_key g.Iter_group.iters in
           match !best with
-          | Some (_, s', k') when s' > s || (s' = s && k' <= key) -> ()
-          | _ -> best := Some (g, s, key)
-        end)
-      st.pending;
+          | Some (_, _, s', k') when s' > s || (s' = s && k' <= key) -> ()
+          | _ -> best := Some (i, g, s, key)
+        end
+      end
+    done;
     match !best with
     | None -> None
-    | Some (g, _, _) ->
-        st.pending <- List.filter (fun x -> x != g) st.pending;
+    | Some (i, g, _, _) ->
+        st.alive.(i) <- false;
+        st.live <- st.live - 1;
         Some g
   in
   let least_ones st =
@@ -111,7 +135,7 @@ let run ?(alpha = default_alpha) ?(beta = default_beta) ?quantum topo
   in
   let rounds = ref [] in
   let any_pending () =
-    Array.exists (fun st -> st.pending <> []) states
+    Array.exists (fun st -> st.live > 0) states
   in
   let round_index = ref 0 in
   let guard = ref 0 in
@@ -134,7 +158,7 @@ let run ?(alpha = default_alpha) ?(beta = default_beta) ?quantum topo
         Array.iteri
           (fun di c ->
             let st = states.(c) in
-            if st.pending <> [] then begin
+            if st.live > 0 then begin
               let prev_last () =
                 if di = 0 then None else states.(dom.(di - 1)).last
               in
@@ -153,7 +177,7 @@ let run ?(alpha = default_alpha) ?(beta = default_beta) ?quantum topo
               (match first_pick with Some g -> sched c g | None -> ());
               let continue = ref (first_pick <> None) in
               while
-                !continue && st.pending <> []
+                !continue && st.live > 0
                 && st.iters - round_start < quantum
               do
                 match take st (fun g -> score ~x:(prev_last ()) ~y:st.last g) with

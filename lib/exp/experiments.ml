@@ -540,5 +540,11 @@ let by_name name =
   | Some f -> f
   | None -> raise Not_found
 
-let all ?(quick = false) () =
-  List.map (fun (name, f) -> (name, f ?quick:(Some quick) ())) registry
+let all ?(quick = false) ?jobs () =
+  (* Experiments are independent (each builds its own machines and
+     hierarchies); run them across domains and emit in registry
+     order.  Only the wall-clock columns of [overhead] are
+     load-sensitive; every simulated number is deterministic. *)
+  Ctam_util.Parallel.map ?domains:jobs
+    (fun (name, f) -> (name, f ?quick:(Some quick) ()))
+    registry

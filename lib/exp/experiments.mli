@@ -64,8 +64,12 @@ val dynamic : ?quick:bool -> unit -> string
 (** The two dependence-handling options of §3.5.2 side by side. *)
 val depmode : ?quick:bool -> unit -> string
 
-(** Every experiment, in paper order, as (name, report). *)
-val all : ?quick:bool -> unit -> (string * string) list
+(** Every experiment, in paper order, as (name, report).  [jobs] runs
+    independent experiments across that many domains
+    ({!Ctam_util.Parallel.map}; default
+    [Parallel.default_domains ()]); the reports come back in registry
+    order either way. *)
+val all : ?quick:bool -> ?jobs:int -> unit -> (string * string) list
 
 (** Look up one experiment runner by name ("fig13", "table2", ...).
     @raise Not_found for unknown names. *)

@@ -58,6 +58,12 @@ val write_file : string -> Ctam_util.Json.t -> unit
     scheme, with cycles normalized to the Base scheme of the same
     machine, and a geomean summary.  [quick] uses quarter-size
     workloads.  The objects are emitted by [bench/main.exe --json] one
-    per line, so trajectories diff cleanly across PRs. *)
+    per line, so trajectories diff cleanly across PRs.
+
+    [jobs] fans the scheme x workload grid out over that many domains
+    ({!Ctam_util.Parallel.map}; default
+    [Parallel.default_domains ()]).  Each task builds its own
+    hierarchy, and the objects are assembled from the collected stats
+    in input order, so the result is byte-identical to [~jobs:1]. *)
 val bench_sweep :
-  quick:bool -> machine:Topology.t -> unit -> Ctam_util.Json.t list
+  ?jobs:int -> quick:bool -> machine:Topology.t -> unit -> Ctam_util.Json.t list

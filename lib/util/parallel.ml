@@ -1,0 +1,57 @@
+(* A dependency-free domain pool for embarrassingly parallel maps.
+
+   Tasks are pulled from a shared atomic counter (work stealing by
+   index), results land in a slot array indexed by input position, so
+   the output order is the input order no matter which domain ran
+   what.  Exceptions raised by [f] are caught per task and re-raised
+   in the parent after every domain has joined; when several tasks
+   fail, the one at the lowest input index wins, which keeps failure
+   behaviour deterministic too. *)
+
+let env_var = "CTAM_JOBS"
+
+let default_domains () =
+  match Sys.getenv_opt env_var with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+type 'b slot = Empty | Value of 'b | Raised of exn
+
+let map ?domains f xs =
+  let domains =
+    match domains with
+    | Some d -> if d < 1 then invalid_arg "Parallel.map: domains" else d
+    | None -> default_domains ()
+  in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if domains = 1 || n <= 1 then List.map f xs
+  else begin
+    let slots = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (slots.(i) <- (try Value (f items.(i)) with e -> Raised e));
+        worker ()
+      end
+    in
+    (* The calling domain works too: n tasks need at most n domains. *)
+    let helpers =
+      Array.init (min domains n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join helpers;
+    Array.to_list
+      (Array.map
+         (function
+           | Value v -> v
+           | Raised e -> raise e
+           | Empty -> assert false)
+         slots)
+  end
+
+let iter ?domains f xs = ignore (map ?domains (fun x -> f x) xs)

@@ -1,0 +1,25 @@
+(** A minimal domain pool (OCaml 5 [Domain]s, no dependencies).
+
+    Built for the experiment drivers: every task constructs its own
+    simulator state, so tasks share nothing mutable and a parallel run
+    is observationally identical to the serial one. *)
+
+(** Name of the environment variable consulted by {!default_domains}
+    ("CTAM_JOBS"). *)
+val env_var : string
+
+(** Domains used when [?domains] is omitted: [$CTAM_JOBS] if set to a
+    positive integer, else [Domain.recommended_domain_count ()]. *)
+val default_domains : unit -> int
+
+(** [map ?domains f xs] is [List.map f xs], computed by up to
+    [domains] domains (including the caller).  Results are returned in
+    input order regardless of completion order.  If [f] raises on some
+    element, the exception for the lowest-index failing element is
+    re-raised after all domains have joined.  [~domains:1] runs
+    serially in the calling domain (no spawns).
+    @raise Invalid_argument if [domains < 1]. *)
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [iter ?domains f xs] is {!map} with the results discarded. *)
+val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit

@@ -5,11 +5,21 @@
 # `bench/main.exe --json`, running each machine separately so partial
 # completion still leaves a valid bench_output.json prefix.  Each
 # object carries per-workload cycles / memory accesses / barriers plus
-# the geomean-vs-Base summary (see DESIGN.md, "Observability").
+# the geomean-vs-Base summary (see DESIGN.md, "Observability"), and
+# each machine's sweep is followed by a {"machine",...,"sweep_seconds"}
+# wall-clock record so trajectory diffs surface perf regressions too.
+#
+# Honors $CTAM_JOBS (see lib/util/parallel.ml); pass --jobs through
+# explicitly with e.g. `CTAM_JOBS=4 ./run_bench_incremental.sh`.
 set -e
 OUT=${1:-bench_output.json}
 : > "$OUT"
 for m in harpertown nehalem dunnington; do
+  t0=$(date +%s.%N)
   ./_build/default/bench/main.exe --quick --json "$m" >> "$OUT" \
     || echo "{\"machine\":\"$m\",\"error\":\"bench failed\"}" >> "$OUT"
+  t1=$(date +%s.%N)
+  awk -v m="$m" -v a="$t0" -v b="$t1" \
+    'BEGIN { printf "{\"machine\":\"%s\",\"sweep_seconds\":%.3f}\n", m, b - a }' \
+    >> "$OUT"
 done

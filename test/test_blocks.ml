@@ -66,6 +66,57 @@ let prop_union_count =
       Bitset.count (Bitset.union a b) + Bitset.dot a b
       = Bitset.count a + Bitset.count b)
 
+(* of_list builds its one array in place and iter walks words with the
+   low-bit tricks; both must agree with the naive fold/per-bit
+   definitions, across word boundaries (width > 63). *)
+let prop_of_list_equals_fold_of_set =
+  let arb =
+    QCheck.(
+      pair (int_range 1 200)
+        (list_of_size (Gen.int_range 0 40) (int_range 0 199)))
+  in
+  QCheck.Test.make ~name:"of_list = fold of set" ~count:200 arb
+    (fun (n, js) ->
+      let js = List.filter (fun j -> j < n) js in
+      let direct = Bitset.of_list n js in
+      let folded =
+        List.fold_left (fun b j -> Bitset.set b j) (Bitset.create n) js
+      in
+      Bitset.equal direct folded && Bitset.compare direct folded = 0
+      && Bitset.hash direct = Bitset.hash folded)
+
+let prop_iter_equals_naive_walk =
+  let arb =
+    QCheck.(
+      pair (int_range 1 200)
+        (list_of_size (Gen.int_range 0 40) (int_range 0 199)))
+  in
+  QCheck.Test.make ~name:"iter/to_list = naive per-bit walk" ~count:200 arb
+    (fun (n, js) ->
+      let js = List.filter (fun j -> j < n) js in
+      let b = Bitset.of_list n js in
+      let naive = ref [] in
+      for j = n - 1 downto 0 do
+        if Bitset.get b j then naive := j :: !naive
+      done;
+      let via_iter = ref [] in
+      Bitset.iter (fun j -> via_iter := j :: !via_iter) b;
+      List.rev !via_iter = !naive && Bitset.to_list b = !naive)
+
+let test_bitset_singleton () =
+  (* bit 127 lives in the second word *)
+  let s = Bitset.singleton 130 127 in
+  check_int "count" 1 (Bitset.count s);
+  check_bool "the bit" true (Bitset.get s 127);
+  check_bool "equals of_list" true
+    (Bitset.equal s (Bitset.of_list 130 [ 127 ]));
+  Alcotest.check_raises "oob singleton"
+    (Invalid_argument "Bitset: bit index out of range") (fun () ->
+      ignore (Bitset.singleton 10 10));
+  Alcotest.check_raises "of_list oob"
+    (Invalid_argument "Bitset: bit index out of range") (fun () ->
+      ignore (Bitset.of_list 10 [ 3; 11 ]))
+
 (* --- Block_map ------------------------------------------------------ *)
 
 let two_arrays =
@@ -282,8 +333,11 @@ let () =
           Alcotest.test_case "ops" `Quick test_bitset_ops;
           Alcotest.test_case "string" `Quick test_bitset_string;
           Alcotest.test_case "bounds" `Quick test_bitset_bounds;
+          Alcotest.test_case "singleton" `Quick test_bitset_singleton;
           QCheck_alcotest.to_alcotest prop_dot_symmetric;
           QCheck_alcotest.to_alcotest prop_union_count;
+          QCheck_alcotest.to_alcotest prop_of_list_equals_fold_of_set;
+          QCheck_alcotest.to_alcotest prop_iter_equals_naive_walk;
         ] );
       ( "block_map",
         [

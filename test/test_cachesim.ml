@@ -224,6 +224,276 @@ let test_encode_roundtrip () =
       check_bool "write" w w')
     [ (0, false); (12345, true); (1 lsl 40, false) ]
 
+(* --- Differential tests of the optimized hot path ------------------- *)
+
+(* A naive, self-contained model of the seed cache semantics:
+   per-set MRU-first lists, plain div/mod indexing, no flattened
+   arrays, no shift/mask fast paths.  The optimized Setassoc/Hierarchy
+   must agree with it access for access — including on non-power-of-two
+   line sizes and set counts, where the fast paths must fall back. *)
+module Naive = struct
+  type cache = {
+    sets : int;
+    assoc : int;
+    latency : int;
+    level : int;
+    data : int list array;  (* per set, MRU first *)
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let cache ~sets ~assoc ~latency ~level =
+    { sets; assoc; latency; level; data = Array.make sets []; hits = 0; misses = 0 }
+
+  let set_of c line = line mod c.sets
+
+  let access c line =
+    let s = set_of c line in
+    if List.mem line c.data.(s) then begin
+      c.hits <- c.hits + 1;
+      c.data.(s) <- line :: List.filter (fun l -> l <> line) c.data.(s);
+      true
+    end
+    else begin
+      c.misses <- c.misses + 1;
+      false
+    end
+
+  let insert c line =
+    let s = set_of c line in
+    if List.mem line c.data.(s) then
+      c.data.(s) <- line :: List.filter (fun l -> l <> line) c.data.(s)
+    else begin
+      let d = line :: c.data.(s) in
+      c.data.(s) <-
+        (if List.length d > c.assoc then List.filteri (fun i _ -> i < c.assoc) d
+         else d)
+    end
+
+  let invalidate c line =
+    let s = set_of c line in
+    if List.mem line c.data.(s) then begin
+      c.data.(s) <- List.filter (fun l -> l <> line) c.data.(s);
+      true
+    end
+    else false
+
+  (* A 2-core machine: private L1s, shared L2, like [tiny_machine] but
+     parametric in line size and set counts. *)
+  type machine = {
+    line : int;
+    mem_latency : int;
+    l1 : cache array;  (* per core *)
+    l2 : cache;
+    mutable mem_accesses : int;
+  }
+
+  let machine ~line ~l1_sets ~l2_sets ~assoc ~mem_latency =
+    {
+      line;
+      mem_latency;
+      l1 =
+        Array.init 2 (fun _ -> cache ~sets:l1_sets ~assoc ~latency:2 ~level:1);
+      l2 = cache ~sets:l2_sets ~assoc ~latency:10 ~level:2;
+      mem_accesses = 0;
+    }
+
+  let maccess m ~core ~addr ~write =
+    let line = addr / m.line in
+    let path = [ m.l1.(core); m.l2 ] in
+    let latency = ref 0 in
+    let rec probe = function
+      | [] ->
+          m.mem_accesses <- m.mem_accesses + 1;
+          latency := !latency + m.mem_latency;
+          List.iter (fun c -> insert c line) path
+      | c :: rest ->
+          latency := !latency + c.latency;
+          if access c line then
+            (* fill everything below the hit point *)
+            List.iter
+              (fun c' -> if c'.level < c.level then insert c' line)
+              path
+          else probe rest
+    in
+    probe path;
+    if write then ignore (invalidate m.l1.(1 - core) line);
+    !latency
+
+  let level_stats m =
+    let l1h = m.l1.(0).hits + m.l1.(1).hits in
+    let l1m = m.l1.(0).misses + m.l1.(1).misses in
+    [
+      { Stats.level = 1; hits = l1h; misses = l1m };
+      { Stats.level = 2; hits = m.l2.hits; misses = m.l2.misses };
+    ]
+end
+
+let param_machine ~line ~l1_sets ~l2_sets ~assoc =
+  let l1 id =
+    Topology.Cache
+      ( {
+          Topology.cache_name = Printf.sprintf "L1#%d" id;
+          level = 1;
+          size_bytes = l1_sets * assoc * line;
+          assoc;
+          line;
+          latency = 2;
+        },
+        [ Topology.Core id ] )
+  in
+  Topology.make ~name:"param" ~clock_ghz:1. ~mem_latency:100
+    [
+      Topology.Cache
+        ( {
+            Topology.cache_name = "L2#0";
+            level = 2;
+            size_bytes = l2_sets * assoc * line;
+            assoc;
+            line;
+            latency = 10;
+          },
+          [ l1 0; l1 1 ] );
+    ]
+
+(* (line, l1_sets, l2_sets, assoc): power-of-two and non-power-of-two
+   line sizes and set counts, so both the shift/mask fast paths and the
+   div/mod fallbacks are exercised. *)
+let diff_configs =
+  [ (64, 2, 8, 2); (48, 2, 8, 2); (64, 3, 5, 2); (48, 3, 7, 3); (32, 1, 6, 4) ]
+
+let access_gen =
+  QCheck.(
+    list_of_size (Gen.int_range 1 300)
+      (triple (int_range 0 1) (int_range 0 4095) bool))
+
+let prop_hierarchy_matches_naive_model =
+  QCheck.Test.make ~name:"Hierarchy.access matches naive seed model" ~count:60
+    access_gen
+    (fun accesses ->
+      List.for_all
+        (fun (line, l1_sets, l2_sets, assoc) ->
+          let h =
+            Hierarchy.create (param_machine ~line ~l1_sets ~l2_sets ~assoc)
+          in
+          let m =
+            Naive.machine ~line ~l1_sets ~l2_sets ~assoc ~mem_latency:100
+          in
+          List.for_all
+            (fun (core, addr, write) ->
+              Hierarchy.access h ~core ~addr ~write
+              = Naive.maccess m ~core ~addr ~write)
+            accesses
+          && Hierarchy.level_stats h = Naive.level_stats m
+          && Hierarchy.mem_accesses h = m.Naive.mem_accesses)
+        diff_configs)
+
+(* Probe event log, for comparing full event sequences. *)
+type event =
+  | Access of int * int * int * bool
+  | Level of int * int * int * int * bool
+  | Mem of int * int
+  | Evict of int * int * int
+  | Invalidate of int * int * int
+  | Phase_start of int
+  | Phase_end of int * int
+  | Barrier_enter of int * int
+  | Barrier_exit of int * int
+
+let recording_probe log =
+  let push e = log := e :: !log in
+  {
+    Probe.on_access = (fun ~core ~addr ~line ~write -> push (Access (core, addr, line, write)));
+    on_level =
+      (fun ~core ~level ~set ~line ~hit -> push (Level (core, level, set, line, hit)));
+    on_mem = (fun ~core ~line -> push (Mem (core, line)));
+    on_evict = (fun ~core ~level ~line -> push (Evict (core, level, line)));
+    on_invalidate =
+      (fun ~core ~level ~line -> push (Invalidate (core, level, line)));
+    on_phase_start = (fun ~phase -> push (Phase_start phase));
+    on_phase_end = (fun ~phase ~cycles -> push (Phase_end (phase, cycles)));
+    on_barrier_enter =
+      (fun ~phase ~cycles -> push (Barrier_enter (phase, cycles)));
+    on_barrier_exit =
+      (fun ~phase ~cycles -> push (Barrier_exit (phase, cycles)));
+  }
+
+(* Random phases for the 2-core parametric machines: each phase gives
+   each core an independent stream (possibly empty — idle cores are the
+   interesting heap edge case). *)
+let phases_gen =
+  QCheck.(
+    list_of_size (Gen.int_range 1 4)
+      (pair
+         (list_of_size (Gen.int_range 0 60) (pair (int_range 0 4095) bool))
+         (list_of_size (Gen.int_range 0 60) (pair (int_range 0 4095) bool))))
+
+let phases_of_spec spec =
+  List.map
+    (fun (s0, s1) ->
+      let enc s =
+        Array.of_list
+          (List.map (fun (a, w) -> Engine.encode_access ~addr:a ~write:w) s)
+      in
+      [| enc s0; enc s1 |])
+    spec
+
+let run_logged runner ~machine phases =
+  let log = ref [] in
+  let h = Hierarchy.create ~probe:(recording_probe log) machine in
+  let stats = runner h phases in
+  (stats, List.rev !log)
+
+let prop_heap_engine_matches_scan =
+  QCheck.Test.make
+    ~name:"heap Engine.run == scan Engine.run_reference (stats + events)"
+    ~count:60 phases_gen
+    (fun spec ->
+      let phases = phases_of_spec spec in
+      List.for_all
+        (fun (line, l1_sets, l2_sets, assoc) ->
+          let machine = param_machine ~line ~l1_sets ~l2_sets ~assoc in
+          let s_heap, e_heap = run_logged Engine.run ~machine phases in
+          let s_scan, e_scan = run_logged Engine.run_reference ~machine phases in
+          s_heap = s_scan && e_heap = e_scan)
+        diff_configs)
+
+let test_engine_heap_vs_scan_multicore () =
+  (* Same differential on a real 16-core machine with a deeper
+     hierarchy, deterministic streams. *)
+  let machine = Ctam_arch.Machines.dunnington ~scale:64 () in
+  let n = machine.Topology.num_cores in
+  let mk_phase seed len =
+    Array.init n (fun c ->
+        if (c + seed) mod 3 = 2 then [||]
+        else
+          Array.init len (fun i ->
+              Engine.encode_access
+                ~addr:(((c * 977) + (i * 64) + (seed * 131)) mod 65536)
+                ~write:((i + c) mod 5 = 0)))
+  in
+  let phases = [ mk_phase 0 40; mk_phase 1 25; mk_phase 2 33 ] in
+  let s_heap, e_heap = run_logged Engine.run ~machine phases in
+  let s_scan, e_scan = run_logged Engine.run_reference ~machine phases in
+  check_bool "stats identical" true (s_heap = s_scan);
+  check_int "event count" (List.length e_scan) (List.length e_heap);
+  check_bool "event sequences identical" true (e_heap = e_scan)
+
+let test_setassoc_non_pow2_sets () =
+  (* sets = 3: the mask fast path must not engage; mapping is mod 3. *)
+  let c = Setassoc.create ~sets:3 ~assoc:2 in
+  check_int "set of 7" 1 (Setassoc.set_of_line c 7);
+  check_int "set of 9" 0 (Setassoc.set_of_line c 9);
+  ignore (Setassoc.insert c 0);
+  ignore (Setassoc.insert c 3);
+  (* set 0 full; 6 evicts the LRU (0). *)
+  Alcotest.(check (option int)) "evicts in mod-3 set" (Some 0)
+    (Setassoc.insert c 6);
+  check_bool "3 survives" true (Setassoc.contains c 3);
+  (* 1 lives in set 1, untouched. *)
+  ignore (Setassoc.insert c 1);
+  check_bool "set 1 disjoint" true (Setassoc.contains c 1)
+
 (* --- Reuse ------------------------------------------------------------ *)
 
 let test_reuse_simple () =
@@ -292,6 +562,8 @@ let () =
           Alcotest.test_case "sets disjoint" `Quick test_setassoc_sets_disjoint;
           Alcotest.test_case "invalidate" `Quick test_setassoc_invalidate;
           Alcotest.test_case "clear" `Quick test_setassoc_clear;
+          Alcotest.test_case "non-power-of-two sets" `Quick
+            test_setassoc_non_pow2_sets;
           QCheck_alcotest.to_alcotest prop_lru_never_exceeds_capacity;
           QCheck_alcotest.to_alcotest prop_access_after_insert_hits;
         ] );
@@ -301,6 +573,7 @@ let () =
           Alcotest.test_case "inclusive fill" `Quick test_hierarchy_inclusive_fill;
           Alcotest.test_case "coherence" `Quick test_hierarchy_coherence;
           Alcotest.test_case "stats" `Quick test_hierarchy_stats;
+          QCheck_alcotest.to_alcotest prop_hierarchy_matches_naive_model;
         ] );
       ( "reuse",
         [
@@ -319,5 +592,8 @@ let () =
             test_engine_sharing_constructive;
           Alcotest.test_case "core mismatch" `Quick test_engine_core_count_mismatch;
           Alcotest.test_case "encode roundtrip" `Quick test_encode_roundtrip;
+          Alcotest.test_case "heap vs scan, 16-core machine" `Quick
+            test_engine_heap_vs_scan_multicore;
+          QCheck_alcotest.to_alcotest prop_heap_engine_matches_scan;
         ] );
     ]

@@ -75,6 +75,42 @@ let prop_geomean_between =
       let mx = List.fold_left max 0. vs in
       g >= mn -. 1e-9 && g <= mx +. 1e-9)
 
+(* --- parallel bench sweep ------------------------------------------- *)
+
+(* The acceptance bar of the parallel driver: --jobs must not change a
+   single byte of the JSONL trajectories.  Run the full sweep serially
+   and on 4 domains and compare the minified rendering line for line.
+   (scale 64 keeps the caches tiny so the quick sweep stays cheap.) *)
+let test_bench_sweep_parallel_deterministic () =
+  let machine = Ctam_arch.Machines.harpertown ~scale:64 () in
+  let render objs =
+    List.map (Ctam_util.Json.to_string ~minify:true) objs
+  in
+  let serial = render (Run_report.bench_sweep ~jobs:1 ~quick:true ~machine ()) in
+  let parallel =
+    render (Run_report.bench_sweep ~jobs:4 ~quick:true ~machine ())
+  in
+  Alcotest.(check (list string)) "byte-identical JSONL" serial parallel;
+  check_bool "one object per scheme" true
+    (List.length serial = List.length Ctam_core.Mapping.all_schemes)
+
+let test_experiments_all_parallel_deterministic () =
+  (* Same property for the experiment registry, on a cheap subset:
+     table1 is pure topology rendering, dep_stats is analysis only.
+     Experiments.all runs everything, so compare by_name runs under the
+     hood instead: registry order and report text must not depend on
+     domains. *)
+  let t1_serial = Experiments.by_name "table1" ~quick:true () in
+  let results =
+    Ctam_util.Parallel.map ~domains:3
+      (fun name -> (name, Experiments.by_name name ~quick:true ()))
+      [ "table1"; "depstats" ]
+  in
+  check_bool "parallel table1 identical" true
+    (List.assoc "table1" results = t1_serial);
+  check_bool "dep_stats nonempty" true
+    (String.length (List.assoc "depstats" results) > 0)
+
 let () =
   Alcotest.run "exp"
     [
@@ -88,5 +124,12 @@ let () =
           Alcotest.test_case "normalized" `Quick test_normalized;
           Alcotest.test_case "means" `Quick test_means;
           QCheck_alcotest.to_alcotest prop_geomean_between;
+        ] );
+      ( "parallel drivers",
+        [
+          Alcotest.test_case "bench_sweep byte-identical at any --jobs"
+            `Slow test_bench_sweep_parallel_deterministic;
+          Alcotest.test_case "experiments deterministic under domains" `Quick
+            test_experiments_all_parallel_deterministic;
         ] );
     ]

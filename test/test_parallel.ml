@@ -1,0 +1,117 @@
+(* Tests for the dependency-free domain pool behind the parallel
+   experiment drivers.  The contract under test: Parallel.map is
+   observationally List.map — same results, same order, deterministic
+   exception choice — at any domain count. *)
+
+open Ctam_util
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+exception Boom of int
+
+let test_matches_list_map () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 7 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "domains=%d" domains)
+        (List.map f xs)
+        (Parallel.map ~domains f xs))
+    [ 1; 2; 3; 4; 8 ];
+  Alcotest.(check (list int))
+    "default domains" (List.map f xs) (Parallel.map f xs)
+
+let test_order_under_uneven_work () =
+  (* Make early elements slow so later ones finish first; the result
+     must still come back in input order. *)
+  let xs = List.init 16 (fun i -> i) in
+  let f x =
+    if x < 4 then begin
+      let acc = ref 0 in
+      for i = 0 to 200_000 do
+        acc := !acc + (i mod 7)
+      done;
+      ignore !acc
+    end;
+    x * 10
+  in
+  Alcotest.(check (list int))
+    "input order preserved" (List.map f xs)
+    (Parallel.map ~domains:4 f xs)
+
+let test_edge_shapes () =
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~domains:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Parallel.map ~domains:4 succ [ 1 ]);
+  (* more domains than tasks *)
+  Alcotest.(check (list int))
+    "domains > tasks" [ 2; 3 ]
+    (Parallel.map ~domains:8 succ [ 1; 2 ])
+
+let test_serial_degenerate () =
+  (* ~domains:1 must not spawn: it runs in the calling domain, so
+     side effects happen in list order. *)
+  let seen = ref [] in
+  let r =
+    Parallel.map ~domains:1
+      (fun x ->
+        seen := x :: !seen;
+        -x)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "results" [ -1; -2; -3 ] r;
+  Alcotest.(check (list int)) "evaluation order" [ 3; 2; 1 ] !seen
+
+let test_exception_propagation () =
+  List.iter
+    (fun domains ->
+      match
+        Parallel.map ~domains
+          (fun x -> if x mod 3 = 2 then raise (Boom x) else x)
+          (List.init 20 (fun i -> i))
+      with
+      | _ -> Alcotest.failf "domains=%d: expected Boom" domains
+      | exception Boom n ->
+          (* lowest failing index wins, deterministically *)
+          check_int (Printf.sprintf "domains=%d lowest index" domains) 2 n)
+    [ 1; 2; 4 ]
+
+let test_invalid_domains () =
+  check_bool "domains=0 rejected" true
+    (try
+       ignore (Parallel.map ~domains:0 succ [ 1 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_iter () =
+  let sum = Atomic.make 0 in
+  Parallel.iter ~domains:4
+    (fun x -> ignore (Atomic.fetch_and_add sum x))
+    (List.init 50 (fun i -> i));
+  check_int "iter visits everything" (50 * 49 / 2) (Atomic.get sum)
+
+let test_default_domains () =
+  check_bool "default_domains >= 1" true (Parallel.default_domains () >= 1);
+  check_bool "env var name" true (Parallel.env_var = "CTAM_JOBS")
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "equals List.map" `Quick test_matches_list_map;
+          Alcotest.test_case "order under uneven work" `Quick
+            test_order_under_uneven_work;
+          Alcotest.test_case "edge shapes" `Quick test_edge_shapes;
+          Alcotest.test_case "domains=1 is serial" `Quick test_serial_degenerate;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "invalid domains" `Quick test_invalid_domains;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "iter" `Quick test_iter;
+          Alcotest.test_case "default_domains" `Quick test_default_domains;
+        ] );
+    ]
