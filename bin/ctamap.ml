@@ -213,14 +213,22 @@ let simulate_cmd =
            $ block_arg))
 
 let run_cmd =
-  let run source machine scale scheme block json profile =
+  let run source machine scale scheme block json profile check =
     let* prog, frontend_timings = load_program_timed source in
     let* machine = get_machine machine scale in
     let* scheme = scheme_of_string scheme in
     let params = { Mapping.default_params with block_size = block } in
     let p =
-      Ctam_exp.Run_report.profile ~params ~frontend_timings scheme ~machine
-        prog
+      Ctam_exp.Run_report.profile ~params ~frontend_timings ~check scheme
+        ~machine prog
+    in
+    let* () =
+      match p.Ctam_exp.Run_report.verify with
+      | None -> Ok ()
+      | Some r ->
+          Fmt.pr "%a@." Ctam_verify.Verify.pp_report r;
+          if Ctam_verify.Verify.ok r then Ok ()
+          else Error "mapping verification failed"
     in
     Fmt.pr "%s on %s (%s):@.%a@." prog.Program.name machine.Topology.name
       (Mapping.scheme_name scheme)
@@ -328,6 +336,15 @@ let run_cmd =
             "Print compile-phase timings, per-core/per-level counters, \
              per-group miss attribution and the reuse split.")
   in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Run the mapping legality checker before simulating; the \
+             verdict is printed, added to the JSON report, and a violation \
+             exits non-zero (see the $(b,check) command).")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
@@ -337,7 +354,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
-       $ block_arg $ json $ profile))
+       $ block_arg $ json $ profile $ check))
 
 let jobs_arg =
   Arg.(
@@ -535,6 +552,130 @@ let emit_c_cmd =
       ret (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
            $ block_arg $ output))
 
+let check_cmd =
+  let run source machine scale scheme block all_schemes inject json =
+    let* prog = load_program source in
+    let* machine = get_machine machine scale in
+    let* schemes =
+      if all_schemes then Ok Mapping.all_schemes
+      else
+        match scheme_of_string scheme with
+        | Ok s -> Ok [ s ]
+        | Error e -> Error e
+    in
+    let* inject =
+      match inject with
+      | None -> Ok None
+      | Some s -> (
+          match Ctam_verify.Inject.of_string s with
+          | Ok c -> Ok (Some c)
+          | Error e -> Error e)
+    in
+    let params = { Mapping.default_params with block_size = block } in
+    let reports =
+      List.map
+        (fun scheme ->
+          let compiled = Mapping.compile ~params scheme ~machine prog in
+          let compiled =
+            match inject with
+            | None -> compiled
+            | Some corruption ->
+                let compiled, what =
+                  Ctam_verify.Inject.apply corruption compiled
+                in
+                Fmt.pr "injected (%s): %s@."
+                  (Ctam_verify.Inject.to_string corruption)
+                  what;
+                compiled
+          in
+          let r = Ctam_verify.Verify.check compiled in
+          Fmt.pr "%s / %s / %s:@.%a@." prog.Program.name machine.Topology.name
+            (Mapping.scheme_name scheme) Ctam_verify.Verify.pp_report r;
+          (scheme, r))
+        schemes
+    in
+    let* () =
+      match json with
+      | None -> Ok ()
+      | Some path -> (
+          let j =
+            Ctam_util.Json.Obj
+              [
+                ("program", Ctam_util.Json.String prog.Program.name);
+                ("machine", Ctam_util.Json.String machine.Topology.name);
+                ( "inject",
+                  match inject with
+                  | None -> Ctam_util.Json.Null
+                  | Some c ->
+                      Ctam_util.Json.String (Ctam_verify.Inject.to_string c) );
+                ( "checks",
+                  Ctam_util.Json.List
+                    (List.map
+                       (fun (scheme, r) ->
+                         Ctam_util.Json.Obj
+                           [
+                             ( "scheme",
+                               Ctam_util.Json.String (Mapping.scheme_name scheme)
+                             );
+                             ("report", Ctam_verify.Verify.to_json r);
+                           ])
+                       reports) );
+              ]
+          in
+          try
+            let oc = open_out path in
+            output_string oc (Ctam_util.Json.to_string j);
+            output_char oc '\n';
+            close_out oc;
+            Fmt.pr "wrote %s@." path;
+            Ok ()
+          with Sys_error msg -> Error ("cannot write report: " ^ msg))
+    in
+    let bad =
+      List.filter (fun (_, r) -> not (Ctam_verify.Verify.ok r)) reports
+    in
+    if bad = [] then `Ok ()
+    else
+      `Error
+        ( false,
+          Printf.sprintf "mapping verification failed (%d scheme(s))"
+            (List.length bad) )
+  in
+  let all_schemes =
+    Arg.(
+      value & flag
+      & info [ "all-schemes" ] ~doc:"Check every mapping scheme in turn.")
+  in
+  let inject =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "inject" ] ~docv:"MODE"
+          ~doc:
+            "Deliberately corrupt the compiled mapping before checking \
+             (bad-coverage or bad-order); the check must then fail, proving \
+             the checker detects broken mappings.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the verification report as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Verify a compiled mapping end to end: iteration coverage and \
+          disjointness against the nest domains, codegen faithfulness, \
+          dependence legality across phases, trace-level race freedom, and \
+          topology well-formedness.  Exits non-zero if any invariant is \
+          violated.")
+    Term.(
+      ret
+        (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
+       $ block_arg $ all_schemes $ inject $ json))
+
 let experiment_cmd =
   let run name quick =
     match Ctam_exp.Experiments.by_name name with
@@ -570,6 +711,6 @@ let () =
        (Cmd.group ~default info
           [
             machines_cmd; groups_cmd; map_cmd; run_cmd; simulate_cmd;
-            compare_cmd; codegen_cmd; dump_cmd; emit_c_cmd; reuse_cmd;
-            experiment_cmd;
+            compare_cmd; codegen_cmd; check_cmd; dump_cmd; emit_c_cmd;
+            reuse_cmd; experiment_cmd;
           ]))

@@ -38,7 +38,10 @@ let tokenize text =
           incr i
         done;
         if !i >= n then fail "unterminated string";
-        flush ()
+        (* A closed quote always yields an atom — [flush] alone would
+           silently drop the empty string [""]. *)
+        toks := `Atom (Buffer.contents buf) :: !toks;
+        Buffer.clear buf
     | ' ' | '\t' | '\n' | '\r' -> flush ()
     | c -> Buffer.add_char buf c);
     incr i

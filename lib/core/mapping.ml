@@ -52,6 +52,7 @@ type nest_plan = {
 
 type compiled = {
   scheme : scheme;
+  params : params;
   map_topo : Topology.t;
   machine : Topology.t;
   program : Program.t;
@@ -426,6 +427,7 @@ let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
   in
   {
     scheme;
+    params;
     map_topo;
     machine;
     program;

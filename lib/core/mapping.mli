@@ -56,6 +56,7 @@ type nest_plan = {
 
 type compiled = {
   scheme : scheme;
+  params : params;            (** the parameters the mapping was built with *)
   map_topo : Topology.t;      (** topology the mapping was built for *)
   machine : Topology.t;       (** machine the phases are shaped for *)
   program : Program.t;

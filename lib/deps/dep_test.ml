@@ -176,7 +176,17 @@ let omega_pair_test dom r1 r2 =
     coeffs.(level) <- -sign;
     coeffs.(d + level) <- sign;
     sys := Fm.add_ge !sys coeffs (-1);
-    Fm.rational_feasible !sys
+    match Fm.feasibility !sys with
+    | Fm.Unsat -> false
+    | Fm.Sat -> true
+    | Fm.MaybeSat ->
+        (* Elimination hit the growth cap: nothing proven, so answer
+           "maybe dependent" — conservative, matching the old capped
+           behaviour, but no longer silent. *)
+        Logs.debug (fun m ->
+            m "Dep_test: FM cap exceeded at level %d; assuming dependence"
+              level);
+        true
   in
   let any =
     List.exists

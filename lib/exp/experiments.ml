@@ -28,11 +28,32 @@ let program_of ~quick k =
   if quick then Kernel.program ~size:(max 32 (k.Kernel.default_size / 2)) k
   else Kernel.program k
 
-let cycles ?params ?map_topo scheme ~machine prog =
-  (Mapping.run ?params ?map_topo scheme ~machine prog).Stats.cycles
+(* Debug hook: with CTAM_CHECK set (to anything but "" or "0") every
+   mapping the experiment drivers compile is run through the
+   {!Ctam_verify} legality checker first, and a violation aborts the
+   experiment with the full diagnostic.  Off by default — the checker
+   re-enumerates every iteration point, roughly doubling compile
+   time. *)
+let verify_enabled =
+  match Sys.getenv_opt "CTAM_CHECK" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
 
 let run_stats ?params ?map_topo scheme ~machine prog =
-  Mapping.run ?params ?map_topo scheme ~machine prog
+  if verify_enabled then begin
+    let c = Mapping.compile ?params ?map_topo scheme ~machine prog in
+    let r = Ctam_verify.Verify.check c in
+    if not (Ctam_verify.Verify.ok r) then
+      failwith
+        (Fmt.str "CTAM_CHECK %s / %s / %s:@.%a" prog.Program.name
+           machine.Topology.name (Mapping.scheme_name scheme)
+           Ctam_verify.Verify.pp_report r);
+    Mapping.simulate c
+  end
+  else Mapping.run ?params ?map_topo scheme ~machine prog
+
+let cycles ?params ?map_topo scheme ~machine prog =
+  (run_stats ?params ?map_topo scheme ~machine prog).Stats.cycles
 
 (* ------------------------------------------------------------------ *)
 

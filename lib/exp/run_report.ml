@@ -11,6 +11,7 @@ type profile = {
   reuse : Probe_sinks.Reuse_split.t;
   legend : (int * (string * int)) list;
   sim_seconds : float;
+  verify : Ctam_verify.Verify.report option;
   report : J.t;
 }
 
@@ -189,10 +190,13 @@ let conflicts_json reuse =
        (Probe_sinks.Reuse_split.conflicts reuse))
 
 let profile ?(params = Mapping.default_params) ?config
-    ?(frontend_timings = []) scheme ~machine program =
+    ?(frontend_timings = []) ?(check = false) scheme ~machine program =
   let now = Unix.gettimeofday in
   let compiled =
     Mapping.compile ~params ~clock:now scheme ~machine program
+  in
+  let verify =
+    if check then Some (Ctam_verify.Verify.check compiled) else None
   in
   let segments, legend = Mapping.segments compiled in
   let counters = Probe_sinks.Counters.create ~segments machine in
@@ -209,7 +213,7 @@ let profile ?(params = Mapping.default_params) ?config
   in
   let report =
     J.Obj
-      [
+      ([
         ("ctam_report_version", J.Int 1);
         ("program", J.String program.Program.name);
         ("scheme", scheme_json scheme);
@@ -242,8 +246,12 @@ let profile ?(params = Mapping.default_params) ?config
                 J.Int (Probe_sinks.Counters.invalidations_total counters) );
             ] );
       ]
+      @
+      match verify with
+      | None -> []
+      | Some r -> [ ("verify", Ctam_verify.Verify.to_json r) ])
   in
-  { compiled; stats; counters; reuse; legend; sim_seconds; report }
+  { compiled; stats; counters; reuse; legend; sim_seconds; verify; report }
 
 let write_file path json =
   let oc = open_out path in

@@ -25,18 +25,24 @@ type profile = {
   legend : (int * (string * int)) list;
       (** segment id -> (nest name, group id) *)
   sim_seconds : float;
+  verify : Ctam_verify.Verify.report option;
+      (** legality-checker result when [profile ~check:true] *)
   report : Ctam_util.Json.t;
 }
 
-(** [profile ?params ?config ?frontend_timings scheme ~machine program]
-    compiles (timing each compile phase with a wall clock), attaches
-    the counter and reuse sinks, simulates, and builds the report.
-    [frontend_timings] lets the caller prepend e.g.
-    [("parse", s); ("lower", s)] measured while loading the source. *)
+(** [profile ?params ?config ?frontend_timings ?check scheme ~machine
+    program] compiles (timing each compile phase with a wall clock),
+    attaches the counter and reuse sinks, simulates, and builds the
+    report.  [frontend_timings] lets the caller prepend e.g.
+    [("parse", s); ("lower", s)] measured while loading the source.
+    [check] (default false) additionally runs the {!Ctam_verify}
+    legality checker on the compiled mapping; the result lands in
+    [verify] and as a ["verify"] member of the JSON report. *)
 val profile :
   ?params:Mapping.params ->
   ?config:Engine.config ->
   ?frontend_timings:(string * float) list ->
+  ?check:bool ->
   Mapping.scheme ->
   machine:Topology.t ->
   Program.t ->

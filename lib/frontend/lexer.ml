@@ -74,6 +74,11 @@ let lex_number st =
     else false
   in
   let text = String.sub st.src start (st.off - start) in
+  (* [123abc] must not lex as [INT 123; IDENT abc]: a number followed
+     immediately by an identifier character is a malformed literal. *)
+  if is_alpha (peek st) then
+    Parse_error.fail p "malformed number: '%c' directly after '%s'" (peek st)
+      text;
   if is_float then { tok = FLOAT (float_of_string text); pos = p }
   else
     match int_of_string_opt text with

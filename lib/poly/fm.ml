@@ -61,19 +61,25 @@ let eliminate t j =
   in
   { t with rows = combined @ rest }
 
-let rational_feasible t =
+type status = Sat | Unsat | MaybeSat
+
+let feasibility t =
   (* FM can square the constraint count per elimination; past this cap
-     we conservatively answer "feasible" (sound for independence). *)
+     we stop and report the approximation instead of silently claiming
+     feasibility (still sound for independence: only [Unsat] proves
+     anything). *)
   let cap = 5000 in
   let rec go t j =
     (* Early exit on an unsatisfiable ground row. *)
     if List.exists (fun ((_, k) as row) -> is_ground row && k < 0) t.rows then
-      false
-    else if j >= t.num_vars then true
-    else if num_constraints t > cap then true
+      Unsat
+    else if j >= t.num_vars then Sat
+    else if num_constraints t > cap then MaybeSat
     else go (eliminate t j) (j + 1)
   in
   go t 0
+
+let rational_feasible t = feasibility t <> Unsat
 
 let sat t x =
   if Array.length x <> t.num_vars then invalid_arg "Fm.sat: arity";

@@ -30,9 +30,20 @@ val add_le : t -> int array -> int -> t
     every remaining constraint). *)
 val eliminate : t -> int -> t
 
-(** [rational_feasible t] eliminates every variable and checks the
-    resulting ground constraints.  [false] is a proof that the system
-    has no rational (hence no integer) solution. *)
+(** Outcome of the elimination: [Sat] — rationally feasible (an integer
+    point may still not exist); [Unsat] — proven empty (no rational,
+    hence no integer, solution); [MaybeSat] — the constraint count
+    exceeded the internal growth cap before elimination finished, so
+    nothing was proven and callers must answer conservatively. *)
+type status = Sat | Unsat | MaybeSat
+
+(** [feasibility t] eliminates every variable and checks the resulting
+    ground constraints, reporting whether the answer is exact. *)
+val feasibility : t -> status
+
+(** [rational_feasible t] is [feasibility t <> Unsat]: [false] is a
+    proof that the system has no rational (hence no integer) solution;
+    [true] may be the capped conservative answer. *)
 val rational_feasible : t -> bool
 
 (** [sat t x] tests a concrete integer point (for tests). *)

@@ -1,0 +1,107 @@
+open Ctam_blocks
+open Ctam_core
+module Iterset = Ctam_poly.Iterset
+
+type corruption = Bad_coverage | Bad_order
+
+let of_string = function
+  | "bad-coverage" -> Ok Bad_coverage
+  | "bad-order" -> Ok Bad_order
+  | s -> Error (Fmt.str "unknown corruption %S (expected bad-coverage or bad-order)" s)
+
+let to_string = function
+  | Bad_coverage -> "bad-coverage"
+  | Bad_order -> "bad-order"
+
+let all = [ Bad_coverage; Bad_order ]
+
+(* Rewrite the first group (round-major, core-major order) for which
+   [f] returns [Some g'] — everything else is untouched. *)
+let map_first_group f plans =
+  let hit = ref None in
+  let plans =
+    List.map
+      (fun (plan : Mapping.nest_plan) ->
+        let rounds =
+          List.map
+            (fun round ->
+              Array.map
+                (List.map (fun (g : Iter_group.t) ->
+                     if !hit <> None then g
+                     else
+                       match f plan g with
+                       | None -> g
+                       | Some g' ->
+                           hit := Some (plan.Mapping.plan_nest.Ctam_ir.Nest.name, g);
+                           g'))
+                round)
+            plan.Mapping.plan_rounds
+        in
+        { plan with Mapping.plan_rounds = rounds })
+      plans
+  in
+  (plans, !hit)
+
+let bad_coverage (c : Mapping.compiled) =
+  let plans, hit =
+    map_first_group
+      (fun _plan g ->
+        if Iterset.cardinal g.Iter_group.iters < 1 then None
+        else
+          let _dropped, rest = Iterset.split_at 1 g.Iter_group.iters in
+          Some { g with Iter_group.iters = rest })
+      c.Mapping.plans
+  in
+  match hit with
+  | None -> invalid_arg "Inject.apply: program has no iterations to drop"
+  | Some (nest, g) ->
+      ( { c with Mapping.plans },
+        Fmt.str
+          "dropped the lexicographically first iteration of group %d in nest \
+           %s (coverage hole of 1 point)"
+          g.Iter_group.id nest )
+
+(* Reversing the rounds of a barriered plan runs at least one
+   dependence backwards (the schedule only emits several rounds when
+   the dependence graph forces them).  Dependence-free programs have
+   single-round plans, so there is nothing to reverse — instead plant
+   a write-write conflict between two cores inside the first phase,
+   which the race detector must flag. *)
+let bad_order (c : Mapping.compiled) =
+  let reversed = ref None in
+  let plans =
+    List.map
+      (fun (plan : Mapping.nest_plan) ->
+        if !reversed = None && List.length plan.Mapping.plan_rounds > 1 then begin
+          reversed := Some plan.Mapping.plan_nest.Ctam_ir.Nest.name;
+          { plan with Mapping.plan_rounds = List.rev plan.Mapping.plan_rounds }
+        end
+        else plan)
+      c.Mapping.plans
+  in
+  match !reversed with
+  | Some nest ->
+      ( { c with Mapping.plans },
+        Fmt.str "reversed the scheduling rounds of nest %s" nest )
+  | None -> (
+      match c.Mapping.phases with
+      | phase :: rest when Array.length phase >= 2 ->
+          let clash = Ctam_cachesim.Engine.encode_access ~addr:0 ~write:true in
+          let phase =
+            Array.mapi
+              (fun core stream ->
+                if core < 2 then Array.append stream [| clash |] else stream)
+              phase
+          in
+          ( { c with Mapping.phases = phase :: rest },
+            "no multi-round plan to reverse; planted a same-address write on \
+             cores 0 and 1 of phase 0 (cross-core race)" )
+      | _ ->
+          invalid_arg
+            "Inject.apply: mapping has neither a multi-round plan nor a \
+             multi-core phase")
+
+let apply corruption c =
+  match corruption with
+  | Bad_coverage -> bad_coverage c
+  | Bad_order -> bad_order c

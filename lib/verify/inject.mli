@@ -1,0 +1,21 @@
+(** Deliberate corruption of a compiled mapping — the negative-test
+    half of the checker.  Each mode produces a mapping that a correct
+    {!Verify.check} must reject; [ctamap check --inject] uses it to
+    prove the checker is alive (a checker that passes everything also
+    passes garbage). *)
+
+open Ctam_core
+
+type corruption =
+  | Bad_coverage  (** drop one iteration from a group: coverage hole *)
+  | Bad_order     (** reverse scheduling rounds (violating a
+                      dependence) or, for dependence-free programs,
+                      plant a cross-core write race in the phases *)
+
+val of_string : string -> (corruption, string) result
+val to_string : corruption -> string
+val all : corruption list
+
+(** [apply c corruption] returns the corrupted mapping and a
+    human-readable description of what was broken. *)
+val apply : corruption -> Mapping.compiled -> Mapping.compiled * string

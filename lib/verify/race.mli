@@ -1,0 +1,42 @@
+(** Trace-level data-race detection on per-core access streams.
+
+    Within one engine phase, cores run concurrently with no ordering
+    between their streams; two accesses of the same byte address from
+    different cores with at least one write are therefore a race (the
+    mapping relied on an ordering the machine does not provide).  The
+    detector is a {!Ctam_cachesim.Probe} sink, so it can observe a live
+    simulation ([Mapping.simulate ~probe]) or replay a compiled
+    mapping's phase streams directly without touching the cache model
+    ({!replay} — races do not depend on the interleaving, only on
+    phase co-residence). *)
+
+open Ctam_cachesim
+
+type conflict = {
+  c_phase : int;          (** phase index the conflict occurred in *)
+  c_addr : int;           (** conflicting byte address *)
+  c_core : int;           (** core issuing the racing access *)
+  c_other : int;          (** a core that touched the address earlier *)
+  c_write : bool;         (** the racing access is a write *)
+}
+
+type t
+
+val create : unit -> t
+
+(** The probe view: [on_access] records, [on_phase_start] resets the
+    per-phase address table.  All other callbacks are no-ops. *)
+val probe : t -> Probe.t
+
+(** [replay t phases] feeds every stream of every phase through the
+    detector (cores in index order — the order is irrelevant to the
+    verdict). *)
+val replay : t -> Engine.phase list -> unit
+
+(** Conflicts found, in detection order (capped detail list). *)
+val conflicts : t -> conflict list
+
+(** Total conflicts counted (may exceed [List.length (conflicts t)]). *)
+val num_conflicts : t -> int
+
+val pp_conflict : conflict Fmt.t

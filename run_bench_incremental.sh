@@ -13,6 +13,22 @@
 # explicitly with e.g. `CTAM_JOBS=4 ./run_bench_incremental.sh`.
 set -e
 OUT=${1:-bench_output.json}
+
+# Gate the sweep on mapping legality: every workload x machine x scheme
+# must pass the end-to-end checker (coverage, codegen, dependences,
+# races, topology) before its numbers are worth collecting.  See
+# `ctamap check --help` and DESIGN.md, "Verification".
+for m in harpertown nehalem dunnington; do
+  for w in applu galgel equake cg sp bodytrack facesim freqmine \
+           namd povray mesa h264; do
+    ./_build/default/bin/ctamap.exe check "$w" -m "$m" --scale 64 \
+      --all-schemes > /dev/null || {
+      echo "mapping verification failed: $w on $m" >&2
+      exit 1
+    }
+  done
+done
+
 : > "$OUT"
 for m in harpertown nehalem dunnington; do
   t0=$(date +%s.%N)

@@ -201,6 +201,23 @@ let test_parse_errors () =
   expect_err
     "(machine \"X\" (clock 1.0) (mem 10)\n     (cache \"c\" (level 1) (size 1K) (assoc 2) (line 64) (latency 1) (core))\n     (cache \"c\" (level 1) (size 1K) (assoc 2) (line 64) (latency 1) (core)))"
 
+let test_parse_empty_string () =
+  (* Regression: the tokenizer used to drop empty quoted strings (the
+     flush after the closing quote was a no-op on an empty buffer), so
+     [(machine "" ...)] lost its name atom and failed with "expected
+     (machine ...)". *)
+  let t =
+    Topo_parse.parse
+      "(machine \"\" (clock 1.0) (mem 10)\n\
+      \  (cache \"c\" (level 1) (size 1K) (assoc 2) (line 64) (latency 1) \
+       (core)))"
+  in
+  Alcotest.(check string) "empty name survives" "" t.Topology.name;
+  check_int "cores" 1 t.Topology.num_cores;
+  (* An empty cache name must survive a round-trip too. *)
+  let t' = Topo_parse.parse (Topo_parse.to_text t) in
+  Alcotest.(check string) "round-trip" "" t'.Topology.name
+
 let test_parse_roundtrip () =
   let t = Machines.dunnington () in
   let t' = Topo_parse.parse (Topo_parse.to_text t) in
@@ -236,6 +253,7 @@ let () =
         [
           Alcotest.test_case "parse" `Quick test_parse_machine;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "empty string" `Quick test_parse_empty_string;
           Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
         ] );
       ( "queries",

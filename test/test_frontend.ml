@@ -57,6 +57,26 @@ let test_lexer_errors () =
        false
      with Parse_error.Error (_, _) -> true)
 
+let test_lexer_malformed_number () =
+  (* Regression: [123abc] used to lex as [INT 123; IDENT abc], silently
+     mangling a typo like [10x] into two tokens the parser might
+     accept.  It must be a positioned error at the number. *)
+  (match Lexer.tokenize "for (i = 0; i < 123abc; i++) A[i] = 0.5;" with
+  | _ -> Alcotest.fail "123abc must not tokenize"
+  | exception Parse_error.Error (pos, msg) ->
+      check_int "error line" 1 pos.Token.line;
+      check_int "error col" 17 pos.Token.col;
+      check_bool "message names the literal" true
+        (Astring.String.is_infix ~affix:"123" msg));
+  (* Same for a float literal glued to a letter. *)
+  (match Lexer.tokenize "x = 1.5e;" with
+  | _ -> Alcotest.fail "1.5e must not tokenize"
+  | exception Parse_error.Error (_, _) -> ());
+  (* A number legitimately followed by an operator still lexes. *)
+  let toks = Lexer.tokenize "A[2*i]" in
+  check_bool "2*i fine" true
+    (List.exists (fun t -> t.Token.tok = Token.INT 2) toks)
+
 (* --- parser --------------------------------------------------------- *)
 
 let test_parse_program () =
@@ -199,6 +219,8 @@ let () =
           Alcotest.test_case "comments" `Quick test_lexer_comments;
           Alcotest.test_case "positions" `Quick test_lexer_positions;
           Alcotest.test_case "errors" `Quick test_lexer_errors;
+          Alcotest.test_case "malformed number" `Quick
+            test_lexer_malformed_number;
         ] );
       ( "parser",
         [

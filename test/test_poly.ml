@@ -246,6 +246,36 @@ let test_fm_infeasible () =
   in
   check_bool "equality conflict" false (Fm.rational_feasible sys2)
 
+let test_fm_feasibility_status () =
+  let sat = Fm.add_ge (Fm.make ~num_vars:1) [| 1 |] 0 in
+  check_bool "sat" true (Fm.feasibility sat = Fm.Sat);
+  let unsat =
+    Fm.make ~num_vars:1
+    |> (fun s -> Fm.add_ge s [| 1 |] (-3))
+    |> fun s -> Fm.add_le s [| 1 |] (-1)
+  in
+  check_bool "unsat" true (Fm.feasibility unsat = Fm.Unsat);
+  check_bool "rational_feasible agrees" false (Fm.rational_feasible unsat)
+
+let test_fm_cap_maybe_sat () =
+  (* Regression: past the 5000-constraint elimination cap the solver
+     used to answer a silent, unconditional "feasible".  [feasibility]
+     now reports the truncation as [MaybeSat]; [rational_feasible]
+     keeps the conservative [true] for its existing callers.  75
+     positive and 75 negative x0 rows combine into 5625 constraints on
+     the first elimination — enough to hide the plain x1 >= 1, x1 <= 0
+     contradiction behind the cap. *)
+  let sys = ref (Fm.make ~num_vars:2) in
+  for i = 0 to 74 do
+    sys := Fm.add_ge !sys [| 1; i + 1 |] 0;
+    sys := Fm.add_ge !sys [| -1; i + 1 |] 0
+  done;
+  sys := Fm.add_ge !sys [| 0; 1 |] (-1);
+  sys := Fm.add_ge !sys [| 0; -1 |] 0;
+  check_bool "maybe-sat" true (Fm.feasibility !sys = Fm.MaybeSat);
+  check_bool "rational_feasible stays conservative" true
+    (Fm.rational_feasible !sys)
+
 let test_fm_elimination_projects () =
   (* x = y, 0 <= y <= 4: eliminating x leaves a feasible system on y. *)
   let sys =
@@ -315,6 +345,56 @@ let prop_codegen_exact =
       let regen = Iterset.of_list enc (Codegen.enumerate cg) in
       Iterset.equal regen s && Codegen.cardinal cg = Iterset.cardinal s)
 
+let prop_decompose_guarded =
+  (* For random guarded domains of depth 0-3 (full box, diagonal cut,
+     or a band around the diagonal), the greedy decomposition's boxes
+     are pairwise disjoint, cover the input set exactly, and enumerate
+     the same keys as the set, order-insensitively. *)
+  QCheck.Test.make ~name:"decompose partitions guarded domains" ~count:150
+    QCheck.(pair (int_range 0 3) (pair (int_range 0 2) (int_range 2 5)))
+    (fun (depth, (guard_kind, size)) ->
+      let dom = Domain.box (Array.init depth (fun _ -> (0, size))) in
+      let dom =
+        if depth = 0 then dom
+        else
+          let sum = Affine.make (Array.make depth 1) 0 in
+          match guard_kind with
+          | 0 -> dom
+          | 1 ->
+              (* sum of indices >= size: a diagonal cut *)
+              Domain.add_guards [ Constrnt.ge (Affine.add_const (-size) sum) ]
+                dom
+          | _ ->
+              (* a band: size - 1 <= sum <= size + 1 *)
+              Domain.add_guards
+                [
+                  Constrnt.ge (Affine.add_const (1 - size) sum);
+                  Constrnt.ge (Affine.add_const (size + 1) (Affine.neg sum));
+                ]
+                dom
+      in
+      let enc = Iterset.encoder_of_domain dom in
+      let s = Iterset.of_domain enc dom in
+      let cg = Codegen.decompose s in
+      let overlap b1 b2 =
+        Array.for_all2
+          (fun (l1, h1) (l2, h2) -> l1 <= h2 && l2 <= h1)
+          b1 b2
+      in
+      let rec disjoint = function
+        | [] -> true
+        | b :: rest -> (not (List.exists (overlap b) rest)) && disjoint rest
+      in
+      let keys_of_boxes =
+        List.sort compare
+          (List.map (Iterset.encode enc) (Codegen.enumerate cg))
+      in
+      (* A depth-0 decomposition of the one-point set is a single box. *)
+      (if depth = 0 then List.length cg.Codegen.boxes <= 1 else true)
+      && disjoint cg.Codegen.boxes
+      && Codegen.cardinal cg = Iterset.cardinal s
+      && keys_of_boxes = Array.to_list (Iterset.keys s))
+
 let prop_iterset_union_comm =
   QCheck.Test.make ~name:"iterset union commutative" ~count:100
     (QCheck.pair arb_points arb_points) (fun (p1, p2) ->
@@ -381,6 +461,8 @@ let () =
         [
           Alcotest.test_case "feasible box" `Quick test_fm_feasible_box;
           Alcotest.test_case "infeasible" `Quick test_fm_infeasible;
+          Alcotest.test_case "status" `Quick test_fm_feasibility_status;
+          Alcotest.test_case "cap maybe-sat" `Quick test_fm_cap_maybe_sat;
           Alcotest.test_case "elimination" `Quick test_fm_elimination_projects;
           QCheck_alcotest.to_alcotest prop_fm_sound_on_boxes;
           QCheck_alcotest.to_alcotest prop_fm_infeasible_never_sat;
@@ -391,5 +473,6 @@ let () =
           Alcotest.test_case "L shape" `Quick test_codegen_l_shape;
           Alcotest.test_case "emit" `Quick test_codegen_emit;
           QCheck_alcotest.to_alcotest prop_codegen_exact;
+          QCheck_alcotest.to_alcotest prop_decompose_guarded;
         ] );
     ]

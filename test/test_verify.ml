@@ -1,0 +1,345 @@
+(* Tests for the mapping legality checker: the four invariants on real
+   mappings, the injected-corruption negative modes, the trace-level
+   race detector, and the [ctamap check] exit-code contract. *)
+
+open Ctam_arch
+open Ctam_cachesim
+open Ctam_core
+open Ctam_workloads
+open Ctam_verify
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let scale = 64
+let machine name = Machines.by_name ~scale name
+
+let compile ?(machine = machine "dunnington") ?(scheme = Mapping.Combined) k =
+  Mapping.compile scheme ~machine (Kernel.small_program k)
+
+let has_invariant name r =
+  List.exists (fun i -> i.Verify.invariant = name) r.Verify.issues
+
+(* --- topology well-formedness ---------------------------------------- *)
+
+let test_topology_presets () =
+  List.iter
+    (fun name ->
+      Alcotest.(check (list string))
+        (name ^ " well-formed") []
+        (List.map
+           (fun i -> i.Verify.detail)
+           (Verify.check_topology (machine name))))
+    [ "harpertown"; "nehalem"; "dunnington"; "arch-i"; "arch-ii" ]
+
+(* --- positive: the real pipeline passes everywhere -------------------- *)
+
+let test_suite_combined () =
+  List.iter
+    (fun mname ->
+      let machine = machine mname in
+      List.iter
+        (fun (k : Kernel.t) ->
+          let c = Mapping.compile Mapping.Combined ~machine
+              (Kernel.small_program k)
+          in
+          let r = Verify.check c in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s on %s" k.Kernel.name mname)
+            []
+            (List.map (fun i -> i.Verify.invariant ^ ": " ^ i.Verify.detail)
+               r.Verify.issues);
+          check_bool "did real work" true (r.Verify.points_checked > 0))
+        Suite.all)
+    [ "harpertown"; "nehalem"; "dunnington" ]
+
+let test_dependent_kernels_all_schemes () =
+  (* sp and facesim carry loop-level dependences: every scheme must
+     still order their dependence edges, and the checker must actually
+     see those edges. *)
+  List.iter
+    (fun k ->
+      List.iter
+        (fun scheme ->
+          let c = compile ~scheme k in
+          let r = Verify.check c in
+          check_bool
+            (Printf.sprintf "%s/%s clean" k.Kernel.name
+               (Mapping.scheme_name scheme))
+            true (Verify.ok r);
+          check_bool
+            (Printf.sprintf "%s/%s edges seen" k.Kernel.name
+               (Mapping.scheme_name scheme))
+            true
+            (r.Verify.edges_checked > 0))
+        Mapping.all_schemes)
+    [ Suite.sp; Suite.facesim ]
+
+let test_cluster_mode () =
+  (* §3.5.2 Cluster mode serializes each dependent cluster on one core
+     instead of adding barriers: ordering is then same-round, same-core
+     position — the second arm of the checker's precedence rule. *)
+  let params =
+    {
+      Mapping.default_params with
+      dependence_mode = Ctam_core.Distribute.Cluster;
+    }
+  in
+  List.iter
+    (fun (k : Kernel.t) ->
+      let c =
+        Mapping.compile ~params Mapping.Combined
+          ~machine:(machine "dunnington")
+          (Kernel.small_program k)
+      in
+      let r = Verify.check c in
+      Alcotest.(check (list string))
+        (k.Kernel.name ^ " cluster-mode clean") []
+        (List.map (fun i -> i.Verify.invariant ^ ": " ^ i.Verify.detail)
+           r.Verify.issues);
+      check_bool "edges seen" true (r.Verify.edges_checked > 0))
+    [ Suite.sp; Suite.facesim ]
+
+(* --- negative: injected corruption must be caught --------------------- *)
+
+let test_inject_bad_coverage () =
+  List.iter
+    (fun k ->
+      let c = compile k in
+      let c, what = Inject.apply Inject.Bad_coverage c in
+      check_bool "describes itself" true
+        (Astring.String.is_infix ~affix:"dropped" what);
+      let r = Verify.check c in
+      check_bool "rejected" false (Verify.ok r);
+      check_bool "as a coverage hole" true (has_invariant "coverage" r);
+      (* The diagnostic must name the nest and count the hole. *)
+      check_bool "diagnostic is concrete" true
+        (List.exists
+           (fun i ->
+             i.Verify.invariant = "coverage"
+             && Astring.String.is_infix ~affix:"never assigned" i.Verify.detail)
+           r.Verify.issues))
+    [ Suite.cg; Suite.sp ]
+
+let test_inject_bad_order () =
+  (* sp has dependences: reversing its rounds must trip the dependence
+     check. *)
+  let c, what = Inject.apply Inject.Bad_order (compile Suite.sp) in
+  check_bool "reversed rounds" true
+    (Astring.String.is_infix ~affix:"reversed" what);
+  let r = Verify.check c in
+  check_bool "rejected" false (Verify.ok r);
+  check_bool "as a dependence violation" true (has_invariant "dependence" r);
+  check_bool "diagnostic says backwards" true
+    (List.exists
+       (fun i -> Astring.String.is_infix ~affix:"backwards" i.Verify.detail)
+       r.Verify.issues);
+  (* cg is dependence-free: the fallback plants a cross-core race. *)
+  let c, what = Inject.apply Inject.Bad_order (compile Suite.cg) in
+  check_bool "planted race" true
+    (Astring.String.is_infix ~affix:"race" what);
+  let r = Verify.check c in
+  check_bool "rejected too" false (Verify.ok r);
+  check_bool "as a race" true (has_invariant "race" r)
+
+let test_inject_of_string () =
+  check_bool "bad-coverage" true
+    (Inject.of_string "bad-coverage" = Ok Inject.Bad_coverage);
+  check_bool "bad-order" true
+    (Inject.of_string "bad-order" = Ok Inject.Bad_order);
+  check_bool "round-trips" true
+    (List.for_all
+       (fun c -> Inject.of_string (Inject.to_string c) = Ok c)
+       Inject.all);
+  check_bool "unknown rejected" true
+    (match Inject.of_string "bad-vibes" with Error _ -> true | Ok _ -> false)
+
+(* --- race detector on hand-built phases -------------------------------- *)
+
+let w addr = Engine.encode_access ~addr ~write:true
+let r addr = Engine.encode_access ~addr ~write:false
+
+let replay phases =
+  let det = Race.create () in
+  Race.replay det phases;
+  det
+
+let test_race_write_write () =
+  let det = replay [ [| [| w 8 |]; [| w 8 |] |] ] in
+  check_int "one conflict" 1 (Race.num_conflicts det);
+  match Race.conflicts det with
+  | [ c ] ->
+      check_int "phase" 0 c.Race.c_phase;
+      check_int "addr" 8 c.Race.c_addr;
+      check_bool "is a write" true c.Race.c_write;
+      check_bool "between cores 0 and 1" true
+        ((c.Race.c_core, c.Race.c_other) = (1, 0)
+        || (c.Race.c_core, c.Race.c_other) = (0, 1))
+  | _ -> Alcotest.fail "expected exactly one conflict"
+
+let test_race_read_write () =
+  (* A read racing an earlier other-core write is flagged; the
+     symmetric write-after-read as well. *)
+  check_int "read after write" 1
+    (Race.num_conflicts (replay [ [| [| w 4 |]; [| r 4 |] |] ]));
+  check_int "write after read" 1
+    (Race.num_conflicts (replay [ [| [| r 4 |]; [| w 4 |] |] ]))
+
+let test_race_benign () =
+  (* Shared reads are fine. *)
+  check_int "read sharing" 0
+    (Race.num_conflicts (replay [ [| [| r 4; r 8 |]; [| r 4; r 8 |] |] ]));
+  (* Same-core rewrites are fine. *)
+  check_int "private writes" 0
+    (Race.num_conflicts (replay [ [| [| w 4; w 4; r 4 |]; [| w 8 |] |] ]));
+  (* A barrier separates the phases: write then other-core write is
+     ordered, not racing. *)
+  check_int "phase separation" 0
+    (Race.num_conflicts (replay [ [| [| w 4 |]; [||] |]; [| [||]; [| w 4 |] |] ]))
+
+let test_race_probe_counts () =
+  (* The probe view feeds the same detector, and the total count keeps
+     climbing past the detail cap. *)
+  let det = Race.create () in
+  let probe = Race.probe det in
+  probe.Probe.on_phase_start ~phase:0;
+  for i = 0 to 99 do
+    probe.Probe.on_access ~core:0 ~addr:i ~line:0 ~write:true;
+    probe.Probe.on_access ~core:1 ~addr:i ~line:0 ~write:true
+  done;
+  check_int "all counted" 100 (Race.num_conflicts det);
+  check_bool "details capped" true (List.length (Race.conflicts det) <= 100);
+  check_bool "details nonempty" true (Race.conflicts det <> [])
+
+(* --- mapping-level race check ------------------------------------------ *)
+
+let test_check_flags_planted_race () =
+  let c = compile Suite.equake in
+  match c.Mapping.phases with
+  | [] -> Alcotest.fail "no phases"
+  | phase :: rest ->
+      let clash = w 12 in
+      let phase =
+        Array.mapi
+          (fun core s -> if core < 2 then Array.append s [| clash |] else s)
+          phase
+      in
+      let r = Verify.check { c with Mapping.phases = phase :: rest } in
+      check_bool "race reported" true (has_invariant "race" r)
+
+(* --- run-report wiring -------------------------------------------------- *)
+
+let test_run_report_verify () =
+  let p =
+    Ctam_exp.Run_report.profile ~check:true Mapping.Combined
+      ~machine:(machine "nehalem")
+      (Kernel.small_program Suite.cg)
+  in
+  (match p.Ctam_exp.Run_report.verify with
+  | None -> Alcotest.fail "verify missing from profile"
+  | Some r -> check_bool "clean" true (Verify.ok r));
+  match Ctam_util.Json.member "verify" p.Ctam_exp.Run_report.report with
+  | Some v ->
+      check_bool "json ok flag" true
+        (Ctam_util.Json.to_bool (Ctam_util.Json.member_exn "ok" v))
+  | None -> Alcotest.fail "verify missing from JSON report"
+
+(* --- CLI exit codes ----------------------------------------------------- *)
+
+(* Under [dune runtest] the cwd is [_build/default/test] and the binary
+   is a declared dep, so the relative path exists; [dune exec] from the
+   repo root needs the second candidate. *)
+let ctamap =
+  List.find Sys.file_exists
+    [
+      Filename.concat ".." (Filename.concat "bin" "ctamap.exe");
+      "_build/default/bin/ctamap.exe";
+    ]
+
+let run_ctamap args =
+  let out = Filename.temp_file "ctamap_check" ".out" in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s %s > %s 2>&1" (Filename.quote ctamap) args
+         (Filename.quote out))
+  in
+  let ic = open_in_bin out in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, text)
+
+let test_cli_exit_codes () =
+  let code, text = run_ctamap "check cg -m nehalem --scale 64" in
+  check_int "clean mapping exits 0" 0 code;
+  check_bool "says verified" true
+    (Astring.String.is_infix ~affix:"mapping verified" text);
+  List.iter
+    (fun mode ->
+      let code, text =
+        run_ctamap
+          (Printf.sprintf "check sp -m dunnington --scale 64 --inject %s" mode)
+      in
+      check_bool (mode ^ " exits non-zero") true (code <> 0);
+      check_bool (mode ^ " prints diagnostics") true
+        (Astring.String.is_infix ~affix:"mapping INVALID" text))
+    [ "bad-coverage"; "bad-order" ]
+
+let test_cli_json () =
+  let json = Filename.temp_file "ctamap_check" ".json" in
+  let code, _ =
+    run_ctamap
+      (Printf.sprintf "check cg -m nehalem --scale 64 --json %s"
+         (Filename.quote json))
+  in
+  check_int "exit 0" 0 code;
+  let ic = open_in_bin json in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove json;
+  let j = Ctam_util.Json.parse_exn text in
+  let checks = Ctam_util.Json.(to_list (member_exn "checks" j)) in
+  check_int "one scheme" 1 (List.length checks);
+  let report = Ctam_util.Json.member_exn "report" (List.hd checks) in
+  check_bool "ok" true Ctam_util.Json.(to_bool (member_exn "ok" report));
+  check_int "no issues" 0
+    (List.length Ctam_util.Json.(to_list (member_exn "issues" report)))
+
+let () =
+  Alcotest.run "verify"
+    [
+      ( "topology",
+        [ Alcotest.test_case "presets well-formed" `Quick test_topology_presets ]
+      );
+      ( "mappings",
+        [
+          Alcotest.test_case "suite x machines clean" `Slow test_suite_combined;
+          Alcotest.test_case "dependent kernels, all schemes" `Quick
+            test_dependent_kernels_all_schemes;
+          Alcotest.test_case "cluster dependence mode" `Quick
+            test_cluster_mode;
+        ] );
+      ( "inject",
+        [
+          Alcotest.test_case "bad-coverage caught" `Quick
+            test_inject_bad_coverage;
+          Alcotest.test_case "bad-order caught" `Quick test_inject_bad_order;
+          Alcotest.test_case "mode names" `Quick test_inject_of_string;
+        ] );
+      ( "race",
+        [
+          Alcotest.test_case "write-write" `Quick test_race_write_write;
+          Alcotest.test_case "read-write" `Quick test_race_read_write;
+          Alcotest.test_case "benign patterns" `Quick test_race_benign;
+          Alcotest.test_case "probe + cap" `Quick test_race_probe_counts;
+          Alcotest.test_case "planted race in mapping" `Quick
+            test_check_flags_planted_race;
+        ] );
+      ( "wiring",
+        [
+          Alcotest.test_case "run-report verify member" `Quick
+            test_run_report_verify;
+          Alcotest.test_case "cli exit codes" `Quick test_cli_exit_codes;
+          Alcotest.test_case "cli json" `Quick test_cli_json;
+        ] );
+    ]

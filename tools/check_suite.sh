@@ -1,0 +1,43 @@
+#!/bin/sh
+# Run the mapping legality checker (`ctamap check`) over a fast subset
+# of the workload suite x machine topologies, and prove the checker is
+# alive by asserting that both --inject corruption modes are rejected
+# with a non-zero exit and a readable diagnostic.  Wired into
+# `dune runtest` from tools/dune; also runnable by hand from the repo
+# root:
+#
+#   dune build && sh tools/check_suite.sh
+#
+# The full-suite sweep (12 workloads x 3 machines x all schemes) runs
+# in run_bench_incremental.sh; here one dependence-free and one
+# dependence-carrying workload per machine keeps runtest fast.
+#
+# Args (all optional): CTAMAP_EXE
+set -e
+CTAMAP=${1:-./_build/default/bin/ctamap.exe}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+count=0
+for m in harpertown nehalem dunnington; do
+  for w in cg sp; do
+    "$CTAMAP" check "$w" -m "$m" --scale 64 --all-schemes > /dev/null
+    count=$((count + 1))
+  done
+done
+
+# Negative modes: the corrupted mapping must fail the check (non-zero
+# exit) and say why.
+for inj in bad-coverage bad-order; do
+  if "$CTAMAP" check sp -m dunnington --scale 64 --inject "$inj" \
+      > "$tmp/inj.out" 2>&1; then
+    echo "check_suite: --inject $inj was NOT detected" >&2
+    exit 1
+  fi
+  grep -q "mapping INVALID" "$tmp/inj.out" || {
+    echo "check_suite: --inject $inj produced no diagnostic" >&2
+    exit 1
+  }
+done
+
+echo "check_suite: $count workload/machine check(s) clean, 2 injections caught"
