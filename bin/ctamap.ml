@@ -213,14 +213,19 @@ let simulate_cmd =
            $ block_arg))
 
 let run_cmd =
-  let run source machine scale scheme block json profile check =
+  let run source machine scale scheme block json profile check window =
     let* prog, frontend_timings = load_program_timed source in
     let* machine = get_machine machine scale in
     let* scheme = scheme_of_string scheme in
+    let* () =
+      match window with
+      | Some w when w <= 0 -> Error "--window must be positive"
+      | _ -> Ok ()
+    in
     let params = { Mapping.default_params with block_size = block } in
     let p =
-      Ctam_exp.Run_report.profile ~params ~frontend_timings ~check scheme
-        ~machine prog
+      Ctam_exp.Run_report.profile ~params ?timeline_window:window
+        ~frontend_timings ~check scheme ~machine prog
     in
     let* () =
       match p.Ctam_exp.Run_report.verify with
@@ -312,6 +317,12 @@ let run_cmd =
         v.Reuse.total (Reuse.mean_distance v) hz.Reuse.total
         (Reuse.mean_distance hz) x.Reuse.total
     end;
+    (match p.Ctam_exp.Run_report.timeline with
+    | Some tl when profile ->
+        Fmt.pr "@.timeline: %d windows of %d cycles, %d spans@."
+          (Timeline.num_windows tl) (Timeline.window tl)
+          (List.length (Timeline.spans tl))
+    | _ -> ());
     match json with
     | Some path -> (
         try
@@ -345,6 +356,16 @@ let run_cmd =
              verdict is printed, added to the JSON report, and a violation \
              exits non-zero (see the $(b,check) command).")
   in
+  let window =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Attach the timeline sink with $(docv)-cycle windows and embed \
+             the windowed time-series metrics (per-core occupancy and \
+             per-level hit/miss series, reuse split) in the JSON report.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
@@ -354,7 +375,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
-       $ block_arg $ json $ profile $ check))
+       $ block_arg $ json $ profile $ check $ window))
 
 let jobs_arg =
   Arg.(
@@ -601,6 +622,8 @@ let check_cmd =
           let j =
             Ctam_util.Json.Obj
               [
+                ( "version",
+                  Ctam_util.Json.String Ctam_exp.Build_info.version );
                 ("program", Ctam_util.Json.String prog.Program.name);
                 ("machine", Ctam_util.Json.String machine.Topology.name);
                 ( "inject",
@@ -676,6 +699,132 @@ let check_cmd =
         (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
        $ block_arg $ all_schemes $ inject $ json))
 
+let trace_cmd =
+  let run source machine scale scheme block output window heatmap =
+    let* prog, frontend_timings = load_program_timed source in
+    let* machine = get_machine machine scale in
+    let* scheme = scheme_of_string scheme in
+    let* () = if window <= 0 then Error "--window must be positive" else Ok () in
+    let params = { Mapping.default_params with block_size = block } in
+    let compiled =
+      Mapping.compile ~params ~clock:Unix.gettimeofday scheme ~machine prog
+    in
+    let segments, legend = Mapping.segments compiled in
+    let tl = Timeline.create ~window ~segments machine in
+    let stats = Mapping.simulate ~probe:(Timeline.probe tl) compiled in
+    let compile_timings = frontend_timings @ compiled.Mapping.timings in
+    let j =
+      Ctam_exp.Trace_export.trace_json ~compile_timings
+        ~program:prog.Program.name ~machine:machine.Topology.name
+        ~scheme:(Mapping.scheme_name scheme) ~legend tl
+    in
+    match
+      try
+        Ctam_exp.Run_report.write_file output j;
+        Ok ()
+      with Sys_error msg -> Error ("cannot write trace: " ^ msg)
+    with
+    | Error e -> `Error (false, e)
+    | Ok () ->
+        Fmt.pr
+          "wrote %s: %d cycles in %d windows of %d, %d spans, %d barriers@."
+          output stats.Stats.cycles (Timeline.num_windows tl)
+          (Timeline.window tl)
+          (List.length (Timeline.spans tl))
+          (List.length (Timeline.barriers tl));
+        if heatmap then
+          List.iter
+            (fun level ->
+              match Timeline.render_heatmap tl ~level with
+              | Some s -> Fmt.pr "@.%s" s
+              | None -> ())
+            (Timeline.levels tl);
+        `Ok ()
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the Chrome trace-event JSON to $(docv).")
+  in
+  let window =
+    Arg.(
+      value
+      & opt int Timeline.default_window
+      & info [ "window" ] ~docv:"N"
+          ~doc:"Time-series window width in simulated cycles.")
+  in
+  let heatmap =
+    Arg.(
+      value & flag
+      & info [ "heatmap" ]
+          ~doc:
+            "Also print an ASCII set-index x window conflict-miss heatmap \
+             per cache level.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Simulate a program with the timeline sink attached and export a \
+          Chrome trace-event / Perfetto JSON file: per-core iteration-group \
+          spans, barrier and invalidation instants, per-window counter \
+          tracks, and the compile phases on their own track.  Load the \
+          output in chrome://tracing or ui.perfetto.dev.")
+    Term.(
+      ret
+        (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
+       $ block_arg $ output $ window $ heatmap))
+
+let report_cmd =
+  let diff_run a b threshold =
+    match Ctam_exp.Report_diff.diff_files ~threshold a b with
+    | Error e -> `Error (false, e)
+    | Ok (text, regressions) ->
+        print_string text;
+        if regressions = 0 then `Ok ()
+        else
+          `Error
+            ( false,
+              Printf.sprintf "%d metric(s) regressed by more than %.1f%%"
+                regressions threshold )
+  in
+  let a_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"A" ~doc:"Baseline report (JSON or JSONL).")
+  in
+  let b_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"B" ~doc:"New report to compare against $(i,A).")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt float Ctam_exp.Report_diff.default_threshold
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:
+            "Flag a metric as a regression when it grows by more than \
+             $(docv) percent.")
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Align two run reports / bench sweeps by (workload, machine, \
+            scheme) and print per-metric deltas; exits non-zero when any \
+            higher-is-worse metric (cycles, memory accesses, miss rates, \
+            vs-base ratios) regressed past the threshold.")
+      Term.(ret (const diff_run $ a_arg $ b_arg $ threshold))
+  in
+  let default = Term.(ret (const (`Help (`Pager, Some "report")))) in
+  Cmd.group ~default
+    (Cmd.info "report" ~doc:"Operations on JSON run reports.")
+    [ diff_cmd ]
+
 let experiment_cmd =
   let run name quick =
     match Ctam_exp.Experiments.by_name name with
@@ -704,7 +853,7 @@ let experiment_cmd =
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   let doc = "cache-topology-aware computation mapping (PLDI 2010)" in
-  let info = Cmd.info "ctamap" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "ctamap" ~version:Ctam_exp.Build_info.version ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
@@ -712,5 +861,5 @@ let () =
           [
             machines_cmd; groups_cmd; map_cmd; run_cmd; simulate_cmd;
             compare_cmd; codegen_cmd; check_cmd; dump_cmd; emit_c_cmd;
-            reuse_cmd; experiment_cmd;
+            reuse_cmd; trace_cmd; report_cmd; experiment_cmd;
           ]))

@@ -92,6 +92,7 @@ let run ?(config = default_config) h phases =
         let cost = config.issue_cost + lat in
         clock.(c) <- clock.(c) + cost;
         busy.(c) <- busy.(c) + cost;
+        if observed then probe.Probe.on_retire ~core:c ~cycles:clock.(c);
         if pos.(c) >= Array.length s then begin
           decr size;
           heap.(0) <- heap.(!size)
@@ -157,6 +158,7 @@ let run_reference ?(config = default_config) h phases =
         let cost = config.issue_cost + lat in
         clock.(c) <- clock.(c) + cost;
         busy.(c) <- busy.(c) + cost;
+        if observed then probe.Probe.on_retire ~core:c ~cycles:clock.(c);
         decr remaining
       done;
       if observed then

@@ -31,10 +31,12 @@ val default_config : config
 
     If a {!Probe} is attached to [h] the engine fires
     [on_phase_start]/[on_phase_end] around each phase,
-    [on_barrier_enter]/[on_barrier_exit] around each barrier, and
+    [on_barrier_enter]/[on_barrier_exit] around each barrier,
     [on_access] before every resolved access (the hierarchy then fires
-    the per-level events); with the default null probe no callback is
-    invoked and the run is identical to an unobserved one.
+    the per-level events), and [on_retire] with the issuing core's
+    updated clock once the access has been charged; with the default
+    null probe no callback is invoked and the run is identical to an
+    unobserved one.
     @raise Invalid_argument on core-count mismatch. *)
 val run : ?config:config -> Hierarchy.t -> phase list -> Stats.t
 

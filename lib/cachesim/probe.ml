@@ -4,6 +4,7 @@ type t = {
   on_mem : core:int -> line:int -> unit;
   on_evict : core:int -> level:int -> line:int -> unit;
   on_invalidate : core:int -> level:int -> line:int -> unit;
+  on_retire : core:int -> cycles:int -> unit;
   on_phase_start : phase:int -> unit;
   on_phase_end : phase:int -> cycles:int -> unit;
   on_barrier_enter : phase:int -> cycles:int -> unit;
@@ -17,6 +18,7 @@ let null =
     on_mem = (fun ~core:_ ~line:_ -> ());
     on_evict = (fun ~core:_ ~level:_ ~line:_ -> ());
     on_invalidate = (fun ~core:_ ~level:_ ~line:_ -> ());
+    on_retire = (fun ~core:_ ~cycles:_ -> ());
     on_phase_start = (fun ~phase:_ -> ());
     on_phase_end = (fun ~phase:_ ~cycles:_ -> ());
     on_barrier_enter = (fun ~phase:_ ~cycles:_ -> ());
@@ -48,6 +50,9 @@ let seq = function
             on_invalidate =
               (fun ~core ~level ~line ->
                 List.iter (fun p -> p.on_invalidate ~core ~level ~line) ps);
+            on_retire =
+              (fun ~core ~cycles ->
+                List.iter (fun p -> p.on_retire ~core ~cycles) ps);
             on_phase_start =
               (fun ~phase -> List.iter (fun p -> p.on_phase_start ~phase) ps);
             on_phase_end =

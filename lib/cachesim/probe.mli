@@ -26,6 +26,12 @@ type t = {
   on_invalidate : core:int -> level:int -> line:int -> unit;
       (** coherence: a write by [core] invalidated [line] in a cache not
           on its path *)
+  on_retire : core:int -> cycles:int -> unit;
+      (** the engine finished charging the access: [cycles] is [core]'s
+          updated local clock (issue cost + resolved latency included).
+          Fired after the hierarchy events of the same access, so a
+          timeline sink can place every event of the access between the
+          core's previous clock and [cycles]. *)
   on_phase_start : phase:int -> unit;
   on_phase_end : phase:int -> cycles:int -> unit;
       (** [cycles] is the max core clock when the phase drained *)

@@ -1,0 +1,119 @@
+(** Timeline probe sink: per-core execution spans, windowed time-series
+    metrics and cache-set heatmaps.
+
+    The sink mirrors the engine's per-core clocks through
+    {!Probe.t.on_retire} (a core's mirrored clock is its time when the
+    next access issues) and attributes every event to
+
+    - a {e span}: a maximal run of consecutive accesses by one core
+      executing one iteration-group segment within one phase (see
+      [Mapping.segments]); spans carry access/miss/memory counts and
+      become Chrome-trace duration events in [Trace_export];
+    - a {e window}: cycle interval [[k*window, (k+1)*window)]; windowed
+      series cover per-core accesses and busy cycles, per-core×level
+      hits/misses, the machine-wide reuse split (vertical / horizontal /
+      cross-socket / cold, as in [Probe_sinks.Reuse_split]) and
+      per-level set-index × window access/conflict-miss heatmaps.
+
+    Approximation: all events of one access (level probes, memory,
+    invalidations) are charged to the window of the issuing core's
+    clock {e before} the access retires; an access whose latency spans
+    a window boundary is not split.
+
+    Like every sink the timeline only observes: attaching it never
+    changes simulated cycle counts (differential-tested). *)
+
+type t
+
+val default_window : int
+
+(** [create ?window ?max_invalidations ?segments topo] builds a sink
+    for machines shaped like [topo].  [window] is the series bucket
+    width in cycles (default {!default_window}).  [segments] aligns
+    with the engine's phase list as in [Probe_sinks.Counters.create];
+    without it all spans carry segment [-1].  At most
+    [max_invalidations] invalidation events are retained individually
+    (default 10000); the total count is always exact.
+    @raise Invalid_argument if [window <= 0]. *)
+val create :
+  ?window:int ->
+  ?max_invalidations:int ->
+  ?segments:(int * int) array array list ->
+  Ctam_arch.Topology.t ->
+  t
+
+(** The probe to attach (or [Probe.seq] with others). *)
+val probe : t -> Probe.t
+
+val window : t -> int
+val levels : t -> int list
+val num_cores : t -> int
+
+(** Largest mirrored clock seen (= [Stats.cycles] of the run). *)
+val max_cycles : t -> int
+
+(** Number of windows covering [0 .. max_cycles): 0 for an empty run. *)
+val num_windows : t -> int
+
+type span = {
+  sp_core : int;
+  sp_segment : int;  (** segment id from [segments], [-1] untagged *)
+  sp_phase : int;
+  sp_start : int;    (** cycles *)
+  mutable sp_end : int;
+  mutable sp_accesses : int;
+  mutable sp_misses : int;  (** summed over all levels *)
+  mutable sp_mem : int;
+}
+
+type barrier = {
+  b_phase : int;
+  b_enter : int;  (** synchronised clock when the phase drained *)
+  b_exit : int;   (** enter + barrier cost *)
+}
+
+type invalidation = {
+  i_cycles : int;
+  i_core : int;  (** the writing core *)
+  i_level : int;
+  i_line : int;
+}
+
+type phase_mark = { ph_index : int; ph_start : int; ph_end : int }
+
+(** Closed spans, sorted by (start cycles, core). *)
+val spans : t -> span list
+
+val barriers : t -> barrier list
+val phases : t -> phase_mark list
+
+(** Retained invalidation events, chronological. *)
+val invalidations : t -> invalidation list
+
+val total_invalidations : t -> int
+
+(** [total_invalidations - retained]; positive when the cap was hit. *)
+val dropped_invalidations : t -> int
+
+(** Per-window series, each of length [num_windows]. *)
+
+val accesses_series : t -> core:int -> int array
+val busy_series : t -> core:int -> int array
+val hits_series : t -> core:int -> level:int -> int array
+val misses_series : t -> core:int -> level:int -> int array
+
+(** Machine-wide (vertical, horizontal, cross-socket, cold) per window. *)
+val reuse_series : t -> int array * int array * int array * int array
+
+(** [heatmap t ~level] is [Some (sets, accesses, misses)] with
+    [accesses.(w).(s)] / [misses.(w).(s)] the counts for set [s] in
+    window [w] ([sets] = the largest set count among level-[level]
+    caches); [None] if the level is absent. *)
+val heatmap : t -> level:int -> (int * int array array * int array array) option
+
+(** ASCII rendering of the heatmap (misses by default, accesses with
+    [~misses:false]), downsampled to at most [width] columns ×
+    [height] rows by summing buckets; [None] if the level is absent or
+    the run was empty. *)
+val render_heatmap :
+  ?width:int -> ?height:int -> ?misses:bool -> t -> level:int -> string option

@@ -1,0 +1,2 @@
+let version = "1.4.0"
+let report_version = 1

@@ -1,0 +1,11 @@
+(** Single source of truth for the tool version.
+
+    Surfaced by [ctamap --version] and stamped as the ["version"]
+    member of every JSON artefact (run reports, bench-sweep lines,
+    check reports, traces) so [ctamap report diff] can warn when
+    comparing artefacts from different builds. *)
+
+val version : string
+
+(** Schema version of the run-report JSON ([ctam_report_version]). *)
+val report_version : int

@@ -5,18 +5,25 @@ let geomean = function
       exp (List.fold_left (fun acc v -> acc +. log v) 0. vs
            /. float_of_int (List.length vs))
 
-(* The geomean row summarises each numeric column; a column with any
-   non-numeric (or non-positive) cell gets a dash. *)
+(* The geomean row summarises each numeric column over its positive
+   cells; zero/absent/non-numeric cells are skipped rather than
+   poisoning the column (the old behaviour dashed the whole column; a
+   naive geomean over them would be nan/0).  A "*" marks columns where
+   cells were skipped; [table] footnotes it.  A column with no usable
+   cell at all still gets a dash. *)
 let geomean_row ~label ncols rows =
   label
   :: List.init (ncols - 1) (fun c ->
          let cells = List.map (fun row -> List.nth row (c + 1)) rows in
-         let values = List.filter_map float_of_string_opt cells in
-         if
-           List.length values = List.length cells
-           && List.for_all (fun v -> v > 0.) values
-         then Printf.sprintf "%.3f" (geomean values)
-         else "-")
+         let values =
+           List.filter (fun v -> v > 0.) (List.filter_map float_of_string_opt cells)
+         in
+         if values = [] then "-"
+         else
+           let star =
+             if List.length values < List.length cells then "*" else ""
+           in
+           Printf.sprintf "%.3f%s" (geomean values) star)
 
 let table ?geomean:glabel ~header rows =
   let ncols = List.length header in
@@ -24,11 +31,18 @@ let table ?geomean:glabel ~header rows =
     (fun row ->
       if List.length row <> ncols then invalid_arg "Report.table: ragged row")
     rows;
-  let rows =
+  let rows, starred =
     match glabel with
     | Some label when rows <> [] && ncols > 1 ->
-        rows @ [ geomean_row ~label ncols rows ]
-    | _ -> rows
+        let grow = geomean_row ~label ncols rows in
+        let starred =
+          List.exists
+            (fun cell ->
+              String.length cell > 0 && cell.[String.length cell - 1] = '*')
+            grow
+        in
+        (rows @ [ grow ], starred)
+    | _ -> (rows, false)
   in
   let all = header :: rows in
   let width c =
@@ -49,6 +63,7 @@ let table ?geomean:glabel ~header rows =
   in
   String.concat "\n" (render_row header :: sep :: List.map render_row rows)
   ^ "\n"
+  ^ if starred then "* geomean skips zero/absent cells\n" else ""
 
 let normalized ~base values =
   if base <= 0. then invalid_arg "Report.normalized: base";

@@ -2,9 +2,11 @@
 
 (** A table: column headers and string rows, left-aligned first column,
     right-aligned others.  With [?geomean:label] a trailing summary row
-    is appended holding the geometric mean of every column whose cells
-    all parse as positive numbers ("-" otherwise); no row is added when
-    [rows] is empty. *)
+    is appended holding the geometric mean of each column's positive
+    numeric cells; zero/absent/non-numeric cells are skipped (never a
+    nan), a "*" suffix marks columns with skipped cells (footnoted
+    below the table) and a column with no usable cell gets "-".  No row
+    is added when [rows] is empty. *)
 val table :
   ?geomean:string -> header:string list -> string list list -> string
 

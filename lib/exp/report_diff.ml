@@ -1,0 +1,268 @@
+module J = Ctam_util.Json
+
+type metric = {
+  m_name : string;
+  m_a : float;
+  m_b : float;
+  m_higher_is_worse : bool;
+}
+
+type record = {
+  r_key : string * string * string;  (* workload, machine, scheme *)
+  r_version : string option;
+  r_metrics : metric list;
+}
+
+(* --- loading ---------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* A report file is either one JSON value (ctamap run/trace output) or
+   JSONL, one object per line (the bench harness). *)
+let load_file path =
+  let s = read_file path in
+  match J.parse s with
+  | Ok v -> Ok [ v ]
+  | Error whole_err -> (
+      let lines =
+        List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' s)
+      in
+      let parsed = List.map J.parse lines in
+      if lines <> [] && List.for_all (function Ok _ -> true | _ -> false) parsed
+      then Ok (List.filter_map (function Ok v -> Some v | _ -> None) parsed)
+      else Error (Printf.sprintf "%s: %s" path whole_err))
+
+(* --- record extraction ------------------------------------------------ *)
+
+let str_member name j =
+  match J.member name j with Some (J.String s) -> Some s | _ -> None
+
+let num_member name j =
+  match J.member name j with
+  | Some (J.Int _ | J.Float _) -> Some (J.to_float (J.member_exn name j))
+  | _ -> None
+
+let version_of j = str_member "version" j
+
+let metric ?(higher_is_worse = true) name v =
+  { m_name = name; m_a = v; m_b = nan; m_higher_is_worse = higher_is_worse }
+
+(* A half-record: metrics carry their own value in [m_a]; pairing fills
+   [m_b] from the other side. *)
+let of_run_report j =
+  let scheme =
+    match J.member "scheme" j with Some (J.String s) -> s | _ -> "?"
+  in
+  let machine =
+    match J.member "machine" j with
+    | Some m -> ( match str_member "name" m with Some n -> n | None -> "?")
+    | None -> "?"
+  in
+  let workload = match str_member "program" j with Some p -> p | None -> "?" in
+  let stats = J.member "stats" j in
+  let stat name =
+    match stats with Some s -> num_member name s | None -> None
+  in
+  let base =
+    List.filter_map
+      (fun n -> Option.map (metric n) (stat n))
+      [ "cycles"; "mem_accesses"; "barriers" ]
+  in
+  let levels =
+    match stats with
+    | Some s -> (
+        match J.member "per_level" s with
+        | Some (J.List ls) ->
+            List.filter_map
+              (fun lj ->
+                match (J.member "level" lj, num_member "miss_rate" lj) with
+                | Some (J.Int l), Some mr ->
+                    Some (metric (Printf.sprintf "L%d_miss_rate" l) mr)
+                | _ -> None)
+              ls
+        | _ -> [])
+    | None -> []
+  in
+  {
+    r_key = (workload, machine, scheme);
+    r_version = version_of j;
+    r_metrics = base @ levels;
+  }
+
+let of_sweep_object j =
+  let machine = match str_member "machine" j with Some m -> m | None -> "?" in
+  let scheme = match str_member "scheme" j with Some s -> s | None -> "?" in
+  let version = version_of j in
+  let per_workload =
+    match J.member "workloads" j with
+    | Some (J.List ws) ->
+        List.map
+          (fun w ->
+            let name =
+              match str_member "name" w with Some n -> n | None -> "?"
+            in
+            let ms =
+              List.filter_map
+                (fun n -> Option.map (metric n) (num_member n w))
+                [ "cycles"; "mem_accesses"; "barriers"; "vs_base" ]
+            in
+            { r_key = (name, machine, scheme); r_version = version; r_metrics = ms })
+          ws
+    | _ -> []
+  in
+  let summary =
+    match num_member "geomean_vs_base" j with
+    | Some g ->
+        [
+          {
+            r_key = ("geomean", machine, scheme);
+            r_version = version;
+            r_metrics = [ metric "geomean_vs_base" g ];
+          };
+        ]
+    | None -> []
+  in
+  per_workload @ summary
+
+let records_of values =
+  List.concat_map
+    (fun j ->
+      match j with
+      | J.Obj _ when J.member "ctam_report_version" j <> None ->
+          [ of_run_report j ]
+      | J.Obj _ when J.member "workloads" j <> None -> of_sweep_object j
+      | _ -> [])
+    values
+
+(* --- diffing ---------------------------------------------------------- *)
+
+type cell = {
+  c_key : string * string * string;
+  c_metric : string;
+  c_a : float;
+  c_b : float;
+  c_pct : float;          (* signed percent change, b vs a *)
+  c_regression : bool;
+}
+
+let default_threshold = 2.0
+
+let pct_change a b =
+  if a = 0. then if b = 0. then 0. else infinity
+  else (b -. a) /. Float.abs a *. 100.
+
+let diff_records ?(threshold = default_threshold) ra rb =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace tbl r.r_key r) ra;
+  let cells = ref [] in
+  let missing = ref [] in
+  List.iter
+    (fun rb ->
+      match Hashtbl.find_opt tbl rb.r_key with
+      | None -> missing := rb.r_key :: !missing
+      | Some ra ->
+          List.iter
+            (fun mb ->
+              match
+                List.find_opt (fun ma -> ma.m_name = mb.m_name) ra.r_metrics
+              with
+              | None -> ()
+              | Some ma ->
+                  let pct = pct_change ma.m_a mb.m_a in
+                  cells :=
+                    {
+                      c_key = rb.r_key;
+                      c_metric = mb.m_name;
+                      c_a = ma.m_a;
+                      c_b = mb.m_a;
+                      c_pct = pct;
+                      c_regression =
+                        mb.m_higher_is_worse && pct > threshold;
+                    }
+                    :: !cells)
+            rb.r_metrics)
+    rb;
+  (List.rev !cells, List.rev !missing)
+
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4f" v
+
+let fmt_pct p =
+  if Float.is_nan p then "n/a"
+  else if p = infinity then "+inf"
+  else Printf.sprintf "%+.2f%%" p
+
+let render ?(threshold = default_threshold) ~path_a ~path_b a_values b_values =
+  let ra = records_of a_values and rb = records_of b_values in
+  let cells, missing = diff_records ~threshold ra rb in
+  let buf = Buffer.create 4096 in
+  let version_of_records rs =
+    List.fold_left
+      (fun acc r -> match r.r_version with Some v -> Some v | None -> acc)
+      None rs
+  in
+  let va = version_of_records ra and vb = version_of_records rb in
+  Buffer.add_string buf
+    (Printf.sprintf "diff %s (A) vs %s (B), threshold %.1f%%\n" path_a path_b
+       threshold);
+  (match (va, vb) with
+  | Some a, Some b when a <> b ->
+      Buffer.add_string buf
+        (Printf.sprintf "note: different tool versions (A: %s, B: %s)\n" a b)
+  | _ -> ());
+  if ra = [] then Buffer.add_string buf "warning: no records recognised in A\n";
+  if rb = [] then Buffer.add_string buf "warning: no records recognised in B\n";
+  let changed =
+    List.filter (fun c -> c.c_a <> c.c_b || c.c_regression) cells
+  in
+  let rows =
+    List.map
+      (fun c ->
+        let w, m, s = c.c_key in
+        [
+          Printf.sprintf "%s/%s/%s %s" w m s c.c_metric;
+          fmt_value c.c_a;
+          fmt_value c.c_b;
+          fmt_pct c.c_pct ^ (if c.c_regression then " !" else "");
+        ])
+      changed
+  in
+  if cells = [] then
+    Buffer.add_string buf "no comparable records (keys never matched)\n"
+  else if rows = [] then
+    Buffer.add_string buf
+      (Printf.sprintf "%d metrics compared, all identical\n" (List.length cells))
+  else begin
+    Buffer.add_string buf
+      (Report.table ~header:[ "metric"; "A"; "B"; "delta" ] rows);
+    Buffer.add_string buf
+      (Printf.sprintf "%d metrics compared, %d changed\n" (List.length cells)
+         (List.length rows))
+  end;
+  List.iter
+    (fun (w, m, s) ->
+      Buffer.add_string buf
+        (Printf.sprintf "only in B (ignored): %s/%s/%s\n" w m s))
+    missing;
+  let regressions = List.filter (fun c -> c.c_regression) cells in
+  (match regressions with
+  | [] -> ()
+  | rs ->
+      Buffer.add_string buf
+        (Printf.sprintf "REGRESSIONS (> %.1f%% worse): %d\n" threshold
+           (List.length rs)));
+  (Buffer.contents buf, List.length regressions)
+
+let diff_files ?threshold path_a path_b =
+  match (load_file path_a, load_file path_b) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok a, Ok b -> Ok (render ?threshold ~path_a ~path_b a b)

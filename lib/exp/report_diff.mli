@@ -1,0 +1,42 @@
+(** Align and diff two run-report / bench-sweep JSON artefacts.
+
+    Both sides may be a single JSON value ([ctamap run --json] /
+    [--profile] output) or JSONL with one object per line (the bench
+    harness).  Records are keyed by (workload, machine, scheme):
+
+    - a run report ([ctam_report_version] present) contributes cycles,
+      mem_accesses, barriers and per-level miss rates from its
+      ["stats"];
+    - a bench-sweep object (["workloads"] present) contributes
+      cycles / mem_accesses / barriers / vs_base per workload plus a
+      ("geomean", machine, scheme) record for [geomean_vs_base].
+
+    Matching keys are compared metric by metric; a {e regression} is a
+    metric increase of more than [threshold] percent (all extracted
+    metrics are higher-is-worse).  Keys present on one side only are
+    listed but never flagged.  A tool-version mismatch between the two
+    sides is noted in the header. *)
+
+(** Percent threshold above which an increase counts as a regression
+    (2.0). *)
+val default_threshold : float
+
+(** [load_file path] parses the file as one JSON value, falling back to
+    JSONL. *)
+val load_file : string -> (Ctam_util.Json.t list, string) result
+
+(** [render ?threshold ~path_a ~path_b a b] is the rendered diff
+    (table of changed metrics, regressions flagged with ["!"], summary
+    lines) and the number of regressions. *)
+val render :
+  ?threshold:float ->
+  path_a:string ->
+  path_b:string ->
+  Ctam_util.Json.t list ->
+  Ctam_util.Json.t list ->
+  string * int
+
+(** [diff_files ?threshold a b] loads both paths and renders; [Error]
+    only on unreadable/malformed input. *)
+val diff_files :
+  ?threshold:float -> string -> string -> (string * int, string) result

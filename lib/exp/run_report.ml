@@ -9,6 +9,7 @@ type profile = {
   stats : Stats.t;
   counters : Probe_sinks.Counters.t;
   reuse : Probe_sinks.Reuse_split.t;
+  timeline : Timeline.t option;
   legend : (int * (string * int)) list;
   sim_seconds : float;
   verify : Ctam_verify.Verify.report option;
@@ -189,7 +190,7 @@ let conflicts_json reuse =
            ])
        (Probe_sinks.Reuse_split.conflicts reuse))
 
-let profile ?(params = Mapping.default_params) ?config
+let profile ?(params = Mapping.default_params) ?config ?timeline_window
     ?(frontend_timings = []) ?(check = false) scheme ~machine program =
   let now = Unix.gettimeofday in
   let compiled =
@@ -201,9 +202,21 @@ let profile ?(params = Mapping.default_params) ?config
   let segments, legend = Mapping.segments compiled in
   let counters = Probe_sinks.Counters.create ~segments machine in
   let reuse = Probe_sinks.Reuse_split.create machine in
+  let timeline =
+    match timeline_window with
+    | None -> None
+    | Some window -> Some (Timeline.create ~window ~segments machine)
+  in
   let probe =
     Probe.seq
-      [ Probe_sinks.Counters.probe counters; Probe_sinks.Reuse_split.probe reuse ]
+      ([
+         Probe_sinks.Counters.probe counters;
+         Probe_sinks.Reuse_split.probe reuse;
+       ]
+      @
+      match timeline with
+      | None -> []
+      | Some tl -> [ Timeline.probe tl ])
   in
   let t0 = now () in
   let stats = Mapping.simulate ?config ~probe compiled in
@@ -214,7 +227,8 @@ let profile ?(params = Mapping.default_params) ?config
   let report =
     J.Obj
       ([
-        ("ctam_report_version", J.Int 1);
+        ("ctam_report_version", J.Int Build_info.report_version);
+        ("version", J.String Build_info.version);
         ("program", J.String program.Program.name);
         ("scheme", scheme_json scheme);
         ("machine", topology_json machine);
@@ -246,12 +260,25 @@ let profile ?(params = Mapping.default_params) ?config
                 J.Int (Probe_sinks.Counters.invalidations_total counters) );
             ] );
       ]
+      @ (match timeline with
+        | None -> []
+        | Some tl -> [ ("timeline", Trace_export.series_json tl) ])
       @
       match verify with
       | None -> []
       | Some r -> [ ("verify", Ctam_verify.Verify.to_json r) ])
   in
-  { compiled; stats; counters; reuse; legend; sim_seconds; verify; report }
+  {
+    compiled;
+    stats;
+    counters;
+    reuse;
+    timeline;
+    legend;
+    sim_seconds;
+    verify;
+    report;
+  }
 
 let write_file path json =
   let oc = open_out path in
@@ -317,6 +344,7 @@ let bench_sweep ?jobs ~quick ~machine () =
       let ratios = List.filter_map fst rows in
       J.Obj
         ([
+           ("version", J.String Build_info.version);
            ("machine", J.String machine.Topology.name);
            ("scheme", scheme_json scheme);
            ("quick", J.Bool quick);

@@ -22,6 +22,8 @@ type profile = {
   stats : Stats.t;
   counters : Probe_sinks.Counters.t;
   reuse : Probe_sinks.Reuse_split.t;
+  timeline : Timeline.t option;
+      (** attached when [profile ?timeline_window] was given *)
   legend : (int * (string * int)) list;
       (** segment id -> (nest name, group id) *)
   sim_seconds : float;
@@ -37,10 +39,14 @@ type profile = {
     [("parse", s); ("lower", s)] measured while loading the source.
     [check] (default false) additionally runs the {!Ctam_verify}
     legality checker on the compiled mapping; the result lands in
-    [verify] and as a ["verify"] member of the JSON report. *)
+    [verify] and as a ["verify"] member of the JSON report.
+    [timeline_window] additionally attaches a {!Timeline} sink with
+    that window width and embeds its windowed series as a ["timeline"]
+    member ({!Trace_export.series_json}). *)
 val profile :
   ?params:Mapping.params ->
   ?config:Engine.config ->
+  ?timeline_window:int ->
   ?frontend_timings:(string * float) list ->
   ?check:bool ->
   Mapping.scheme ->

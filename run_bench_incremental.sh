@@ -38,4 +38,9 @@ for m in harpertown nehalem dunnington; do
   awk -v m="$m" -v a="$t0" -v b="$t1" \
     'BEGIN { printf "{\"machine\":\"%s\",\"sweep_seconds\":%.3f}\n", m, b - a }' \
     >> "$OUT"
+  # Archive one timeline trace per machine alongside the trajectories
+  # (sp under the topology-aware scheme; load in ui.perfetto.dev).
+  ./_build/default/bin/ctamap.exe trace sp -m "$m" --scale 64 -s topology \
+    -o "trace_$m.json" --window 2048 > /dev/null \
+    || echo "trace archive failed: $m" >&2
 done

@@ -395,6 +395,7 @@ type event =
   | Mem of int * int
   | Evict of int * int * int
   | Invalidate of int * int * int
+  | Retire of int * int
   | Phase_start of int
   | Phase_end of int * int
   | Barrier_enter of int * int
@@ -410,6 +411,7 @@ let recording_probe log =
     on_evict = (fun ~core ~level ~line -> push (Evict (core, level, line)));
     on_invalidate =
       (fun ~core ~level ~line -> push (Invalidate (core, level, line)));
+    on_retire = (fun ~core ~cycles -> push (Retire (core, cycles)));
     on_phase_start = (fun ~phase -> push (Phase_start phase));
     on_phase_end = (fun ~phase ~cycles -> push (Phase_end (phase, cycles)));
     on_barrier_enter =

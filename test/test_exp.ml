@@ -27,7 +27,9 @@ let test_table_geomean () =
   (* geomean(1,4)=2, geomean(0.72,0.50)=0.6 *)
   check_bool "col 1 geomean" true (Astring.String.is_infix ~affix:"2.000" t);
   check_bool "col 2 geomean" true (Astring.String.is_infix ~affix:"0.600" t);
-  (* non-numeric / non-positive columns get a dash, not an exception *)
+  check_bool "no footnote without skips" false
+    (Astring.String.is_infix ~affix:"*" t);
+  (* non-numeric / non-positive cells are skipped, not fatal *)
   let t2 =
     Report.table ~geomean:"geomean" ~header:[ "app"; "val" ]
       [ [ "a"; "n/a" ]; [ "b"; "1.0" ] ]
@@ -40,6 +42,38 @@ let test_table_geomean () =
   in
   check_bool "zero column still renders" true
     (Astring.String.is_infix ~affix:"geomean" t3)
+
+let test_table_geomean_skips_zero_cells () =
+  (* A column mixing zero/absent and positive cells: the geomean covers
+     the positive cells only, the column is starred, and a footnote
+     explains the star.  Never a nan. *)
+  let t =
+    Report.table ~geomean:"geomean" ~header:[ "app"; "cycles" ]
+      [ [ "a"; "0" ]; [ "b"; "2.0" ]; [ "c"; "8.0" ] ]
+  in
+  check_bool "no nan" false (Astring.String.is_infix ~affix:"nan" t);
+  (* geomean(2,8) = 4, the zero cell skipped *)
+  check_bool "geomean over positive cells" true
+    (Astring.String.is_infix ~affix:"4.000*" t);
+  check_bool "footnote" true
+    (Astring.String.is_infix ~affix:"* geomean skips zero/absent cells" t);
+  (* mixed absent ("-") cells behave the same *)
+  let t2 =
+    Report.table ~geomean:"geomean" ~header:[ "app"; "v" ]
+      [ [ "a"; "-" ]; [ "b"; "3.0" ] ]
+  in
+  check_bool "absent cell skipped" true
+    (Astring.String.is_infix ~affix:"3.000*" t2);
+  (* an all-zero column still renders a dash, and since no column
+     produced a geomean there is no footnote *)
+  let t3 =
+    Report.table ~geomean:"geomean" ~header:[ "app"; "v" ]
+      [ [ "a"; "0" ]; [ "b"; "0" ] ]
+  in
+  check_bool "all-zero column dashes" true
+    (Astring.String.is_infix ~affix:"-" t3);
+  check_bool "no nan in all-zero" false
+    (Astring.String.is_infix ~affix:"nan" t3)
 
 let test_table_geomean_empty () =
   (* the edge case of the issue: no rows -> no geomean row, no crash *)
@@ -74,6 +108,190 @@ let prop_geomean_between =
       let mn = List.fold_left min infinity vs in
       let mx = List.fold_left max 0. vs in
       g >= mn -. 1e-9 && g <= mx +. 1e-9)
+
+(* --- timeline trace export ------------------------------------------ *)
+
+module J = Ctam_util.Json
+
+let check_int = Alcotest.(check int)
+
+let small_profile =
+  lazy
+    (let machine = Ctam_arch.Machines.harpertown ~scale:64 () in
+     let prog =
+       Ctam_workloads.Kernel.small_program (Ctam_workloads.Suite.by_name "cg")
+     in
+     Run_report.profile ~timeline_window:1024 Ctam_core.Mapping.Topology_aware
+       ~machine prog)
+
+let test_trace_json_structure () =
+  let p = Lazy.force small_profile in
+  let tl =
+    match p.Run_report.timeline with
+    | Some tl -> tl
+    | None -> Alcotest.fail "profile ?timeline_window did not attach a sink"
+  in
+  let j =
+    Trace_export.trace_json
+      ~compile_timings:p.Run_report.compiled.Ctam_core.Mapping.timings
+      ~program:"cg" ~machine:"Harpertown" ~scheme:"topology-aware"
+      ~legend:p.Run_report.legend tl
+  in
+  check_bool "version stamped" true
+    (J.member "version" j = Some (J.String Build_info.version));
+  let events =
+    match J.member "traceEvents" j with
+    | Some (J.List es) -> es
+    | _ -> Alcotest.fail "no traceEvents list"
+  in
+  check_bool "events non-empty" true (events <> []);
+  let last = Hashtbl.create 16 in
+  let phs = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      let istr name =
+        match J.member name ev with
+        | Some (J.Int v) -> v
+        | _ -> Alcotest.failf "event missing int %S" name
+      in
+      let ph =
+        match J.member "ph" ev with
+        | Some (J.String p) -> p
+        | _ -> Alcotest.fail "event missing ph"
+      in
+      check_bool "has name" true
+        (match J.member "name" ev with Some (J.String _) -> true | _ -> false);
+      Hashtbl.replace phs ph ();
+      let ts = istr "ts" and pid = istr "pid" and tid = istr "tid" in
+      if ph = "X" then check_bool "dur >= 0" true (istr "dur" >= 0);
+      if ph <> "M" then begin
+        (match Hashtbl.find_opt last (pid, tid) with
+        | Some prev -> check_bool "monotone ts per track" true (ts >= prev)
+        | None -> ());
+        Hashtbl.replace last (pid, tid) ts
+      end)
+    events;
+  check_bool "has spans" true (Hashtbl.mem phs "X");
+  check_bool "has counters" true (Hashtbl.mem phs "C");
+  check_bool "has metadata" true (Hashtbl.mem phs "M");
+  (* the embedded run-report series is present and sized consistently *)
+  let series =
+    match J.member "timeline" p.Run_report.report with
+    | Some s -> s
+    | None -> Alcotest.fail "report missing timeline member"
+  in
+  let nw =
+    match J.member "num_windows" series with
+    | Some (J.Int n) -> n
+    | _ -> Alcotest.fail "series missing num_windows"
+  in
+  check_bool "some windows" true (nw > 0);
+  (match J.member "cores" series with
+  | Some (J.List cores) ->
+      check_int "one entry per core"
+        (Ctam_cachesim.Timeline.num_cores tl)
+        (List.length cores);
+      List.iter
+        (fun c ->
+          match J.member "accesses" c with
+          | Some (J.List xs) -> check_int "series length" nw (List.length xs)
+          | _ -> Alcotest.fail "core missing accesses series")
+        cores
+  | _ -> Alcotest.fail "series missing cores");
+  (* the report's version member matches the build *)
+  check_bool "report version" true
+    (J.member "version" p.Run_report.report
+    = Some (J.String Build_info.version))
+
+(* --- report diff ----------------------------------------------------- *)
+
+let mk_report ?(cycles = 1000) ?(mem = 100) ?(miss_rate = 0.5) name =
+  J.Obj
+    [
+      ("ctam_report_version", J.Int 1);
+      ("version", J.String Build_info.version);
+      ("program", J.String name);
+      ("scheme", J.String "topology-aware");
+      ("machine", J.Obj [ ("name", J.String "Dunnington") ]);
+      ( "stats",
+        J.Obj
+          [
+            ("cycles", J.Int cycles);
+            ("mem_accesses", J.Int mem);
+            ("barriers", J.Int 4);
+            ( "per_level",
+              J.List
+                [
+                  J.Obj
+                    [ ("level", J.Int 1); ("miss_rate", J.Float miss_rate) ];
+                ] );
+          ] );
+    ]
+
+let test_report_diff () =
+  let a = [ mk_report "sp" ] in
+  (* identical inputs: nothing changed, nothing regressed *)
+  let text, n = Report_diff.render ~path_a:"a" ~path_b:"b" a a in
+  check_int "no regressions when identical" 0 n;
+  check_bool "says identical" true
+    (Astring.String.is_infix ~affix:"all identical" text);
+  (* 10% more cycles: flagged at the default 2% threshold *)
+  let b = [ mk_report ~cycles:1100 "sp" ] in
+  let text, n = Report_diff.render ~path_a:"a" ~path_b:"b" a b in
+  check_int "one regression" 1 n;
+  check_bool "regression marked" true
+    (Astring.String.is_infix ~affix:"!" text);
+  check_bool "delta shown" true
+    (Astring.String.is_infix ~affix:"+10.00%" text);
+  (* a looser threshold lets the same delta pass *)
+  let _, n = Report_diff.render ~threshold:20. ~path_a:"a" ~path_b:"b" a b in
+  check_int "threshold respected" 0 n;
+  (* improvements are shown but never flagged *)
+  let c = [ mk_report ~cycles:900 "sp" ] in
+  let text, n = Report_diff.render ~path_a:"a" ~path_b:"b" a c in
+  check_int "improvement is not a regression" 0 n;
+  check_bool "improvement shown" true
+    (Astring.String.is_infix ~affix:"-10.00%" text);
+  (* keys that only exist on one side are reported, not compared *)
+  let d = [ mk_report "unrelated" ] in
+  let text, n = Report_diff.render ~path_a:"a" ~path_b:"b" a d in
+  check_int "no phantom regressions" 0 n;
+  check_bool "unmatched key listed" true
+    (Astring.String.is_infix ~affix:"only in B" text)
+
+let test_report_diff_sweep_objects () =
+  let sweep geo =
+    J.Obj
+      [
+        ("version", J.String Build_info.version);
+        ("machine", J.String "Nehalem");
+        ("scheme", J.String "combined");
+        ("quick", J.Bool true);
+        ( "workloads",
+          J.List
+            [
+              J.Obj
+                [
+                  ("name", J.String "cg");
+                  ("cycles", J.Int 500);
+                  ("mem_accesses", J.Int 50);
+                  ("barriers", J.Int 3);
+                  ("vs_base", J.Float 0.8);
+                ];
+            ] );
+        ("geomean_vs_base", J.Float geo);
+      ]
+  in
+  let text, n =
+    Report_diff.render ~path_a:"a" ~path_b:"b" [ sweep 0.8 ] [ sweep 0.9 ]
+  in
+  check_int "geomean regression flagged" 1 n;
+  check_bool "geomean key present" true
+    (Astring.String.is_infix ~affix:"geomean" text);
+  let _, n =
+    Report_diff.render ~path_a:"a" ~path_b:"b" [ sweep 0.9 ] [ sweep 0.8 ]
+  in
+  check_int "geomean improvement passes" 0 n
 
 (* --- parallel bench sweep ------------------------------------------- *)
 
@@ -119,11 +337,24 @@ let () =
           Alcotest.test_case "table" `Quick test_table;
           Alcotest.test_case "ragged" `Quick test_table_ragged;
           Alcotest.test_case "geomean row" `Quick test_table_geomean;
+          Alcotest.test_case "geomean skips zero cells" `Quick
+            test_table_geomean_skips_zero_cells;
           Alcotest.test_case "geomean row empty" `Quick
             test_table_geomean_empty;
           Alcotest.test_case "normalized" `Quick test_normalized;
           Alcotest.test_case "means" `Quick test_means;
           QCheck_alcotest.to_alcotest prop_geomean_between;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "trace JSON structure" `Quick
+            test_trace_json_structure;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "report diff" `Quick test_report_diff;
+          Alcotest.test_case "sweep objects" `Quick
+            test_report_diff_sweep_objects;
         ] );
       ( "parallel drivers",
         [

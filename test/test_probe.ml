@@ -220,6 +220,171 @@ let test_null_sink_identical () =
         observed.Stats.core_cycles.(i))
     plain.Stats.core_cycles
 
+(* Retire events: exactly one per access, with per-core non-decreasing
+   clocks, and stats.cycles = the largest clock any event reported. *)
+let test_retire_events () =
+  let c = compiled () in
+  let n = c.Mapping.machine.Ctam_arch.Topology.num_cores in
+  let count = ref 0 in
+  let last = Array.make n 0 in
+  let maxc = ref 0 in
+  let probe =
+    {
+      Probe.null with
+      on_retire =
+        (fun ~core ~cycles ->
+          incr count;
+          check_bool "retire clocks non-decreasing per core" true
+            (cycles >= last.(core));
+          last.(core) <- cycles;
+          if cycles > !maxc then maxc := cycles);
+      on_barrier_exit =
+        (fun ~phase:_ ~cycles ->
+          Array.fill last 0 n cycles;
+          if cycles > !maxc then maxc := cycles);
+    }
+  in
+  let stats = Mapping.simulate ~probe c in
+  check_int "one retire per access" stats.Stats.total_accesses !count;
+  check_int "max event clock = stats.cycles" stats.Stats.cycles !maxc
+
+(* The Timeline sink's spans, windowed series and heatmaps are
+   internally consistent and reproduce the run's aggregates. *)
+let timeline_run window =
+  let c = compiled () in
+  let segments, _legend = Mapping.segments c in
+  let tl = Timeline.create ~window ~segments c.Mapping.machine in
+  let stats = Mapping.simulate ~probe:(Timeline.probe tl) c in
+  (c, tl, stats)
+
+let test_timeline_consistency () =
+  let c, tl, stats = timeline_run 512 in
+  let n = c.Mapping.machine.Ctam_arch.Topology.num_cores in
+  check_int "max_cycles = stats.cycles" stats.Stats.cycles
+    (Timeline.max_cycles tl);
+  check_int "barriers" stats.Stats.barriers
+    (List.length (Timeline.barriers tl));
+  check_int "phases" (List.length c.Mapping.phases)
+    (List.length (Timeline.phases tl));
+  let spans = Timeline.spans tl in
+  check_bool "some spans" true (spans <> []);
+  let sum f = List.fold_left (fun a sp -> a + f sp) 0 spans in
+  check_int "span accesses sum" stats.Stats.total_accesses
+    (sum (fun sp -> sp.Timeline.sp_accesses));
+  check_int "span mem sum" stats.Stats.mem_accesses
+    (sum (fun sp -> sp.Timeline.sp_mem));
+  List.iter
+    (fun sp ->
+      check_bool "span is an interval" true
+        (sp.Timeline.sp_start <= sp.Timeline.sp_end);
+      check_bool "span within run" true
+        (sp.Timeline.sp_end <= stats.Stats.cycles))
+    spans;
+  let nw = Timeline.num_windows tl in
+  check_bool "several windows" true (nw > 1);
+  let sum_series f =
+    List.fold_left
+      (fun a core -> a + Array.fold_left ( + ) 0 (f ~core))
+      0
+      (List.init n Fun.id)
+  in
+  check_int "access series sum" stats.Stats.total_accesses
+    (sum_series (fun ~core -> Timeline.accesses_series tl ~core));
+  Array.iteri
+    (fun core busy ->
+      check_int
+        (Printf.sprintf "core %d busy series sum" core)
+        busy
+        (Array.fold_left ( + ) 0 (Timeline.busy_series tl ~core)))
+    stats.Stats.core_cycles;
+  List.iter
+    (fun level ->
+      let hits =
+        sum_series (fun ~core -> Timeline.hits_series tl ~core ~level)
+      in
+      let misses =
+        sum_series (fun ~core -> Timeline.misses_series tl ~core ~level)
+      in
+      let expect =
+        List.find (fun l -> l.Stats.level = level) stats.Stats.per_level
+      in
+      check_int (Printf.sprintf "L%d hit series sum" level) expect.Stats.hits
+        hits;
+      check_int
+        (Printf.sprintf "L%d miss series sum" level)
+        expect.Stats.misses misses;
+      (* heatmap cells partition the same accesses and misses *)
+      match Timeline.heatmap tl ~level with
+      | None -> Alcotest.failf "missing heatmap for L%d" level
+      | Some (sets, acc, miss) ->
+          check_bool "heatmap has sets" true (sets > 0);
+          let cell_sum m =
+            Array.fold_left
+              (fun a row -> a + Array.fold_left ( + ) 0 row)
+              0 m
+          in
+          check_int
+            (Printf.sprintf "L%d heatmap accesses" level)
+            (expect.Stats.hits + expect.Stats.misses)
+            (cell_sum acc);
+          check_int
+            (Printf.sprintf "L%d heatmap misses" level)
+            expect.Stats.misses (cell_sum miss))
+    (Timeline.levels tl);
+  let v, hz, x, cold = Timeline.reuse_series tl in
+  let s a = Array.fold_left ( + ) 0 a in
+  check_int "reuse series partition accesses" stats.Stats.total_accesses
+    (s v + s hz + s x + s cold);
+  (* the ASCII renderer produces something for every level *)
+  List.iter
+    (fun level ->
+      match Timeline.render_heatmap tl ~level with
+      | Some text -> check_bool "renders" true (String.length text > 0)
+      | None -> Alcotest.failf "no rendering for L%d" level)
+    (Timeline.levels tl)
+
+(* Attaching the timeline never changes simulated time. *)
+let test_timeline_observe_only () =
+  let c = compiled () in
+  let plain = Mapping.simulate c in
+  let segments, _ = Mapping.segments c in
+  let tl = Timeline.create ~window:512 ~segments c.Mapping.machine in
+  let observed = Mapping.simulate ~probe:(Timeline.probe tl) c in
+  check_int "cycles" plain.Stats.cycles observed.Stats.cycles;
+  check_int "mem" plain.Stats.mem_accesses observed.Stats.mem_accesses;
+  Array.iteri
+    (fun i t ->
+      check_int (Printf.sprintf "core %d cycles" i) t
+        observed.Stats.core_cycles.(i))
+    plain.Stats.core_cycles
+
+(* Two independent replays produce structurally identical timelines. *)
+let test_timeline_deterministic () =
+  let _, tl1, s1 = timeline_run 1024 in
+  let _, tl2, s2 = timeline_run 1024 in
+  check_bool "stats equal" true (s1 = s2);
+  check_bool "spans equal" true (Timeline.spans tl1 = Timeline.spans tl2);
+  check_bool "barriers equal" true
+    (Timeline.barriers tl1 = Timeline.barriers tl2);
+  check_bool "invalidations equal" true
+    (Timeline.invalidations tl1 = Timeline.invalidations tl2);
+  check_int "windows equal" (Timeline.num_windows tl1)
+    (Timeline.num_windows tl2);
+  let n = Timeline.num_cores tl1 in
+  for core = 0 to n - 1 do
+    check_bool "access series equal" true
+      (Timeline.accesses_series tl1 ~core = Timeline.accesses_series tl2 ~core);
+    check_bool "busy series equal" true
+      (Timeline.busy_series tl1 ~core = Timeline.busy_series tl2 ~core)
+  done;
+  check_bool "reuse series equal" true
+    (Timeline.reuse_series tl1 = Timeline.reuse_series tl2);
+  List.iter
+    (fun level ->
+      check_bool "heatmaps equal" true
+        (Timeline.heatmap tl1 ~level = Timeline.heatmap tl2 ~level))
+    (Timeline.levels tl1)
+
 (* Probe combinators. *)
 let test_probe_combinators () =
   check_bool "null is null" true (Probe.is_null Probe.null);
@@ -271,11 +436,21 @@ let () =
             test_group_attribution_sums;
           Alcotest.test_case "reuse split partitions accesses" `Quick
             test_reuse_split_partitions;
+          Alcotest.test_case "retire events" `Quick test_retire_events;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "consistent with stats" `Quick
+            test_timeline_consistency;
+          Alcotest.test_case "replay deterministic" `Quick
+            test_timeline_deterministic;
         ] );
       ( "overhead",
         [
           Alcotest.test_case "null sink leaves cycles identical" `Quick
             test_null_sink_identical;
+          Alcotest.test_case "timeline sink leaves cycles identical" `Quick
+            test_timeline_observe_only;
         ] );
       ( "api",
         [

@@ -44,6 +44,38 @@ let test_parse () =
     (Result.is_error (Json.parse {|{"a": 1|}));
   check_bool "bare word rejected" true (Result.is_error (Json.parse "nope"))
 
+(* RFC 8259 §7: every control character below 0x20 must be escaped in
+   output.  Regression test for the report/trace pipeline, which embeds
+   program names and DSL snippets in JSON: raw control bytes in a
+   string must never reach the output unescaped, and every one must
+   survive a round-trip. *)
+let test_control_char_escaping () =
+  let all_controls = String.init 0x20 Char.chr in
+  let s = Json.to_string ~minify:true (Json.String all_controls) in
+  String.iter
+    (fun c ->
+      check_bool
+        (Printf.sprintf "no raw control byte 0x%02x in output" (Char.code c))
+        false
+        (Char.code c < 0x20))
+    s;
+  check_bool "named escapes used" true
+    (Astring.String.is_infix ~affix:{|\n|} s
+    && Astring.String.is_infix ~affix:{|\t|} s
+    && Astring.String.is_infix ~affix:{|\r|} s
+    && Astring.String.is_infix ~affix:{|\b|} s
+    && Astring.String.is_infix ~affix:{|\f|} s);
+  check_bool "u-escapes for the rest" true
+    (Astring.String.is_infix ~affix:{|\u0000|} s
+    && Astring.String.is_infix ~affix:{|\u001f|} s);
+  check_bool "control chars round-trip" true
+    (parse_ok s = Json.String all_controls);
+  (* embedded in structure, pretty-printed *)
+  roundtrip (Json.Obj [ ("k\x01", Json.String "v\x02\x7f\n") ]);
+  (* the parser accepts the escaped forms too *)
+  check_bool "parse \\u000b" true
+    (parse_ok {|"\u000b"|} = Json.String "\x0b")
+
 let test_roundtrip () =
   roundtrip Json.Null;
   roundtrip (Json.Int (-7));
@@ -105,6 +137,8 @@ let () =
         [
           Alcotest.test_case "printing" `Quick test_print;
           Alcotest.test_case "parsing" `Quick test_parse;
+          Alcotest.test_case "control-char escaping (RFC 8259)" `Quick
+            test_control_char_escaping;
           Alcotest.test_case "round-trips" `Quick test_roundtrip;
           Alcotest.test_case "accessors" `Quick test_accessors;
         ] );

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Exercise the timeline tracing layer end to end:
+#   1. `ctamap trace` over an example program and a built-in workload;
+#      each trace must parse as JSON (tools/json_check.exe) and satisfy
+#      the Chrome trace-event invariants (tools/trace_check.exe:
+#      ph/ts/pid/tid/name fields, non-negative durs, per-track monotone
+#      timestamps, at least one span and one counter).
+#   2. `ctamap report diff` of a report against itself exits zero, and
+#      against a copy with cycles inflated ~10x exits non-zero.
+# Wired into `dune runtest` from tools/dune; also runnable by hand:
+#
+#   dune build && sh tools/check_trace.sh
+#
+# Args (all optional): CTAMAP_EXE JSON_CHECK_EXE TRACE_CHECK_EXE PROGRAM_DIR
+set -e
+CTAMAP=${1:-./_build/default/bin/ctamap.exe}
+JSON_CHECK=${2:-./_build/default/tools/json_check.exe}
+TRACE_CHECK=${3:-./_build/default/tools/trace_check.exe}
+DIR=${4:-examples/programs}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+"$CTAMAP" trace "$DIR/fig5.ctam" -m dunnington -s topology \
+  -o "$tmp/fig5_trace.json" --window 512 > /dev/null
+"$JSON_CHECK" "$tmp/fig5_trace.json" > /dev/null
+"$TRACE_CHECK" "$tmp/fig5_trace.json" > /dev/null
+
+"$CTAMAP" trace sp -m dunnington --scale 64 -s topology \
+  -o "$tmp/sp_trace.json" --window 2048 --heatmap > /dev/null
+"$JSON_CHECK" "$tmp/sp_trace.json" > /dev/null
+"$TRACE_CHECK" "$tmp/sp_trace.json" > /dev/null
+
+# report diff: identical inputs -> exit 0, no regressions
+"$CTAMAP" run sp --scale 64 -s topology --json "$tmp/a.json" > /dev/null
+if ! "$CTAMAP" report diff "$tmp/a.json" "$tmp/a.json" > /dev/null; then
+  echo "check_trace: self-diff should exit zero" >&2
+  exit 1
+fi
+
+# inflate every cycles count ~10x: must be flagged as a regression
+sed -E 's/("cycles": )([0-9]+)/\1\29/' "$tmp/a.json" > "$tmp/b.json"
+if "$CTAMAP" report diff "$tmp/a.json" "$tmp/b.json" > /dev/null 2>&1; then
+  echo "check_trace: inflated cycles should exit non-zero" >&2
+  exit 1
+fi
+
+echo "check_trace: traces valid, report diff gate works"

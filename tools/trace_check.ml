@@ -1,0 +1,86 @@
+(* Validate a Chrome trace-event JSON file produced by `ctamap trace`:
+   the required members exist ([traceEvents] non-empty, [version]),
+   every event carries [ph]/[ts]/[pid]/[tid]/[name] (plus [dur >= 0]
+   for "X" spans), timestamps are non-decreasing within each
+   (pid, tid) track, and at least one duration span and one counter
+   sample are present.  Used by tools/check_trace.sh under
+   `dune runtest`. *)
+
+module J = Ctam_util.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let check_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  let j =
+    match J.parse s with
+    | Ok v -> v
+    | Error e -> fail "%s: not JSON: %s" path e
+  in
+  (match J.member "version" j with
+  | Some (J.String _) -> ()
+  | _ -> fail "%s: missing \"version\" member" path);
+  let events =
+    match J.member "traceEvents" j with
+    | Some (J.List (_ :: _ as es)) -> es
+    | Some (J.List []) -> fail "%s: traceEvents is empty" path
+    | _ -> fail "%s: missing \"traceEvents\" list" path
+  in
+  let last_ts = Hashtbl.create 64 in
+  let spans = ref 0 and counters = ref 0 in
+  List.iteri
+    (fun i ev ->
+      let get name =
+        match J.member name ev with
+        | Some v -> v
+        | None -> fail "%s: event %d: missing \"%s\"" path i name
+      in
+      let ph =
+        match get "ph" with
+        | J.String p -> p
+        | _ -> fail "%s: event %d: \"ph\" not a string" path i
+      in
+      (match get "name" with
+      | J.String _ -> ()
+      | _ -> fail "%s: event %d: \"name\" not a string" path i);
+      let int_field name =
+        match get name with
+        | J.Int v -> v
+        | _ -> fail "%s: event %d: \"%s\" not an integer" path i name
+      in
+      let ts = int_field "ts" in
+      let pid = int_field "pid" in
+      let tid = int_field "tid" in
+      if ts < 0 then fail "%s: event %d: negative ts" path i;
+      (match ph with
+      | "X" ->
+          incr spans;
+          if int_field "dur" < 0 then
+            fail "%s: event %d: negative dur" path i
+      | "C" -> incr counters
+      | _ -> ());
+      (* Metadata events all carry ts 0 and may follow nothing; real
+         events must be non-decreasing per (pid, tid) track. *)
+      if ph <> "M" then begin
+        (match Hashtbl.find_opt last_ts (pid, tid) with
+        | Some prev when ts < prev ->
+            fail "%s: event %d: ts %d < %d on track (pid %d, tid %d)" path i
+              ts prev pid tid
+        | _ -> ());
+        Hashtbl.replace last_ts (pid, tid) ts
+      end)
+    events;
+  if !spans = 0 then fail "%s: no duration (ph \"X\") events" path;
+  if !counters = 0 then fail "%s: no counter (ph \"C\") events" path;
+  Printf.printf "trace_check: %s ok (%d events, %d spans, %d counters, %d tracks)\n"
+    path (List.length events) !spans !counters (Hashtbl.length last_ts)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then (
+    prerr_endline "usage: trace_check TRACE.json...";
+    exit 2);
+  List.iter check_file args
