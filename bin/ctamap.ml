@@ -67,6 +67,53 @@ let scheme_of_string = function
   | "combined" -> Ok Mapping.Combined
   | s -> Error (Printf.sprintf "unknown scheme '%s'" s)
 
+let read_text path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+(* A tuned-params file: the JSON [ctamap tune --save-params] writes
+   (schema {!Ctam_tune.Space.of_json}). *)
+let load_point path =
+  match try Ok (read_text path) with Sys_error m -> Error m with
+  | Error m -> Error m
+  | Ok text -> (
+      match Ctam_util.Json.parse text with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok j -> (
+          match Ctam_tune.Space.of_json j with
+          | Ok p -> Ok p
+          | Error e -> Error (Printf.sprintf "%s: %s" path e)))
+
+(* Fold the tuning inputs into [params]: the --params file first, then
+   any explicit --alpha/--beta/--balance override.  Also returns the
+   file's scheme so [run] can adopt it when -s is not given. *)
+let apply_tuning params ~params_file ~alpha ~beta ~balance =
+  let ( let* ) = Result.bind in
+  let* point =
+    match params_file with
+    | None -> Ok None
+    | Some path -> Result.map Option.some (load_point path)
+  in
+  let params =
+    match point with
+    | Some p -> Ctam_tune.Space.params_of ~base:params p
+    | None -> params
+  in
+  let params =
+    {
+      params with
+      Mapping.alpha = Option.value alpha ~default:params.Mapping.alpha;
+      beta = Option.value beta ~default:params.Mapping.beta;
+      balance_threshold =
+        Option.value balance ~default:params.Mapping.balance_threshold;
+    }
+  in
+  let* () = Mapping.validate_params params in
+  Ok (params, Option.map (fun p -> p.Ctam_tune.Space.scheme) point)
+
 let machine_arg =
   let doc =
     "Target machine: harpertown, nehalem, dunnington, arch-i, arch-ii — or \
@@ -85,6 +132,43 @@ let scheme_arg =
 let block_arg =
   let doc = "Data block size in bytes (the paper's default is 2048)." in
   Arg.(value & opt int 2048 & info [ "b"; "block" ] ~doc)
+
+let alpha_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "alpha" ] ~docv:"A"
+        ~doc:
+          "Horizontal-reuse weight α of the scheduling cost function \
+           (non-negative; default from the mapper or the --params file).")
+
+let beta_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "beta" ] ~docv:"B"
+        ~doc:
+          "Vertical-reuse weight β of the scheduling cost function \
+           (non-negative; default from the mapper or the --params file).")
+
+let balance_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "balance" ] ~docv:"T"
+        ~doc:
+          "Distribution balance threshold (positive; default from the \
+           mapper or the --params file).")
+
+let params_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "params" ] ~docv:"FILE"
+        ~doc:
+          "Load mapping parameters (scheme, α, β, balance threshold, tile \
+           edge) from a tuned-params JSON file, as written by $(b,tune \
+           --save-params).  Explicit flags override the file.")
 
 let source_arg =
   let doc = "DSL source file, or the name of a built-in workload." in
@@ -213,16 +297,25 @@ let simulate_cmd =
            $ block_arg))
 
 let run_cmd =
-  let run source machine scale scheme block json profile check window =
+  let run source machine scale scheme block json profile check window alpha
+      beta balance params_file =
     let* prog, frontend_timings = load_program_timed source in
     let* machine = get_machine machine scale in
-    let* scheme = scheme_of_string scheme in
     let* () =
       match window with
       | Some w when w <= 0 -> Error "--window must be positive"
       | _ -> Ok ()
     in
-    let params = { Mapping.default_params with block_size = block } in
+    let* params, file_scheme =
+      apply_tuning
+        { Mapping.default_params with block_size = block }
+        ~params_file ~alpha ~beta ~balance
+    in
+    let* scheme =
+      match scheme with
+      | Some s -> scheme_of_string s
+      | None -> Ok (Option.value file_scheme ~default:Mapping.Combined)
+    in
     let p =
       Ctam_exp.Run_report.profile ~params ?timeline_window:window
         ~frontend_timings ~check scheme ~machine prog
@@ -366,6 +459,15 @@ let run_cmd =
              the windowed time-series metrics (per-core occupancy and \
              per-level hit/miss series, reuse split) in the JSON report.")
   in
+  let scheme =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "scheme" ]
+          ~doc:
+            "Mapping scheme: base, base+, local, topology-aware, combined \
+             (default: the --params file's scheme, else combined).")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:
@@ -374,8 +476,9 @@ let run_cmd =
           optionally emit a JSON run report.")
     Term.(
       ret
-        (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
-       $ block_arg $ json $ profile $ check $ window))
+        (const run $ source_arg $ machine_arg $ scale_arg $ scheme
+       $ block_arg $ json $ profile $ check $ window $ alpha_arg $ beta_arg
+       $ balance_arg $ params_file_arg))
 
 let jobs_arg =
   Arg.(
@@ -388,10 +491,17 @@ let jobs_arg =
            byte-identical to a serial run.")
 
 let compare_cmd =
-  let run source machine scale block jobs =
+  let run source machine scale block jobs alpha beta balance params_file =
     let* prog = load_program source in
     let* machine = get_machine machine scale in
-    let params = { Mapping.default_params with block_size = block } in
+    (* The tuned point's parameters apply to every scheme in the table
+       (its scheme coordinate is ignored; each scheme reads the knobs
+       it uses). *)
+    let* params, _ =
+      apply_tuning
+        { Mapping.default_params with block_size = block }
+        ~params_file ~alpha ~beta ~balance
+    in
     (* Simulate every scheme in parallel, then assemble the table
        serially so the Base-normalization and row order match the old
        one-scheme-at-a-time loop exactly. *)
@@ -425,6 +535,128 @@ let compare_cmd =
     Term.(
       ret
         (const run $ source_arg $ machine_arg $ scale_arg $ block_arg
+       $ jobs_arg $ alpha_arg $ beta_arg $ balance_arg $ params_file_arg))
+
+let tune_cmd =
+  let run source machine scale block strategy budget cache_dir json
+      save_params verify jobs =
+    let* prog = load_program source in
+    let* machine = get_machine machine scale in
+    let* strategy = Ctam_tune.Search.strategy_of_id strategy in
+    let* () =
+      match budget with
+      | Some b when b < 0 -> Error "--budget must be non-negative"
+      | _ -> Ok ()
+    in
+    let base_params = { Mapping.default_params with block_size = block } in
+    let* () = Mapping.validate_params base_params in
+    let settings =
+      {
+        Ctam_tune.Search.default_settings with
+        strategy;
+        budget;
+        cache_dir;
+        jobs;
+        base_params;
+        verify;
+      }
+    in
+    let result =
+      Ctam_tune.Search.run settings ~machine ~program_name:prog.Program.name
+        prog
+    in
+    print_string (Ctam_tune.Search.render result);
+    let write path j =
+      try
+        Ctam_exp.Run_report.write_file path j;
+        Fmt.pr "wrote %s@." path;
+        Ok ()
+      with Sys_error msg -> Error ("cannot write: " ^ msg)
+    in
+    let* () =
+      match save_params with
+      | Some path -> write path (Ctam_tune.Search.best_params_json result)
+      | None -> Ok ()
+    in
+    let* () =
+      match json with
+      | Some path -> write path (Ctam_tune.Search.to_json result)
+      | None -> Ok ()
+    in
+    match result.Ctam_tune.Search.verify_ok with
+    | Some false -> `Error (false, "winning mapping failed verification")
+    | _ -> `Ok ()
+  in
+  let strategy =
+    Arg.(
+      value & opt string "grid"
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:
+            "Search strategy: $(b,grid) (exhaustive), $(b,descent) \
+             (coordinate descent from the default), or $(b,halving) \
+             (successive halving under growing cycle caps).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Evaluate at most $(docv) configurations beyond the default \
+             (which is always evaluated).  A persistent-cache hit costs no \
+             simulation but still counts, so the searched set and the \
+             winner do not depend on the cache's temperature.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Persistent result-cache directory.  Keys cover the program \
+             source, the topology, the parameters and the tool version, so \
+             re-tuning after unrelated edits is pure cache hits and never \
+             changes the result.")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the tune report to $(docv).  The report is \
+             deterministic (no timestamps): identical runs produce \
+             byte-identical files at any -j, and $(b,report diff) can \
+             compare them across commits.")
+  in
+  let save_params =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-params" ] ~docv:"FILE"
+          ~doc:
+            "Write the winning parameters to $(docv), in the format \
+             $(b,run --params) and $(b,compare --params) accept.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Run the mapping legality checker on the winning \
+             configuration; a violation exits non-zero.")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Search the mapping-parameter space (scheme, α, β, balance \
+          threshold, tile edge) for the lowest-cycle configuration of a \
+          program on a machine, using the cache simulator as the cost \
+          oracle.")
+    Term.(
+      ret
+        (const run $ source_arg $ machine_arg $ scale_arg $ block_arg
+       $ strategy $ budget $ cache_dir $ json $ save_params $ verify
        $ jobs_arg))
 
 let codegen_cmd =
@@ -860,6 +1092,6 @@ let () =
        (Cmd.group ~default info
           [
             machines_cmd; groups_cmd; map_cmd; run_cmd; simulate_cmd;
-            compare_cmd; codegen_cmd; check_cmd; dump_cmd; emit_c_cmd;
-            reuse_cmd; trace_cmd; report_cmd; experiment_cmd;
+            compare_cmd; tune_cmd; codegen_cmd; check_cmd; dump_cmd;
+            emit_c_cmd; reuse_cmd; trace_cmd; report_cmd; experiment_cmd;
           ]))

@@ -26,7 +26,7 @@ let finish h clock busy total_accesses nphases =
     barriers = max 0 (nphases - 1);
   }
 
-let run ?(config = default_config) h phases =
+let run ?(config = default_config) ?max_cycles h phases =
   let topo = Hierarchy.topology h in
   let n = topo.Ctam_arch.Topology.num_cores in
   check_phases n phases;
@@ -34,6 +34,10 @@ let run ?(config = default_config) h phases =
   let probe = Hierarchy.probe h in
   let observed = not (Probe.is_null probe) in
   let line_size = Hierarchy.line_size h in
+  (* [max_int] sentinel keeps the cap a single integer compare on the
+     unobserved fast path; a core clock can never reach it. *)
+  let cap = match max_cycles with Some c -> c | None -> max_int in
+  let capped = ref false in
   let clock = Array.make n 0 in
   let busy = Array.make n 0 in
   let total_accesses = ref 0 in
@@ -66,6 +70,8 @@ let run ?(config = default_config) h phases =
   in
   List.iteri
     (fun pi streams ->
+      if !capped then ()
+      else begin
       if observed then probe.Probe.on_phase_start ~phase:pi;
       let pos = Array.make n 0 in
       (* Event-driven interleaving: the core with the smallest local
@@ -74,8 +80,7 @@ let run ?(config = default_config) h phases =
       for c = 0 to n - 1 do
         if Array.length streams.(c) > 0 then begin
           heap.(!size) <- c;
-          incr size;
-          total_accesses := !total_accesses + Array.length streams.(c)
+          incr size
         end
       done;
       for i = (!size / 2) - 1 downto 0 do
@@ -83,37 +88,51 @@ let run ?(config = default_config) h phases =
       done;
       while !size > 0 do
         let c = heap.(0) in
-        let s = streams.(c) in
-        let addr, write = decode_access s.(pos.(c)) in
-        pos.(c) <- pos.(c) + 1;
-        if observed then
-          probe.Probe.on_access ~core:c ~addr ~line:(addr / line_size) ~write;
-        let lat = Hierarchy.access h ~core:c ~addr ~write in
-        let cost = config.issue_cost + lat in
-        clock.(c) <- clock.(c) + cost;
-        busy.(c) <- busy.(c) + cost;
-        if observed then probe.Probe.on_retire ~core:c ~cycles:clock.(c);
-        if pos.(c) >= Array.length s then begin
-          decr size;
-          heap.(0) <- heap.(!size)
-        end;
-        (* The root's key only grew (or was replaced): restore the
-           heap by sifting down. *)
-        sift_down 0
+        (* The heap minimum is the globally smallest clock, so once it
+           reaches the cap every remaining access lies past the cap and
+           the rest of the run can be cut. *)
+        if clock.(c) >= cap then begin
+          capped := true;
+          size := 0
+        end
+        else begin
+          let s = streams.(c) in
+          let addr, write = decode_access s.(pos.(c)) in
+          pos.(c) <- pos.(c) + 1;
+          incr total_accesses;
+          if observed then
+            probe.Probe.on_access ~core:c ~addr ~line:(addr / line_size) ~write;
+          let lat = Hierarchy.access h ~core:c ~addr ~write in
+          let cost = config.issue_cost + lat in
+          clock.(c) <- clock.(c) + cost;
+          busy.(c) <- busy.(c) + cost;
+          if observed then probe.Probe.on_retire ~core:c ~cycles:clock.(c);
+          if pos.(c) >= Array.length s then begin
+            decr size;
+            heap.(0) <- heap.(!size)
+          end;
+          (* The root's key only grew (or was replaced): restore the
+             heap by sifting down. *)
+          sift_down 0
+        end
       done;
-      if observed then
-        probe.Probe.on_phase_end ~phase:pi
-          ~cycles:(Array.fold_left max 0 clock);
-      (* Barrier after every phase but the last. *)
-      if pi < nphases - 1 then begin
-        let tmax = Array.fold_left max 0 clock in
-        if observed then probe.Probe.on_barrier_enter ~phase:pi ~cycles:tmax;
-        for c = 0 to n - 1 do
-          clock.(c) <- tmax + config.barrier_cost
-        done;
+      if !capped then ()
+      else begin
         if observed then
-          probe.Probe.on_barrier_exit ~phase:pi
-            ~cycles:(tmax + config.barrier_cost)
+          probe.Probe.on_phase_end ~phase:pi
+            ~cycles:(Array.fold_left max 0 clock);
+        (* Barrier after every phase but the last. *)
+        if pi < nphases - 1 then begin
+          let tmax = Array.fold_left max 0 clock in
+          if observed then probe.Probe.on_barrier_enter ~phase:pi ~cycles:tmax;
+          for c = 0 to n - 1 do
+            clock.(c) <- tmax + config.barrier_cost
+          done;
+          if observed then
+            probe.Probe.on_barrier_exit ~phase:pi
+              ~cycles:(tmax + config.barrier_cost)
+        end
+      end
       end)
     phases;
   finish h clock busy !total_accesses nphases

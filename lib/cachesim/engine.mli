@@ -37,8 +37,18 @@ val default_config : config
     updated clock once the access has been charged; with the default
     null probe no callback is invoked and the run is identical to an
     unobserved one.
+
+    [max_cycles] is an early-termination budget for search drivers
+    (the autotuner's successive halving): once the smallest per-core
+    clock reaches the cap, the rest of the run — including any
+    remaining phases — is cut.  The returned statistics then describe
+    only the executed prefix ([total_accesses] counts issued accesses;
+    [cycles] is at least the cap), which is enough to classify the
+    configuration as a loser.  Unobserved capped runs are the intended
+    use; probes see a truncated event sequence with no closing
+    phase/barrier events.
     @raise Invalid_argument on core-count mismatch. *)
-val run : ?config:config -> Hierarchy.t -> phase list -> Stats.t
+val run : ?config:config -> ?max_cycles:int -> Hierarchy.t -> phase list -> Stats.t
 
 (** The seed engine: a linear scan over all cores before every access
     instead of {!run}'s index min-heap.  Identical semantics and event

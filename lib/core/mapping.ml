@@ -23,6 +23,7 @@ type params = {
   beta : float;
   max_groups : int;
   dependence_mode : Distribute.dependence_mode;
+  tile_edge : int option;
 }
 
 let default_params =
@@ -34,7 +35,28 @@ let default_params =
     beta = Schedule.default_beta;
     max_groups = 3000;
     dependence_mode = Distribute.Synchronize;
+    tile_edge = None;
   }
+
+(* A schedule built with negative affinity weights or a non-positive
+   balance threshold silently degenerates (the balancing loop can no
+   longer terminate meaningfully, scores invert); reject such
+   parameters up front with a message naming the offender. *)
+let validate_params p =
+  let bad fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if p.block_size <= 0 then bad "block_size must be positive (got %d)" p.block_size
+  else if Float.is_nan p.alpha || p.alpha < 0. then
+    bad "alpha must be a non-negative number (got %g)" p.alpha
+  else if Float.is_nan p.beta || p.beta < 0. then
+    bad "beta must be a non-negative number (got %g)" p.beta
+  else if Float.is_nan p.balance_threshold || p.balance_threshold <= 0. then
+    bad "balance_threshold must be positive (got %g)" p.balance_threshold
+  else if p.max_groups <= 0 then
+    bad "max_groups must be positive (got %d)" p.max_groups
+  else
+    match p.tile_edge with
+    | Some e when e <= 0 -> bad "tile_edge must be positive (got %d)" e
+    | _ -> Ok ()
 
 type nest_info = {
   nest_name : string;
@@ -157,6 +179,9 @@ let timing_keys = [ "group"; "distribute"; "schedule"; "trace" ]
 
 let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
     ~machine program =
+  (match validate_params params with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Mapping.compile: " ^ msg));
   let map_topo = Option.value map_topo ~default:machine in
   let n = map_topo.Topology.num_cores in
   let times = Hashtbl.create 8 in
@@ -296,15 +321,22 @@ let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
               let perm =
                 timed "schedule" (fun () -> Permute.best_order layout nest)
               in
-              let t0 =
-                timed "schedule" (fun () ->
-                    Tiling.choose_tile ~l1_bytes:(l1_capacity map_topo) layout
-                      nest)
-              in
               (* The paper selects the best-performing tile size by
                  search; candidates include "untiled but permuted" so
-                 Base+ never loses to a plain permutation. *)
-              let candidates = [ None; Some t0; Some (max 4 (t0 / 2)) ] in
+                 Base+ never loses to a plain permutation.  A
+                 [params.tile_edge] override (the autotuner's knob)
+                 replaces the search with that single forced edge. *)
+              let candidates =
+                match params.tile_edge with
+                | Some e -> [ Some e ]
+                | None ->
+                    let t0 =
+                      timed "schedule" (fun () ->
+                          Tiling.choose_tile ~l1_bytes:(l1_capacity map_topo)
+                            layout nest)
+                    in
+                    [ None; Some t0; Some (max 4 (t0 / 2)) ]
+              in
               let phase_for tile_opt =
                 Array.map
                   (fun iters ->
@@ -490,9 +522,9 @@ let port c ~machine =
   ignore n_from;
   { c with machine; phases }
 
-let simulate ?config ?coherence ?probe c =
+let simulate ?config ?coherence ?probe ?max_cycles c =
   let h = Hierarchy.create ?coherence ?probe c.machine in
-  Engine.run ?config h c.phases
+  Engine.run ?config ?max_cycles h c.phases
 
 let run ?params ?map_topo ?config ?probe scheme ~machine program =
   simulate ?config ?probe (compile ?params ?map_topo scheme ~machine program)

@@ -31,9 +31,21 @@ type params = {
   max_groups : int;           (** compile-time cap; coarser units above *)
   dependence_mode : Distribute.dependence_mode;
       (** §3.5.2: synchronize (default) or cluster dependent groups *)
+  tile_edge : int option;
+      (** force this Base+ tile edge instead of searching candidates
+          around {!Tiling.choose_tile} (the autotuner's knob) *)
 }
 
 val default_params : params
+
+(** [validate_params p] is [Ok ()] iff the parameters are usable:
+    positive [block_size] / [max_groups] / [balance_threshold] /
+    [tile_edge] (when given) and non-negative finite [alpha] / [beta].
+    {!compile} calls this and raises [Invalid_argument] with the same
+    message, so a degenerate schedule can never be produced silently;
+    CLI layers call it directly for a clean error instead of an
+    exception. *)
+val validate_params : params -> (unit, string) result
 
 type nest_info = {
   nest_name : string;
@@ -103,13 +115,16 @@ val segments :
     version running with fewer threads elsewhere). *)
 val port : compiled -> machine:Topology.t -> compiled
 
-(** [simulate ?config ?coherence ?probe c] builds the machine's
-    hierarchy (with [probe] attached, default null) and runs the
-    phases. *)
+(** [simulate ?config ?coherence ?probe ?max_cycles c] builds the
+    machine's hierarchy (with [probe] attached, default null) and runs
+    the phases.  [max_cycles] is the engine's early-termination budget
+    (see {!Engine.run}); the autotuner uses it to cut clearly-losing
+    configurations short. *)
 val simulate :
   ?config:Engine.config ->
   ?coherence:bool ->
   ?probe:Probe.t ->
+  ?max_cycles:int ->
   compiled ->
   Stats.t
 

@@ -8,13 +8,23 @@ let footprint_per_iter layout nest =
     0 (Nest.refs nest)
 
 let choose_tile ~l1_bytes layout nest =
-  let d = Nest.depth nest in
+  let d = max 1 (Nest.depth nest) in
   let per_iter = max 1 (footprint_per_iter layout nest) in
   let budget_iters = max 1 (l1_bytes / 2 / per_iter) in
-  let edge =
-    int_of_float (Float.round (float_of_int budget_iters ** (1. /. float_of_int d)))
+  (* Largest edge whose d-dimensional tile stays within the iteration
+     budget (the old rounded float root could overshoot it, e.g.
+     round(sqrt 8) = 3 puts 9 iterations in an 8-iteration budget).
+     The growth loop is bounded by the 256 clamp. *)
+  let edge = ref 1 in
+  let fits e =
+    (* e^d <= budget_iters, computed without overflow: divide down. *)
+    let rec go k acc = k = 0 || (acc >= e && go (k - 1) (acc / e)) in
+    go d budget_iters
   in
-  max 4 (min 256 edge)
+  while !edge < 256 && fits (!edge + 1) do
+    incr edge
+  done;
+  !edge
 
 let uniform d t = Array.make d t
 

@@ -14,7 +14,11 @@ open Ctam_ir
 val footprint_per_iter : Layout.t -> Nest.t -> int
 
 (** [choose_tile ~l1_bytes layout nest] returns a uniform tile edge
-    for all dimensions, clamped to [4, 256]. *)
+    for all dimensions: the largest [e] in [1, 256] whose tile
+    footprint [e^depth * footprint_per_iter] stays within half the L1
+    capacity (or a single iteration when even one exceeds it).  Nests
+    of any depth — including degenerate one-point nests — yield an
+    edge of at least 1. *)
 val choose_tile : l1_bytes:int -> Layout.t -> Nest.t -> int
 
 (** [apply ~tile ~perm iters] sorts iterations by (permuted tile

@@ -1,2 +1,2 @@
-let version = "1.4.0"
+let version = "1.5.0"
 let report_version = 1

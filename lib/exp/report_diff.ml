@@ -131,12 +131,44 @@ let of_sweep_object j =
   in
   per_workload @ summary
 
+let of_tune_report j =
+  let workload = match str_member "program" j with Some p -> p | None -> "?" in
+  let machine = match str_member "machine" j with Some m -> m | None -> "?" in
+  let strategy =
+    match str_member "strategy" j with Some s -> s | None -> "?"
+  in
+  let best_stat name =
+    match J.member "best" j with
+    | Some b -> (
+        match J.member "outcome" b with
+        | Some o -> num_member name o
+        | None -> None)
+    | None -> None
+  in
+  let ms =
+    List.filter_map Fun.id
+      [
+        Option.map (metric "best_cycles") (best_stat "cycles");
+        Option.map (metric "best_mem_accesses") (best_stat "mem_accesses");
+        Option.map
+          (metric "tuned_vs_default")
+          (num_member "tuned_vs_default" j);
+      ]
+  in
+  {
+    r_key = (workload, machine, "tune:" ^ strategy);
+    r_version = version_of j;
+    r_metrics = ms;
+  }
+
 let records_of values =
   List.concat_map
     (fun j ->
       match j with
       | J.Obj _ when J.member "ctam_report_version" j <> None ->
           [ of_run_report j ]
+      | J.Obj _ when J.member "ctam_tune_version" j <> None ->
+          [ of_tune_report j ]
       | J.Obj _ when J.member "workloads" j <> None -> of_sweep_object j
       | _ -> [])
     values

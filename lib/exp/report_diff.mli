@@ -9,7 +9,11 @@
       ["stats"];
     - a bench-sweep object (["workloads"] present) contributes
       cycles / mem_accesses / barriers / vs_base per workload plus a
-      ("geomean", machine, scheme) record for [geomean_vs_base].
+      ("geomean", machine, scheme) record for [geomean_vs_base];
+    - a tune report ([ctam_tune_version] present, [ctamap tune --json])
+      contributes best_cycles / best_mem_accesses / tuned_vs_default
+      under the scheme key ["tune:"<strategy>], so tuning outcomes can
+      be tracked across commits like any other benchmark.
 
     Matching keys are compared metric by metric; a {e regression} is a
     metric increase of more than [threshold] percent (all extracted

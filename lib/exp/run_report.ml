@@ -73,6 +73,8 @@ let params_json (p : Mapping.params) =
       ("alpha", J.Float p.alpha);
       ("beta", J.Float p.beta);
       ("max_groups", J.Int p.max_groups);
+      ( "tile_edge",
+        match p.tile_edge with None -> J.Null | Some e -> J.Int e );
       ( "dependence_mode",
         J.String
           (match p.dependence_mode with

@@ -1,0 +1,112 @@
+open Ctam_arch
+open Ctam_core
+module J = Ctam_util.Json
+
+(* The key is a canonical multi-line string; the file name is its
+   FNV-1a 64 hash.  Floats are rendered with %h (exact hex) so two
+   processes can never disagree on a key by formatting. *)
+
+let cache_fragment (c : Topology.cache_params) =
+  Printf.sprintf "%s:L%d:%db:%dw:%dl:%dc" c.Topology.cache_name c.Topology.level
+    c.Topology.size_bytes c.Topology.assoc c.Topology.line c.Topology.latency
+
+(* Topology.caches loses the sharing structure (two machines with the
+   same cache list can group cores differently), so hash each core's
+   path to its last-level cache instead. *)
+let topology_fragment (m : Topology.t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "machine=%s clock=%h mem=%d cores=%d" m.Topology.name
+       m.Topology.clock_ghz m.Topology.mem_latency m.Topology.num_cores);
+  for c = 0 to m.Topology.num_cores - 1 do
+    Buffer.add_string b (Printf.sprintf "\ncore%d=" c);
+    List.iter
+      (fun cp ->
+        Buffer.add_char b '/';
+        Buffer.add_string b (cache_fragment cp))
+      (Topology.path_of_core m c)
+  done;
+  Buffer.contents b
+
+let base_params_fragment (p : Mapping.params) =
+  Printf.sprintf "block=%d auto=%b groups=%d dep=%s"
+    p.Mapping.block_size p.Mapping.auto_block p.Mapping.max_groups
+    (match p.Mapping.dependence_mode with
+    | Distribute.Synchronize -> "sync"
+    | Distribute.Cluster -> "cluster")
+
+let program_fragment program =
+  match Ctam_frontend.Unparse.program program with
+  | src -> src
+  | exception _ -> Digest.to_hex (Digest.string (Marshal.to_string program []))
+
+let key ~version ~base_params ~machine ~max_cycles program point =
+  String.concat "\n"
+    [
+      "ctam-tune-key v1";
+      "version=" ^ version;
+      base_params_fragment base_params;
+      topology_fragment machine;
+      ("cap=" ^ match max_cycles with None -> "none" | Some c -> string_of_int c);
+      Space.key_fragment point;
+      "program:";
+      program_fragment program;
+    ]
+
+let hash key =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h 0x100000001b3L)
+    key;
+  Printf.sprintf "%016Lx" !h
+
+let entry_path ~dir key = Filename.concat dir ("ctam-tune-" ^ hash key ^ ".json")
+
+let lookup ~dir key =
+  let path = entry_path ~dir key in
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception _ -> None
+  | contents -> (
+      match J.parse contents with
+      | Error _ -> None
+      | Ok j -> (
+          match (J.member "key" j, J.member "outcome" j) with
+          | Some (J.String stored), Some oj when String.equal stored key -> (
+              match Eval.outcome_of_json oj with
+              | Ok o -> Some o
+              | Error _ -> None)
+          | _ -> None))
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let store ~dir key outcome =
+  try
+    mkdir_p dir;
+    let path = entry_path ~dir key in
+    let tmp =
+      Filename.temp_file ~temp_dir:dir "ctam-tune-" ".tmp"
+    in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc
+          (J.to_string
+             (J.Obj
+                [
+                  ("key", J.String key); ("outcome", Eval.outcome_to_json outcome);
+                ]));
+        output_char oc '\n');
+    Sys.rename tmp path
+  with _ -> ()

@@ -1,0 +1,50 @@
+(** Persistent on-disk store of tuning evaluations.
+
+    One evaluation = one small JSON file under the cache directory,
+    named by a 64-bit FNV-1a hash of the full {!key}.  The key is a
+    content hash input covering everything the outcome depends on:
+
+    - the program's canonical DSL source ({!Ctam_frontend.Unparse}),
+    - the machine topology down to each core's cache path (so two
+      machines with equal cache lists but different sharing trees
+      never collide),
+    - the base mapping parameters outside the search space (block
+      size, dependence mode, ...),
+    - the space point itself and the evaluation's cycle budget,
+    - the tool version ({!Ctam_exp.Build_info.version}).
+
+    Re-tuning after an unrelated edit is therefore a pure cache hit,
+    while any change to the program, machine, parameters or simulator
+    version misses.  The stored file carries the full key; a hash
+    collision is detected on load and treated as a miss.  Lookups and
+    stores never raise: an unreadable/corrupt entry is a miss, a
+    failed write is ignored (the cache is an optimisation only). *)
+
+open Ctam_arch
+open Ctam_ir
+open Ctam_core
+
+(** [key ~version ~base_params ~machine ~max_cycles program point] is
+    the canonical key string (stable across processes and job
+    counts). *)
+val key :
+  version:string ->
+  base_params:Mapping.params ->
+  machine:Topology.t ->
+  max_cycles:int option ->
+  Program.t ->
+  Space.point ->
+  string
+
+(** 16-hex-digit FNV-1a 64 of a key (the entry's file stem). *)
+val hash : string -> string
+
+(** [lookup ~dir key] returns the stored outcome, or [None] when the
+    entry is absent, unreadable, malformed, or keyed by a colliding
+    string. *)
+val lookup : dir:string -> string -> Eval.outcome option
+
+(** [store ~dir key outcome] writes the entry (creating [dir] if
+    needed) atomically via a temp file + rename, so concurrent tuners
+    sharing a cache directory never observe a partial entry. *)
+val store : dir:string -> string -> Eval.outcome -> unit

@@ -1,0 +1,45 @@
+(** The autotuner's cost oracle: compile a space point, simulate it on
+    the machine's cache hierarchy, score by total cycles with a
+    memory-access tiebreak.
+
+    Evaluations are pure (every call builds its own hierarchy), so the
+    search strategies fan them out through {!Ctam_util.Parallel.map}
+    and the results are independent of the job count. *)
+
+open Ctam_arch
+open Ctam_ir
+open Ctam_cachesim
+open Ctam_core
+
+type outcome = {
+  cycles : int;
+  mem_accesses : int;
+  total_accesses : int;
+  capped : bool;
+      (** the run hit its [max_cycles] budget; [cycles] is a lower
+          bound on the true cost and the point is a proven loser at
+          that budget *)
+}
+
+(** Lexicographic score, smaller is better: cycles first, off-chip
+    memory accesses as the tiebreak. *)
+val score : outcome -> int * int
+
+val compare_outcome : outcome -> outcome -> int
+
+(** [evaluate ?base_params ?config ?max_cycles ~machine program point]
+    compiles [program] under [Space.params_of ?base:base_params point]
+    and simulates it.  [max_cycles] is the successive-halving budget:
+    the engine stops once every core's clock passed it and the outcome
+    comes back [capped]. *)
+val evaluate :
+  ?base_params:Mapping.params ->
+  ?config:Engine.config ->
+  ?max_cycles:int ->
+  machine:Topology.t ->
+  Program.t ->
+  Space.point ->
+  outcome
+
+val outcome_to_json : outcome -> Ctam_util.Json.t
+val outcome_of_json : Ctam_util.Json.t -> (outcome, string) result

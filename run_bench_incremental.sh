@@ -43,4 +43,11 @@ for m in harpertown nehalem dunnington; do
   ./_build/default/bin/ctamap.exe trace sp -m "$m" --scale 64 -s topology \
     -o "trace_$m.json" --window 2048 > /dev/null \
     || echo "trace archive failed: $m" >&2
+  # Archive the winning mapping parameters per machine (coordinate
+  # descent from the default; the persistent cache makes re-runs after
+  # unrelated edits free).  Feed back with `ctamap run --params`.
+  ./_build/default/bin/ctamap.exe tune sp -m "$m" --scale 64 \
+    --strategy descent --cache .ctam-tune-cache \
+    --save-params "params_$m.json" --json "tune_$m.json" > /dev/null \
+    || echo "tune archive failed: $m" >&2
 done

@@ -498,6 +498,143 @@ let test_scheme_names () =
     [ "Base"; "Base+"; "Local"; "TopologyAware"; "Combined" ]
     (List.map Mapping.scheme_name Mapping.all_schemes)
 
+(* --- Tuning knobs: degenerate weights, validation, tile bound --------- *)
+
+let test_degenerate_weights () =
+  let _, grouping = groups_of (fig5_program 256) in
+  let groups = grouping.Tags.groups in
+  let assignment = Distribute.run machine groups in
+  let dg = Dep_graph.create (Array.length groups) in
+  let ids s =
+    Array.to_list
+      (Array.map (List.map (fun g -> g.Iter_group.id)) (Schedule.per_core s))
+  in
+  List.iter
+    (fun (alpha, beta) ->
+      let s1 = Schedule.run ~alpha ~beta machine assignment dg in
+      let s2 = Schedule.run ~alpha ~beta machine assignment dg in
+      Alcotest.(check (list (list int)))
+        (Printf.sprintf "deterministic at a=%g b=%g" alpha beta)
+        (ids s1) (ids s2);
+      check_bool "deps respected" true (Schedule.respects_deps s1 dg);
+      Array.iteri
+        (fun c gs ->
+          check_int
+            (Printf.sprintf "core %d iterations at a=%g b=%g" c alpha beta)
+            (total_groups_iters assignment.(c))
+            (total_groups_iters gs))
+        (Schedule.per_core s1))
+    [ (0., Schedule.default_beta); (Schedule.default_alpha, 0.); (0., 0.) ]
+
+let test_zero_weights_tiebreak () =
+  (* With a = b = 0 every candidate scores 0, so the scheduler's
+     tie-break — the smallest [Iterset.min_key], i.e. sequential
+     iteration order — fully determines each pick: within every round
+     each core's groups appear in ascending min-key order.  (The very
+     first pick of a domain's lead core in round 0 uses the
+     fewest-ones rule instead, so it is excluded.) *)
+  let _, grouping = groups_of (fig5_program 256) in
+  let groups = grouping.Tags.groups in
+  let assignment = Distribute.run machine groups in
+  let dg = Dep_graph.create (Array.length groups) in
+  let s = Schedule.run ~alpha:0. ~beta:0. machine assignment dg in
+  check_bool "scheduled something" true (s.Schedule.rounds <> []);
+  List.iteri
+    (fun r round ->
+      Array.iteri
+        (fun c gs ->
+          let keys =
+            List.map (fun g -> Iterset.min_key g.Iter_group.iters) gs
+          in
+          let keys = if r = 0 then match keys with [] -> [] | _ :: t -> t
+                     else keys in
+          check_bool
+            (Printf.sprintf "round %d core %d picks in min-key order" r c)
+            true
+            (keys = List.sort compare keys))
+        round)
+    s.Schedule.rounds
+
+let test_params_validation () =
+  check_bool "default params valid" true
+    (Mapping.validate_params Mapping.default_params = Ok ());
+  let p = fig5_program 64 in
+  let rejects msg params =
+    Alcotest.check_raises msg (Invalid_argument ("Mapping.compile: " ^ msg))
+      (fun () -> ignore (Mapping.compile ~params Mapping.Combined ~machine p))
+  in
+  rejects "alpha must be a non-negative number (got -1)"
+    { Mapping.default_params with alpha = -1. };
+  rejects "alpha must be a non-negative number (got nan)"
+    { Mapping.default_params with alpha = Float.nan };
+  rejects "beta must be a non-negative number (got -0.5)"
+    { Mapping.default_params with beta = -0.5 };
+  rejects "balance_threshold must be positive (got 0)"
+    { Mapping.default_params with balance_threshold = 0. };
+  rejects "balance_threshold must be positive (got -2)"
+    { Mapping.default_params with balance_threshold = -2. };
+  rejects "block_size must be positive (got 0)"
+    { Mapping.default_params with block_size = 0 };
+  rejects "tile_edge must be positive (got 0)"
+    { Mapping.default_params with tile_edge = Some 0 };
+  rejects "tile_edge must be positive (got -8)"
+    { Mapping.default_params with tile_edge = Some (-8) }
+
+let prop_choose_tile_footprint =
+  (* d-deep nest of n^d iterations touching [nrefs] distinct arrays:
+     the chosen edge must keep the tile footprint within half the L1
+     (or a single iteration when even that does not fit), including
+     the degenerate 1-point nest. *)
+  let arb =
+    QCheck.(
+      quad (int_range 1 3) (int_range 1 9) (int_range 64 32768)
+        (int_range 1 6))
+  in
+  QCheck.Test.make ~name:"choose_tile stays within the L1 footprint bound"
+    ~count:300 arb
+    (fun (d, n, l1_bytes, nrefs) ->
+      let subs = Array.init d (fun i -> Affine.var d i) in
+      let names = List.init nrefs (fun i -> Printf.sprintf "A%d" i) in
+      let refs =
+        List.mapi
+          (fun i name ->
+            Reference.make ~array_name:name ~subs
+              ~kind:(if i = 0 then Reference.Write else Reference.Read))
+          names
+      in
+      let body =
+        [
+          Stmt.assign (List.hd refs)
+            (List.fold_left
+               (fun e r -> Expr.add e (Expr.load r))
+               (Expr.load (List.hd refs))
+               (List.tl refs));
+        ]
+      in
+      let nest =
+        Nest.make ~name:"q"
+          ~index_names:(Array.init d (fun i -> Printf.sprintf "i%d" i))
+          ~domain:(Domain.box (Array.make d (0, n - 1)))
+          ~body ~parallel:true
+      in
+      let arrays =
+        List.map
+          (fun name -> Array_decl.make ~name ~dims:(Array.make d n) ~elem_size:8)
+          names
+      in
+      let p = Program.make ~name:"q" ~arrays ~nests:[ nest ] in
+      let layout = Layout.of_program ~align:64 p in
+      let per_iter =
+        List.fold_left
+          (fun acc r ->
+            acc + (Layout.decl layout r.Reference.array_name).Array_decl.elem_size)
+          0 (Nest.refs nest)
+      in
+      let t = Tiling.choose_tile ~l1_bytes layout nest in
+      let rec ipow b e = if e = 0 then 1 else b * ipow b (e - 1) in
+      t >= 1 && t <= 256
+      && per_iter * ipow t d <= max (l1_bytes / 2) per_iter)
+
 let () =
   Alcotest.run "core"
     [
@@ -554,5 +691,14 @@ let () =
             test_base_plus_never_beaten_by_plain_permutation;
           Alcotest.test_case "dynamic scheduling" `Quick test_dynamic_sched;
           Alcotest.test_case "scheme names" `Quick test_scheme_names;
+        ] );
+      ( "tuning knobs",
+        [
+          Alcotest.test_case "degenerate weights" `Quick
+            test_degenerate_weights;
+          Alcotest.test_case "zero-weight tiebreak" `Quick
+            test_zero_weights_tiebreak;
+          Alcotest.test_case "params validation" `Quick test_params_validation;
+          QCheck_alcotest.to_alcotest prop_choose_tile_footprint;
         ] );
     ]

@@ -1,0 +1,308 @@
+(* Tests for the autotuning subsystem: the search space, the
+   persistent result cache, the cost oracle's cycle cap, and the
+   determinism / best-not-worse-than-default guarantees of the three
+   search strategies. *)
+
+open Ctam_arch
+open Ctam_core
+open Ctam_tune
+module J = Ctam_util.Json
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let machine = Machines.dunnington ~scale:64 ()
+let program = Ctam_workloads.Kernel.small_program Ctam_workloads.Suite.cg
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ctam-tune-test-%d-%d" (Unix.getpid ()) !counter)
+
+(* A 3-point space keeps search tests fast: Base collapses to one
+   canonical point, Combined keeps both betas. *)
+let tiny_axes =
+  {
+    Space.schemes = [ Mapping.Base; Mapping.Combined ];
+    alphas = [ 0.5 ];
+    betas = [ 0.25; 0.5 ];
+    balances = [ 0.1 ];
+    tile_edges = [ None ];
+  }
+
+(* --- Space ------------------------------------------------------------ *)
+
+let test_canonical_pins_unused () =
+  let p =
+    {
+      Space.scheme = Mapping.Base;
+      alpha = 9.;
+      beta = 9.;
+      balance = 9.;
+      tile_edge = Some 32;
+    }
+  in
+  let c = Space.canonical p in
+  let d = Mapping.default_params in
+  check_bool "alpha pinned" true (c.Space.alpha = d.Mapping.alpha);
+  check_bool "beta pinned" true (c.Space.beta = d.Mapping.beta);
+  check_bool "balance pinned" true
+    (c.Space.balance = d.Mapping.balance_threshold);
+  check_bool "tile pinned" true (c.Space.tile_edge = None);
+  (* Combined keeps the weights and balance but not the tile. *)
+  let c = Space.canonical { p with Space.scheme = Mapping.Combined } in
+  check_bool "alpha kept" true (c.Space.alpha = 9.);
+  check_bool "balance kept" true (c.Space.balance = 9.);
+  check_bool "tile dropped" true (c.Space.tile_edge = None);
+  (* Base+ keeps only the tile. *)
+  let c = Space.canonical { p with Space.scheme = Mapping.Base_plus } in
+  check_bool "tile kept" true (c.Space.tile_edge = Some 32);
+  check_bool "alpha pinned for base+" true (c.Space.alpha = d.Mapping.alpha)
+
+let test_grid_dedup_and_default () =
+  let g = Space.grid Space.default_axes in
+  check_int "default grid size" 43 (List.length g);
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      let k = Space.key_fragment p in
+      check_bool ("distinct " ^ k) false (Hashtbl.mem seen k);
+      Hashtbl.add seen k ())
+    g;
+  List.iter
+    (fun scheme ->
+      check_bool
+        ("default point in grid for " ^ Space.scheme_id scheme)
+        true
+        (List.exists
+           (Space.equal (Space.canonical (Space.default_point ~scheme ())))
+           g))
+    Mapping.all_schemes;
+  check_int "tiny grid size" 3 (List.length (Space.grid tiny_axes));
+  Alcotest.check_raises "empty axis"
+    (Invalid_argument "Space.grid: empty axis") (fun () ->
+      ignore (Space.grid { tiny_axes with Space.alphas = [] }))
+
+let test_point_json_roundtrip () =
+  List.iter
+    (fun p ->
+      match Space.of_json (Space.to_json p) with
+      | Ok q ->
+          check_bool
+            (Fmt.str "roundtrip %a" Space.pp p)
+            true (Space.equal p q)
+      | Error e -> Alcotest.fail e)
+    (Space.grid Space.default_axes);
+  (* Missing members default. *)
+  (match Space.of_json (J.Obj [ ("alpha", J.Float 0.75) ]) with
+  | Ok p ->
+      check_bool "alpha read" true (p.Space.alpha = 0.75);
+      check_bool "rest defaulted" true
+        (p.Space.scheme = Mapping.Combined
+        && p.Space.beta = Mapping.default_params.Mapping.beta)
+  | Error e -> Alcotest.fail e);
+  match Space.of_json (J.Obj [ ("scheme", J.String "no-such") ]) with
+  | Ok _ -> Alcotest.fail "accepted bad scheme"
+  | Error _ -> ()
+
+(* --- Eval: the cycle cap ---------------------------------------------- *)
+
+let test_max_cycles_cap () =
+  let compiled = Mapping.compile Mapping.Combined ~machine program in
+  let full = Mapping.simulate compiled in
+  let full_cycles = full.Ctam_cachesim.Stats.cycles in
+  check_bool "runs" true (full_cycles > 0);
+  let cap = full_cycles / 2 in
+  let capped = Mapping.simulate ~max_cycles:cap compiled in
+  check_bool "stops early" true
+    (capped.Ctam_cachesim.Stats.total_accesses
+    < full.Ctam_cachesim.Stats.total_accesses);
+  check_bool "at least the cap" true
+    (capped.Ctam_cachesim.Stats.cycles >= cap);
+  (* A cap beyond the natural length changes nothing. *)
+  let loose = Mapping.simulate ~max_cycles:(2 * full_cycles) compiled in
+  check_int "loose cap cycles" full_cycles loose.Ctam_cachesim.Stats.cycles;
+  check_int "loose cap accesses" full.Ctam_cachesim.Stats.total_accesses
+    loose.Ctam_cachesim.Stats.total_accesses;
+  (* The oracle reports the truncation. *)
+  let o =
+    Eval.evaluate ~max_cycles:cap ~machine program
+      (Space.default_point ())
+  in
+  check_bool "outcome capped" true o.Eval.capped;
+  let o = Eval.evaluate ~machine program (Space.default_point ()) in
+  check_bool "outcome uncapped" false o.Eval.capped;
+  check_int "oracle matches simulate" full_cycles o.Eval.cycles
+
+(* --- Cache ------------------------------------------------------------ *)
+
+let test_cache_key_sensitivity () =
+  let base = Mapping.default_params in
+  let point = Space.default_point () in
+  let k ?(version = "v") ?(params = base) ?(m = machine) ?max_cycles
+      ?(prog = program) ?(pt = point) () =
+    Cache.key ~version ~base_params:params ~machine:m ~max_cycles prog pt
+  in
+  let k0 = k () in
+  check_string "stable" k0 (k ());
+  let other_program =
+    Ctam_workloads.Kernel.small_program Ctam_workloads.Suite.sp
+  in
+  List.iter
+    (fun (what, k') -> check_bool what true (k' <> k0))
+    [
+      ("version", k ~version:"w" ());
+      ("block size", k ~params:{ base with Mapping.block_size = 1024 } ());
+      ("machine", k ~m:(Machines.harpertown ~scale:64 ()) ());
+      ( "machine scale",
+        k ~m:(Machines.dunnington ~scale:32 ()) () );
+      ("cap", k ~max_cycles:1000 ());
+      ("program", k ~prog:other_program ());
+      ("point", k ~pt:{ point with Space.alpha = 0.75 } ());
+    ]
+
+let test_cache_store_lookup () =
+  let dir = fresh_dir () in
+  let key =
+    Cache.key ~version:"v" ~base_params:Mapping.default_params
+      ~machine ~max_cycles:None program (Space.default_point ())
+  in
+  check_bool "miss on empty dir" true (Cache.lookup ~dir key = None);
+  let o =
+    { Eval.cycles = 123; mem_accesses = 45; total_accesses = 678; capped = false }
+  in
+  Cache.store ~dir key o;
+  (match Cache.lookup ~dir key with
+  | Some o' -> check_bool "roundtrip" true (o' = o)
+  | None -> Alcotest.fail "stored entry not found");
+  (* A colliding file (same hash stem, different stored key) is a miss,
+     not a wrong answer. *)
+  let path = Filename.concat dir ("ctam-tune-" ^ Cache.hash key ^ ".json") in
+  let oc = open_out path in
+  output_string oc
+    (J.to_string
+       (J.Obj
+          [ ("key", J.String "other"); ("outcome", Eval.outcome_to_json o) ]));
+  close_out oc;
+  check_bool "collision is a miss" true (Cache.lookup ~dir key = None);
+  (* Corrupt JSON is a miss too. *)
+  let oc = open_out path in
+  output_string oc "{not json";
+  close_out oc;
+  check_bool "corrupt is a miss" true (Cache.lookup ~dir key = None)
+
+(* --- Search ----------------------------------------------------------- *)
+
+let settings strategy =
+  { Search.default_settings with Search.strategy; axes = tiny_axes }
+
+let test_best_not_worse_than_default () =
+  List.iter
+    (fun strategy ->
+      let r =
+        Search.run (settings strategy) ~machine ~program_name:"cg" program
+      in
+      let name = Search.strategy_id strategy in
+      check_bool (name ^ " baseline is the first trial") true
+        (match r.Search.trials with
+        | t :: _ -> Space.equal t.Search.point r.Search.baseline.Search.point
+        | [] -> false);
+      check_bool (name ^ " best <= default") true
+        (Eval.compare_outcome r.Search.best.Search.outcome
+           r.Search.baseline.Search.outcome
+        <= 0);
+      check_bool (name ^ " best is uncapped") true
+        (r.Search.best.Search.rung = None);
+      check_bool (name ^ " improvement >= 1") true
+        (Search.improvement r >= 1.))
+    [ Search.Grid; Search.Descent; Search.Halving ]
+
+let test_jobs_do_not_change_report () =
+  let report jobs =
+    let s = { (settings Search.Grid) with Search.jobs = Some jobs } in
+    J.to_string (Search.to_json (Search.run s ~machine ~program_name:"cg" program))
+  in
+  check_string "j1 = j4" (report 1) (report 4)
+
+let test_budget_caps_simulations () =
+  let s = { (settings Search.Grid) with Search.budget = Some 1 } in
+  let r = Search.run s ~machine ~program_name:"cg" program in
+  (* The baseline is free; one more simulation allowed. *)
+  check_int "simulations" 2 r.Search.simulations;
+  check_bool "still not worse" true
+    (Eval.compare_outcome r.Search.best.Search.outcome
+       r.Search.baseline.Search.outcome
+    <= 0)
+
+let test_warm_cache_simulates_nothing () =
+  let dir = fresh_dir () in
+  let s = { (settings Search.Grid) with Search.cache_dir = Some dir } in
+  let cold = Search.run s ~machine ~program_name:"cg" program in
+  check_bool "cold run simulates" true (cold.Search.simulations > 0);
+  check_int "cold run has no hits" 0 cold.Search.cache_hits;
+  let warm = Search.run s ~machine ~program_name:"cg" program in
+  check_int "warm run simulates nothing" 0 warm.Search.simulations;
+  check_int "warm run hits everything" cold.Search.simulations
+    warm.Search.cache_hits;
+  check_bool "same winner" true
+    (Space.equal cold.Search.best.Search.point warm.Search.best.Search.point
+    && cold.Search.best.Search.outcome = warm.Search.best.Search.outcome);
+  (* The cache never changes the result, only the counters. *)
+  let nocache =
+    Search.run (settings Search.Grid) ~machine ~program_name:"cg" program
+  in
+  check_bool "same winner without cache" true
+    (Space.equal cold.Search.best.Search.point nocache.Search.best.Search.point)
+
+let test_report_shape () =
+  let s = { (settings Search.Descent) with Search.verify = true } in
+  let r = Search.run s ~machine ~program_name:"cg" program in
+  check_bool "verified" true (r.Search.verify_ok = Some true);
+  let j = Search.to_json r in
+  let m name = J.member name j in
+  check_bool "tune version" true (m "ctam_tune_version" = Some (J.Int 1));
+  check_bool "program" true (m "program" = Some (J.String "cg"));
+  check_bool "strategy" true (m "strategy" = Some (J.String "descent"));
+  check_bool "has best" true (m "best" <> None);
+  (match m "tuned_vs_default" with
+  | Some (J.Float f) -> check_bool "ratio <= 1" true (f <= 1.0 && f > 0.)
+  | _ -> Alcotest.fail "tuned_vs_default missing");
+  (* The winning params file round-trips into a point. *)
+  match Space.of_json (Search.best_params_json r) with
+  | Ok p -> check_bool "params file" true (Space.equal p r.Search.best.Search.point)
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "tune"
+    [
+      ( "space",
+        [
+          Alcotest.test_case "canonical pins unused" `Quick
+            test_canonical_pins_unused;
+          Alcotest.test_case "grid dedup + defaults" `Quick
+            test_grid_dedup_and_default;
+          Alcotest.test_case "json roundtrip" `Quick test_point_json_roundtrip;
+        ] );
+      ( "eval",
+        [ Alcotest.test_case "max_cycles cap" `Quick test_max_cycles_cap ] );
+      ( "cache",
+        [
+          Alcotest.test_case "key sensitivity" `Quick
+            test_cache_key_sensitivity;
+          Alcotest.test_case "store/lookup" `Quick test_cache_store_lookup;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "best <= default" `Quick
+            test_best_not_worse_than_default;
+          Alcotest.test_case "jobs invariant" `Quick
+            test_jobs_do_not_change_report;
+          Alcotest.test_case "budget" `Quick test_budget_caps_simulations;
+          Alcotest.test_case "warm cache" `Quick
+            test_warm_cache_simulates_nothing;
+          Alcotest.test_case "report shape" `Quick test_report_shape;
+        ] );
+    ]

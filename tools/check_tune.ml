@@ -1,0 +1,114 @@
+(* Validate a `ctamap tune --json` report: the ctam_tune_version
+   marker, required members, and internal consistency — the best
+   outcome never loses to the baseline, the tuned_vs_default ratio
+   matches the two cycle counts, the baseline is the first trial.
+   With --max-sims N, additionally assert the run performed at most N
+   simulations (N=0 proves a fully warm persistent cache).  Used by
+   tools/check_tune.sh under `dune runtest`. *)
+
+module J = Ctam_util.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("check_tune: " ^ m);
+      exit 1)
+    fmt
+
+let member name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> fail "member '%s' missing" name
+
+let int_member name j =
+  match member name j with
+  | J.Int i -> i
+  | _ -> fail "member '%s' is not an int" name
+
+let str_member name j =
+  match member name j with
+  | J.String s -> s
+  | _ -> fail "member '%s' is not a string" name
+
+let outcome_of trial_name j =
+  let o = member "outcome" j in
+  let cycles = int_member "cycles" o in
+  let mem = int_member "mem_accesses" o in
+  if cycles < 0 || mem < 0 then fail "%s has negative counts" trial_name;
+  (cycles, mem)
+
+let check_report ~max_sims path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let j =
+    match J.parse s with
+    | Ok j -> j
+    | Error e -> fail "%s: %s" path e
+  in
+  (match J.member "ctam_tune_version" j with
+  | Some (J.Int 1) -> ()
+  | Some _ -> fail "unsupported ctam_tune_version"
+  | None -> fail "not a tune report (no ctam_tune_version)");
+  let program = str_member "program" j in
+  let machine = str_member "machine" j in
+  let strategy = str_member "strategy" j in
+  if not (List.mem strategy [ "grid"; "descent"; "halving" ]) then
+    fail "unknown strategy '%s'" strategy;
+  let baseline = member "baseline" j in
+  let best = member "best" j in
+  let base_cycles, base_mem = outcome_of "baseline" baseline in
+  let best_cycles, best_mem = outcome_of "best" best in
+  if (best_cycles, best_mem) > (base_cycles, base_mem) then
+    fail "best (%d cycles, %d mem) loses to the default (%d cycles, %d mem)"
+      best_cycles best_mem base_cycles base_mem;
+  (match member "tuned_vs_default" j with
+  | J.Float r ->
+      let expect =
+        if base_cycles = 0 then 1.0
+        else float_of_int best_cycles /. float_of_int base_cycles
+      in
+      if Float.abs (r -. expect) > 1e-9 then
+        fail "tuned_vs_default %g does not match cycles ratio %g" r expect
+  | _ -> fail "tuned_vs_default is not a float");
+  let sims = int_member "simulations" j in
+  let hits = int_member "cache_hits" j in
+  if sims < 0 || hits < 0 then fail "negative counters";
+  let trials =
+    match member "trials" j with
+    | J.List l -> l
+    | _ -> fail "trials is not a list"
+  in
+  if trials = [] then fail "no trials recorded";
+  (match trials with
+  | first :: _ ->
+      if member "point" first <> member "point" baseline then
+        fail "the first trial is not the baseline"
+  | [] -> ());
+  List.iter (fun t -> ignore (outcome_of "trial" t)) trials;
+  (match max_sims with
+  | Some n when sims > n ->
+      fail "%d simulation(s), expected at most %d (cache cold?)" sims n
+  | _ -> ());
+  Printf.printf "check_tune: %s ok (%s on %s, %s: %d trials, %d sims, %d hits)\n"
+    path program machine strategy (List.length trials) sims hits
+
+let () =
+  let max_sims = ref None in
+  let files = ref [] in
+  let rec parse = function
+    | "--max-sims" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 0 -> max_sims := Some n
+        | _ -> fail "--max-sims needs a non-negative integer");
+        parse rest
+    | f :: rest ->
+        files := f :: !files;
+        parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !files = [] then (
+    prerr_endline "usage: check_tune [--max-sims N] REPORT.json...";
+    exit 2);
+  List.iter (check_report ~max_sims:!max_sims) (List.rev !files)

@@ -1,0 +1,55 @@
+#!/bin/sh
+# End-to-end check of `ctamap tune`: a small budget-capped search must
+# (a) produce a valid tune report, (b) be byte-identical between -j 1
+# and -j 4 cold runs, (c) perform zero simulations when re-run against
+# the warm persistent cache, and (d) emit a --save-params file that
+# `ctamap run --params` and `ctamap compare --params` accept.  Wired
+# into `dune runtest` from tools/dune; also runnable by hand from the
+# repo root:
+#
+#   dune build && sh tools/check_tune.sh
+#
+# Args (all optional): CTAMAP_EXE CHECK_TUNE_EXE
+set -e
+CTAMAP=${1:-./_build/default/bin/ctamap.exe}
+CHECK=${2:-./_build/default/tools/check_tune.exe}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+tune_args="cg -m harpertown --scale 64 --strategy grid --budget 6"
+
+# Two cold runs, serial vs parallel, separate caches: the reports must
+# be byte-identical (determinism is independent of the job count).
+"$CTAMAP" tune $tune_args -j 1 --cache "$tmp/c1" --json "$tmp/r1.json" \
+  --save-params "$tmp/params.json" > /dev/null
+"$CTAMAP" tune $tune_args -j 4 --cache "$tmp/c2" --json "$tmp/r2.json" \
+  > /dev/null
+cmp "$tmp/r1.json" "$tmp/r2.json" || {
+  echo "check_tune: -j 1 and -j 4 reports differ" >&2
+  exit 1
+}
+"$CHECK" "$tmp/r1.json"
+
+# Warm re-run against the first cache: every evaluation must be a hit.
+"$CTAMAP" tune $tune_args -j 4 --cache "$tmp/c1" --json "$tmp/r3.json" \
+  > /dev/null
+"$CHECK" --max-sims 0 "$tmp/r3.json"
+
+# The winning-params file drives run and compare.
+"$CTAMAP" run cg -m harpertown --scale 64 --params "$tmp/params.json" \
+  > /dev/null
+"$CTAMAP" compare cg -m harpertown --scale 64 --params "$tmp/params.json" \
+  -j 4 > /dev/null
+
+# Flag plumbing: explicit weights are validated with a clean error.
+if "$CTAMAP" run cg -m harpertown --scale 64 --alpha=-1 > "$tmp/bad.out" 2>&1
+then
+  echo "check_tune: negative --alpha was NOT rejected" >&2
+  exit 1
+fi
+grep -q "alpha" "$tmp/bad.out" || {
+  echo "check_tune: negative --alpha produced no diagnostic" >&2
+  exit 1
+}
+
+echo "check_tune: ok"
