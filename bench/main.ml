@@ -17,7 +17,9 @@
    corresponding rows/series (see DESIGN.md's per-experiment index and
    EXPERIMENTS.md for measured-vs-paper numbers).  The JSON mode is
    what run_bench_incremental.sh snapshots, so bench trajectories diff
-   cleanly across PRs; its output is byte-identical at any --jobs. *)
+   cleanly across PRs; the simulated statistics are byte-identical at
+   any --jobs (only the harness telemetry fields appended per row —
+   wall_seconds, major_words, pool_utilization — vary run to run). *)
 
 open Ctam_exp
 
@@ -121,10 +123,36 @@ let json_sweep ?jobs ~quick machines =
     (fun name ->
       match Ctam_arch.Machines.by_name ~scale:16 name with
       | machine ->
+          (* Harness telemetry is appended here, per machine, so the
+             library sweep itself stays byte-deterministic at any
+             --jobs (asserted by test_exp). *)
+          let gc0 = Gc.quick_stat () in
+          let busy0, cap0 = Ctam_telemetry.Runtime.pool_totals () in
+          let t0 = Unix.gettimeofday () in
+          let objs = Run_report.bench_sweep ?jobs ~quick ~machine () in
+          let wall = Unix.gettimeofday () -. t0 in
+          let gc1 = Gc.quick_stat () in
+          let busy1, cap1 = Ctam_telemetry.Runtime.pool_totals () in
+          let module J = Ctam_util.Json in
+          let harness =
+            [
+              ("wall_seconds", J.Float wall);
+              ("major_words", J.Float (gc1.Gc.major_words -. gc0.Gc.major_words));
+              ( "pool_utilization",
+                if cap1 -. cap0 > 0. then
+                  J.Float ((busy1 -. busy0) /. (cap1 -. cap0))
+                else J.Null );
+            ]
+          in
           List.iter
             (fun obj ->
-              print_endline (Ctam_util.Json.to_string ~minify:true obj))
-            (Run_report.bench_sweep ?jobs ~quick ~machine ())
+              let obj =
+                match obj with
+                | J.Obj members -> J.Obj (members @ harness)
+                | other -> other
+              in
+              print_endline (J.to_string ~minify:true obj))
+            objs
       | exception Not_found ->
           Printf.eprintf "unknown machine %s\n" name;
           exit 1)
@@ -154,6 +182,7 @@ let rec extract_jobs acc = function
   | arg :: rest -> extract_jobs (arg :: acc) rest
 
 let () =
+  Ctam_telemetry.Runtime.install ();
   let args = List.tl (Array.to_list Sys.argv) in
   let jobs, args = extract_jobs [] args in
   let quick = List.mem "--quick" args in

@@ -174,6 +174,45 @@ let source_arg =
   let doc = "DSL source file, or the name of a built-in workload." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
 
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Verbosity of ctamap's own structured logger: error, warn, info, \
+           debug, or off (default: \\$CTAM_LOG or warn).  Set \
+           \\$CTAM_LOG_FORMAT=json for JSON-lines output on stderr.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a self-telemetry snapshot to $(docv) after the command \
+           finishes: every registry metric (phase timings, engine \
+           aggregates, parallel-pool utilization, tune-cache traffic) plus \
+           process GC totals.  JSON by default; a $(b,.prom) suffix selects \
+           the Prometheus text exposition format instead.")
+
+let set_log_level = function
+  | None -> Ok ()
+  | Some s -> Ctam_telemetry.Log.set_level_of_string s
+
+let write_metrics = function
+  | None -> Ok ()
+  | Some path -> (
+      try
+        if Filename.check_suffix path ".prom" then
+          Ctam_telemetry.Prometheus.write path
+        else
+          Ctam_telemetry.Profile.write_snapshot
+            ~version:Ctam_exp.Build_info.version
+            ~telemetry_version:Ctam_exp.Build_info.telemetry_version path;
+        Ok ()
+      with Sys_error msg -> Error ("cannot write metrics: " ^ msg))
+
 let get_machine name scale =
   if Sys.file_exists name then begin
     let ic = open_in_bin name in
@@ -298,7 +337,8 @@ let simulate_cmd =
 
 let run_cmd =
   let run source machine scale scheme block json profile check window alpha
-      beta balance params_file =
+      beta balance params_file log_level metrics_out =
+    let* () = set_log_level log_level in
     let* prog, frontend_timings = load_program_timed source in
     let* machine = get_machine machine scale in
     let* () =
@@ -416,6 +456,7 @@ let run_cmd =
           (Timeline.num_windows tl) (Timeline.window tl)
           (List.length (Timeline.spans tl))
     | _ -> ());
+    let* () = write_metrics metrics_out in
     match json with
     | Some path -> (
         try
@@ -478,7 +519,7 @@ let run_cmd =
       ret
         (const run $ source_arg $ machine_arg $ scale_arg $ scheme
        $ block_arg $ json $ profile $ check $ window $ alpha_arg $ beta_arg
-       $ balance_arg $ params_file_arg))
+       $ balance_arg $ params_file_arg $ log_level_arg $ metrics_out_arg))
 
 let jobs_arg =
   Arg.(
@@ -491,7 +532,9 @@ let jobs_arg =
            byte-identical to a serial run.")
 
 let compare_cmd =
-  let run source machine scale block jobs alpha beta balance params_file =
+  let run source machine scale block jobs alpha beta balance params_file
+      log_level metrics_out =
+    let* () = set_log_level log_level in
     let* prog = load_program source in
     let* machine = get_machine machine scale in
     (* The tuned point's parameters apply to every scheme in the table
@@ -528,6 +571,7 @@ let compare_cmd =
       (Ctam_exp.Report.table ~geomean:"geomean"
          ~header:[ "scheme"; "cycles"; "mem"; "vs Base" ]
          rows);
+    let* () = write_metrics metrics_out in
     `Ok ()
   in
   Cmd.v
@@ -535,11 +579,13 @@ let compare_cmd =
     Term.(
       ret
         (const run $ source_arg $ machine_arg $ scale_arg $ block_arg
-       $ jobs_arg $ alpha_arg $ beta_arg $ balance_arg $ params_file_arg))
+       $ jobs_arg $ alpha_arg $ beta_arg $ balance_arg $ params_file_arg
+       $ log_level_arg $ metrics_out_arg))
 
 let tune_cmd =
   let run source machine scale block strategy budget cache_dir json
-      save_params verify jobs =
+      save_params verify jobs log_level metrics_out =
+    let* () = set_log_level log_level in
     let* prog = load_program source in
     let* machine = get_machine machine scale in
     let* strategy = Ctam_tune.Search.strategy_of_id strategy in
@@ -583,6 +629,7 @@ let tune_cmd =
       | Some path -> write path (Ctam_tune.Search.to_json result)
       | None -> Ok ()
     in
+    let* () = write_metrics metrics_out in
     match result.Ctam_tune.Search.verify_ok with
     | Some false -> `Error (false, "winning mapping failed verification")
     | _ -> `Ok ()
@@ -657,7 +704,7 @@ let tune_cmd =
       ret
         (const run $ source_arg $ machine_arg $ scale_arg $ block_arg
        $ strategy $ budget $ cache_dir $ json $ save_params $ verify
-       $ jobs_arg))
+       $ jobs_arg $ log_level_arg $ metrics_out_arg))
 
 let codegen_cmd =
   let run source machine scale core block =
@@ -806,7 +853,9 @@ let emit_c_cmd =
            $ block_arg $ output))
 
 let check_cmd =
-  let run source machine scale scheme block all_schemes inject json =
+  let run source machine scale scheme block all_schemes inject json log_level
+      metrics_out =
+    let* () = set_log_level log_level in
     let* prog = load_program source in
     let* machine = get_machine machine scale in
     let* schemes =
@@ -886,6 +935,7 @@ let check_cmd =
             Ok ()
           with Sys_error msg -> Error ("cannot write report: " ^ msg))
     in
+    let* () = write_metrics metrics_out in
     let bad =
       List.filter (fun (_, r) -> not (Ctam_verify.Verify.ok r)) reports
     in
@@ -929,7 +979,8 @@ let check_cmd =
     Term.(
       ret
         (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
-       $ block_arg $ all_schemes $ inject $ json))
+       $ block_arg $ all_schemes $ inject $ json $ log_level_arg
+       $ metrics_out_arg))
 
 let trace_cmd =
   let run source machine scale scheme block output window heatmap =
@@ -1083,7 +1134,9 @@ let experiment_cmd =
     Term.(ret (const run $ exp_name $ quick))
 
 let () =
-  Logs.set_reporter (Logs_fmt.reporter ());
+  (* Hook Parallel.map into the metrics registry; libraries never
+     install monitors themselves. *)
+  Ctam_telemetry.Runtime.install ();
   let doc = "cache-topology-aware computation mapping (PLDI 2010)" in
   let info = Cmd.info "ctamap" ~version:Ctam_exp.Build_info.version ~doc in
   let default = Term.(ret (const (`Help (`Pager, None)))) in

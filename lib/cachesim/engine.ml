@@ -7,6 +7,56 @@ type config = { issue_cost : int; barrier_cost : int }
 
 let default_config = { issue_cost = 1; barrier_cost = 64 }
 
+(* Self-telemetry: aggregates recorded once per run (never inside the
+   per-access loop), so the null-probe fast path stays untouched and
+   the simulated statistics are byte-identical with telemetry on, off,
+   or absent — asserted by test_telemetry and the heap-vs-scan
+   differential.  Retire throughput is derivable on scrape:
+   accesses_total / run_seconds sum. *)
+module Tel = Ctam_telemetry
+
+let tel_runs =
+  Tel.Metrics.Counter.v ~labels:[ "engine" ]
+    ~help:"Simulator runs completed" "ctam_engine_runs_total"
+
+let tel_accesses =
+  Tel.Metrics.Counter.v ~labels:[ "engine" ]
+    ~help:"Accesses simulated (issued to the hierarchy)"
+    "ctam_engine_accesses_total"
+
+let tel_cycles =
+  Tel.Metrics.Counter.v ~labels:[ "engine" ]
+    ~help:"Simulated cycles accumulated across runs"
+    "ctam_engine_cycles_total"
+
+let tel_seconds =
+  Tel.Metrics.Histogram.v ~labels:[ "engine" ]
+    ~help:"Wall-clock seconds of one engine run" "ctam_engine_run_seconds"
+
+type tel_series = {
+  ts_runs : Tel.Metrics.Counter.series;
+  ts_accesses : Tel.Metrics.Counter.series;
+  ts_cycles : Tel.Metrics.Counter.series;
+  ts_seconds : Tel.Metrics.Histogram.series;
+}
+
+let tel_series engine =
+  {
+    ts_runs = Tel.Metrics.Counter.series tel_runs [ engine ];
+    ts_accesses = Tel.Metrics.Counter.series tel_accesses [ engine ];
+    ts_cycles = Tel.Metrics.Counter.series tel_cycles [ engine ];
+    ts_seconds = Tel.Metrics.Histogram.series tel_seconds [ engine ];
+  }
+
+let tel_heap = tel_series "heap"
+let tel_scan = tel_series "scan"
+
+let tel_record ts ~t_start ~accesses (stats : Stats.t) =
+  Tel.Metrics.Counter.inc ts.ts_runs;
+  Tel.Metrics.Counter.inc ~by:accesses ts.ts_accesses;
+  Tel.Metrics.Counter.inc ~by:(max 0 stats.Stats.cycles) ts.ts_cycles;
+  Tel.Metrics.Histogram.observe ts.ts_seconds (Tel.Profile.now () -. t_start)
+
 (* Shared prologue/epilogue of both engine variants. *)
 
 let check_phases n phases =
@@ -27,6 +77,8 @@ let finish h clock busy total_accesses nphases =
   }
 
 let run ?(config = default_config) ?max_cycles h phases =
+  let tel = Tel.Metrics.enabled () in
+  let t_start = if tel then Tel.Profile.now () else 0. in
   let topo = Hierarchy.topology h in
   let n = topo.Ctam_arch.Topology.num_cores in
   check_phases n phases;
@@ -135,13 +187,17 @@ let run ?(config = default_config) ?max_cycles h phases =
       end
       end)
     phases;
-  finish h clock busy !total_accesses nphases
+  let stats = finish h clock busy !total_accesses nphases in
+  if tel then tel_record tel_heap ~t_start ~accesses:!total_accesses stats;
+  stats
 
 (* The seed implementation: an O(num_cores) linear scan for the
    minimum-clock core before every access.  Kept as the reference path
    for the differential tests and the heap-vs-scan micro-benchmark;
    not used by any driver. *)
 let run_reference ?(config = default_config) h phases =
+  let tel = Tel.Metrics.enabled () in
+  let t_start = if tel then Tel.Profile.now () else 0. in
   let topo = Hierarchy.topology h in
   let n = topo.Ctam_arch.Topology.num_cores in
   check_phases n phases;
@@ -194,7 +250,9 @@ let run_reference ?(config = default_config) h phases =
             ~cycles:(tmax + config.barrier_cost)
       end)
     phases;
-  finish h clock busy !total_accesses nphases
+  let stats = finish h clock busy !total_accesses nphases in
+  if tel then tel_record tel_scan ~t_start ~accesses:!total_accesses stats;
+  stats
 
 let run_serial ?config h stream =
   let topo = Hierarchy.topology h in

@@ -457,6 +457,19 @@ let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
                   phases_of_schedule ~with_barriers layout nest sched))
       program.Program.nests
   in
+  let timings =
+    List.map
+      (fun k -> (k, try Hashtbl.find times k with Not_found -> 0.))
+      timing_keys
+  in
+  (* Feed the per-pass wall-clocks (the PR-1 ?clock hook, generalized)
+     into the self-telemetry registry so every compile — including the
+     hundreds a tune sweep performs — lands in
+     ctam_phase_seconds{phase="mapping.*"}. *)
+  if Ctam_telemetry.Metrics.enabled () then
+    List.iter
+      (fun (k, v) -> Ctam_telemetry.Profile.record_phase ("mapping." ^ k) v)
+      timings;
   {
     scheme;
     params;
@@ -467,10 +480,7 @@ let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
     phases;
     infos = List.rev !infos;
     plans = List.rev !plans;
-    timings =
-      List.map
-        (fun k -> (k, try Hashtbl.find times k with Not_found -> 0.))
-        timing_keys;
+    timings;
   }
 
 (* The plans mirror the phase list exactly (one plan round per phase,

@@ -12,8 +12,8 @@ let search ?(params = Mapping.default_params) ?config ?(budget = 200)
     match Program.parallel_nests program with
     | [ nest ] -> nest
     | nest :: _ ->
-        Logs.warn (fun m ->
-            m "Optimal.search: multiple parallel nests; optimizing %s"
+        Ctam_telemetry.Log.warn ~src:"optimal" (fun () ->
+            Printf.sprintf "multiple parallel nests; optimizing %s"
               nest.Nest.name);
         nest
     | [] -> invalid_arg "Optimal.search: no parallel nest"

@@ -183,8 +183,8 @@ let omega_pair_test dom r1 r2 =
         (* Elimination hit the growth cap: nothing proven, so answer
            "maybe dependent" — conservative, matching the old capped
            behaviour, but no longer silent. *)
-        Logs.debug (fun m ->
-            m "Dep_test: FM cap exceeded at level %d; assuming dependence"
+        Ctam_telemetry.Log.debug ~src:"dep_test" (fun () ->
+            Printf.sprintf "FM cap exceeded at level %d; assuming dependence"
               level);
         true
   in

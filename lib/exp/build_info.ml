@@ -1,2 +1,3 @@
-let version = "1.5.0"
+let version = "1.6.0"
 let report_version = 1
+let telemetry_version = 1

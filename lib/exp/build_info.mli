@@ -9,3 +9,7 @@ val version : string
 
 (** Schema version of the run-report JSON ([ctam_report_version]). *)
 val report_version : int
+
+(** Schema version of the run-report [telemetry] member and the
+    [--metrics-out] snapshot ([ctam_metrics_version]). *)
+val telemetry_version : int

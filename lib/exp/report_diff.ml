@@ -90,10 +90,33 @@ let of_run_report j =
         | _ -> [])
     | None -> []
   in
+  (* Self-telemetry (PR 6): compare the tool's own cost, not just the
+     simulated machine's.  Wall-clock and allocation are noisy between
+     runs, so they ride the same --threshold gate as everything else. *)
+  let telemetry =
+    match J.member "telemetry" j with
+    | None -> []
+    | Some t ->
+        (match num_member "wall_seconds" t with
+        | Some w -> [ metric "wall_seconds" w ]
+        | None -> [])
+        @ (match J.member "gc" t with
+          | None -> []
+          | Some gc ->
+              List.filter_map
+                (fun n -> Option.map (metric ("gc_" ^ n)) (num_member n gc))
+                [
+                  "minor_words";
+                  "major_words";
+                  "promoted_words";
+                  "minor_collections";
+                  "major_collections";
+                ])
+  in
   {
     r_key = (workload, machine, scheme);
     r_version = version_of j;
-    r_metrics = base @ levels;
+    r_metrics = base @ levels @ telemetry;
   }
 
 let of_sweep_object j =
@@ -129,7 +152,26 @@ let of_sweep_object j =
         ]
     | None -> []
   in
-  per_workload @ summary
+  (* Harness-level telemetry appended by bench/main.ml to each sweep
+     row (absent from Run_report.bench_sweep itself, which must stay
+     byte-deterministic).  Utilization is higher-is-better. *)
+  let harness =
+    let ms =
+      List.filter_map
+        (fun n -> Option.map (metric n) (num_member n j))
+        [ "wall_seconds"; "major_words" ]
+      @ List.filter_map Fun.id
+          [
+            Option.map
+              (metric ~higher_is_worse:false "pool_utilization")
+              (num_member "pool_utilization" j);
+          ]
+    in
+    if ms = [] then []
+    else
+      [ { r_key = ("harness", machine, scheme); r_version = version; r_metrics = ms } ]
+  in
+  per_workload @ summary @ harness
 
 let of_tune_report j =
   let workload = match str_member "program" j with Some p -> p | None -> "?" in

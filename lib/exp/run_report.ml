@@ -195,6 +195,10 @@ let conflicts_json reuse =
 let profile ?(params = Mapping.default_params) ?config ?timeline_window
     ?(frontend_timings = []) ?(check = false) scheme ~machine program =
   let now = Unix.gettimeofday in
+  (* GC image before any pipeline work, so the report's [telemetry]
+     member charges compile + probe setup + simulation to this run. *)
+  let gc0 = Gc.quick_stat () in
+  let t_all0 = now () in
   let compiled =
     Mapping.compile ~params ~clock:now scheme ~machine program
   in
@@ -221,8 +225,28 @@ let profile ?(params = Mapping.default_params) ?config ?timeline_window
       | Some tl -> [ Timeline.probe tl ])
   in
   let t0 = now () in
-  let stats = Mapping.simulate ?config ~probe compiled in
+  (* [Profile.phase] also charges the GC words the simulation
+     allocates to ctam_phase_{minor,major}_words_total{phase=simulate}
+     (and is just [f ()] when telemetry is disabled). *)
+  let stats =
+    Ctam_telemetry.Profile.phase "simulate" (fun () ->
+        Mapping.simulate ?config ~probe compiled)
+  in
   let sim_seconds = now () -. t0 in
+  if Ctam_telemetry.Metrics.enabled () then
+    List.iter
+      (fun (k, v) -> Ctam_telemetry.Profile.record_phase ("frontend." ^ k) v)
+      frontend_timings;
+  let wall_seconds = now () -. t_all0 in
+  let gc1 = Gc.quick_stat () in
+  let telemetry_json =
+    J.Obj
+      [
+        ("telemetry_version", J.Int Build_info.telemetry_version);
+        ("wall_seconds", J.Float wall_seconds);
+        ("gc", Ctam_telemetry.Profile.gc_delta_json gc0 gc1);
+      ]
+  in
   let timings =
     frontend_timings @ compiled.Mapping.timings @ [ ("simulate", sim_seconds) ]
   in
@@ -261,6 +285,7 @@ let profile ?(params = Mapping.default_params) ?config ?timeline_window
               ( "invalidations",
                 J.Int (Probe_sinks.Counters.invalidations_total counters) );
             ] );
+        ("telemetry", telemetry_json);
       ]
       @ (match timeline with
         | None -> []

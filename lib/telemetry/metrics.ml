@@ -1,0 +1,470 @@
+module J = Ctam_util.Json
+
+(* Per-domain shards: every labelled series owns one mutable cell per
+   domain that ever recorded into it, handed out through Domain.DLS.
+   Recording is a plain load + store on the calling domain's own cell
+   (no atomics, no lock, no allocation); the shard list itself is only
+   touched — under the registry lock — when a domain records into a
+   series for the first time.  Scrapes sum the shards; for counters
+   that merge is an integer sum, so it is exact and order-independent.
+   Reading another domain's cell without synchronisation is safe here:
+   word-sized OCaml loads never tear, and every scrape we care about
+   happens after the recording domains joined (Parallel.map joins its
+   helpers), which gives the scrape a happens-before edge. *)
+
+let env_var = "CTAM_TELEMETRY"
+
+let enabled_flag =
+  let initial =
+    match Option.map String.lowercase_ascii (Sys.getenv_opt env_var) with
+    | Some ("0" | "off" | "false" | "no") -> false
+    | _ -> true
+  in
+  Atomic.make initial
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+type labels = (string * string) list
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; buckets : (float * int) array }
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : string;
+  f_series : (labels * value) list;
+}
+
+(* --- shard cells ------------------------------------------------------ *)
+
+type ccell = { mutable c_n : int }
+
+type hcell = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  h_buckets : int array;  (* one per finite bound, plus the overflow *)
+}
+
+(* A shard set: the DLS key hands each domain its own cell and links it
+   into [cells] (under [lock]) the first time that domain records. *)
+type 'cell shards = { key : 'cell Domain.DLS.key; cells : 'cell list ref }
+
+let make_shards ~lock ~fresh =
+  let cells = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let c = fresh () in
+        Mutex.lock lock;
+        cells := c :: !cells;
+        Mutex.unlock lock;
+        c)
+  in
+  { key; cells }
+
+(* --- metric internals ------------------------------------------------- *)
+
+type counter_m = {
+  c_name : string;
+  c_help : string;
+  c_label_names : string list;
+  c_lock : Mutex.t;
+  mutable c_series : (string list * ccell shards) list;
+}
+
+type gcell = { mutable g_v : float }
+
+type gauge_m = {
+  g_name : string;
+  g_help : string;
+  g_label_names : string list;
+  g_lock : Mutex.t;
+  mutable g_series : (string list * gcell) list;
+}
+
+type histogram_m = {
+  h_name : string;
+  h_help : string;
+  h_label_names : string list;
+  h_bounds : float array;
+  h_lock : Mutex.t;
+  mutable h_series : (string list * hcell shards) list;
+}
+
+type metric = MC of counter_m | MG of gauge_m | MH of histogram_m
+
+let metric_name = function
+  | MC c -> c.c_name
+  | MG g -> g.g_name
+  | MH h -> h.h_name
+
+type t = { lock : Mutex.t; mutable metrics : metric list }
+
+let create () = { lock = Mutex.create (); metrics = [] }
+let default = create ()
+
+let register reg ~name ~make ~existing =
+  Mutex.lock reg.lock;
+  let r =
+    match List.find_opt (fun m -> metric_name m = name) reg.metrics with
+    | Some m -> existing m
+    | None ->
+        let m = make () in
+        reg.metrics <- m :: reg.metrics;
+        existing m
+  in
+  Mutex.unlock reg.lock;
+  r
+
+let check_labels ~what label_names values =
+  if List.length label_names <> List.length values then
+    invalid_arg
+      (Printf.sprintf "%s: expected %d label value(s), got %d" what
+         (List.length label_names) (List.length values))
+
+(* --- Counter ---------------------------------------------------------- *)
+
+module Counter = struct
+  type metric = counter_m
+  type series = ccell shards
+
+  let v ?(registry = default) ?(help = "") ?(labels = []) name =
+    register registry ~name
+      ~make:(fun () ->
+        MC
+          {
+            c_name = name;
+            c_help = help;
+            c_label_names = labels;
+            c_lock = Mutex.create ();
+            c_series = [];
+          })
+      ~existing:(function
+        | MC c -> c
+        | m ->
+            invalid_arg
+              (Printf.sprintf "Metrics.Counter.v: %s already registered as %s"
+                 name
+                 (match m with MG _ -> "gauge" | _ -> "histogram")))
+
+  let series c values =
+    check_labels ~what:("counter " ^ c.c_name) c.c_label_names values;
+    let cell () =
+      make_shards ~lock:c.c_lock ~fresh:(fun () -> { c_n = 0 })
+    in
+    Mutex.lock c.c_lock;
+    let s =
+      match List.assoc_opt values c.c_series with
+      | Some s -> s
+      | None ->
+          let s = cell () in
+          c.c_series <- (values, s) :: c.c_series;
+          s
+    in
+    Mutex.unlock c.c_lock;
+    s
+
+  let inc ?(by = 1) s =
+    if by < 0 then invalid_arg "Metrics.Counter.inc: negative increment";
+    if enabled () then begin
+      let cell = Domain.DLS.get s.key in
+      cell.c_n <- cell.c_n + by
+    end
+
+  let inc0 ?by c = inc ?by (series c [])
+end
+
+(* --- Gauge ------------------------------------------------------------ *)
+
+module Gauge = struct
+  type metric = gauge_m
+  type series = gcell
+
+  let v ?(registry = default) ?(help = "") ?(labels = []) name =
+    register registry ~name
+      ~make:(fun () ->
+        MG
+          {
+            g_name = name;
+            g_help = help;
+            g_label_names = labels;
+            g_lock = Mutex.create ();
+            g_series = [];
+          })
+      ~existing:(function
+        | MG g -> g
+        | m ->
+            invalid_arg
+              (Printf.sprintf "Metrics.Gauge.v: %s already registered as %s"
+                 name
+                 (match m with MC _ -> "counter" | _ -> "histogram")))
+
+  let series g values =
+    check_labels ~what:("gauge " ^ g.g_name) g.g_label_names values;
+    Mutex.lock g.g_lock;
+    let s =
+      match List.assoc_opt values g.g_series with
+      | Some s -> s
+      | None ->
+          let s = { g_v = 0. } in
+          g.g_series <- (values, s) :: g.g_series;
+          s
+    in
+    Mutex.unlock g.g_lock;
+    s
+
+  let set s v = if enabled () then s.g_v <- v
+  let add s v = if enabled () then s.g_v <- s.g_v +. v
+  let value s = s.g_v
+  let set0 g v = set (series g []) v
+  let add0 g v = add (series g []) v
+  let value0 g = value (series g [])
+end
+
+(* --- Histogram -------------------------------------------------------- *)
+
+module Histogram = struct
+  type metric = histogram_m
+  type series = histogram_m * hcell shards
+
+  (* Powers of 4 from 1 µs: 1e-6 .. ~6.9e4 seconds in 19 bounds. *)
+  let default_buckets = Array.init 19 (fun i -> 1e-6 *. (4. ** float_of_int i))
+
+  let v ?(registry = default) ?(help = "") ?(labels = [])
+      ?(buckets = default_buckets) name =
+    if Array.length buckets = 0 then
+      invalid_arg "Metrics.Histogram.v: empty buckets";
+    Array.iteri
+      (fun i b ->
+        if i > 0 && buckets.(i - 1) >= b then
+          invalid_arg "Metrics.Histogram.v: buckets not strictly increasing")
+      buckets;
+    register registry ~name
+      ~make:(fun () ->
+        MH
+          {
+            h_name = name;
+            h_help = help;
+            h_label_names = labels;
+            h_bounds = Array.copy buckets;
+            h_lock = Mutex.create ();
+            h_series = [];
+          })
+      ~existing:(function
+        | MH h -> h
+        | m ->
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics.Histogram.v: %s already registered as %s" name
+                 (match m with MC _ -> "counter" | _ -> "gauge")))
+
+  let series h values =
+    check_labels ~what:("histogram " ^ h.h_name) h.h_label_names values;
+    Mutex.lock h.h_lock;
+    let s =
+      match List.assoc_opt values h.h_series with
+      | Some s -> s
+      | None ->
+          let nb = Array.length h.h_bounds + 1 in
+          let s =
+            make_shards ~lock:h.h_lock ~fresh:(fun () ->
+                { h_count = 0; h_sum = 0.; h_buckets = Array.make nb 0 })
+          in
+          h.h_series <- (values, s) :: h.h_series;
+          s
+    in
+    Mutex.unlock h.h_lock;
+    (h, s)
+
+  let observe (h, s) x =
+    if enabled () then begin
+      let cell = Domain.DLS.get s.key in
+      let bounds = h.h_bounds in
+      let n = Array.length bounds in
+      let i = ref 0 in
+      while !i < n && x > bounds.(!i) do
+        incr i
+      done;
+      cell.h_buckets.(!i) <- cell.h_buckets.(!i) + 1;
+      cell.h_count <- cell.h_count + 1;
+      cell.h_sum <- cell.h_sum +. x
+    end
+
+  let observe0 h x = observe (series h []) x
+end
+
+(* --- scrape ----------------------------------------------------------- *)
+
+let label_pairs names values = List.combine names values
+
+let scrape_counter (c : counter_m) =
+  Mutex.lock c.c_lock;
+  let series =
+    List.map
+      (fun (values, (s : ccell shards)) ->
+        let total = List.fold_left (fun a cell -> a + cell.c_n) 0 !(s.cells) in
+        (values, total))
+      c.c_series
+  in
+  Mutex.unlock c.c_lock;
+  {
+    f_name = c.c_name;
+    f_help = c.c_help;
+    f_kind = "counter";
+    f_series =
+      List.map
+        (fun (values, n) -> (label_pairs c.c_label_names values, Counter n))
+        (List.sort compare series);
+  }
+
+let scrape_gauge (g : gauge_m) =
+  Mutex.lock g.g_lock;
+  let series = List.map (fun (values, s) -> (values, s.g_v)) g.g_series in
+  Mutex.unlock g.g_lock;
+  {
+    f_name = g.g_name;
+    f_help = g.g_help;
+    f_kind = "gauge";
+    f_series =
+      List.map
+        (fun (values, v) -> (label_pairs g.g_label_names values, Gauge v))
+        (List.sort compare series);
+  }
+
+let scrape_histogram (h : histogram_m) =
+  Mutex.lock h.h_lock;
+  let series =
+    List.map
+      (fun (values, (s : hcell shards)) ->
+        let nb = Array.length h.h_bounds + 1 in
+        let buckets = Array.make nb 0 in
+        let count = ref 0 in
+        let sum = ref 0. in
+        List.iter
+          (fun cell ->
+            count := !count + cell.h_count;
+            sum := !sum +. cell.h_sum;
+            Array.iteri
+              (fun i n -> buckets.(i) <- buckets.(i) + n)
+              cell.h_buckets)
+          !(s.cells);
+        (values, (!count, !sum, buckets)))
+      h.h_series
+  in
+  Mutex.unlock h.h_lock;
+  {
+    f_name = h.h_name;
+    f_help = h.h_help;
+    f_kind = "histogram";
+    f_series =
+      List.map
+        (fun (values, (count, sum, per_bucket)) ->
+          (* cumulative counts, with the +inf bound last *)
+          let cum = ref 0 in
+          let buckets =
+            Array.mapi
+              (fun i n ->
+                cum := !cum + n;
+                let bound =
+                  if i < Array.length h.h_bounds then h.h_bounds.(i)
+                  else infinity
+                in
+                (bound, !cum))
+              per_bucket
+          in
+          ( label_pairs h.h_label_names values,
+            Histogram { count; sum; buckets } ))
+        (List.sort (fun (a, _) (b, _) -> compare a b) series);
+  }
+
+let scrape reg =
+  Mutex.lock reg.lock;
+  let metrics = reg.metrics in
+  Mutex.unlock reg.lock;
+  metrics
+  |> List.map (function
+       | MC c -> scrape_counter c
+       | MG g -> scrape_gauge g
+       | MH h -> scrape_histogram h)
+  |> List.sort (fun a b -> compare a.f_name b.f_name)
+
+let find families name labels =
+  match List.find_opt (fun f -> f.f_name = name) families with
+  | None -> None
+  | Some f -> List.assoc_opt labels f.f_series
+
+(* --- quantiles -------------------------------------------------------- *)
+
+let quantile v q =
+  match v with
+  | Histogram { count; buckets; _ } when count > 0 ->
+      let q = Float.max 0. (Float.min 1. q) in
+      let rank = q *. float_of_int count in
+      let rec walk i lower prev_cum =
+        if i >= Array.length buckets then None
+        else
+          let bound, cum = buckets.(i) in
+          if float_of_int cum >= rank || i = Array.length buckets - 1 then
+            if bound = infinity then
+              (* overflow bucket: clamp to the last finite bound *)
+              Some lower
+            else begin
+              let in_bucket = cum - prev_cum in
+              if in_bucket = 0 then Some bound
+              else
+                let frac =
+                  (rank -. float_of_int prev_cum) /. float_of_int in_bucket
+                in
+                Some (lower +. ((bound -. lower) *. Float.max 0. frac))
+            end
+          else walk (i + 1) bound cum
+      in
+      walk 0 0. 0
+  | _ -> None
+
+(* --- JSON ------------------------------------------------------------- *)
+
+let labels_json labels =
+  J.Obj (List.map (fun (k, v) -> (k, J.String v)) labels)
+
+let value_members = function
+  | Counter n -> [ ("value", J.Int n) ]
+  | Gauge v -> [ ("value", J.Float v) ]
+  | Histogram { count; sum; buckets } ->
+      [
+        ("count", J.Int count);
+        ("sum", J.Float sum);
+        ( "buckets",
+          J.List
+            (Array.to_list buckets
+            |> List.map (fun (bound, cum) ->
+                   J.Obj
+                     [
+                       ( "le",
+                         if bound = infinity then J.String "+Inf"
+                         else J.Float bound );
+                       ("count", J.Int cum);
+                     ])) );
+      ]
+
+let to_json reg =
+  J.List
+    (List.map
+       (fun f ->
+         J.Obj
+           [
+             ("name", J.String f.f_name);
+             ("kind", J.String f.f_kind);
+             ("help", J.String f.f_help);
+             ( "series",
+               J.List
+                 (List.map
+                    (fun (labels, v) ->
+                      J.Obj
+                        (("labels", labels_json labels) :: value_members v))
+                    f.f_series) );
+           ])
+       (scrape reg))

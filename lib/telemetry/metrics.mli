@@ -1,0 +1,157 @@
+(** A dependency-free metrics registry: labelled counters, gauges and
+    histograms for observing ctamap itself (not the simulated machine —
+    that is {!Ctam_cachesim.Probe}'s job).
+
+    Design constraints, in order:
+
+    {ol
+    {- {b recording must be contention-free} — [Parallel.map] workers
+       record from their own domains, so counter and histogram series
+       keep one cell per domain (via [Domain.DLS]) and only merge the
+       shards when scraped.  Incrementing is a domain-local load and
+       store: no atomics, no locks, no allocation;}
+    {- {b scrapes are deterministic} — families sort by metric name,
+       series by label values, and counter merges are integer sums, so
+       two scrapes of the same state render byte-identically;}
+    {- {b recording can be disabled globally} — {!set_enabled} [false]
+       (or [CTAM_TELEMETRY=0] in the environment) turns every record
+       operation into a cheap flag test, and instrumented hot paths are
+       expected to skip even their clock reads when disabled.}}
+
+    Registration (creating a metric or resolving a labelled series) may
+    take a lock and allocate; call sites resolve series once and keep
+    the handle. *)
+
+type t
+(** A registry: a mutable set of metric families. *)
+
+val create : unit -> t
+
+val default : t
+(** The process-wide registry all convenience constructors default
+    to. *)
+
+(** {1 Global enable switch} *)
+
+val env_var : string
+(** ["CTAM_TELEMETRY"]: set to [0]/[off]/[false] to start disabled. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** Flips the global recording switch ({!enabled} starts [true] unless
+    {!env_var} says otherwise).  When disabled, [inc]/[set]/[observe]
+    are no-ops, so a scrape sees exactly the state from when recording
+    was last enabled. *)
+
+(** {1 Scrape model}
+
+    What a registry looks like from the outside: a sorted list of
+    families, each with sorted labelled series. *)
+
+type labels = (string * string) list
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of {
+      count : int;
+      sum : float;
+      buckets : (float * int) array;
+          (** (upper bound, cumulative count); the final bound is
+              [infinity] and its count equals [count]. *)
+    }
+
+type family = {
+  f_name : string;
+  f_help : string;
+  f_kind : string;  (** "counter" | "gauge" | "histogram" *)
+  f_series : (labels * value) list;
+}
+
+val scrape : t -> family list
+(** Merged snapshot, deterministically ordered (families by name,
+    series by label values). *)
+
+val to_json : t -> Ctam_util.Json.t
+(** [{"metrics": [{name, kind, help, series: [{labels, ...value}]}]}]'s
+    inner list — one object per family; see {!Profile.snapshot_json}
+    for the full [--metrics-out] payload. *)
+
+val quantile : value -> float -> float option
+(** [quantile (Histogram _) q] estimates the [q]-quantile (0..1) by
+    linear interpolation inside the covering bucket; [None] on empty
+    histograms or non-histogram values.  Estimates in the overflow
+    bucket clamp to the last finite bound. *)
+
+val find : family list -> string -> labels -> value option
+(** Lookup helper for tests and tools: the series of family [name]
+    with exactly [labels]. *)
+
+(** {1 Counters} — monotone integer sums. *)
+
+module Counter : sig
+  type metric
+  type series
+
+  val v :
+    ?registry:t -> ?help:string -> ?labels:string list -> string -> metric
+  (** [v name] registers (or returns the already-registered) counter
+      family.  [labels] are the label {e names}; a family with no
+      label names has a single anonymous series. *)
+
+  val series : metric -> string list -> series
+  (** Resolve the series for these label {e values} (memoized).
+      @raise Invalid_argument on label-count mismatch. *)
+
+  val inc : ?by:int -> series -> unit
+  (** Add [by] (default 1, must be [>= 0]) to this domain's shard. *)
+
+  val inc0 : ?by:int -> metric -> unit
+  (** {!inc} on the anonymous series of a label-less family. *)
+end
+
+(** {1 Gauges} — last-written floats (set from one domain at a time;
+    the merge is "latest write wins"). *)
+
+module Gauge : sig
+  type metric
+  type series
+
+  val v :
+    ?registry:t -> ?help:string -> ?labels:string list -> string -> metric
+
+  val series : metric -> string list -> series
+  val set : series -> float -> unit
+  val add : series -> float -> unit
+  val value : series -> float
+  val set0 : metric -> float -> unit
+  val add0 : metric -> float -> unit
+  val value0 : metric -> float
+end
+
+(** {1 Histograms} — bucketed float observations. *)
+
+module Histogram : sig
+  type metric
+  type series
+
+  val default_buckets : float array
+  (** Fixed log-scale bounds (powers of 4 from 1 µs), sized for
+      wall-clock seconds: 1e-6, 4e-6, …, ~6.9e4.  An implicit
+      [+inf] overflow bucket always follows the last bound. *)
+
+  val v :
+    ?registry:t ->
+    ?help:string ->
+    ?labels:string list ->
+    ?buckets:float array ->
+    string ->
+    metric
+  (** @raise Invalid_argument if [buckets] is empty or not strictly
+      increasing. *)
+
+  val series : metric -> string list -> series
+  val observe : series -> float -> unit
+  val observe0 : metric -> float -> unit
+end

@@ -1,0 +1,47 @@
+(** Self-profiling: wall-clock per pipeline phase and GC pressure,
+    recorded into the default {!Metrics} registry and rendered as the
+    [--metrics-out] snapshot / run-report [telemetry] member.
+
+    Phases are the frontend → poly → mapping → engine → tune seams:
+    ["frontend.parse"], ["mapping.group"], ["simulate"],
+    ["tune.search"], … — dot-separated, lowercase.  Each recording
+    lands in the [ctam_phase_seconds{phase}] histogram; {!phase} also
+    charges the phase's GC allocation counters. *)
+
+val now : unit -> float
+(** [Unix.gettimeofday] — the clock every telemetry duration uses. *)
+
+val record_phase : string -> float -> unit
+(** [record_phase name seconds] observes one phase duration.  No-op
+    when {!Metrics.enabled} is false. *)
+
+val phase : string -> (unit -> 'a) -> 'a
+(** [phase name f] runs [f], recording its wall-clock and the
+    minor/major words it allocated ([ctam_phase_minor_words_total],
+    [ctam_phase_major_words_total]).  Exceptions propagate; the phase
+    is still recorded.  When {!Metrics.enabled} is false this is just
+    [f ()]. *)
+
+(** {1 Snapshots} *)
+
+val gc_json : unit -> Ctam_util.Json.t
+(** Image of [Gc.quick_stat]: minor/major/promoted words, collection
+    counts, heap words, compactions. *)
+
+val gc_delta_json : Gc.stat -> Gc.stat -> Ctam_util.Json.t
+(** [gc_delta_json before after]: allocation and collection deltas
+    (words as floats, counts as ints) plus the final heap size. *)
+
+val snapshot_json :
+  ?registry:Metrics.t -> version:string -> telemetry_version:int ->
+  unit -> Ctam_util.Json.t
+(** The full [--metrics-out] payload:
+    [{ctam_metrics_version, version, gc, metrics}].  [version] is the
+    tool version string (passed in to keep this library independent of
+    {!Ctam_exp.Build_info}). *)
+
+val write_snapshot :
+  ?registry:Metrics.t -> version:string -> telemetry_version:int ->
+  string -> unit
+(** {!snapshot_json} to a file (trailing newline).
+    @raise Sys_error on write failure. *)

@@ -1,0 +1,75 @@
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_repr f =
+  if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_nan f then "NaN"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let labels_fragment labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+let render ?(registry = Metrics.default) () =
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s;
+                                   Buffer.add_char b '\n') fmt in
+  List.iter
+    (fun (f : Metrics.family) ->
+      if f.Metrics.f_help <> "" then
+        line "# HELP %s %s" f.f_name (escape_help f.f_help);
+      line "# TYPE %s %s" f.f_name f.f_kind;
+      List.iter
+        (fun (labels, v) ->
+          match v with
+          | Metrics.Counter n -> line "%s%s %d" f.f_name (labels_fragment labels) n
+          | Metrics.Gauge g ->
+              line "%s%s %s" f.f_name (labels_fragment labels) (float_repr g)
+          | Metrics.Histogram { count; sum; buckets } ->
+              Array.iter
+                (fun (bound, cum) ->
+                  line "%s_bucket%s %d" f.f_name
+                    (labels_fragment (labels @ [ ("le", float_repr bound) ]))
+                    cum)
+                buckets;
+              line "%s_sum%s %s" f.f_name (labels_fragment labels)
+                (float_repr sum);
+              line "%s_count%s %d" f.f_name (labels_fragment labels) count)
+        f.f_series)
+    (Metrics.scrape registry);
+  Buffer.contents b
+
+let write ?registry path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render ?registry ()))

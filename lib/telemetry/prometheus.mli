@@ -1,0 +1,14 @@
+(** Prometheus text exposition format (version 0.0.4) for a
+    {!Metrics} registry — what a future [ctamap serve] daemon returns
+    from [/metrics], and what [--metrics-prom FILE] writes today.
+
+    Rendering is deterministic (family and series order comes from
+    {!Metrics.scrape}) and escapes help text (backslash, newline) and
+    label values (backslash, double quote, newline) per the spec.
+    Histograms expand into [_bucket{le=...}] series (cumulative,
+    ending at the [+Inf] bound), [_sum] and [_count]. *)
+
+val render : ?registry:Metrics.t -> unit -> string
+
+val write : ?registry:Metrics.t -> string -> unit
+(** [render] to a file. @raise Sys_error on write failure. *)

@@ -1,0 +1,53 @@
+module Parallel = Ctam_util.Parallel
+
+let maps_total =
+  Metrics.Counter.v ~help:"Parallel.map invocations that ran multi-domain"
+    "ctam_parallel_maps_total"
+
+let tasks_total =
+  Metrics.Counter.v ~help:"Tasks executed by the domain pool"
+    "ctam_parallel_tasks_total"
+
+let busy_seconds =
+  Metrics.Gauge.v ~help:"Seconds domains spent running tasks (sum)"
+    "ctam_parallel_busy_seconds_total"
+
+let capacity_seconds =
+  Metrics.Gauge.v
+    ~help:"Pool capacity: wall-clock x domains, summed over maps"
+    "ctam_parallel_capacity_seconds_total"
+
+let utilization =
+  Metrics.Gauge.v ~help:"busy/capacity of the most recent Parallel.map"
+    "ctam_parallel_pool_utilization"
+
+let domain_tasks =
+  Metrics.Histogram.v
+    ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. |]
+    ~help:"Tasks one domain ran during one Parallel.map"
+    "ctam_parallel_domain_tasks"
+
+let record ~domains ~tasks ~wall_seconds ~busy_per_domain ~tasks_per_domain =
+  Metrics.Counter.inc0 maps_total;
+  Metrics.Counter.inc0 ~by:tasks tasks_total;
+  let busy = Array.fold_left ( +. ) 0. busy_per_domain in
+  let capacity = wall_seconds *. float_of_int domains in
+  Metrics.Gauge.add0 busy_seconds busy;
+  Metrics.Gauge.add0 capacity_seconds capacity;
+  if capacity > 0. then Metrics.Gauge.set0 utilization (busy /. capacity);
+  let dt = Metrics.Histogram.series domain_tasks [] in
+  Array.iter
+    (fun n -> Metrics.Histogram.observe dt (float_of_int n))
+    tasks_per_domain
+
+let monitor = { Parallel.now = Unix.gettimeofday; record }
+
+let install () = Parallel.set_monitor (Some monitor)
+let uninstall () = Parallel.set_monitor None
+
+let pool_totals () =
+  (Metrics.Gauge.value0 busy_seconds, Metrics.Gauge.value0 capacity_seconds)
+
+let pool_utilization () =
+  let busy, cap = pool_totals () in
+  if cap > 0. then busy /. cap else 0.

@@ -1,0 +1,32 @@
+(** Glue between the runtime's instrumentation hooks and the metrics
+    registry.
+
+    {!install} plugs a {!Ctam_util.Parallel.monitor} into the domain
+    pool so every [Parallel.map] records tasks-per-domain, busy and
+    idle (queue-wait) seconds, and pool utilization:
+
+    - [ctam_parallel_maps_total], [ctam_parallel_tasks_total]
+    - [ctam_parallel_busy_seconds_total] /
+      [ctam_parallel_capacity_seconds_total] (gauge sums; capacity =
+      wall-clock × domains, so busy/capacity is the cumulative pool
+      utilization and capacity − busy the queue-wait/idle time)
+    - [ctam_parallel_pool_utilization] (gauge, last map)
+    - [ctam_parallel_domain_tasks] (histogram of tasks each domain ran
+      in one map — skew shows up as spread)
+
+    Entry points ([bin/ctamap.ml], [bench/main.ml]) call {!install}
+    once at startup; libraries never install hooks behind the caller's
+    back. *)
+
+val install : unit -> unit
+(** Idempotent. *)
+
+val uninstall : unit -> unit
+(** Remove the monitor (tests). *)
+
+val pool_totals : unit -> float * float
+(** [(busy_seconds, capacity_seconds)] accumulated so far — sample
+    before/after a region to compute that region's utilization. *)
+
+val pool_utilization : unit -> float
+(** Cumulative busy/capacity, 0. before any monitored map. *)

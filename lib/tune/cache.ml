@@ -1,6 +1,32 @@
 open Ctam_arch
 open Ctam_core
 module J = Ctam_util.Json
+module Tel = Ctam_telemetry
+
+(* Lookups labelled by outcome: "hit", "miss" (no entry on disk),
+   "corrupt" (entry exists but fails to parse — also logged, since a
+   corrupt entry costs a re-evaluation every run until removed), and
+   "collision" (parses but stores a different key: FNV-1a hash
+   collision or a stale file from an incompatible key schema). *)
+let tel_lookups =
+  Tel.Metrics.Counter.v ~labels:[ "result" ]
+    ~help:"Tune cache lookups by outcome" "ctam_tune_cache_lookups_total"
+
+let tel_stores =
+  Tel.Metrics.Counter.v ~help:"Tune cache entries written"
+    "ctam_tune_cache_stores_total"
+
+let tel_bytes_written =
+  Tel.Metrics.Counter.v ~help:"Bytes written to the tune cache"
+    "ctam_tune_cache_bytes_written_total"
+
+let count_lookup result =
+  Tel.Metrics.Counter.inc (Tel.Metrics.Counter.series tel_lookups [ result ])
+
+let warn_corrupt path what =
+  Tel.Log.warn ~src:"tune.cache"
+    ~fields:[ ("path", J.String path) ]
+    (fun () -> "corrupt cache entry (" ^ what ^ "); will re-evaluate")
 
 (* The key is a canonical multi-line string; the file name is its
    FNV-1a 64 hash.  Floats are rendered with %h (exact hex) so two
@@ -72,17 +98,36 @@ let lookup ~dir key =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   with
-  | exception _ -> None
+  | exception _ ->
+      count_lookup "miss";
+      None
   | contents -> (
       match J.parse contents with
-      | Error _ -> None
+      | Error e ->
+          count_lookup "corrupt";
+          warn_corrupt path ("parse error: " ^ e);
+          None
       | Ok j -> (
           match (J.member "key" j, J.member "outcome" j) with
           | Some (J.String stored), Some oj when String.equal stored key -> (
               match Eval.outcome_of_json oj with
-              | Ok o -> Some o
-              | Error _ -> None)
-          | _ -> None))
+              | Ok o ->
+                  count_lookup "hit";
+                  Some o
+              | Error e ->
+                  count_lookup "corrupt";
+                  warn_corrupt path ("bad outcome: " ^ e);
+                  None)
+          | Some (J.String _), Some _ ->
+              (* Same hash, different key: treat as a miss but count it
+                 separately — repeated collisions mean the key schema
+                 changed without a version bump. *)
+              count_lookup "collision";
+              None
+          | _ ->
+              count_lookup "corrupt";
+              warn_corrupt path "missing key/outcome members";
+              None))
 
 let rec mkdir_p dir =
   if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
@@ -98,15 +143,17 @@ let store ~dir key outcome =
       Filename.temp_file ~temp_dir:dir "ctam-tune-" ".tmp"
     in
     let oc = open_out_bin tmp in
+    let payload =
+      J.to_string
+        (J.Obj
+           [ ("key", J.String key); ("outcome", Eval.outcome_to_json outcome) ])
+    in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
-        output_string oc
-          (J.to_string
-             (J.Obj
-                [
-                  ("key", J.String key); ("outcome", Eval.outcome_to_json outcome);
-                ]));
+        output_string oc payload;
         output_char oc '\n');
-    Sys.rename tmp path
+    Sys.rename tmp path;
+    Tel.Metrics.Counter.inc0 tel_stores;
+    Tel.Metrics.Counter.inc0 ~by:(String.length payload + 1) tel_bytes_written
   with _ -> ()

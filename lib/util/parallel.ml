@@ -20,6 +20,27 @@ let default_domains () =
 
 type 'b slot = Empty | Value of 'b | Raised of exn
 
+(* Observability hook: when a monitor is installed (see
+   Ctam_telemetry.Runtime), the parallel path times each task with the
+   monitor's own clock and reports per-domain busy seconds and task
+   counts after the join.  The clock is injected so this module stays
+   dependency-free; with no monitor installed the only cost is one
+   branch per task. *)
+type monitor = {
+  now : unit -> float;
+  record :
+    domains:int ->
+    tasks:int ->
+    wall_seconds:float ->
+    busy_per_domain:float array ->
+    tasks_per_domain:int array ->
+    unit;
+}
+
+let monitor_ref = ref None
+let set_monitor m = monitor_ref := m
+let monitor () = !monitor_ref
+
 let map ?domains f xs =
   let domains =
     match domains with
@@ -30,21 +51,38 @@ let map ?domains f xs =
   let n = Array.length items in
   if domains = 1 || n <= 1 then List.map f xs
   else begin
+    let mon = !monitor_ref in
+    let workers = min domains n in
+    let busy = Array.make workers 0. in
+    let counts = Array.make workers 0 in
+    let t_start = match mon with Some m -> m.now () | None -> 0. in
     let slots = Array.make n Empty in
     let next = Atomic.make 0 in
-    let rec worker () =
+    let rec worker w =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        (slots.(i) <- (try Value (f items.(i)) with e -> Raised e));
-        worker ()
+        (match mon with
+        | None -> slots.(i) <- (try Value (f items.(i)) with e -> Raised e)
+        | Some m ->
+            let t0 = m.now () in
+            (slots.(i) <- (try Value (f items.(i)) with e -> Raised e));
+            busy.(w) <- busy.(w) +. (m.now () -. t0);
+            counts.(w) <- counts.(w) + 1);
+        worker w
       end
     in
     (* The calling domain works too: n tasks need at most n domains. *)
     let helpers =
-      Array.init (min domains n - 1) (fun _ -> Domain.spawn worker)
+      Array.init (workers - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
     in
-    worker ();
+    worker 0;
     Array.iter Domain.join helpers;
+    (match mon with
+    | Some m ->
+        m.record ~domains:workers ~tasks:n
+          ~wall_seconds:(m.now () -. t_start)
+          ~busy_per_domain:busy ~tasks_per_domain:counts
+    | None -> ());
     Array.to_list
       (Array.map
          (function

@@ -12,6 +12,29 @@ val env_var : string
     positive integer, else [Domain.recommended_domain_count ()]. *)
 val default_domains : unit -> int
 
+(** Observability hook for the pool (see [Ctam_telemetry.Runtime],
+    which installs one at program startup).  After every multi-domain
+    {!map}, [record] receives the worker count, the task count, the
+    wall-clock of the whole map and per-worker busy-seconds / task
+    counts — enough to derive pool utilization and queue wait.  [now]
+    is the clock used for all of those, injected so this module keeps
+    zero dependencies.  With no monitor installed the parallel path
+    pays one branch per task and nothing else; the serial path
+    ([~domains:1] or [<= 1] tasks) is never monitored. *)
+type monitor = {
+  now : unit -> float;
+  record :
+    domains:int ->
+    tasks:int ->
+    wall_seconds:float ->
+    busy_per_domain:float array ->
+    tasks_per_domain:int array ->
+    unit;
+}
+
+val set_monitor : monitor option -> unit
+val monitor : unit -> monitor option
+
 (** [map ?domains f xs] is [List.map f xs], computed by up to
     [domains] domains (including the caller).  Results are returned in
     input order regardless of completion order.  If [f] raises on some

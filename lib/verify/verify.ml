@@ -8,6 +8,17 @@ module Iterset = Ctam_poly.Iterset
 module Domain = Ctam_poly.Domain
 module Codegen = Ctam_poly.Codegen
 
+module Tel = Ctam_telemetry
+
+let tel_checks =
+  Tel.Metrics.Counter.v ~help:"Mapping verifications performed"
+    "ctam_verify_checks_total"
+
+let tel_violations =
+  Tel.Metrics.Counter.v ~labels:[ "invariant" ]
+    ~help:"Invariant violations found, by invariant"
+    "ctam_verify_violations_total"
+
 type issue = { invariant : string; detail : string }
 
 type report = {
@@ -406,8 +417,15 @@ let check (c : Mapping.compiled) =
       check_deps acc c plan)
     c.Mapping.plans;
   check_races acc c;
+  let issues = List.rev acc.acc_issues in
+  Tel.Metrics.Counter.inc0 tel_checks;
+  List.iter
+    (fun i ->
+      Tel.Metrics.Counter.inc
+        (Tel.Metrics.Counter.series tel_violations [ i.invariant ]))
+    issues;
   {
-    issues = List.rev acc.acc_issues;
+    issues;
     nests_checked = acc.nests;
     groups_checked = acc.groups;
     points_checked = acc.points;

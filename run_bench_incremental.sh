@@ -50,4 +50,10 @@ for m in harpertown nehalem dunnington; do
     --strategy descent --cache .ctam-tune-cache \
     --save-params "params_$m.json" --json "tune_$m.json" > /dev/null \
     || echo "tune archive failed: $m" >&2
+  # Archive a self-telemetry snapshot per machine: phase timings, engine
+  # aggregates, GC totals (see DESIGN.md, "Telemetry").  One profiled
+  # run per machine keeps the snapshot cheap but representative.
+  ./_build/default/bin/ctamap.exe run sp -m "$m" --scale 64 -s topology \
+    --metrics-out "metrics_$m.json" > /dev/null \
+    || echo "metrics archive failed: $m" >&2
 done

@@ -1,0 +1,218 @@
+(* Validate a `--metrics-out` snapshot (the Profile.snapshot_json
+   schema): version stamps, the gc member, and every metric family —
+   known kind, labels shaped as string pairs, counters non-negative,
+   histogram buckets cumulative and ending at a "+Inf" bound whose
+   count equals the series count.  With `--require NAME`, additionally
+   assert that family NAME exists and has at least one series with a
+   nonzero value / observation — how check_metrics.sh proves the
+   instrumented seams actually fired.  With `--prom FILE`, sanity-check
+   a Prometheus text exposition: every sample line parses and no
+   series is exposed twice.  Used under `dune runtest`. *)
+
+module J = Ctam_util.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("metrics_check: " ^ m);
+      exit 1)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let member name j =
+  match J.member name j with
+  | Some v -> v
+  | None -> fail "member '%s' missing" name
+
+let str_member name j =
+  match member name j with
+  | J.String s -> s
+  | _ -> fail "member '%s' is not a string" name
+
+let num name = function
+  | J.Int i -> float_of_int i
+  | J.Float f -> f
+  | _ -> fail "member '%s' is not a number" name
+
+(* --- snapshot JSON ---------------------------------------------------- *)
+
+(* A family's series all carry the same value shape; returns true when
+   any series is "live" (nonzero counter/gauge, nonempty histogram). *)
+let check_family j =
+  let name = str_member "name" j in
+  let kind = str_member "kind" j in
+  let series =
+    match member "series" j with
+    | J.List l -> l
+    | _ -> fail "%s: series is not a list" name
+  in
+  let check_labels s =
+    match J.member "labels" s with
+    | None -> ()
+    | Some (J.Obj pairs) ->
+        List.iter
+          (function
+            | _, J.String _ -> ()
+            | k, _ -> fail "%s: label '%s' is not a string" name k)
+          pairs
+    | Some _ -> fail "%s: labels is not an object" name
+  in
+  let live_series s =
+    check_labels s;
+    match kind with
+    | "counter" -> (
+        match member "value" s with
+        | J.Int v ->
+            if v < 0 then fail "%s: negative counter %d" name v;
+            v > 0
+        | _ -> fail "%s: counter value is not an int" name)
+    | "gauge" -> num "value" (member "value" s) <> 0.
+    | "histogram" ->
+        let count =
+          match member "count" s with
+          | J.Int c when c >= 0 -> c
+          | J.Int c -> fail "%s: negative count %d" name c
+          | _ -> fail "%s: histogram count is not an int" name
+        in
+        ignore (num "sum" (member "sum" s));
+        let buckets =
+          match member "buckets" s with
+          | J.List l -> l
+          | _ -> fail "%s: buckets is not a list" name
+        in
+        if buckets = [] then fail "%s: empty bucket list" name;
+        let prev = ref 0 in
+        let last_le = ref J.Null in
+        List.iter
+          (fun b ->
+            let c =
+              match member "count" b with
+              | J.Int c -> c
+              | _ -> fail "%s: bucket count is not an int" name
+            in
+            if c < !prev then
+              fail "%s: bucket counts not cumulative (%d after %d)" name c
+                !prev;
+            prev := c;
+            last_le := member "le" b)
+          buckets;
+        if !last_le <> J.String "+Inf" then
+          fail "%s: last bucket bound is not +Inf" name;
+        if !prev <> count then
+          fail "%s: +Inf bucket count %d does not equal count %d" name !prev
+            count;
+        count > 0
+    | k -> fail "%s: unknown kind '%s'" name k
+  in
+  let live = List.exists live_series series in
+  (name, live)
+
+let check_snapshot ~require path =
+  let j =
+    match J.parse (read_file path) with
+    | Ok j -> j
+    | Error e -> fail "%s: %s" path e
+  in
+  (match J.member "ctam_metrics_version" j with
+  | Some (J.Int 1) -> ()
+  | Some _ -> fail "%s: unsupported ctam_metrics_version" path
+  | None -> fail "%s: not a metrics snapshot (no ctam_metrics_version)" path);
+  ignore (str_member "version" j);
+  let gc = member "gc" j in
+  if num "minor_words" (member "minor_words" gc) < 0. then
+    fail "%s: negative gc minor_words" path;
+  let fams =
+    match member "metrics" j with
+    | J.List l -> l
+    | _ -> fail "%s: metrics is not a list" path
+  in
+  let checked = List.map check_family fams in
+  let names = List.map fst checked in
+  if List.sort compare names <> names then
+    fail "%s: families are not sorted by name" path;
+  List.iter
+    (fun r ->
+      match List.assoc_opt r checked with
+      | None -> fail "%s: required family '%s' missing" path r
+      | Some false -> fail "%s: required family '%s' has no nonzero series" path r
+      | Some true -> ())
+    require;
+  Printf.printf "metrics_check: %s ok (%d families%s)\n" path
+    (List.length checked)
+    (match require with
+    | [] -> ""
+    | rs -> Printf.sprintf ", %d required nonzero" (List.length rs))
+
+(* --- Prometheus text exposition --------------------------------------- *)
+
+(* One sample line: NAME{labels} VALUE — split off the value (after the
+   last space outside braces is overkill; label values never contain a
+   raw newline, and the renderer never puts a space after the closing
+   brace except before the value). *)
+let check_prom path =
+  let seen = Hashtbl.create 64 in
+  let lines = String.split_on_char '\n' (read_file path) in
+  let samples = ref 0 in
+  List.iteri
+    (fun i line ->
+      let ln = i + 1 in
+      if line = "" then ()
+      else if line.[0] = '#' then begin
+        if
+          not
+            (String.length line > 2
+            && (String.sub line 0 7 = "# HELP "
+               || String.sub line 0 7 = "# TYPE "))
+        then fail "%s:%d: unknown comment form" path ln
+      end
+      else
+        match String.rindex_opt line ' ' with
+        | None -> fail "%s:%d: no value on sample line" path ln
+        | Some sp ->
+            let series = String.sub line 0 sp in
+            let value =
+              String.sub line (sp + 1) (String.length line - sp - 1)
+            in
+            (match value with
+            | "+Inf" | "-Inf" | "NaN" -> ()
+            | v when float_of_string_opt v <> None -> ()
+            | v -> fail "%s:%d: unparseable value '%s'" path ln v);
+            if Hashtbl.mem seen series then
+              fail "%s:%d: duplicate series %s" path ln series;
+            Hashtbl.add seen series ();
+            incr samples)
+    lines;
+  if !samples = 0 then fail "%s: no samples" path;
+  Printf.printf "metrics_check: %s ok (%d samples)\n" path !samples
+
+let () =
+  let require = ref [] in
+  let proms = ref [] in
+  let files = ref [] in
+  let rec parse = function
+    | "--require" :: name :: rest ->
+        require := name :: !require;
+        parse rest
+    | [ "--require" ] -> fail "--require needs a metric family name"
+    | "--prom" :: f :: rest ->
+        proms := f :: !proms;
+        parse rest
+    | [ "--prom" ] -> fail "--prom needs a file"
+    | f :: rest ->
+        files := f :: !files;
+        parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !files = [] && !proms = [] then (
+    prerr_endline
+      "usage: metrics_check [--require FAMILY]... SNAPSHOT.json... [--prom \
+       FILE]...";
+    exit 2);
+  List.iter (check_snapshot ~require:(List.rev !require)) (List.rev !files);
+  List.iter check_prom (List.rev !proms)
