@@ -5,10 +5,16 @@
      bench/main.exe --quick          quarter-cost configuration
      bench/main.exe fig13 fig15      run selected experiments
      bench/main.exe micro            run the Bechamel micro-benchmarks
+     bench/main.exe scale-sweep      wall-clock of exact / streamed /
+                                     set-sampled simulation across problem
+                                     scales (--json for JSONL rows)
      bench/main.exe --json [M...]    machine-readable trajectories: one JSON
                                      object per scheme x machine (JSONL),
                                      machines default to the three
                                      commercial ones
+     bench/main.exe --scale N ...    override the cache-capacity divisor of
+                                     the experiments / sweep machines
+                                     (default: 16 full, 64 quick)
      bench/main.exe --jobs N ...     domains for the sweep / experiment
                                      drivers (default: $CTAM_JOBS or
                                      Domain.recommended_domain_count)
@@ -25,10 +31,10 @@ open Ctam_exp
 
 (* --- Bechamel micro-benchmarks of the core algorithms --------------- *)
 
-let micro () =
+let micro ?(scale = 16) () =
   let open Bechamel in
   let open Toolkit in
-  let machine = Ctam_arch.Machines.dunnington ~scale:16 () in
+  let machine = Ctam_arch.Machines.dunnington ~scale () in
   let prog = Ctam_workloads.Kernel.small_program Ctam_workloads.Suite.galgel in
   let nest = List.hd (Ctam_ir.Program.parallel_nests prog) in
   let params = Ctam_core.Mapping.default_params in
@@ -113,7 +119,7 @@ let micro () =
 
 (* --- machine-readable sweep ------------------------------------------ *)
 
-let json_sweep ?jobs ~quick machines =
+let json_sweep ?jobs ?(scale = 16) ~quick machines =
   let machines =
     match machines with
     | [] -> [ "harpertown"; "nehalem"; "dunnington" ]
@@ -121,7 +127,7 @@ let json_sweep ?jobs ~quick machines =
   in
   List.iter
     (fun name ->
-      match Ctam_arch.Machines.by_name ~scale:16 name with
+      match Ctam_arch.Machines.by_name ~scale name with
       | machine ->
           (* Harness telemetry is appended here, per machine, so the
              library sweep itself stays byte-deterministic at any
@@ -158,59 +164,239 @@ let json_sweep ?jobs ~quick machines =
           exit 1)
     machines
 
+(* --- scale sweep ----------------------------------------------------- *)
+
+(* The scale-sweep micro of PR 7: wall-clock of one full simulation per
+   kernel x scheme under three engine modes — exact dense arrays,
+   generator-backed streams, and streamed + set-sampled — across
+   problem scales.  A sweep scale S means "S/16 x today's default
+   problem": the machine runs at capacity divisor max(1, 256/S) (so
+   S=256 is the paper's full-size Dunnington) and each kernel's linear
+   size grows by sqrt(S/16) (quadratic iteration spaces then scale
+   their access volume by ~S/16).  Streamed stats are asserted
+   bit-identical to exact; sampled stats report their relative cycle
+   error.  Timings are taken serially (no domains) so the walls mean
+   something. *)
+
+let isqrt n =
+  let r = int_of_float (sqrt (float_of_int n) +. 0.5) in
+  if r * r > n then r - 1 else r
+
+(* Largest power of two <= [requested] dividing every cache's set
+   count — the largest legal sampling factor for the machine. *)
+let sample_factor_for machine requested =
+  List.fold_left
+    (fun acc (c : Ctam_arch.Topology.cache_params) ->
+      let sets =
+        c.Ctam_arch.Topology.size_bytes
+        / (c.Ctam_arch.Topology.assoc * c.Ctam_arch.Topology.line)
+      in
+      let rec fit f = if f <= 1 || sets mod f = 0 then max 1 f else fit (f / 2) in
+      min acc (fit requested))
+    requested
+    (Ctam_arch.Topology.caches machine)
+
+let scale_sweep ~quick ~json ~scales ~sample_sets () =
+  let module J = Ctam_util.Json in
+  let module Mapping = Ctam_core.Mapping in
+  let module Stats = Ctam_cachesim.Stats in
+  let open Ctam_workloads in
+  let scales =
+    match scales with
+    | Some ss -> ss
+    | None -> if quick then [ 16; 64 ] else [ 64; 256 ]
+  in
+  let kernels =
+    if quick then [ Suite.galgel; Suite.equake; Suite.cg; Suite.sp ]
+    else Suite.all
+  in
+  let schemes = [ Mapping.Base; Mapping.Combined ] in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  if not json then
+    print_endline
+      "Scale sweep: simulation wall-clock, exact vs streamed vs set-sampled \
+       (Dunnington)";
+  List.iter
+    (fun s ->
+      let machine = Ctam_arch.Machines.dunnington ~scale:(max 1 (256 / s)) () in
+      let factor = sample_factor_for machine sample_sets in
+      let mult = max 1 (isqrt (max 1 (s / 16))) in
+      let rows = ref [] in
+      List.iter
+        (fun k ->
+          let prog =
+            Kernel.program ~size:(k.Kernel.default_size * mult) k
+          in
+          List.iter
+            (fun scheme ->
+              let dense_c, t_compile =
+                time (fun () -> Mapping.compile scheme ~machine prog)
+              in
+              let stream_c, t_compile_stream =
+                time (fun () ->
+                    Mapping.compile ~stream:true scheme ~machine prog)
+              in
+              let exact, t_exact =
+                time (fun () -> Mapping.simulate dense_c)
+              in
+              let streamed, t_stream =
+                time (fun () -> Mapping.simulate stream_c)
+              in
+              if streamed <> exact then begin
+                Printf.eprintf
+                  "scale-sweep: streamed stats diverge from exact (%s %s \
+                   scale %d)\n"
+                  k.Kernel.name
+                  (Mapping.scheme_name scheme)
+                  s;
+                exit 1
+              end;
+              let sampled, t_sample =
+                time (fun () ->
+                    Mapping.simulate ~sample_sets:factor stream_c)
+              in
+              let err =
+                List.assoc "cycles"
+                  (Stats.rel_errors ~exact ~approx:sampled)
+              in
+              let speedup = t_exact /. Float.max 1e-9 t_sample in
+              if json then
+                print_endline
+                  (J.to_string ~minify:true
+                     (J.Obj
+                        [
+                          ("experiment", J.String "scale_sweep");
+                          ("machine", J.String machine.Ctam_arch.Topology.name);
+                          ("scale", J.Int s);
+                          ("kernel", J.String k.Kernel.name);
+                          ("scheme", J.String (Mapping.scheme_name scheme));
+                          ("accesses", J.Int exact.Stats.total_accesses);
+                          ("sample_sets", J.Int factor);
+                          ("cycles_exact", J.Int exact.Stats.cycles);
+                          ("cycles_sampled", J.Int sampled.Stats.cycles);
+                          ("rel_err_cycles", J.Float err);
+                          ("compile_seconds", J.Float t_compile);
+                          ( "compile_stream_seconds",
+                            J.Float t_compile_stream );
+                          ("sim_exact_seconds", J.Float t_exact);
+                          ("sim_stream_seconds", J.Float t_stream);
+                          ("sim_sampled_seconds", J.Float t_sample);
+                          ("sim_speedup", J.Float speedup);
+                        ]))
+              else
+                rows :=
+                  [
+                    k.Kernel.name;
+                    Mapping.scheme_name scheme;
+                    string_of_int exact.Stats.total_accesses;
+                    Printf.sprintf "%.3f" t_compile;
+                    Printf.sprintf "%.3f" t_exact;
+                    Printf.sprintf "%.3f" t_stream;
+                    Printf.sprintf "%.3f" t_sample;
+                    Printf.sprintf "%.1fx" speedup;
+                    Printf.sprintf "%.2f%%" (100. *. err);
+                  ]
+                  :: !rows)
+            schemes)
+        kernels;
+      if not json then
+        Printf.printf "\n## scale %d (machine /%d, size x%d, sample 1/%d)\n%s"
+          s
+          (max 1 (256 / s))
+          mult factor
+          (Report.table
+             ~header:
+               [
+                 "kernel";
+                 "scheme";
+                 "accesses";
+                 "compile_s";
+                 "exact_s";
+                 "stream_s";
+                 "sampled_s";
+                 "sim speedup";
+                 "cycle err";
+               ]
+             (List.rev !rows)))
+    scales
+
 (* --- experiment driver ---------------------------------------------- *)
 
-(* Extract "--jobs N" / "--jobs=N" from the argument list. *)
-let rec extract_jobs acc = function
-  | [] -> (None, List.rev acc)
-  | "--jobs" :: n :: rest -> (
-      match int_of_string_opt n with
-      | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
-      | _ ->
-          Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
-          exit 1)
-  | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" -> (
-      let n = String.sub arg 7 (String.length arg - 7) in
-      match int_of_string_opt n with
-      | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
-      | _ ->
-          Printf.eprintf "--jobs expects a positive integer, got %s\n" n;
-          exit 1)
-  | [ "--jobs" ] ->
-      Printf.eprintf "--jobs expects a positive integer\n";
-      exit 1
-  | arg :: rest -> extract_jobs (arg :: acc) rest
+(* Extract "--FLAG N" / "--FLAG=N" (an integer option) from the
+   argument list. *)
+let extract_int_flag flag args =
+  let prefix = flag ^ "=" in
+  let plen = String.length prefix in
+  let bad got =
+    Printf.eprintf "%s expects a positive integer%s\n" flag got;
+    exit 1
+  in
+  let rec go acc = function
+    | [] -> (None, List.rev acc)
+    | f :: n :: rest when f = flag -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
+        | _ -> bad (", got " ^ n))
+    | [ f ] when f = flag -> bad ""
+    | arg :: rest when String.length arg > plen && String.sub arg 0 plen = prefix
+      -> (
+        let n = String.sub arg plen (String.length arg - plen) in
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> (Some j, List.rev_append acc rest)
+        | _ -> bad (", got " ^ n))
+    | arg :: rest -> go (arg :: acc) rest
+  in
+  go [] args
+
+let extract_jobs args = extract_int_flag "--jobs" args
 
 let () =
   Ctam_telemetry.Runtime.install ();
   let args = List.tl (Array.to_list Sys.argv) in
-  let jobs, args = extract_jobs [] args in
+  let jobs, args = extract_jobs args in
+  let scale, args = extract_int_flag "--scale" args in
+  let sample_sets, args = extract_int_flag "--sample-sets" args in
   let quick = List.mem "--quick" args in
   let json = List.mem "--json" args in
   let args =
     List.filter (fun a -> a <> "--quick" && a <> "--full" && a <> "--json") args
   in
-  if json then json_sweep ?jobs ~quick args
-  else
   match args with
-  | [ "micro" ] -> micro ()
+  | "scale-sweep" :: rest ->
+      (* Positional integers select the sweep scales (default: 16 64
+         quick, 64 256 full). *)
+      let scales =
+        match List.filter_map int_of_string_opt rest with
+        | [] -> None
+        | ss -> Some ss
+      in
+      scale_sweep ~quick ~json ~scales
+        ~sample_sets:(Option.value sample_sets ~default:16)
+        ()
+  | _ when json -> json_sweep ?jobs ?scale ~quick args
+  | [ "micro" ] -> micro ?scale ()
   | [] ->
       Printf.printf
         "Running all paper experiments (%s sizes; pass --quick for the \
-         quarter-cost configuration, 'micro' for micro-benchmarks)\n"
+         quarter-cost configuration, 'micro' for micro-benchmarks, \
+         'scale-sweep' for the streamed/sampled-engine walls)\n"
         (if quick then "quick" else "full");
       List.iter
         (fun (name, report) ->
           Printf.printf "\n###### %s ######\n%s%!" name report)
-        (Experiments.all ~quick ?jobs ())
+        (Experiments.all ~quick ?scale ?jobs ())
   | names ->
       List.iter
         (fun name ->
           match Experiments.by_name name with
-          | runner -> Printf.printf "%s%!" (runner ~quick ())
+          | runner -> Printf.printf "%s%!" (runner ~quick ?scale ())
           | exception Not_found ->
               Printf.eprintf
-                "unknown experiment %s (known: %s, micro)\n" name
+                "unknown experiment %s (known: %s, micro, scale-sweep)\n" name
                 (String.concat ", " Experiments.names);
               exit 1)
         names

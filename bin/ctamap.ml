@@ -129,6 +129,37 @@ let scheme_arg =
   let doc = "Mapping scheme: base, base+, local, topology-aware, combined." in
   Arg.(value & opt string "combined" & info [ "s"; "scheme" ] ~doc)
 
+let stream_arg =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:
+          "Compile generator-backed access streams instead of materialised \
+           arrays.  The simulated event order is bit-identical; only the \
+           peak memory of large runs changes.")
+
+let sample_sets_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "sample-sets" ] ~docv:"N"
+        ~doc:
+          "Simulate only one in $(docv) cache sets and extrapolate the \
+           aggregate statistics (a power of two dividing every cache's set \
+           count; 1 = exact).  Approximate but deterministic.")
+
+let memo_arg =
+  Arg.(
+    value & flag
+    & info [ "memo" ]
+        ~doc:
+          "Memoize per-phase simulation: phases re-entered with the same \
+           access stream, cache state and hierarchy replay cached stat \
+           deltas.  Exact — results are byte-identical, only faster.")
+
+let validate_sample_sets n =
+  if n >= 1 && n land (n - 1) = 0 then Ok ()
+  else Error "--sample-sets must be a positive power of two"
+
 let block_arg =
   let doc = "Data block size in bytes (the paper's default is 2048)." in
   Arg.(value & opt int 2048 & info [ "b"; "block" ] ~doc)
@@ -305,7 +336,9 @@ let map_cmd =
     (match compiled.Mapping.phases with
     | phase :: _ ->
         Fmt.pr "first phase accesses per core:@.";
-        Array.iteri (fun c s -> Fmt.pr "  core %2d: %d@." c (Array.length s)) phase
+        Array.iteri
+          (fun c s -> Fmt.pr "  core %2d: %d@." c (Engine.stream_length s))
+          phase
     | [] -> ());
     `Ok ()
   in
@@ -337,7 +370,7 @@ let simulate_cmd =
 
 let run_cmd =
   let run source machine scale scheme block json profile check window alpha
-      beta balance params_file log_level metrics_out =
+      beta balance params_file stream sample_sets memo log_level metrics_out =
     let* () = set_log_level log_level in
     let* prog, frontend_timings = load_program_timed source in
     let* machine = get_machine machine scale in
@@ -346,6 +379,7 @@ let run_cmd =
       | Some w when w <= 0 -> Error "--window must be positive"
       | _ -> Ok ()
     in
+    let* () = validate_sample_sets sample_sets in
     let* params, file_scheme =
       apply_tuning
         { Mapping.default_params with block_size = block }
@@ -356,9 +390,16 @@ let run_cmd =
       | Some s -> scheme_of_string s
       | None -> Ok (Option.value file_scheme ~default:Mapping.Combined)
     in
-    let p =
-      Ctam_exp.Run_report.profile ~params ?timeline_window:window
-        ~frontend_timings ~check scheme ~machine prog
+    let* p =
+      (* Hierarchy.create rejects a sampling factor that does not
+         divide some cache's set count; surface that as a CLI error. *)
+      match
+        Ctam_exp.Run_report.profile ~params ?timeline_window:window
+          ~frontend_timings ~check ~stream ~sample_sets ~memo scheme ~machine
+          prog
+      with
+      | p -> Ok p
+      | exception Invalid_argument msg -> Error msg
     in
     let* () =
       match p.Ctam_exp.Run_report.verify with
@@ -519,7 +560,8 @@ let run_cmd =
       ret
         (const run $ source_arg $ machine_arg $ scale_arg $ scheme
        $ block_arg $ json $ profile $ check $ window $ alpha_arg $ beta_arg
-       $ balance_arg $ params_file_arg $ log_level_arg $ metrics_out_arg))
+       $ balance_arg $ params_file_arg $ stream_arg $ sample_sets_arg
+       $ memo_arg $ log_level_arg $ metrics_out_arg))
 
 let jobs_arg =
   Arg.(
@@ -533,10 +575,11 @@ let jobs_arg =
 
 let compare_cmd =
   let run source machine scale block jobs alpha beta balance params_file
-      log_level metrics_out =
+      stream sample_sets memo log_level metrics_out =
     let* () = set_log_level log_level in
     let* prog = load_program source in
     let* machine = get_machine machine scale in
+    let* () = validate_sample_sets sample_sets in
     (* The tuned point's parameters apply to every scheme in the table
        (its scheme coordinate is ignored; each scheme reads the knobs
        it uses). *)
@@ -545,13 +588,25 @@ let compare_cmd =
         { Mapping.default_params with block_size = block }
         ~params_file ~alpha ~beta ~balance
     in
+    (* One memo table shared by all schemes: phases that coincide
+       across schemes (e.g. identical Base chunks) replay.  The table
+       is mutex-protected, so the parallel map below can share it. *)
+    let sim_memo = if memo then Some (Memo.create ()) else None in
     (* Simulate every scheme in parallel, then assemble the table
        serially so the Base-normalization and row order match the old
        one-scheme-at-a-time loop exactly. *)
-    let results =
-      Ctam_util.Parallel.map ?domains:jobs
-        (fun scheme -> (scheme, Mapping.run ~params scheme ~machine prog))
-        Mapping.all_schemes
+    let* results =
+      match
+        Ctam_util.Parallel.map ?domains:jobs
+          (fun scheme ->
+            ( scheme,
+              Mapping.run ~params ~stream
+                ?sample_sets:(if sample_sets > 1 then Some sample_sets else None)
+                ?memo:sim_memo scheme ~machine prog ))
+          Mapping.all_schemes
+      with
+      | r -> Ok r
+      | exception Invalid_argument msg -> Error msg
     in
     let base = ref 1 in
     let rows =
@@ -580,11 +635,12 @@ let compare_cmd =
       ret
         (const run $ source_arg $ machine_arg $ scale_arg $ block_arg
        $ jobs_arg $ alpha_arg $ beta_arg $ balance_arg $ params_file_arg
-       $ log_level_arg $ metrics_out_arg))
+       $ stream_arg $ sample_sets_arg $ memo_arg $ log_level_arg
+       $ metrics_out_arg))
 
 let tune_cmd =
   let run source machine scale block strategy budget cache_dir json
-      save_params verify jobs log_level metrics_out =
+      save_params verify jobs stream sample_sets memo log_level metrics_out =
     let* () = set_log_level log_level in
     let* prog = load_program source in
     let* machine = get_machine machine scale in
@@ -594,6 +650,7 @@ let tune_cmd =
       | Some b when b < 0 -> Error "--budget must be non-negative"
       | _ -> Ok ()
     in
+    let* () = validate_sample_sets sample_sets in
     let base_params = { Mapping.default_params with block_size = block } in
     let* () = Mapping.validate_params base_params in
     let settings =
@@ -605,11 +662,18 @@ let tune_cmd =
         jobs;
         base_params;
         verify;
+        stream;
+        sample_sets;
+        memo;
       }
     in
-    let result =
-      Ctam_tune.Search.run settings ~machine ~program_name:prog.Program.name
-        prog
+    let* result =
+      match
+        Ctam_tune.Search.run settings ~machine
+          ~program_name:prog.Program.name prog
+      with
+      | r -> Ok r
+      | exception Invalid_argument msg -> Error msg
     in
     print_string (Ctam_tune.Search.render result);
     let write path j =
@@ -704,7 +768,8 @@ let tune_cmd =
       ret
         (const run $ source_arg $ machine_arg $ scale_arg $ block_arg
        $ strategy $ budget $ cache_dir $ json $ save_params $ verify
-       $ jobs_arg $ log_level_arg $ metrics_out_arg))
+       $ jobs_arg $ stream_arg $ sample_sets_arg $ memo_arg $ log_level_arg
+       $ metrics_out_arg))
 
 let codegen_cmd =
   let run source machine scale core block =
@@ -792,6 +857,7 @@ let reuse_cmd =
     (match compiled.Mapping.phases with
     | [] -> ()
     | phase :: _ ->
+        let phase = Array.map Engine.force_stream phase in
         let hists =
           Array.to_list (Array.map (fun s -> Reuse.of_stream s ~line) phase)
         in

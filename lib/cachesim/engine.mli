@@ -8,7 +8,10 @@
     the slowest.
 
     An access is encoded as [addr * 2 + (if write then 1 else 0)] so a
-    stream is a flat [int array] (see {!encode_access}). *)
+    stream is a flat [int array] (see {!encode_access}).  A stream may
+    alternatively be a {!cursor} that generates the same encoded words
+    on demand — the engine pulls lazily, so generator-backed traces
+    never materialize. *)
 
 type phase = int array array
 (** [phase.(core)] is the encoded access stream of [core] in this
@@ -25,9 +28,55 @@ type config = {
 
 val default_config : config
 
-(** [run ?config h phases] clears [h], executes the phases and returns
-    statistics.  The number of barriers reported is
-    [max 0 (List.length phases - 1)].
+(** {2 Lazy streams} *)
+
+type cursor = {
+  length : int;            (** total accesses the cursor yields *)
+  pull : unit -> int;      (** next encoded access; effectful *)
+  reset : unit -> unit;    (** rewind to the first access *)
+  skip_to_sample : (shift:int -> mask:int -> skipped:int ref -> int) option;
+      (** optional sampled fast path: consume accesses while
+          [(e lsr shift) land mask <> 0], counting each into [skipped],
+          and return the first passing access (consumed) or -1 at end
+          of stream.  Must consume exactly as [pull] would; [None]
+          falls back to the engine's pull loop. *)
+}
+(** A restartable generator of encoded accesses.  Consumers call
+    [reset] before the first [pull]; the engine resets every cursor at
+    the start of each phase, so a compiled stream can be run many
+    times.  Pulling more than [length] times after a reset is a
+    programming error.  [skip_to_sample] lets set-sampled runs skip
+    filtered-out accesses at chunk-buffer speed instead of one closure
+    call each (see {!Hierarchy.create}'s [sample_sets]). *)
+
+type stream = Dense of int array | Gen of cursor
+type stream_phase = stream array
+
+val dense : int array -> stream
+val stream_length : stream -> int
+
+(** Materialize a stream.  A [Gen] is reset, then pulled in index
+    order. *)
+val force_stream : stream -> int array
+
+(** Wrap every per-core array of a dense phase. *)
+val of_phase : phase -> stream_phase
+
+(** Materialize every stream of a phase. *)
+val force_phase : stream_phase -> phase
+
+(** Concatenate streams in order.  All-dense inputs concatenate
+    eagerly into a [Dense]; otherwise the result is a [Gen] chaining
+    the parts lazily (resetting it resets every part). *)
+val stream_concat : stream list -> stream
+
+(** {2 Running} *)
+
+(** [run_streams ?config ?max_cycles ?memo h phases] clears [h],
+    executes the phases and returns statistics.  The number of
+    barriers reported is [max 0 (List.length phases - 1)].  Dense and
+    generator-backed streams produce bit-identical event order and
+    statistics (asserted by the differential tests).
 
     If a {!Probe} is attached to [h] the engine fires
     [on_phase_start]/[on_phase_end] around each phase,
@@ -41,20 +90,52 @@ val default_config : config
     [max_cycles] is an early-termination budget for search drivers
     (the autotuner's successive halving): once the smallest per-core
     clock reaches the cap, the rest of the run — including any
-    remaining phases — is cut.  The returned statistics then describe
-    only the executed prefix ([total_accesses] counts issued accesses;
-    [cycles] is at least the cap), which is enough to classify the
+    remaining phases — is cut without pulling further accesses from
+    any generator.  The returned statistics then describe only the
+    executed prefix ([total_accesses] counts issued accesses; [cycles]
+    is at least the cap), which is enough to classify the
     configuration as a loser.  Unobserved capped runs are the intended
     use; probes see a truncated event sequence with no closing
     phase/barrier events.
-    @raise Invalid_argument on core-count mismatch. *)
-val run : ?config:config -> ?max_cycles:int -> Hierarchy.t -> phase list -> Stats.t
 
-(** The seed engine: a linear scan over all cores before every access
-    instead of {!run}'s index min-heap.  Identical semantics and event
-    order (ties on equal clocks go to the lowest core id in both);
-    kept as the reference path for differential tests and the
-    heap-vs-scan micro-benchmark. *)
+    When [h] was created with [~sample_sets] > 1, only accesses whose
+    line satisfies [line mod sample_sets = 0] are simulated; skipped
+    accesses are charged the issuing core's running-mean observed
+    latency (the core's miss latency until a sample is seen, reset per
+    phase), and per-level hit/miss and memory counters are
+    extrapolated by the factor.  [total_accesses] stays unscaled.
+
+    When [memo] is given, the run is unobserved, and no [max_cycles]
+    cap is set, each phase's (entry cache state × stream contents ×
+    hierarchy/engine configuration) is hashed; a table hit replays the
+    recorded per-core clock/busy deltas, per-cache counter deltas and
+    exit cache state instead of simulating — byte-identical
+    statistics.  With a probe or a cap the memo is silently inert.
+    @raise Invalid_argument on core-count mismatch. *)
+val run_streams :
+  ?config:config ->
+  ?max_cycles:int ->
+  ?memo:Memo.t ->
+  Hierarchy.t ->
+  stream_phase list ->
+  Stats.t
+
+(** [run ?config ?max_cycles h phases] = {!run_streams} over dense
+    phases. *)
+val run :
+  ?config:config -> ?max_cycles:int -> Hierarchy.t -> phase list -> Stats.t
+
+(** The seed engine over lazy streams: a linear scan over all cores
+    before every access instead of {!run_streams}'s index min-heap.
+    Identical semantics and event order (ties on equal clocks go to
+    the lowest core id in both); kept as the reference path for
+    differential tests and the heap-vs-scan micro-benchmark.  No
+    sampling (@raise Invalid_argument on a sampled hierarchy), no cap,
+    no memo. *)
+val run_reference_streams :
+  ?config:config -> Hierarchy.t -> stream_phase list -> Stats.t
+
+(** {!run_reference_streams} over dense phases. *)
 val run_reference : ?config:config -> Hierarchy.t -> phase list -> Stats.t
 
 (** [run_serial ?config h stream] executes a single stream on core 0 —

@@ -26,6 +26,14 @@ type t = {
   line_shift : int;  (* log2 line when line is a power of two, -1 otherwise *)
   levels : int array;  (* distinct cache levels, ascending *)
   level_index : int array;  (* instance index -> index into [levels] *)
+  (* Set sampling (PR 7): simulate only lines with
+     [line mod sample_factor = 0] and extrapolate.  The factor is a
+     power of two dividing every cache's set count, so the sampled
+     sets receive exactly the line population they would in an exact
+     run (set = line mod sets maps sampled lines onto the sets
+     congruent to 0 mod factor, and onto nothing else). *)
+  sample_factor : int;
+  config_hash : int;  (* topology+options fingerprint for the phase memo *)
   mutable mem_accesses : int;
   mutable probe : Probe.t;
   mutable observed : bool;  (* probe != Probe.null, cached for the hot path *)
@@ -35,7 +43,7 @@ let log2_exact n =
   let rec go s = if 1 lsl s = n then s else go (s + 1) in
   if n > 0 && n land (n - 1) = 0 then go 0 else -1
 
-let create ?(coherence = true) ?(probe = Probe.null) topo =
+let create ?(coherence = true) ?(probe = Probe.null) ?(sample_sets = 1) topo =
   let params = Topology.caches topo in
   let line =
     match params with
@@ -106,6 +114,37 @@ let create ?(coherence = true) ?(probe = Probe.null) topo =
         find 0)
       instances
   in
+  if sample_sets < 1 || sample_sets land (sample_sets - 1) <> 0 then
+    invalid_arg "Hierarchy.create: sample_sets must be a positive power of two";
+  if sample_sets > 1 then
+    Array.iter
+      (fun inst ->
+        let sets = Setassoc.sets inst.cache in
+        if sets mod sample_sets <> 0 then
+          invalid_arg
+            (Printf.sprintf
+               "Hierarchy.create: sample_sets %d does not divide the %d sets \
+                of %s (pick a power of two dividing every cache's set count)"
+               sample_sets sets inst.params.cache_name))
+      instances;
+  let config_hash =
+    let h =
+      Array.fold_left
+        (fun h inst ->
+          let p = inst.params in
+          let h = Memo.mix h p.Topology.level in
+          let h = Memo.mix h (Setassoc.sets inst.cache) in
+          let h = Memo.mix h p.Topology.assoc in
+          Memo.mix h p.Topology.latency)
+        (Memo.mix Memo.seed topo.Topology.num_cores)
+        instances
+    in
+    let h = Array.fold_left (fun h p -> Memo.mix_array h p) h paths in
+    let h = Memo.mix h topo.Topology.mem_latency in
+    let h = Memo.mix h line in
+    let h = Memo.mix h (if coherence then 1 else 0) in
+    fst (Memo.mix h sample_sets)
+  in
   {
     topo;
     instances;
@@ -120,6 +159,8 @@ let create ?(coherence = true) ?(probe = Probe.null) topo =
     line_shift = log2_exact line;
     levels;
     level_index;
+    sample_factor = sample_sets;
+    config_hash;
     mem_accesses = 0;
     probe;
     observed = not (Probe.is_null probe);
@@ -233,3 +274,40 @@ let clear t =
   t.mem_accesses <- 0
 
 let line_size t = t.line
+
+let line_of t addr =
+  if t.line_shift >= 0 then addr lsr t.line_shift else addr / t.line
+
+let sample_factor t = t.sample_factor
+let config_hash t = t.config_hash
+let num_instances t = Array.length t.instances
+
+let snapshot t =
+  Array.map (fun inst -> Setassoc.snapshot_lines inst.cache) t.instances
+
+let restore t image =
+  if Array.length image <> Array.length t.instances then
+    invalid_arg "Hierarchy.restore: instance count mismatch";
+  Array.iteri
+    (fun i lines -> Setassoc.restore_lines t.instances.(i).cache lines)
+    image
+
+let instance_counts t =
+  ( Array.map (fun inst -> Setassoc.hits inst.cache) t.instances,
+    Array.map (fun inst -> Setassoc.misses inst.cache) t.instances )
+
+let bump_counts t ~hits ~misses ~mem =
+  if
+    Array.length hits <> Array.length t.instances
+    || Array.length misses <> Array.length t.instances
+  then invalid_arg "Hierarchy.bump_counts: instance count mismatch";
+  Array.iteri
+    (fun i inst ->
+      Setassoc.add_counts inst.cache ~hits:hits.(i) ~misses:misses.(i))
+    t.instances;
+  t.mem_accesses <- t.mem_accesses + mem
+
+let state_hash t =
+  Array.fold_left
+    (fun h inst -> Setassoc.fold_lines Memo.mix h inst.cache)
+    Memo.seed t.instances

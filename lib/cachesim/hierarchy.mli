@@ -6,15 +6,30 @@
 
 type t
 
-(** [create ?coherence ?probe topo].  When [coherence] is true
-    (default), a write invalidates the line in every cache that is not
-    on the writing core's path, modelling an invalidation-based
+(** [create ?coherence ?probe ?sample_sets topo].  When [coherence] is
+    true (default), a write invalidates the line in every cache that is
+    not on the writing core's path, modelling an invalidation-based
     protocol.  [probe] (default {!Probe.null}) observes per-level
     hits/misses, evictions, invalidations and memory accesses; the
     engine fires its issue/phase/barrier events through the same
-    probe. *)
+    probe.
+
+    [sample_sets] (default 1 = exact) enables constant-bit set
+    sampling: the engine simulates only lines with
+    [line mod sample_sets = 0] and {!Engine} extrapolates the
+    statistics by the factor.  The factor must be a power of two that
+    divides every cache's set count — then the sampled sets receive
+    exactly the line population an exact run would give them (the
+    sampled lines land on the sets congruent to 0 mod the factor and
+    on nothing else), so sampling error comes only from the estimated
+    latencies of skipped accesses and cross-set interleaving shifts.
+    @raise Invalid_argument otherwise. *)
 val create :
-  ?coherence:bool -> ?probe:Probe.t -> Ctam_arch.Topology.t -> t
+  ?coherence:bool ->
+  ?probe:Probe.t ->
+  ?sample_sets:int ->
+  Ctam_arch.Topology.t ->
+  t
 
 val topology : t -> Ctam_arch.Topology.t
 
@@ -57,3 +72,41 @@ val clear : t -> unit
 (** Line size used for address-to-line mapping (caches of one machine
     share it). *)
 val line_size : t -> int
+
+(** [line_of t addr] is the line number of a byte address — the
+    quantity set sampling filters on. *)
+val line_of : t -> int -> int
+
+(** Sampling factor passed to {!create} (1 = exact). *)
+val sample_factor : t -> int
+
+(** Fingerprint of (topology geometry, latencies, core paths,
+    coherence, sampling factor) — a component of the phase-memo key. *)
+val config_hash : t -> int
+
+(** Number of cache instances (the length of the arrays below). *)
+val num_instances : t -> int
+
+(** {2 Phase-memo state capture}
+
+    The engine's per-phase memoization snapshots and restores raw
+    cache contents and replays counter deltas; see {!Memo}. *)
+
+(** Per-instance copies of the raw way arrays. *)
+val snapshot : t -> int array array
+
+(** Overwrite every instance's way array with a {!snapshot} image.
+    Counters are untouched.
+    @raise Invalid_argument on an image from a different hierarchy. *)
+val restore : t -> int array array -> unit
+
+(** Per-instance [(hits, misses)] counter snapshots. *)
+val instance_counts : t -> int array * int array
+
+(** Bump per-instance hit/miss counters and the memory-access counter
+    by recorded deltas (memo replay).
+    @raise Invalid_argument on length mismatch. *)
+val bump_counts : t -> hits:int array -> misses:int array -> mem:int -> unit
+
+(** Hash of all instances' current contents (the {!Memo} hash pair). *)
+val state_hash : t -> int * int

@@ -100,6 +100,19 @@ let clear t =
   t.hits <- 0;
   t.misses <- 0
 
+let snapshot_lines t = Array.copy t.lines
+
+let restore_lines t lines =
+  if Array.length lines <> Array.length t.lines then
+    invalid_arg "Setassoc.restore_lines: geometry mismatch";
+  Array.blit lines 0 t.lines 0 (Array.length lines)
+
+let add_counts t ~hits ~misses =
+  t.hits <- t.hits + hits;
+  t.misses <- t.misses + misses
+
+let fold_lines f acc t = Array.fold_left f acc t.lines
+
 let resident t =
   Array.to_list t.lines |> List.filter (fun l -> l >= 0)
 

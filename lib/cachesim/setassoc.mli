@@ -44,6 +44,22 @@ val accesses : t -> int
 (** Reset contents and counters. *)
 val clear : t -> unit
 
+(** Copy of the raw way array (ways MRU-first per set segment; -1 =
+    empty) — the phase-memo state image. *)
+val snapshot_lines : t -> int array
+
+(** Overwrite the way array with a {!snapshot_lines} image.  Counters
+    are untouched (memo replay bumps them separately via
+    {!add_counts}).
+    @raise Invalid_argument when the image has a different geometry. *)
+val restore_lines : t -> int array -> unit
+
+(** Bump the hit/miss counters by recorded deltas (memo replay). *)
+val add_counts : t -> hits:int -> misses:int -> unit
+
+(** Fold over the raw way array in storage order (state hashing). *)
+val fold_lines : ('a -> int -> 'a) -> 'a -> t -> 'a
+
 (** Lines currently resident (unordered). *)
 val resident : t -> int list
 

@@ -24,6 +24,45 @@ let mem_rate t =
   if t.total_accesses = 0 then 0.
   else float_of_int t.mem_accesses /. float_of_int t.total_accesses
 
+(* Relative-error comparison for the set-sampling gates: [a] is the
+   exact run, [b] the approximation.  Structural counters (barriers,
+   total accesses, level list) must match exactly — sampling
+   extrapolation may perturb magnitudes but never the run's shape. *)
+let rel_errors ~exact:a ~approx:b =
+  let err name va vb =
+    let d = abs (vb - va) in
+    (name, float_of_int d /. float_of_int (max 1 (abs va)))
+  in
+  let per_level =
+    if
+      List.length a.per_level = List.length b.per_level
+      && List.for_all2 (fun x y -> x.level = y.level) a.per_level b.per_level
+    then
+      List.concat_map
+        (fun (x, y) ->
+          [
+            err (Printf.sprintf "L%d_hits" x.level) x.hits y.hits;
+            err (Printf.sprintf "L%d_misses" x.level) x.misses y.misses;
+          ])
+        (List.combine a.per_level b.per_level)
+    else [ ("levels", infinity) ]
+  in
+  let structural name va vb =
+    (name, if va = vb then 0. else infinity)
+  in
+  [
+    err "cycles" a.cycles b.cycles;
+    err "mem_accesses" a.mem_accesses b.mem_accesses;
+    structural "total_accesses" a.total_accesses b.total_accesses;
+    structural "barriers" a.barriers b.barriers;
+  ]
+  @ per_level
+
+let approx_equal ?(rel_tol = 0.05) a b =
+  List.for_all
+    (fun (_, e) -> e <= rel_tol)
+    (rel_errors ~exact:a ~approx:b)
+
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>cycles: %d  accesses: %d  mem: %d (%.2f%% of accesses)  barriers: \

@@ -27,6 +27,18 @@ val misses_at : t -> int -> int
 (** Fraction of all accesses served by off-chip memory. *)
 val mem_rate : t -> float
 
+(** [rel_errors ~exact ~approx] labels each counter with its relative
+    error [|approx - exact| / max 1 |exact|]: ["cycles"],
+    ["mem_accesses"], and per level ["L<l>_hits"] / ["L<l>_misses"].
+    Structural members — ["total_accesses"], ["barriers"], and the
+    level list itself — must match exactly and report [0.] or
+    [infinity].  Used by the set-sampling error-bound gates. *)
+val rel_errors : exact:t -> approx:t -> (string * float) list
+
+(** [approx_equal ?rel_tol exact approx] holds when every
+    {!rel_errors} entry is within [rel_tol] (default [0.05]). *)
+val approx_equal : ?rel_tol:float -> t -> t -> bool
+
 (** Prints the headline counters plus, per level, raw hits/misses and
     the level's miss rate. *)
 val pp : t Fmt.t

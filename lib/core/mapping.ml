@@ -79,7 +79,7 @@ type compiled = {
   machine : Topology.t;
   program : Program.t;
   layout : Layout.t;
-  phases : Engine.phase list;
+  phases : Engine.stream_phase list;
   infos : nest_info list;
   plans : nest_plan list;
   timings : (string * float) list;
@@ -160,25 +160,22 @@ let tile_pseudo_groups ~encoder ~tile ~perm iters =
    a dependence-free nest the rounds collapse into one phase (keeping
    the round-robin interleaving order per core), exactly like the
    paper, whose Figure 7 inserts synchronization for dependences. *)
-let phases_of_schedule ~with_barriers layout nest (sched : Schedule.t) =
+let phases_of_schedule ~stream ~with_barriers layout nest (sched : Schedule.t)
+    =
+  let trace gs =
+    if stream then Trace.stream_of_groups layout nest gs
+    else Engine.dense (Trace.of_groups layout nest gs)
+  in
   if with_barriers then
-    List.map
-      (fun round ->
-        Array.map (fun gs -> Trace.of_groups layout nest gs) round)
-      sched.Schedule.rounds
-  else
-    [
-      Array.map
-        (fun gs -> Trace.of_groups layout nest gs)
-        (Schedule.per_core sched);
-    ]
+    List.map (fun round -> Array.map trace round) sched.Schedule.rounds
+  else [ Array.map trace (Schedule.per_core sched) ]
 
 (* Compile-phase names reported in [compiled.timings], in pipeline
    order. *)
 let timing_keys = [ "group"; "distribute"; "schedule"; "trace" ]
 
-let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
-    ~machine program =
+let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo
+    ?(stream = false) scheme ~machine program =
   (match validate_params params with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Mapping.compile: " ^ msg));
@@ -206,8 +203,11 @@ let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
       (fun nest ->
         if not nest.Nest.parallel then begin
           (* Serial nest: core 0 executes it as its own phase. *)
-          let phase = Array.make n [||] in
-          phase.(0) <- timed "trace" (fun () -> Trace.serial layout nest);
+          let phase = Array.make n (Engine.dense [||]) in
+          phase.(0) <-
+            timed "trace" (fun () ->
+                if stream then Trace.stream_serial layout nest
+                else Engine.dense (Trace.serial layout nest));
           infos :=
             {
               nest_name = nest.Nest.name;
@@ -255,7 +255,8 @@ let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
                 :: !infos;
               push_plan nest sched.Schedule.rounds true;
               timed "trace" (fun () ->
-                  phases_of_schedule ~with_barriers:true layout nest sched)
+                  phases_of_schedule ~stream ~with_barriers:true layout nest
+                    sched)
           | Base ->
               let chunks =
                 timed "distribute" (fun () -> Baselines.block_partition ~n nest)
@@ -283,7 +284,11 @@ let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
                 false;
               [
                 timed "trace" (fun () ->
-                    Array.map (fun iters -> Trace.of_iters layout nest iters) chunks);
+                    Array.map
+                      (fun iters ->
+                        if stream then Trace.stream_of_iters layout nest iters
+                        else Engine.dense (Trace.of_iters layout nest iters))
+                      chunks);
               ]
           | Base_plus when Dep_test.nest_may_carry_deps nest ->
               (* Intra-core reordering is dependence-constrained; treat
@@ -313,7 +318,8 @@ let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
                 :: !infos;
               push_plan nest sched.Schedule.rounds true;
               timed "trace" (fun () ->
-                  phases_of_schedule ~with_barriers:true layout nest sched)
+                  phases_of_schedule ~stream ~with_barriers:true layout nest
+                    sched)
           | Base_plus ->
               let chunks =
                 timed "distribute" (fun () -> Baselines.block_partition ~n nest)
@@ -347,7 +353,8 @@ let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
                           let tile = Tiling.uniform (Nest.depth nest) edge in
                           Tiling.apply ~tile ~perm iters
                     in
-                    Trace.of_iters layout nest ordered)
+                    if stream then Trace.stream_of_iters layout nest ordered
+                    else Engine.dense (Trace.of_iters layout nest ordered))
                   chunks
               in
               let best_tile, best_phase =
@@ -356,7 +363,7 @@ let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
                     List.map
                       (fun t ->
                         let phase = phase_for t in
-                        let stats = Engine.run h [ phase ] in
+                        let stats = Engine.run_streams h [ phase ] in
                         (stats.Stats.cycles, (t, phase)))
                       candidates
                     |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -454,7 +461,7 @@ let compile ?(params = default_params) ?(clock = Sys.time) ?map_topo scheme
                    [ Schedule.per_core sched ]
                    false);
               timed "trace" (fun () ->
-                  phases_of_schedule ~with_barriers layout nest sched))
+                  phases_of_schedule ~stream ~with_barriers layout nest sched))
       program.Program.nests
   in
   let timings =
@@ -526,18 +533,24 @@ let port c ~machine =
         Array.iteri
           (fun t s -> streams.(t mod n_to) <- s :: streams.(t mod n_to))
           phase;
-        Array.map (fun parts -> Array.concat (List.rev parts)) streams)
+        Array.map
+          (fun parts -> Engine.stream_concat (List.rev parts))
+          streams)
       c.phases
   in
   ignore n_from;
   { c with machine; phases }
 
-let simulate ?config ?coherence ?probe ?max_cycles c =
-  let h = Hierarchy.create ?coherence ?probe c.machine in
-  Engine.run ?config ?max_cycles h c.phases
+let forced_phases c = List.map Engine.force_phase c.phases
 
-let run ?params ?map_topo ?config ?probe scheme ~machine program =
-  simulate ?config ?probe (compile ?params ?map_topo scheme ~machine program)
+let simulate ?config ?coherence ?probe ?max_cycles ?sample_sets ?memo c =
+  let h = Hierarchy.create ?coherence ?probe ?sample_sets c.machine in
+  Engine.run_streams ?config ?max_cycles ?memo h c.phases
+
+let run ?params ?map_topo ?config ?probe ?stream ?sample_sets ?memo scheme
+    ~machine program =
+  simulate ?config ?probe ?sample_sets ?memo
+    (compile ?params ?map_topo ?stream scheme ~machine program)
 
 let simulate_serial ?config ~machine program =
   (* One core executes all nests back to back, original order. *)

@@ -73,7 +73,9 @@ type compiled = {
   machine : Topology.t;       (** machine the phases are shaped for *)
   program : Program.t;
   layout : Layout.t;
-  phases : Engine.phase list;
+  phases : Engine.stream_phase list;
+      (** dense arrays under the default compile; generator-backed
+          cursors under [~stream:true] (see {!forced_phases}) *)
   infos : nest_info list;
   plans : nest_plan list;
   timings : (string * float) list;
@@ -84,15 +86,23 @@ type compiled = {
     ["group"; "distribute"; "schedule"; "trace"]. *)
 val timing_keys : string list
 
-(** [compile ?params ?clock ?map_topo scheme ~machine program] maps
-    every nest of [program] (parallel nests under [scheme]; serial
-    nests run on core 0).  [map_topo] defaults to [machine].  [clock]
-    (default [Sys.time]) supplies the timestamps for the per-phase
-    [timings]; pass a higher-resolution wall clock when profiling. *)
+(** [compile ?params ?clock ?map_topo ?stream scheme ~machine program]
+    maps every nest of [program] (parallel nests under [scheme];
+    serial nests run on core 0).  [map_topo] defaults to [machine].
+    [clock] (default [Sys.time]) supplies the timestamps for the
+    per-phase [timings]; pass a higher-resolution wall clock when
+    profiling.
+
+    With [~stream:true] the produced [phases] are generator-backed
+    cursors (serial nests and schedule groups regenerate their
+    iterations on demand; explicit-order baseline chunks keep only the
+    iteration lists) instead of materialized access arrays — same
+    access sequence, a fraction of the memory. *)
 val compile :
   ?params:params ->
   ?clock:(unit -> float) ->
   ?map_topo:Topology.t ->
+  ?stream:bool ->
   scheme ->
   machine:Topology.t ->
   Program.t ->
@@ -115,25 +125,38 @@ val segments :
     version running with fewer threads elsewhere). *)
 val port : compiled -> machine:Topology.t -> compiled
 
-(** [simulate ?config ?coherence ?probe ?max_cycles c] builds the
-    machine's hierarchy (with [probe] attached, default null) and runs
-    the phases.  [max_cycles] is the engine's early-termination budget
-    (see {!Engine.run}); the autotuner uses it to cut clearly-losing
-    configurations short. *)
+(** [forced_phases c] materializes every stream of [c.phases] — the
+    dense form consumers like the race replayer index directly. *)
+val forced_phases : compiled -> Engine.phase list
+
+(** [simulate ?config ?coherence ?probe ?max_cycles ?sample_sets ?memo
+    c] builds the machine's hierarchy (with [probe] attached, default
+    null) and runs the phases.  [max_cycles] is the engine's
+    early-termination budget (see {!Engine.run_streams}); the
+    autotuner uses it to cut clearly-losing configurations short.
+    [sample_sets] enables constant-bit set sampling (see
+    {!Hierarchy.create}); [memo] shares a per-phase memo table across
+    runs (see {!Engine.run_streams}). *)
 val simulate :
   ?config:Engine.config ->
   ?coherence:bool ->
   ?probe:Probe.t ->
   ?max_cycles:int ->
+  ?sample_sets:int ->
+  ?memo:Memo.t ->
   compiled ->
   Stats.t
 
-(** One-call convenience: compile then simulate. *)
+(** One-call convenience: compile then simulate.  [stream],
+    [sample_sets] and [memo] forward to {!compile} and {!simulate}. *)
 val run :
   ?params:params ->
   ?map_topo:Topology.t ->
   ?config:Engine.config ->
   ?probe:Probe.t ->
+  ?stream:bool ->
+  ?sample_sets:int ->
+  ?memo:Memo.t ->
   scheme ->
   machine:Topology.t ->
   Program.t ->

@@ -45,6 +45,136 @@ let of_group layout nest g = of_iterset layout nest g.Iter_group.iters
 let of_groups layout nest gs =
   Array.concat (List.map (of_group layout nest) gs)
 
+(* Lazy variants (PR 7): wrap a restartable point generator as an
+   {!Engine.cursor}, expanding each iteration into one encoded access
+   per reference on demand.  The access sequence is identical to the
+   eager builders' arrays (asserted by the differential tests), so the
+   engine's event order is bit-identical; only materialization
+   disappears. *)
+
+let cursor_of_gen layout refs ~count ~next ~restart =
+  let nrefs = Array.length refs in
+  (* Chunked refill: encoding whole points into a ~256-access buffer
+     amortizes the generator's odometer and closure cost, so a pull is
+     normally one bounds check and an array read.  The buffer holds
+     whole points only (capacity a multiple of [nrefs]), keeping the
+     emitted order exactly point-major. *)
+  let points_per_chunk = max 1 (256 / max 1 nrefs) in
+  let buf = Array.make (max 1 (points_per_chunk * nrefs)) 0 in
+  (* Address functions precompiled per reference (no table lookup or
+     allocation per point — see {!Layout.ref_addr_fn}). *)
+  let addr_fns = Array.map (fun (r, _) -> Layout.ref_addr_fn layout r) refs in
+  let writes = Array.map snd refs in
+  let len = ref 0 in
+  let at = ref 0 in
+  let fill () =
+    len := 0;
+    at := 0;
+    let cap = Array.length buf in
+    let continue = ref true in
+    while !continue && !len + nrefs <= cap do
+      match next () with
+      | None -> continue := false
+      | Some iv ->
+          for i = 0 to nrefs - 1 do
+            buf.(!len + i) <-
+              Engine.encode_access ~addr:(addr_fns.(i) iv) ~write:writes.(i)
+          done;
+          len := !len + nrefs
+    done
+  in
+  let pull () =
+    if !at >= !len then begin
+      fill ();
+      if !len = 0 then invalid_arg "Trace: cursor pulled past end"
+    end;
+    let v = buf.(!at) in
+    incr at;
+    v
+  in
+  let reset () =
+    restart ();
+    len := 0;
+    at := 0
+  in
+  (* Sampled fast path: scan the chunk buffer in place for the next
+     access whose line survives the sampling filter.  A skipped access
+     costs an array read and a mask test — the same as the engine's
+     dense batched path — instead of a [pull] closure call; only the
+     refills still pay the generation cost (the filter needs every
+     address, so generation cannot be skipped). *)
+  let skip_to_sample ~shift ~mask ~skipped =
+    let found = ref (-1) in
+    let finished = ref false in
+    while !found < 0 && not !finished do
+      if !at >= !len then begin
+        fill ();
+        if !len = 0 then finished := true
+      end;
+      if not !finished then begin
+        let l = !len in
+        let b = buf in
+        let i = ref !at in
+        while !found < 0 && !i < l do
+          let e = b.(!i) in
+          incr i;
+          if e lsr shift land mask = 0 then found := e else incr skipped
+        done;
+        at := !i
+      end
+    done;
+    !found
+  in
+  {
+    Engine.length = count * nrefs;
+    pull;
+    reset;
+    skip_to_sample = Some skip_to_sample;
+  }
+
+let stream_of_iters layout nest iters =
+  (* The iterations are already materialized (explicit-order chunks);
+     the cursor only avoids expanding them into the larger access
+     array. *)
+  let refs = refs_of nest in
+  let pts = Array.of_list iters in
+  let idx = ref 0 in
+  let next () =
+    if !idx >= Array.length pts then None
+    else begin
+      let p = pts.(!idx) in
+      incr idx;
+      Some p
+    end
+  in
+  let restart () = idx := 0 in
+  Engine.Gen
+    (cursor_of_gen layout refs ~count:(Array.length pts) ~next ~restart)
+
+let stream_of_group layout nest g =
+  (* Box decomposition gives a compact closed form of the group's
+     iteration set; [Codegen.to_gen] walks it in global lexicographic
+     order — the order [Iterset.iter] (hence {!of_group}) uses. *)
+  let refs = refs_of nest in
+  let s = g.Iter_group.iters in
+  let cg = Codegen.decompose s in
+  let gen = Codegen.to_gen cg in
+  Engine.Gen
+    (cursor_of_gen layout refs ~count:(Iterset.cardinal s)
+       ~next:gen.Codegen.next ~restart:gen.Codegen.restart)
+
+let stream_of_groups layout nest gs =
+  Engine.stream_concat (List.map (stream_of_group layout nest) gs)
+
+let stream_serial layout nest =
+  (* No materialization at all: the domain odometer regenerates the
+     nest's program order on every run. *)
+  let refs = refs_of nest in
+  let gen = Domain.to_gen nest.Nest.domain in
+  Engine.Gen
+    (cursor_of_gen layout refs ~count:(Nest.trip_count nest)
+       ~next:gen.Domain.next ~restart:gen.Domain.restart)
+
 let serial layout nest =
   let refs = refs_of nest in
   let nrefs = Array.length refs in

@@ -10,10 +10,16 @@ open Ctam_workloads
    Quick mode halves the linear workload size (data / 4) and scales the
    machine by a further 4x, keeping the same ratios at a quarter of the
    simulation cost. *)
-let machine_scale ~quick = if quick then 64 else 16
+let machine_scale ~quick ~scale =
+  (* [scale] (bench --scale / scale-sweep) overrides the quick/full
+     capacity divisor wholesale. *)
+  match scale with Some s -> s | None -> if quick then 64 else 16
 
-let dunnington ~quick = Machines.dunnington ~scale:(machine_scale ~quick) ()
-let commercial ~quick = Machines.commercial ~scale:(machine_scale ~quick) ()
+let dunnington ~quick ~scale =
+  Machines.dunnington ~scale:(machine_scale ~quick ~scale) ()
+
+let commercial ~quick ~scale =
+  Machines.commercial ~scale:(machine_scale ~quick ~scale) ()
 
 (* Quick mode also trims the suite to six kernels spanning the access
    classes (stencil, transpose, shared vector, strided dependence,
@@ -66,11 +72,11 @@ let table1 () =
     (Machines.commercial ());
   Buffer.add_string buf
     (Fmt.str "(experiments use the same topologies at 1/%d capacity)@."
-       (machine_scale ~quick:false));
+       (machine_scale ~quick:false ~scale:None));
   Buffer.contents buf
 
-let table2 ?(quick = false) () =
-  let machine = dunnington ~quick in
+let table2 ?(quick = false) ?scale () =
+  let machine = dunnington ~quick ~scale in
   let rows =
     List.map
       (fun k ->
@@ -92,9 +98,9 @@ let table2 ?(quick = false) () =
       ~header:[ "application"; "suite"; "kind"; "data"; "1-core cycles" ]
       rows
 
-let fig2 ?(quick = false) () =
+let fig2 ?(quick = false) ?scale () =
   let prog = program_of ~quick Suite.galgel in
-  let machines = commercial ~quick in
+  let machines = commercial ~quick ~scale in
   let versions =
     List.map
       (fun m -> (m, Mapping.compile Mapping.Combined ~machine:m prog))
@@ -125,7 +131,7 @@ let fig2 ?(quick = false) () =
         :: List.map (fun m -> m.Topology.name ^ " version") machines)
       rows
 
-let fig13 ?(quick = false) () =
+let fig13 ?(quick = false) ?scale () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Report.section
@@ -169,7 +175,7 @@ let fig13 ?(quick = false) () =
         ^ Report.table
             ~header:[ "application"; "Base"; "Base+"; "TopologyAware" ]
             (List.rev !rows @ [ "geomean" :: geo ])))
-    (commercial ~quick);
+    (commercial ~quick ~scale);
   (* Miss reductions on Dunnington (text of §4.2). *)
   let sum f = List.fold_left (fun a x -> a + f x) 0 !miss_reductions in
   let red fb ft =
@@ -185,8 +191,8 @@ let fig13 ?(quick = false) () =
        (red (fun (_, _, _, _, b, _) -> b) (fun (_, _, _, _, _, t) -> t)));
   Buffer.contents buf
 
-let fig14 ?(quick = false) () =
-  let machines = commercial ~quick in
+let fig14 ?(quick = false) ?scale () =
+  let machines = commercial ~quick ~scale in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Report.section
@@ -229,8 +235,8 @@ let fig14 ?(quick = false) () =
     machines;
   Buffer.contents buf
 
-let fig15 ?(quick = false) () =
-  let machine = dunnington ~quick in
+let fig15 ?(quick = false) ?scale () =
+  let machine = dunnington ~quick ~scale in
   let schemes =
     [ Mapping.Base; Mapping.Topology_aware; Mapping.Local; Mapping.Combined ]
   in
@@ -252,8 +258,8 @@ let fig15 ?(quick = false) () =
       ~header:[ "application"; "TopologyAware"; "Local"; "Combined" ]
       rows
 
-let fig16 ?(quick = false) () =
-  let machine = dunnington ~quick in
+let fig16 ?(quick = false) ?scale () =
+  let machine = dunnington ~quick ~scale in
   let sizes = [ 256; 512; 1024; 2048; 4096; 8192 ] in
   let rows =
     List.map
@@ -278,7 +284,7 @@ let fig16 ?(quick = false) () =
       ~header:("application" :: List.map (fun b -> Printf.sprintf "%dB" b) sizes)
       rows
 
-let fig17 ?(quick = false) () =
+let fig17 ?(quick = false) ?scale () =
   let counts = [ 12; 18; 24 ] in
   let rows =
     List.map
@@ -289,7 +295,7 @@ let fig17 ?(quick = false) () =
              (fun n ->
                let machine =
                  Machines.dunnington_scaled_cores
-                   ~scale:(machine_scale ~quick) ~num_cores:n ()
+                   ~scale:(machine_scale ~quick ~scale) ~num_cores:n ()
                in
                let base = float_of_int (cycles Mapping.Base ~machine prog) in
                [
@@ -315,12 +321,12 @@ let fig17 ?(quick = false) () =
              counts)
       rows
 
-let fig18 ?(quick = false) () =
+let fig18 ?(quick = false) ?scale () =
   let machines =
     [
-      ("Default", dunnington ~quick);
-      ("Arch-I", Machines.arch_i ~scale:(machine_scale ~quick) ());
-      ("Arch-II", Machines.arch_ii ~scale:(machine_scale ~quick) ());
+      ("Default", dunnington ~quick ~scale);
+      ("Arch-I", Machines.arch_i ~scale:(machine_scale ~quick ~scale) ());
+      ("Arch-II", Machines.arch_ii ~scale:(machine_scale ~quick ~scale) ());
     ]
   in
   let rows =
@@ -344,8 +350,8 @@ let fig18 ?(quick = false) () =
       ~header:("application" :: List.map fst machines)
       rows
 
-let fig19 ?(quick = false) () =
-  let machine = Machines.halve_caches (dunnington ~quick) in
+let fig19 ?(quick = false) ?scale () =
+  let machine = Machines.halve_caches (dunnington ~quick ~scale) in
   let rows =
     List.map
       (fun k ->
@@ -365,13 +371,13 @@ let fig19 ?(quick = false) () =
     "Figure 19: halved cache capacities (Dunnington/2, normalized to Base)"
   ^ Report.table ~header:[ "application"; "Base+"; "TopologyAware" ] rows
 
-let fig20 ?(quick = true) () =
+let fig20 ?(quick = true) ?scale () =
   (* The optimal search simulates many candidate mappings: always use
      the quick configuration here; like the paper's ILP (23-hour runs),
      this is the most expensive experiment. *)
   ignore quick;
   let quick = true in
-  let machine = Machines.arch_i ~scale:(machine_scale ~quick) () in
+  let machine = Machines.arch_i ~scale:(machine_scale ~quick ~scale) () in
   let l12 = Topology.truncate_levels 2 machine in
   let l123 = Topology.truncate_levels 3 machine in
   let rows =
@@ -403,8 +409,8 @@ let fig20 ?(quick = true) () =
       ~header:[ "application"; "L1+L2"; "L1+L2+L3"; "L1..L4"; "Optimal" ]
       rows
 
-let alphabeta ?(quick = false) () =
-  let machine = dunnington ~quick in
+let alphabeta ?(quick = false) ?scale () =
+  let machine = dunnington ~quick ~scale in
   let points = [ (0.0, 1.0); (0.25, 0.75); (0.5, 0.5); (0.75, 0.25); (1.0, 0.0) ] in
   let rows =
     List.map
@@ -430,8 +436,8 @@ let alphabeta ?(quick = false) () =
         :: List.map (fun (a, b) -> Printf.sprintf "a=%.2f b=%.2f" a b) points)
       rows
 
-let overhead ?(quick = false) () =
-  let machine = dunnington ~quick in
+let overhead ?(quick = false) ?scale () =
+  let machine = dunnington ~quick ~scale in
   let rows =
     List.map
       (fun k ->
@@ -463,7 +469,7 @@ let overhead ?(quick = false) () =
       ~header:[ "application"; "parallelize only"; "topology-aware"; "overhead" ]
       rows
 
-let dep_stats ?(quick = false) () =
+let dep_stats ?(quick = false) ?scale:_ () =
   let deps, total =
     List.fold_left
       (fun (d, t) k ->
@@ -481,8 +487,8 @@ let dep_stats ?(quick = false) () =
       total
       (100. *. float_of_int deps /. float_of_int total)
 
-let dynamic ?(quick = false) () =
-  let machine = dunnington ~quick in
+let dynamic ?(quick = false) ?scale () =
+  let machine = dunnington ~quick ~scale in
   let rows =
     List.map
       (fun k ->
@@ -505,12 +511,12 @@ let dynamic ?(quick = false) () =
      did not generate good results; normalized to Base)"
   ^ Report.table ~header:[ "application"; "TopologyAware"; "Dynamic" ] rows
 
-let depmode ?(quick = false) () =
+let depmode ?(quick = false) ?scale () =
   (* §3.5.2's two options on the dependence-carrying kernels:
      clustering dependent groups (option 1, no synchronization) vs
      distributing + synchronizing (option 2, the default).  The paper
      expects option 1 to lose parallelism when dependences are many. *)
-  let machine = dunnington ~quick in
+  let machine = dunnington ~quick ~scale in
   let rows =
     List.map
       (fun k ->
@@ -536,22 +542,22 @@ let depmode ?(quick = false) () =
 
 let registry =
   [
-    ("table1", fun ?(quick = false) () -> ignore quick; table1 ());
-    ("table2", fun ?quick () -> table2 ?quick ());
-    ("fig2", fun ?quick () -> fig2 ?quick ());
-    ("fig13", fun ?quick () -> fig13 ?quick ());
-    ("fig14", fun ?quick () -> fig14 ?quick ());
-    ("fig15", fun ?quick () -> fig15 ?quick ());
-    ("fig16", fun ?quick () -> fig16 ?quick ());
-    ("fig17", fun ?quick () -> fig17 ?quick ());
-    ("fig18", fun ?quick () -> fig18 ?quick ());
-    ("fig19", fun ?quick () -> fig19 ?quick ());
-    ("fig20", fun ?quick () -> fig20 ?quick ());
-    ("alphabeta", fun ?quick () -> alphabeta ?quick ());
-    ("overhead", fun ?quick () -> overhead ?quick ());
-    ("depstats", fun ?quick () -> dep_stats ?quick ());
-    ("dynamic", fun ?quick () -> dynamic ?quick ());
-    ("depmode", fun ?quick () -> depmode ?quick ());
+    ("table1", fun ?(quick = false) ?scale () -> ignore quick; ignore scale; table1 ());
+    ("table2", fun ?quick ?scale () -> table2 ?quick ?scale ());
+    ("fig2", fun ?quick ?scale () -> fig2 ?quick ?scale ());
+    ("fig13", fun ?quick ?scale () -> fig13 ?quick ?scale ());
+    ("fig14", fun ?quick ?scale () -> fig14 ?quick ?scale ());
+    ("fig15", fun ?quick ?scale () -> fig15 ?quick ?scale ());
+    ("fig16", fun ?quick ?scale () -> fig16 ?quick ?scale ());
+    ("fig17", fun ?quick ?scale () -> fig17 ?quick ?scale ());
+    ("fig18", fun ?quick ?scale () -> fig18 ?quick ?scale ());
+    ("fig19", fun ?quick ?scale () -> fig19 ?quick ?scale ());
+    ("fig20", fun ?quick ?scale () -> fig20 ?quick ?scale ());
+    ("alphabeta", fun ?quick ?scale () -> alphabeta ?quick ?scale ());
+    ("overhead", fun ?quick ?scale () -> overhead ?quick ?scale ());
+    ("depstats", fun ?quick ?scale () -> dep_stats ?quick ?scale ());
+    ("dynamic", fun ?quick ?scale () -> dynamic ?quick ?scale ());
+    ("depmode", fun ?quick ?scale () -> depmode ?quick ?scale ());
   ]
 
 let names = List.map fst registry
@@ -561,11 +567,11 @@ let by_name name =
   | Some f -> f
   | None -> raise Not_found
 
-let all ?(quick = false) ?jobs () =
+let all ?(quick = false) ?scale ?jobs () =
   (* Experiments are independent (each builds its own machines and
      hierarchies); run them across domains and emit in registry
      order.  Only the wall-clock columns of [overhead] are
      load-sensitive; every simulated number is deterministic. *)
   Ctam_util.Parallel.map ?domains:jobs
-    (fun (name, f) -> (name, f ?quick:(Some quick) ()))
+    (fun (name, f) -> (name, f ?quick:(Some quick) ?scale ()))
     registry

@@ -4,6 +4,8 @@
     All experiments run on the scaled simulator machines (see
     {!Ctam_arch.Machines}); [quick] uses quarter-size workloads, which
     preserves every qualitative shape while keeping run times small.
+    [scale] overrides the cache-capacity divisor outright (the quick /
+    full defaults are 64 / 16) — the bench harness's [--scale] flag.
 
     The DESIGN.md per-experiment index maps each function to the
     modules it exercises. *)
@@ -12,67 +14,68 @@
 val table1 : unit -> string
 
 (** Applications and their single-core Dunnington cycles (Table 2). *)
-val table2 : ?quick:bool -> unit -> string
+val table2 : ?quick:bool -> ?scale:int -> unit -> string
 
 (** galgel specialized for each machine, run on every machine,
     normalized to the best version per machine (Figure 2). *)
-val fig2 : ?quick:bool -> unit -> string
+val fig2 : ?quick:bool -> ?scale:int -> unit -> string
 
 (** Base / Base+ / TopologyAware on the three commercial machines,
     normalized execution cycles + average miss reductions (Figure 13
     and the miss statistics quoted in §4.2). *)
-val fig13 : ?quick:bool -> unit -> string
+val fig13 : ?quick:bool -> ?scale:int -> unit -> string
 
 (** Cross-machine ports: version built for X executed on Y,
     normalized to Y's native version (Figure 14). *)
-val fig14 : ?quick:bool -> unit -> string
+val fig14 : ?quick:bool -> ?scale:int -> unit -> string
 
 (** TopologyAware vs Local vs Combined on Dunnington (Figure 15). *)
-val fig15 : ?quick:bool -> unit -> string
+val fig15 : ?quick:bool -> ?scale:int -> unit -> string
 
 (** Data-block-size sensitivity on Dunnington (Figure 16). *)
-val fig16 : ?quick:bool -> unit -> string
+val fig16 : ?quick:bool -> ?scale:int -> unit -> string
 
 (** Core-count scaling: 12 / 18 / 24 core Dunnington-style machines
     (Figure 17). *)
-val fig17 : ?quick:bool -> unit -> string
+val fig17 : ?quick:bool -> ?scale:int -> unit -> string
 
 (** Deeper hierarchies: Dunnington vs Arch-I vs Arch-II (Figure 18). *)
-val fig18 : ?quick:bool -> unit -> string
+val fig18 : ?quick:bool -> ?scale:int -> unit -> string
 
 (** Halved cache capacities (Figure 19). *)
-val fig19 : ?quick:bool -> unit -> string
+val fig19 : ?quick:bool -> ?scale:int -> unit -> string
 
 (** Level-subset mappings (L1+L2 / L1+L2+L3 / all levels) and the
     optimal search, on Arch-I (Figure 20). *)
-val fig20 : ?quick:bool -> unit -> string
+val fig20 : ?quick:bool -> ?scale:int -> unit -> string
 
 (** alpha/beta sensitivity of the combined scheme (§4.2 text). *)
-val alphabeta : ?quick:bool -> unit -> string
+val alphabeta : ?quick:bool -> ?scale:int -> unit -> string
 
 (** Compilation-overhead measurement (§4.1 text: +65..94%). *)
-val overhead : ?quick:bool -> unit -> string
+val overhead : ?quick:bool -> ?scale:int -> unit -> string
 
 (** Dependence statistics over the suite (§3.1 text: ~14% of parallel
     loops carry dependences). *)
-val dep_stats : ?quick:bool -> unit -> string
+val dep_stats : ?quick:bool -> ?scale:int -> unit -> string
 
 (** Central-queue dynamic scheduling vs the static topology-aware
     mapping (the paper's §5 remark). *)
-val dynamic : ?quick:bool -> unit -> string
+val dynamic : ?quick:bool -> ?scale:int -> unit -> string
 
 (** The two dependence-handling options of §3.5.2 side by side. *)
-val depmode : ?quick:bool -> unit -> string
+val depmode : ?quick:bool -> ?scale:int -> unit -> string
 
 (** Every experiment, in paper order, as (name, report).  [jobs] runs
     independent experiments across that many domains
     ({!Ctam_util.Parallel.map}; default
     [Parallel.default_domains ()]); the reports come back in registry
     order either way. *)
-val all : ?quick:bool -> ?jobs:int -> unit -> (string * string) list
+val all :
+  ?quick:bool -> ?scale:int -> ?jobs:int -> unit -> (string * string) list
 
 (** Look up one experiment runner by name ("fig13", "table2", ...).
     @raise Not_found for unknown names. *)
-val by_name : string -> ?quick:bool -> unit -> string
+val by_name : string -> ?quick:bool -> ?scale:int -> unit -> string
 
 val names : string list

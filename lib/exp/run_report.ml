@@ -193,14 +193,15 @@ let conflicts_json reuse =
        (Probe_sinks.Reuse_split.conflicts reuse))
 
 let profile ?(params = Mapping.default_params) ?config ?timeline_window
-    ?(frontend_timings = []) ?(check = false) scheme ~machine program =
+    ?(frontend_timings = []) ?(check = false) ?(stream = false)
+    ?(sample_sets = 1) ?(memo = false) scheme ~machine program =
   let now = Unix.gettimeofday in
   (* GC image before any pipeline work, so the report's [telemetry]
      member charges compile + probe setup + simulation to this run. *)
   let gc0 = Gc.quick_stat () in
   let t_all0 = now () in
   let compiled =
-    Mapping.compile ~params ~clock:now scheme ~machine program
+    Mapping.compile ~params ~clock:now ~stream scheme ~machine program
   in
   let verify =
     if check then Some (Ctam_verify.Verify.check compiled) else None
@@ -225,12 +226,20 @@ let profile ?(params = Mapping.default_params) ?config ?timeline_window
       | Some tl -> [ Timeline.probe tl ])
   in
   let t0 = now () in
+  (* Profiling always attaches probes, and the engine's phase memo is
+     inert on an observed run (replay cannot reproduce the event
+     stream), so a [memo] profile records a table but never hits it —
+     memo speedups only materialize in unobserved runs (tune sweeps).
+     The member is still threaded so reports document the request. *)
+  let sim_memo = if memo then Some (Memo.create ()) else None in
   (* [Profile.phase] also charges the GC words the simulation
      allocates to ctam_phase_{minor,major}_words_total{phase=simulate}
      (and is just [f ()] when telemetry is disabled). *)
   let stats =
     Ctam_telemetry.Profile.phase "simulate" (fun () ->
-        Mapping.simulate ?config ~probe compiled)
+        Mapping.simulate ?config ~probe
+          ?sample_sets:(if sample_sets > 1 then Some sample_sets else None)
+          ?memo:sim_memo compiled)
   in
   let sim_seconds = now () -. t0 in
   if Ctam_telemetry.Metrics.enabled () then
@@ -263,6 +272,25 @@ let profile ?(params = Mapping.default_params) ?config ?timeline_window
         ( "timings_seconds",
           J.Obj (List.map (fun (k, v) -> (k, J.Float v)) timings) );
         ("stats", Stats.to_json stats);
+        (* How the simulation ran.  Sampled per-level probe counters
+           (per_core, groups, conflicts) describe only the simulated
+           1/sample_sets of the line population; [stats] is
+           extrapolated. *)
+        ( "simulation",
+          J.Obj
+            [
+              ("stream", J.Bool stream);
+              ("sample_sets", J.Int sample_sets);
+              ("memo", J.Bool memo);
+              ( "memo_hits",
+                match sim_memo with
+                | None -> J.Null
+                | Some m -> J.Int (Memo.hits m) );
+              ( "memo_misses",
+                match sim_memo with
+                | None -> J.Null
+                | Some m -> J.Int (Memo.misses m) );
+            ] );
         ("per_core", per_core_json counters machine);
         ("groups", groups_json counters legend);
         ( "reuse",

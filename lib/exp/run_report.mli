@@ -42,13 +42,25 @@ type profile = {
     [verify] and as a ["verify"] member of the JSON report.
     [timeline_window] additionally attaches a {!Timeline} sink with
     that window width and embeds its windowed series as a ["timeline"]
-    member ({!Trace_export.series_json}). *)
+    member ({!Trace_export.series_json}).
+
+    [stream] compiles generator-backed phases; [sample_sets] runs a
+    set-sampled hierarchy (the report's ["stats"] member is
+    extrapolated, but sampled per-level probe members describe only
+    the simulated subset); [memo] attaches a phase-memo table.  The
+    three land in the report's ["simulation"] member.  Note the
+    profiler always attaches probes, which makes the memo inert (zero
+    hits) — memo wins show up in unobserved runs such as tune
+    sweeps. *)
 val profile :
   ?params:Mapping.params ->
   ?config:Engine.config ->
   ?timeline_window:int ->
   ?frontend_timings:(string * float) list ->
   ?check:bool ->
+  ?stream:bool ->
+  ?sample_sets:int ->
+  ?memo:bool ->
   Mapping.scheme ->
   machine:Topology.t ->
   Program.t ->

@@ -38,6 +38,30 @@ let elem_addr t name idx =
   e.base + (Array_decl.linearize e.decl idx * e.decl.Array_decl.elem_size)
 
 let ref_addr t r iv = elem_addr t r.Reference.array_name (Reference.target r iv)
+
+(* Same function, partially applied: the table lookup happens once and
+   the subscript values feed the row-major offset directly, so the
+   per-iteration call does no hashing and allocates nothing.  Hot on
+   the generator-stream path, where addresses are recomputed on every
+   simulation run instead of being materialized once. *)
+let ref_addr_fn t r =
+  let e = entry t r.Reference.array_name in
+  let dims = e.decl.Array_decl.dims in
+  let subs = r.Reference.subs in
+  let n = Array.length subs in
+  let base = e.base in
+  let esz = e.decl.Array_decl.elem_size in
+  fun iv ->
+    let off = ref 0 in
+    for k = 0 to n - 1 do
+      let v = Ctam_poly.Affine.eval subs.(k) iv in
+      if v < 0 || v >= dims.(k) then
+        invalid_arg
+          (Printf.sprintf "Layout.ref_addr_fn: %s index %d out of [0,%d)"
+             e.decl.Array_decl.name v dims.(k));
+      off := (!off * dims.(k)) + v
+    done;
+    base + (!off * esz)
 let arrays t = t.order
 
 let pp ppf t =

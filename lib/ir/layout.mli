@@ -28,6 +28,12 @@ val total_bytes : t -> int
 (** [elem_addr t name idx] is the byte address of element [idx]. *)
 val elem_addr : t -> string -> int array -> int
 
+(** [ref_addr_fn t r] is [ref_addr t r] with the layout entry resolved
+    once: the returned function hashes nothing and allocates nothing
+    per call.  Use it when one reference's address is evaluated for
+    many iteration points (the generator-stream path). *)
+val ref_addr_fn : t -> Reference.t -> int array -> int
+
 (** [ref_addr t r iv] is the byte address touched by reference [r] at
     iteration [iv]. *)
 val ref_addr : t -> Reference.t -> int array -> int

@@ -22,6 +22,23 @@ val cardinal : t -> int
     boxes in extraction order. *)
 val enumerate : t -> int array list
 
+type gen = {
+  next : unit -> int array option;
+  restart : unit -> unit;
+}
+(** A restartable lazy point stream.  The array returned by [next] is
+    an internal buffer valid only until the following [next] call —
+    copy it to retain it. *)
+
+(** [to_gen t] enumerates the covered points in GLOBAL lexicographic
+    order (a k-way merge over per-box odometers — per-box order, as
+    {!enumerate} uses, is not globally lex), one point per [next]
+    call, allocating nothing per point. *)
+val to_gen : t -> gen
+
+(** Eager list of {!to_gen}'s sequence (copies). *)
+val enumerate_lex : t -> int array list
+
 (** Emit a C-like loop nest ([for (i0 = lo; i0 <= hi; i0++) ...]) with
     one nest per box and a [body] statement string at the innermost
     level. *)

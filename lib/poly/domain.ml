@@ -75,6 +75,65 @@ let fold f init t =
   iter (fun iv -> acc := f !acc iv) t;
   !acc
 
+(* Restartable lazy enumeration with the exact visit order of [iter]:
+   a backtracking odometer.  [seed j] fills dims [j..d-1] with their
+   lower bounds (backtracking when a range is empty under the current
+   prefix); [bump j] advances the deepest dimension that still has
+   room and reseeds below it.  Upper bounds are cached per prefix,
+   mirroring the for-loop's one-time evaluation. *)
+type gen = { next : unit -> int array option; restart : unit -> unit }
+
+let to_gen t =
+  let d = depth t in
+  let iv = Array.make d 0 in
+  let his = Array.make d 0 in
+  let started = ref false in
+  let finished = ref false in
+  let rec seed j =
+    if j = d then true
+    else begin
+      let lo, hi = t.bounds.(j) in
+      let lo = Affine.eval lo iv and hi = Affine.eval hi iv in
+      his.(j) <- hi;
+      if lo > hi then bump (j - 1)
+      else begin
+        iv.(j) <- lo;
+        seed (j + 1)
+      end
+    end
+  and bump j =
+    if j < 0 then false
+    else if iv.(j) < his.(j) then begin
+      iv.(j) <- iv.(j) + 1;
+      seed (j + 1)
+    end
+    else bump (j - 1)
+  in
+  let rec next () =
+    if !finished then None
+    else begin
+      let ok =
+        if not !started then begin
+          started := true;
+          if d = 0 then true else seed 0
+        end
+        else if d = 0 then false
+        else bump (d - 1)
+      in
+      if not ok then begin
+        finished := true;
+        None
+      end
+      else if Constrnt.sat_all t.guards iv then Some iv
+      else next ()
+    end
+  in
+  let restart () =
+    started := false;
+    finished := false
+  in
+  { next; restart }
+
 let to_list t = List.rev (fold (fun acc iv -> Array.copy iv :: acc) [] t)
 let cardinal t = fold (fun n _ -> n + 1) 0 t
 let is_empty t = try iter (fun _ -> raise Exit) t; true with Exit -> false

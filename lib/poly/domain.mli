@@ -33,6 +33,19 @@ val iter : (int array -> unit) -> t -> unit
 
 val fold : ('a -> int array -> 'a) -> 'a -> t -> 'a
 
+type gen = {
+  next : unit -> int array option;
+  restart : unit -> unit;
+}
+(** A restartable lazy point stream.  The array returned by [next] is
+    an internal buffer valid only until the following [next] call —
+    copy it to retain it. *)
+
+(** [to_gen t] yields exactly {!iter}'s sequence (lexicographic order,
+    guard-filtered), one point per [next] call, allocating nothing per
+    point. *)
+val to_gen : t -> gen
+
 (** All points, each a fresh array, in lexicographic order. *)
 val to_list : t -> int array list
 

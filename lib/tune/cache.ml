@@ -66,18 +66,28 @@ let program_fragment program =
   | src -> src
   | exception _ -> Digest.to_hex (Digest.string (Marshal.to_string program []))
 
-let key ~version ~base_params ~machine ~max_cycles program point =
+let key ~version ~base_params ~machine ~max_cycles ?(sample_sets = 1) program
+    point =
   String.concat "\n"
-    [
-      "ctam-tune-key v1";
-      "version=" ^ version;
-      base_params_fragment base_params;
-      topology_fragment machine;
-      ("cap=" ^ match max_cycles with None -> "none" | Some c -> string_of_int c);
-      Space.key_fragment point;
-      "program:";
-      program_fragment program;
-    ]
+    ([
+       "ctam-tune-key v1";
+       "version=" ^ version;
+       base_params_fragment base_params;
+       topology_fragment machine;
+       ("cap=" ^ match max_cycles with None -> "none" | Some c -> string_of_int c);
+     ]
+    (* Sampled outcomes are approximations; keep them apart from exact
+       ones.  The fragment appears only when sampling so every exact
+       key — the only kind produced before sampling existed — is
+       unchanged and a warm cache stays valid. *)
+    @ (if sample_sets > 1 then
+         [ Printf.sprintf "sample=%d" sample_sets ]
+       else [])
+    @ [
+        Space.key_fragment point;
+        "program:";
+        program_fragment program;
+      ])
 
 let hash key =
   let h = ref 0xcbf29ce484222325L in

@@ -32,9 +32,13 @@ val key :
   base_params:Mapping.params ->
   machine:Topology.t ->
   max_cycles:int option ->
+  ?sample_sets:int ->
   Program.t ->
   Space.point ->
   string
+(** [sample_sets] (default 1) marks outcomes from set-sampled runs;
+    keys with the default factor are byte-identical to pre-sampling
+    keys, so existing caches stay warm. *)
 
 (** 16-hex-digit FNV-1a 64 of a key (the entry's file stem). *)
 val hash : string -> string

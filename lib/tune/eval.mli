@@ -27,15 +27,24 @@ val score : outcome -> int * int
 
 val compare_outcome : outcome -> outcome -> int
 
-(** [evaluate ?base_params ?config ?max_cycles ~machine program point]
-    compiles [program] under [Space.params_of ?base:base_params point]
-    and simulates it.  [max_cycles] is the successive-halving budget:
-    the engine stops once every core's clock passed it and the outcome
-    comes back [capped]. *)
+(** [evaluate ?base_params ?config ?max_cycles ?stream ?sample_sets
+    ?memo ~machine program point] compiles [program] under
+    [Space.params_of ?base:base_params point] and simulates it.
+    [max_cycles] is the successive-halving budget: the engine stops
+    once every core's clock passed it and the outcome comes back
+    [capped].  [stream] compiles generator-backed phases,
+    [sample_sets] runs a set-sampled hierarchy, and [memo] shares a
+    phase-memo table across evaluations (see {!Mapping.simulate}); the
+    memo is exact, so memoized outcomes stay byte-identical, while
+    sampling is approximate and must be reflected in the result-cache
+    key ({!Cache.key}). *)
 val evaluate :
   ?base_params:Mapping.params ->
   ?config:Engine.config ->
   ?max_cycles:int ->
+  ?stream:bool ->
+  ?sample_sets:int ->
+  ?memo:Memo.t ->
   machine:Topology.t ->
   Program.t ->
   Space.point ->

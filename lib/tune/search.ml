@@ -26,6 +26,9 @@ type settings = {
   base_params : Mapping.params;
   config : Engine.config option;
   verify : bool;
+  stream : bool;
+  sample_sets : int;
+  memo : bool;
 }
 
 let default_settings =
@@ -38,6 +41,9 @@ let default_settings =
     base_params = Mapping.default_params;
     config = None;
     verify = false;
+    stream = false;
+    sample_sets = 1;
+    memo = false;
   }
 
 type trial = {
@@ -69,6 +75,10 @@ type ctx = {
   machine : Topology.t;
   program : Program.t;
   memo : (string, Eval.outcome * bool) Hashtbl.t;
+  (* Engine-level phase memo shared by every evaluation of the run
+     (including across domains — the table locks internally); distinct
+     from [memo] above, which caches whole outcomes by point key. *)
+  sim_memo : Memo.t option;
   mutable sims : int;
   mutable budgeted : int;  (* evaluations charged against the budget:
                               everything but the baseline and memo
@@ -79,7 +89,8 @@ type ctx = {
 
 let key_of ctx ~max_cycles point =
   Cache.key ~version:Ctam_exp.Build_info.version ~base_params:ctx.s.base_params
-    ~machine:ctx.machine ~max_cycles ctx.program point
+    ~machine:ctx.machine ~max_cycles ~sample_sets:ctx.s.sample_sets ctx.program
+    point
 
 (* Evaluate a batch of points under one cycle cap.  Returns the batch's
    (point, outcome) pairs in input order, minus points dropped by the
@@ -143,7 +154,10 @@ let eval_batch ctx ?max_cycles ?(ignore_budget = false) points =
     Ctam_util.Parallel.map ?domains:ctx.s.jobs
       (fun (p, _) ->
         Eval.evaluate ~base_params:ctx.s.base_params ?config:ctx.s.config
-          ?max_cycles ~machine:ctx.machine ctx.program p)
+          ?max_cycles ~stream:ctx.s.stream
+          ?sample_sets:
+            (if ctx.s.sample_sets > 1 then Some ctx.s.sample_sets else None)
+          ?memo:ctx.sim_memo ~machine:ctx.machine ctx.program p)
       misses
   in
   List.iter2
@@ -246,6 +260,7 @@ let run s ~machine ~program_name program =
       machine;
       program;
       memo = Hashtbl.create 128;
+      sim_memo = (if s.memo then Some (Memo.create ()) else None);
       sims = 0;
       budgeted = 0;
       hits = 0;

@@ -45,6 +45,15 @@ type settings = {
   base_params : Mapping.params;
   config : Engine.config option;
   verify : bool;  (** legality-check the winning mapping *)
+  stream : bool;  (** compile generator-backed phases *)
+  sample_sets : int;
+      (** simulate 1/N of the cache sets (1 = exact).  Approximate:
+          the factor becomes part of the persistent-cache key, so
+          sampled and exact results never mix. *)
+  memo : bool;
+      (** share an engine phase-memo table across the run's
+          evaluations.  Exact (replays are byte-identical), so the
+          result and report are unchanged — only faster. *)
 }
 
 val default_settings : settings

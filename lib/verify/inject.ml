@@ -90,7 +90,12 @@ let bad_order (c : Mapping.compiled) =
           let phase =
             Array.mapi
               (fun core stream ->
-                if core < 2 then Array.append stream [| clash |] else stream)
+                if core < 2 then
+                  Ctam_cachesim.Engine.dense
+                    (Array.append
+                       (Ctam_cachesim.Engine.force_stream stream)
+                       [| clash |])
+                else stream)
               phase
           in
           ( { c with Mapping.phases = phase :: rest },

@@ -387,7 +387,7 @@ let check_deps acc (c : Mapping.compiled) (plan : Mapping.nest_plan) =
 
 let check_races acc (c : Mapping.compiled) =
   let det = Race.create () in
-  Race.replay det c.Mapping.phases;
+  Race.replay det (Mapping.forced_phases c);
   acc.phases <- acc.phases + List.length c.Mapping.phases;
   if Race.num_conflicts det > 0 then begin
     List.iter

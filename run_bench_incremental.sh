@@ -57,3 +57,16 @@ for m in harpertown nehalem dunnington; do
     --metrics-out "metrics_$m.json" > /dev/null \
     || echo "metrics archive failed: $m" >&2
 done
+
+# Scale-sweep trajectory: exact vs streamed vs set-sampled simulation
+# of the quick subset (experiment="scale_sweep" rows — per-kernel
+# sampled cycle error and effective speedup).  Lets trajectory diffs
+# catch regressions in the sampled estimator and the generator paths,
+# not just in the mapped cycle counts.
+t0=$(date +%s.%N)
+./_build/default/bench/main.exe scale-sweep --quick --json >> "$OUT" \
+  || echo '{"experiment":"scale_sweep","error":"sweep failed"}' >> "$OUT"
+t1=$(date +%s.%N)
+awk -v a="$t0" -v b="$t1" \
+  'BEGIN { printf "{\"experiment\":\"scale_sweep\",\"sweep_seconds\":%.3f}\n", b - a }' \
+  >> "$OUT"

@@ -554,6 +554,253 @@ let prop_reuse_agrees_with_fullassoc_lru =
       in
       expected_hits = hist_hits)
 
+(* --- Streams / sampling / memo --------------------------------------- *)
+
+let gen_of_array a =
+  let pos = ref 0 in
+  {
+    Engine.length = Array.length a;
+    pull =
+      (fun () ->
+        if !pos >= Array.length a then
+          invalid_arg "gen_of_array: pulled past end";
+        let v = a.(!pos) in
+        incr pos;
+        v);
+    reset = (fun () -> pos := 0);
+    (* Reference implementation of the sampled fast path: a plain scan
+       of the backing array, trivially equivalent to the pull loop —
+       so the differential tests exercise the engine's skip plumbing
+       too. *)
+    skip_to_sample =
+      Some
+        (fun ~shift ~mask ~skipped ->
+          let n = Array.length a in
+          let found = ref (-1) in
+          while !found < 0 && !pos < n do
+            let e = a.(!pos) in
+            incr pos;
+            if e lsr shift land mask = 0 then found := e else incr skipped
+          done;
+          !found);
+  }
+
+let gen_phases phases =
+  List.map (Array.map (fun a -> Engine.Gen (gen_of_array a))) phases
+
+let prop_gen_cursor_matches_dense =
+  (* A generator-backed stream must be indistinguishable from the
+     dense array it encodes: same statistics AND the same probe event
+     sequence, on both the heap engine and the reference scan. *)
+  QCheck.Test.make ~name:"Gen cursors == Dense arrays (stats + events)"
+    ~count:40 phases_gen
+    (fun spec ->
+      let phases = phases_of_spec spec in
+      let dense = List.map Engine.of_phase phases in
+      let gens = gen_phases phases in
+      List.for_all
+        (fun (line, l1_sets, l2_sets, assoc) ->
+          let machine = param_machine ~line ~l1_sets ~l2_sets ~assoc in
+          let run ph =
+            run_logged (fun h p -> Engine.run_streams h p) ~machine ph
+          in
+          let scan ph =
+            run_logged (fun h p -> Engine.run_reference_streams h p) ~machine ph
+          in
+          let s_d, e_d = run dense in
+          let s_g, e_g = run gens in
+          let s_r, e_r = scan gens in
+          s_d = s_g && e_d = e_g && s_d = s_r && e_d = e_r)
+        diff_configs)
+
+let det_stream seed len =
+  Array.init len (fun i ->
+      Engine.encode_access
+        ~addr:(((seed * 977) + (i * 28)) mod 8192)
+        ~write:((i + seed) mod 5 = 0))
+
+let test_engine_capped_cursor () =
+  (* An early [max_cycles] cutoff must stop pulling from the
+     generator: the cap check precedes every pull, so the cursor is
+     drained exactly as far as the executed prefix — and the capped
+     statistics are identical to the dense path's. *)
+  let machine = param_machine ~line:64 ~l1_sets:4 ~l2_sets:16 ~assoc:2 in
+  let phase = [| det_stream 0 400; det_stream 1 400 |] in
+  let dense = [ Engine.of_phase phase ] in
+  let pulls = ref 0 in
+  let counting a =
+    let g = gen_of_array a in
+    Engine.Gen
+      {
+        g with
+        Engine.pull =
+          (fun () ->
+            incr pulls;
+            g.Engine.pull ());
+        (* Counting pulls requires the pull path; the inherited skip
+           would bypass the counter. *)
+        skip_to_sample = None;
+      }
+  in
+  let gens = [ Array.map counting phase ] in
+  let full = Engine.run_streams (Hierarchy.create machine) dense in
+  let cap = full.Stats.cycles / 3 in
+  let s_dense =
+    Engine.run_streams ~max_cycles:cap (Hierarchy.create machine) dense
+  in
+  let s_gen =
+    Engine.run_streams ~max_cycles:cap (Hierarchy.create machine) gens
+  in
+  check_bool "capped stats identical" true (s_dense = s_gen);
+  check_bool "cut early" true (s_dense.Stats.total_accesses < 800);
+  check_bool "cycles reach cap" true (s_dense.Stats.cycles >= cap);
+  check_int "pulls == issued accesses" s_gen.Stats.total_accesses !pulls
+
+let test_engine_sampling_batched_matches_per_access () =
+  (* Skip batching only engages on unobserved runs; attaching a probe
+     forces the per-access sampled path.  Both must produce identical
+     statistics (the batch charges one bulk estimate equal to the sum
+     of the per-access estimates, and sampled accesses are issued at
+     the same clocks), on dense and generator streams alike. *)
+  let machine = param_machine ~line:64 ~l1_sets:4 ~l2_sets:16 ~assoc:2 in
+  let phases =
+    [
+      [| det_stream 0 300; det_stream 1 251 |];
+      [| det_stream 2 123; det_stream 3 77 |];
+    ]
+  in
+  let dense = List.map Engine.of_phase phases in
+  let run ~probed sample_sets ph =
+    let log = ref [] in
+    let h =
+      if probed then
+        Hierarchy.create ~probe:(recording_probe log) ~sample_sets machine
+      else Hierarchy.create ~sample_sets machine
+    in
+    Engine.run_streams h ph
+  in
+  let batched = run ~probed:false 2 dense in
+  let batched_gen = run ~probed:false 2 (gen_phases phases) in
+  let per_access = run ~probed:true 2 dense in
+  check_bool "batched == per-access (probed)" true (batched = per_access);
+  check_bool "batched dense == batched gen" true (batched = batched_gen);
+  let exact = run ~probed:false 1 dense in
+  check_int "total_accesses stays unscaled" exact.Stats.total_accesses
+    batched.Stats.total_accesses;
+  check_int "barriers unchanged" exact.Stats.barriers batched.Stats.barriers
+
+let test_engine_sampling_error_bounds () =
+  (* Extrapolated counters of a sampled run must stay near the exact
+     run on a cache-friendly sweep: constant-bit sampling keeps whole
+     sets, so per-set behaviour is representative. *)
+  let machine = param_machine ~line:64 ~l1_sets:8 ~l2_sets:64 ~assoc:4 in
+  let phase =
+    [|
+      Array.init 4000 (fun i ->
+          Engine.encode_access ~addr:(i * 64 mod 65536) ~write:(i mod 9 = 0));
+      Array.init 4000 (fun i ->
+          Engine.encode_access
+            ~addr:(((i * 64) + 32768) mod 65536)
+            ~write:(i mod 11 = 0));
+    |]
+  in
+  let dense = [ Engine.of_phase phase ] in
+  let exact = Engine.run_streams (Hierarchy.create machine) dense in
+  List.iter
+    (fun factor ->
+      let approx =
+        Engine.run_streams (Hierarchy.create ~sample_sets:factor machine) dense
+      in
+      check_bool
+        (Printf.sprintf "within 10%% at factor %d" factor)
+        true
+        (Stats.approx_equal ~rel_tol:0.10 exact approx))
+    [ 2; 4; 8 ]
+
+let test_engine_memo_replay () =
+  (* A memoized re-run replays recorded deltas: byte-identical
+     statistics, nonzero hit count, and exit cache state equal to the
+     simulated run's (checked through the state hash). *)
+  let machine = param_machine ~line:64 ~l1_sets:4 ~l2_sets:16 ~assoc:2 in
+  let phases =
+    [
+      [| det_stream 0 200; det_stream 1 150 |];
+      [| det_stream 2 80; det_stream 3 90 |];
+    ]
+  in
+  let dense = List.map Engine.of_phase phases in
+  let plain = Engine.run_streams (Hierarchy.create machine) dense in
+  let memo = Memo.create () in
+  let h = Hierarchy.create machine in
+  let cold = Engine.run_streams ~memo h dense in
+  let hash_cold = Hierarchy.state_hash h in
+  check_bool "memoized run == plain run" true (cold = plain);
+  check_int "cold run misses every phase" 2 (Memo.misses memo);
+  check_int "cold run stores every phase" 2 (Memo.size memo);
+  let warm = Engine.run_streams ~memo h dense in
+  check_bool "replayed run byte-identical" true (warm = plain);
+  check_int "warm run hits every phase" 2 (Memo.hits memo);
+  check_bool "exit cache state restored" true
+    (Hierarchy.state_hash h = hash_cold);
+  (* Generator streams hash to the same phase key as the dense arrays
+     they encode: representation must not split the memo. *)
+  let again = Engine.run_streams ~memo h (gen_phases phases) in
+  check_bool "gen streams hit dense entries" true (again = plain);
+  check_int "no new entries" 2 (Memo.size memo);
+  (* A probe makes the memo inert — simulated, not replayed, and the
+     event stream is the ordinary one. *)
+  let hits_before = Memo.hits memo in
+  let s_obs, e_obs =
+    run_logged (fun h p -> Engine.run_streams ~memo h p) ~machine dense
+  in
+  let s_ref, e_ref =
+    run_logged (fun h p -> Engine.run_streams h p) ~machine dense
+  in
+  check_bool "observed run unaffected by memo" true
+    (s_obs = s_ref && e_obs = e_ref);
+  check_int "memo inert under probes" hits_before (Memo.hits memo)
+
+let test_stats_rel_errors_and_approx_equal () =
+  let exact =
+    {
+      Stats.per_level =
+        [
+          { Stats.level = 1; hits = 100; misses = 20 };
+          { Stats.level = 2; hits = 10; misses = 10 };
+        ];
+      mem_accesses = 10;
+      total_accesses = 120;
+      cycles = 1000;
+      core_cycles = [| 1000; 900 |];
+      barriers = 1;
+    }
+  in
+  let approx =
+    {
+      exact with
+      Stats.per_level =
+        [
+          { Stats.level = 1; hits = 104; misses = 19 };
+          { Stats.level = 2; hits = 10; misses = 10 };
+        ];
+      cycles = 1030;
+    }
+  in
+  let errs = Stats.rel_errors ~exact ~approx in
+  let e name = List.assoc name errs in
+  check_bool "cycles err" true (abs_float (e "cycles" -. 0.03) < 1e-9);
+  check_bool "L1 hits err" true (abs_float (e "L1_hits" -. 0.04) < 1e-9);
+  check_bool "L2 exact" true (e "L2_misses" = 0.);
+  check_bool "within 5%" true (Stats.approx_equal exact approx);
+  check_bool "not within 1%" false (Stats.approx_equal ~rel_tol:0.01 exact approx);
+  (* Structural mismatches are infinite, never masked by tolerance. *)
+  let broken = { approx with Stats.total_accesses = 121 } in
+  check_bool "structural member must match" false
+    (Stats.approx_equal ~rel_tol:10. exact broken);
+  check_bool "reports infinity" true
+    (List.assoc "total_accesses" (Stats.rel_errors ~exact ~approx:broken)
+    = infinity)
+
 let () =
   Alcotest.run "cachesim"
     [
@@ -597,5 +844,18 @@ let () =
           Alcotest.test_case "heap vs scan, 16-core machine" `Quick
             test_engine_heap_vs_scan_multicore;
           QCheck_alcotest.to_alcotest prop_heap_engine_matches_scan;
+        ] );
+      ( "streams",
+        [
+          Alcotest.test_case "capped run stops pulling" `Quick
+            test_engine_capped_cursor;
+          Alcotest.test_case "sampling: batched == per-access" `Quick
+            test_engine_sampling_batched_matches_per_access;
+          Alcotest.test_case "sampling: error bounds" `Quick
+            test_engine_sampling_error_bounds;
+          Alcotest.test_case "memo replay" `Quick test_engine_memo_replay;
+          Alcotest.test_case "rel_errors / approx_equal" `Quick
+            test_stats_rel_errors_and_approx_equal;
+          QCheck_alcotest.to_alcotest prop_gen_cursor_matches_dense;
         ] );
     ]

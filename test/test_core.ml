@@ -313,7 +313,7 @@ let test_compile_all_schemes_cover () =
       let total =
         List.fold_left
           (fun acc phase ->
-            Array.fold_left (fun acc s -> acc + Array.length s) acc phase)
+            Array.fold_left (fun acc s -> acc + Engine.stream_length s) acc phase)
           0 c.Mapping.phases
       in
       check_int
@@ -328,6 +328,43 @@ let test_simulate_deterministic () =
   check_int "same cycles" s1.Stats.cycles s2.Stats.cycles;
   check_int "same misses" s1.Stats.mem_accesses s2.Stats.mem_accesses
 
+let test_stream_compile_matches_dense () =
+  (* Generator-backed compilation must emit the same access sequence
+     as the materialized phases — and therefore bit-identical
+     simulation results — for every scheme (the streamed phases chain
+     Codegen box walks, explicit-order chunks and domain odometers,
+     all asserted here at once). *)
+  let p = fig5_program 256 in
+  List.iter
+    (fun scheme ->
+      let dense = Mapping.compile scheme ~machine p in
+      let streamed = Mapping.compile ~stream:true scheme ~machine p in
+      let name = Mapping.scheme_name scheme in
+      let force c =
+        List.map (Array.map Engine.force_stream) c.Mapping.phases
+      in
+      check_bool (name ^ ": generator in phases") true
+        (List.exists
+           (Array.exists (function Engine.Gen _ -> true | Engine.Dense _ -> false))
+           streamed.Mapping.phases);
+      check_bool (name ^ ": same access sequences") true
+        (force streamed = force dense);
+      check_bool (name ^ ": bit-identical stats") true
+        (Mapping.simulate streamed = Mapping.simulate dense);
+      (* Set-sampled runs take the cursors' [skip_to_sample] fast path
+         (chunk-buffer scans in Trace / part-wise delegation in
+         stream_concat); the extrapolated statistics must not depend on
+         the stream representation.  The scale-64 machine's L1 has a
+         single set, so sample on a scale-16 one. *)
+      let m2 = Machines.dunnington ~scale:16 () in
+      let p2 = fig5_program 64 in
+      let dense2 = Mapping.compile scheme ~machine:m2 p2 in
+      let streamed2 = Mapping.compile ~stream:true scheme ~machine:m2 p2 in
+      check_bool (name ^ ": bit-identical sampled stats") true
+        (Mapping.simulate ~sample_sets:2 streamed2
+        = Mapping.simulate ~sample_sets:2 dense2))
+    Mapping.all_schemes
+
 let test_port_shapes () =
   let p = fig5_program 256 in
   let c = Mapping.compile Mapping.Combined ~machine p in
@@ -339,7 +376,7 @@ let test_port_shapes () =
   (* Porting preserves every access. *)
   let count phases =
     List.fold_left
-      (fun acc phase -> Array.fold_left (fun a s -> a + Array.length s) acc phase)
+      (fun acc phase -> Array.fold_left (fun a s -> a + Engine.stream_length s) acc phase)
       0 phases
   in
   check_int "accesses preserved" (count c.Mapping.phases) (count ported.Mapping.phases);
@@ -414,7 +451,7 @@ let test_port_oversubscription () =
       check_int "16 streams" 16 (Array.length phase);
       (* Cores 12..15 receive nothing. *)
       for core = 12 to 15 do
-        check_int "idle core" 0 (Array.length phase.(core))
+        check_int "idle core" 0 (Engine.stream_length phase.(core))
       done)
     ported_up.Mapping.phases
 
@@ -438,9 +475,9 @@ let test_serial_nest_runs_on_core0 () =
   let c = Mapping.compile Mapping.Combined ~machine p in
   match c.Mapping.phases with
   | [ phase ] ->
-      check_int "core 0 has the work" 100 (Array.length phase.(0));
+      check_int "core 0 has the work" 100 (Engine.stream_length phase.(0));
       for core = 1 to 11 do
-        check_int "others idle" 0 (Array.length phase.(core))
+        check_int "others idle" 0 (Engine.stream_length phase.(core))
       done
   | _ -> Alcotest.fail "expected exactly one phase"
 
@@ -671,6 +708,8 @@ let () =
         [
           Alcotest.test_case "schemes cover" `Quick test_compile_all_schemes_cover;
           Alcotest.test_case "deterministic" `Quick test_simulate_deterministic;
+          Alcotest.test_case "streamed == dense" `Quick
+            test_stream_compile_matches_dense;
           Alcotest.test_case "port" `Quick test_port_shapes;
           Alcotest.test_case "serial" `Quick test_serial_baseline;
           Alcotest.test_case "fig5 wins" `Quick test_topology_beats_base_on_fig5;

@@ -203,6 +203,110 @@ let test_trace_json_structure () =
     (J.member "version" p.Run_report.report
     = Some (J.String Build_info.version))
 
+(* --- streamed / sampled simulation ----------------------------------- *)
+
+let test_profile_streamed_matches_dense () =
+  (* Generator-backed profiling runs with the full probe stack
+     attached, so every counter matrix — not just the aggregate stats
+     — must be bit-identical to the dense run's. *)
+  let machine = Ctam_arch.Machines.harpertown ~scale:64 () in
+  let prog =
+    Ctam_workloads.Kernel.small_program (Ctam_workloads.Suite.by_name "cg")
+  in
+  let dense =
+    Run_report.profile Ctam_core.Mapping.Topology_aware ~machine prog
+  in
+  let streamed =
+    Run_report.profile ~stream:true Ctam_core.Mapping.Topology_aware ~machine
+      prog
+  in
+  check_bool "stats bit-identical" true
+    (dense.Run_report.stats = streamed.Run_report.stats);
+  check_bool "per-core counters identical" true
+    (J.member "per_core" dense.Run_report.report
+    = J.member "per_core" streamed.Run_report.report);
+  check_bool "reuse split identical" true
+    (J.member "reuse" dense.Run_report.report
+    = J.member "reuse" streamed.Run_report.report)
+
+let test_profile_simulation_member () =
+  (* The report documents how the simulation ran.  harpertown at
+     scale 16 keeps 4 L1 sets, so factor 2 divides every cache. *)
+  let machine = Ctam_arch.Machines.harpertown ~scale:16 () in
+  let prog =
+    Ctam_workloads.Kernel.small_program (Ctam_workloads.Suite.by_name "cg")
+  in
+  let p =
+    Run_report.profile ~stream:true ~sample_sets:2 ~memo:true
+      Ctam_core.Mapping.Combined ~machine prog
+  in
+  let sim =
+    match J.member "simulation" p.Run_report.report with
+    | Some s -> s
+    | None -> Alcotest.fail "report missing simulation member"
+  in
+  check_bool "stream" true (J.member "stream" sim = Some (J.Bool true));
+  check_bool "sample_sets" true (J.member "sample_sets" sim = Some (J.Int 2));
+  check_bool "memo" true (J.member "memo" sim = Some (J.Bool true));
+  (* Profiling attaches probes, which makes the memo inert: the table
+     is recorded in the report with zero hits. *)
+  check_bool "memo inert under probes" true
+    (J.member "memo_hits" sim = Some (J.Int 0));
+  (* A default profile documents the defaults. *)
+  let d = Run_report.profile Ctam_core.Mapping.Combined ~machine prog in
+  (match J.member "simulation" d.Run_report.report with
+  | Some s ->
+      check_bool "defaults" true
+        (J.member "stream" s = Some (J.Bool false)
+        && J.member "sample_sets" s = Some (J.Int 1)
+        && J.member "memo_hits" s = Some J.Null)
+  | None -> Alcotest.fail "default report missing simulation member")
+
+let test_sampling_error_bounds_suite () =
+  (* Measured envelope of constant-bit set sampling at factor 2 across
+     the whole kernel suite × three machines (machine scale 4 keeps
+     16 L1 sets).  Structural counters must be exact; the cycles
+     estimate was measured at <= 0.34 relative error worst-case
+     (mesa/dunnington) and ~0.07 on average — asserted here with
+     headroom so the gate flags regressions, not noise. *)
+  let machines =
+    [
+      Ctam_arch.Machines.dunnington ~scale:4 ();
+      Ctam_arch.Machines.harpertown ~scale:4 ();
+      Ctam_arch.Machines.nehalem ~scale:4 ();
+    ]
+  in
+  let errs = ref [] in
+  List.iteri
+    (fun i kernel ->
+      let prog = Ctam_workloads.Kernel.small_program kernel in
+      (* Rotate kernels over the machines (every kernel sampled, every
+         machine exercised) — the full matrix at real problem sizes is
+         the bench-harness gate's job (tools/check_scale.sh). *)
+      let machine = List.nth machines (i mod List.length machines) in
+      (* One compile, two simulations: streamed-vs-dense identity is
+         covered elsewhere, this gate is about sampling. *)
+      let c =
+        Ctam_core.Mapping.compile Ctam_core.Mapping.Combined ~machine prog
+      in
+      let exact = Ctam_core.Mapping.simulate c in
+      let approx = Ctam_core.Mapping.simulate ~sample_sets:2 c in
+      let e = Ctam_cachesim.Stats.rel_errors ~exact ~approx in
+      check_bool "structural counters exact" true
+        (List.assoc "total_accesses" e = 0. && List.assoc "barriers" e = 0.);
+      let c = List.assoc "cycles" e in
+      check_bool
+        (Printf.sprintf "%s cycles error %.3f <= 0.45"
+           kernel.Ctam_workloads.Kernel.name c)
+        true (c <= 0.45);
+      errs := c :: !errs)
+    Ctam_workloads.Suite.all;
+  let mean =
+    List.fold_left ( +. ) 0. !errs /. float_of_int (List.length !errs)
+  in
+  check_bool (Printf.sprintf "mean cycles error %.3f <= 0.15" mean) true
+    (mean <= 0.15)
+
 (* --- report diff ----------------------------------------------------- *)
 
 let mk_report ?(cycles = 1000) ?(mem = 100) ?(miss_rate = 0.5) name =
@@ -349,6 +453,15 @@ let () =
         [
           Alcotest.test_case "trace JSON structure" `Quick
             test_trace_json_structure;
+        ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "streamed profile == dense" `Quick
+            test_profile_streamed_matches_dense;
+          Alcotest.test_case "simulation member" `Quick
+            test_profile_simulation_member;
+          Alcotest.test_case "sampling error envelope" `Quick
+            test_sampling_error_bounds_suite;
         ] );
       ( "diff",
         [

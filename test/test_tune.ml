@@ -164,6 +164,20 @@ let test_cache_key_sensitivity () =
       ("point", k ~pt:{ point with Space.alpha = 0.75 } ());
     ]
 
+let test_cache_key_sample_sets () =
+  (* Sampled outcomes are approximate, so the factor must split the
+     key — but the default factor (1 = exact) must leave keys
+     byte-identical to pre-sampling ones, keeping existing persistent
+     caches warm. *)
+  let k ?sample_sets () =
+    Cache.key ~version:"v" ~base_params:Mapping.default_params ~machine
+      ~max_cycles:None ?sample_sets program (Space.default_point ())
+  in
+  check_string "default factor keys unchanged" (k ()) (k ~sample_sets:1 ());
+  check_bool "sampled keys split" true (k ~sample_sets:4 () <> k ());
+  check_bool "factors split from each other" true
+    (k ~sample_sets:4 () <> k ~sample_sets:8 ())
+
 let test_cache_store_lookup () =
   let dir = fresh_dir () in
   let key =
@@ -226,6 +240,30 @@ let test_jobs_do_not_change_report () =
     J.to_string (Search.to_json (Search.run s ~machine ~program_name:"cg" program))
   in
   check_string "j1 = j4" (report 1) (report 4)
+
+let test_memo_does_not_change_report () =
+  (* The engine phase memo is exact: a memoized search must produce a
+     byte-identical report, whether the table is private to one domain
+     or shared across a parallel map. *)
+  let report ~memo jobs =
+    let s =
+      { (settings Search.Grid) with Search.jobs = Some jobs; memo }
+    in
+    J.to_string
+      (Search.to_json (Search.run s ~machine ~program_name:"cg" program))
+  in
+  let plain = report ~memo:false 1 in
+  check_string "memo j1" plain (report ~memo:true 1);
+  check_string "memo j4" plain (report ~memo:true 4)
+
+let test_stream_does_not_change_report () =
+  (* Generator-backed evaluation is bit-identical too. *)
+  let report stream =
+    let s = { (settings Search.Grid) with Search.stream } in
+    J.to_string
+      (Search.to_json (Search.run s ~machine ~program_name:"cg" program))
+  in
+  check_string "streamed == dense" (report false) (report true)
 
 let test_budget_caps_simulations () =
   let s = { (settings Search.Grid) with Search.budget = Some 1 } in
@@ -292,6 +330,8 @@ let () =
         [
           Alcotest.test_case "key sensitivity" `Quick
             test_cache_key_sensitivity;
+          Alcotest.test_case "sample_sets keys" `Quick
+            test_cache_key_sample_sets;
           Alcotest.test_case "store/lookup" `Quick test_cache_store_lookup;
         ] );
       ( "search",
@@ -300,6 +340,10 @@ let () =
             test_best_not_worse_than_default;
           Alcotest.test_case "jobs invariant" `Quick
             test_jobs_do_not_change_report;
+          Alcotest.test_case "memo invariant" `Quick
+            test_memo_does_not_change_report;
+          Alcotest.test_case "stream invariant" `Quick
+            test_stream_does_not_change_report;
           Alcotest.test_case "budget" `Quick test_budget_caps_simulations;
           Alcotest.test_case "warm cache" `Quick
             test_warm_cache_simulates_nothing;

@@ -221,7 +221,10 @@ let test_check_flags_planted_race () =
       let clash = w 12 in
       let phase =
         Array.mapi
-          (fun core s -> if core < 2 then Array.append s [| clash |] else s)
+          (fun core s ->
+            if core < 2 then
+              Engine.dense (Array.append (Engine.force_stream s) [| clash |])
+            else s)
           phase
       in
       let r = Verify.check { c with Mapping.phases = phase :: rest } in

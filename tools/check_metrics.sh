@@ -39,6 +39,27 @@ run_args="sp -m harpertown --scale 64 -s topology"
   --require ctam_parallel_tasks_total \
   "$tmp/m2.json"
 
+# Memoized tune sweep: candidate mappings share their serial phases,
+# so the engine phase memo must record hits and replayed accesses —
+# an unobserved sweep is where memo wins materialize (profiled runs
+# attach probes and leave the memo inert).
+"$CTAMAP" tune cg -m dunnington --scale 64 --budget 4 --memo \
+  --metrics-out "$tmp/m3.json" > /dev/null
+"$CHECK" \
+  --require ctam_memo_hits_total \
+  --require ctam_memo_stores_total \
+  --require ctam_memo_replayed_accesses_total \
+  "$tmp/m3.json"
+
+# Set-sampled streamed run: the sampling families must be live.
+"$CTAMAP" run sp -m harpertown --scale 16 --stream --sample-sets 2 \
+  --metrics-out "$tmp/m4.json" > /dev/null
+"$CHECK" \
+  --require ctam_engine_sampled_runs_total \
+  --require ctam_engine_sampled_accesses_total \
+  --require ctam_engine_skipped_accesses_total \
+  "$tmp/m4.json"
+
 # Prometheus text exposition rides the .prom suffix.
 "$CTAMAP" run $run_args --metrics-out "$tmp/m.prom" > /dev/null
 "$CHECK" --prom "$tmp/m.prom"
