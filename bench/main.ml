@@ -324,6 +324,114 @@ let scale_sweep ~quick ~json ~scales ~sample_sets () =
              (List.rev !rows)))
     scales
 
+(* --- serve sweep ----------------------------------------------------- *)
+
+(* Throughput and latency tail of the mapping daemon, cold vs warm: an
+   in-process server on a temp socket, loaded by the library's own
+   load generator.  The cold phase sends [nocache] requests (every
+   answer runs the full compile + simulate pipeline); the warm phase
+   repeats one cacheable request after priming, so it measures the
+   plan-cache fast path (memory-LRU hit + one frame round trip).  The
+   warm/cold throughput ratio is the headline number: it is what a
+   mapping service buys over forking one-shot processes. *)
+let serve_sweep ~quick ~json ~jobs () =
+  let module J = Ctam_util.Json in
+  let module Server = Ctam_serve.Server in
+  let module Client = Ctam_serve.Client in
+  let workers = Option.value jobs ~default:4 in
+  let concurrency = workers in
+  let program, machine_name, scale = ("cg", "harpertown", 64) in
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ctam-serve-sweep-%d.sock" (Unix.getpid ()))
+  in
+  let request nocache =
+    J.Obj
+      [
+        ("op", J.String "run");
+        ("program", J.String program);
+        ("machine", J.String machine_name);
+        ("scale", J.Int scale);
+        ("scheme", J.String "combined");
+        ("nocache", J.Bool nocache);
+      ]
+  in
+  let server =
+    Server.create { Server.default_config with Server.socket; workers }
+  in
+  let daemon = Domain.spawn (fun () -> Server.serve server) in
+  let cold, warm =
+    Fun.protect
+      ~finally:(fun () ->
+        ignore (Client.one_shot ~socket (J.Obj [ ("op", J.String "shutdown") ]));
+        Domain.join daemon)
+      (fun () ->
+        let cold_n, warm_n = if quick then (8, 160) else (16, 400) in
+        let cold =
+          Client.load ~socket ~concurrency ~total:cold_n [ request true ]
+        in
+        (* Prime the cache once so the warm phase never pays a miss. *)
+        ignore (Client.one_shot ~socket (request false));
+        let warm =
+          Client.load ~socket ~concurrency ~total:warm_n [ request false ]
+        in
+        (cold, warm))
+  in
+  let speedup = warm.Client.rps /. Float.max 1e-9 cold.Client.rps in
+  if json then begin
+    let row phase (s : Client.load_stats) =
+      print_endline
+        (J.to_string ~minify:true
+           (J.Obj
+              [
+                ("experiment", J.String "serve_sweep");
+                ("phase", J.String phase);
+                ("program", J.String program);
+                ("machine", J.String machine_name);
+                ("scale", J.Int scale);
+                ("workers", J.Int workers);
+                ("concurrency", J.Int concurrency);
+                ("requests", J.Int s.Client.requests);
+                ("ok", J.Int s.Client.ok);
+                ("cached", J.Int s.Client.cached);
+                ("errors", J.Int s.Client.errors);
+                ("rps", J.Float s.Client.rps);
+                ("mean_ms", J.Float s.Client.mean_ms);
+                ("p50_ms", J.Float s.Client.p50_ms);
+                ("p90_ms", J.Float s.Client.p90_ms);
+                ("p99_ms", J.Float s.Client.p99_ms);
+                ("warm_over_cold", if phase = "warm" then J.Float speedup else J.Null);
+              ]))
+    in
+    row "cold" cold;
+    row "warm" warm
+  end
+  else begin
+    let row phase (s : Client.load_stats) =
+      [
+        phase;
+        string_of_int s.Client.requests;
+        string_of_int s.Client.cached;
+        string_of_int s.Client.errors;
+        Printf.sprintf "%.1f" s.Client.rps;
+        Printf.sprintf "%.2f" s.Client.p50_ms;
+        Printf.sprintf "%.2f" s.Client.p90_ms;
+        Printf.sprintf "%.2f" s.Client.p99_ms;
+      ]
+    in
+    Printf.printf
+      "Serve sweep: %s on %s /%d, %d workers, %d connections\n%s\n\
+       warm/cold throughput: %.1fx\n"
+      program machine_name scale workers concurrency
+      (Report.table
+         ~header:
+           [ "phase"; "requests"; "cached"; "errors"; "req/s"; "p50_ms";
+             "p90_ms"; "p99_ms" ]
+         [ row "cold" cold; row "warm" warm ])
+      speedup
+  end
+
 (* --- experiment driver ---------------------------------------------- *)
 
 (* Extract "--FLAG N" / "--FLAG=N" (an integer option) from the
@@ -366,6 +474,7 @@ let () =
     List.filter (fun a -> a <> "--quick" && a <> "--full" && a <> "--json") args
   in
   match args with
+  | "serve-sweep" :: _ -> serve_sweep ~quick ~json ~jobs ()
   | "scale-sweep" :: rest ->
       (* Positional integers select the sweep scales (default: 16 64
          quick, 64 256 full). *)

@@ -1199,6 +1199,287 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run one of the paper's experiments.")
     Term.(ret (const run $ exp_name $ quick))
 
+let serve_cmd =
+  let run socket workers cache_dir cache_entries cache_mb max_frame_mb
+      timeout_ms log_level metrics_out =
+    let* () = set_log_level log_level in
+    let* () =
+      if workers < 1 then Error "--workers must be positive" else Ok ()
+    in
+    let* () =
+      if cache_entries < 1 || cache_mb < 1 || max_frame_mb < 1 then
+        Error "--cache-entries, --cache-mb and --max-frame-mb must be positive"
+      else Ok ()
+    in
+    let config =
+      {
+        Ctam_serve.Server.socket;
+        workers;
+        max_frame = max_frame_mb * 1024 * 1024;
+        default_timeout_ms = timeout_ms;
+        cache_dir;
+        cache_entries;
+        cache_bytes = cache_mb * 1024 * 1024;
+      }
+    in
+    match Ctam_serve.Server.create config with
+    | exception Unix.Unix_error (err, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot listen on %s: %s" socket
+              (Unix.error_message err) )
+    | t ->
+        let stop _ = Ctam_serve.Server.stop t in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Fmt.epr "ctamap serve: listening on %s (%d workers, cache %s)@." socket
+          workers
+        (match cache_dir with None -> "in-memory" | Some d -> "in-memory + " ^ d);
+        Ctam_serve.Server.serve t;
+        Fmt.epr "ctamap serve: stopped@.";
+        let* () = write_metrics metrics_out in
+        `Ok ()
+  in
+  let socket =
+    Arg.(
+      value
+      & opt string "ctamap.sock"
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket path to listen on.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Concurrent request workers (one domain each).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist the compiled-plan cache under $(docv) (shared with, but \
+             distinct from, the tune evaluation cache).  Without it the \
+             cache is in-memory only.")
+  in
+  let cache_entries =
+    Arg.(
+      value
+      & opt int Ctam_serve.Plan_cache.default_max_entries
+      & info [ "cache-entries" ] ~docv:"N"
+          ~doc:"In-memory plan-cache entry bound.")
+  in
+  let cache_mb =
+    Arg.(
+      value
+      & opt int (Ctam_serve.Plan_cache.default_max_bytes / (1024 * 1024))
+      & info [ "cache-mb" ] ~docv:"MB"
+          ~doc:"In-memory plan-cache byte bound, in MiB.")
+  in
+  let max_frame_mb =
+    Arg.(
+      value
+      & opt int (Ctam_serve.Protocol.default_max_frame / (1024 * 1024))
+      & info [ "max-frame-mb" ] ~docv:"MB"
+          ~doc:
+            "Refuse request frames larger than $(docv) MiB (answered with a \
+             structured error, connection kept when possible).")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline; requests may override with their \
+             own $(b,timeout_ms) member.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the mapping daemon: a Unix-domain-socket server answering \
+          map/run/tune/check requests (length-prefixed JSON frames) from a \
+          worker pool, with an LRU compiled-plan cache in front of the \
+          pipeline.  Malformed requests get structured error replies; only \
+          a shutdown request or SIGINT/SIGTERM stops it.")
+    Term.(
+      ret
+        (const run $ socket $ workers $ cache_dir $ cache_entries $ cache_mb
+       $ max_frame_mb $ timeout_ms $ log_level_arg $ metrics_out_arg))
+
+let client_cmd =
+  let module J = Ctam_util.Json in
+  let build_request ~op ~source ~machine ~scale ~scheme ~block ~stream
+      ~sample_sets ~check ~strategy ~budget ~nocache ~timeout_ms =
+    match op with
+    | "ping" | "stats" | "shutdown" -> Ok (J.Obj [ ("op", J.String op) ])
+    | "map" | "run" | "tune" | "check" -> (
+        match source with
+        | None -> Error (Printf.sprintf "op '%s' needs a PROGRAM argument" op)
+        | Some source ->
+            let program =
+              if Sys.file_exists source then
+                ("source", J.String (read_text source))
+              else ("program", J.String source)
+            in
+            let machine_members =
+              if Sys.file_exists machine then
+                (* Topology files are sent verbatim; --scale applies to
+                   presets only, matching the server. *)
+                [ ("topology", J.String (read_text machine)) ]
+              else
+                [ ("machine", J.String machine); ("scale", J.Int scale) ]
+            in
+            let opt name v f =
+              match v with None -> [] | Some v -> [ (name, f v) ]
+            in
+            Ok
+              (J.Obj
+                 ([ ("op", J.String op); program ]
+                 @ machine_members
+                 @ [
+                     ("scheme", J.String scheme);
+                     ("block", J.Int block);
+                     ("stream", J.Bool stream);
+                     ("sample_sets", J.Int sample_sets);
+                     ("check", J.Bool check);
+                     ("nocache", J.Bool nocache);
+                   ]
+                 @ opt "strategy" strategy (fun s -> J.String s)
+                 @ opt "budget" budget (fun b -> J.Int b)
+                 @ opt "timeout_ms" timeout_ms (fun t -> J.Int t))))
+    | op -> Error (Printf.sprintf "unknown op '%s'" op)
+  in
+  let run socket op source machine scale scheme block stream sample_sets check
+      strategy budget nocache timeout_ms load concurrency out_json log_level =
+    let* () = set_log_level log_level in
+    let* () = validate_sample_sets sample_sets in
+    let* req =
+      build_request ~op ~source ~machine ~scale ~scheme ~block ~stream
+        ~sample_sets ~check ~strategy ~budget ~nocache ~timeout_ms
+    in
+    match load with
+    | Some total ->
+        let* () =
+          if total < 1 || concurrency < 1 then
+            Error "--load and --concurrency must be positive"
+          else Ok ()
+        in
+        let stats =
+          Ctam_serve.Client.load ~socket ~concurrency ~total [ req ]
+        in
+        if out_json then
+          print_endline
+            (J.to_string ~minify:true (Ctam_serve.Client.load_stats_json stats))
+        else print_endline (Ctam_serve.Client.render_load_stats stats);
+        if stats.Ctam_serve.Client.errors > 0 then
+          `Error
+            ( false,
+              Printf.sprintf "%d of %d requests failed"
+                stats.Ctam_serve.Client.errors stats.Ctam_serve.Client.requests
+            )
+        else `Ok ()
+    | None -> (
+        let* reply = Ctam_serve.Client.one_shot ~socket req in
+        match Ctam_serve.Protocol.response_error reply with
+        | Some (code, message) ->
+            `Error (false, Printf.sprintf "%s: %s" code message)
+        | None ->
+            let result =
+              Option.value ~default:J.Null
+                (Ctam_serve.Protocol.response_result reply)
+            in
+            print_endline (J.to_string result);
+            `Ok ())
+  in
+  let socket =
+    Arg.(
+      value
+      & opt string "ctamap.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket to connect to.")
+  in
+  let op =
+    Arg.(
+      value & opt string "run"
+      & info [ "op" ] ~docv:"OP"
+          ~doc:
+            "Request operation: map, run, tune, check, stats, ping or \
+             shutdown.")
+  in
+  let source =
+    let doc = "DSL source file, or the name of a built-in workload." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+  in
+  let strategy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "strategy" ] ~docv:"S"
+          ~doc:"Tune search strategy (grid, descent, halving).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N" ~doc:"Tune evaluation budget.")
+  in
+  let nocache =
+    Arg.(
+      value & flag
+      & info [ "nocache" ]
+          ~doc:"Bypass the daemon's plan cache (no lookup, no store).")
+  in
+  let check_flag =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "For run: attach the legality report; for tune: verify the \
+             winning mapping.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  let load =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "load" ] ~docv:"N"
+          ~doc:
+            "Load-generator mode: send $(docv) copies of the request and \
+             report throughput and latency percentiles instead of the \
+             reply.")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 1
+      & info [ "concurrency" ] ~docv:"K"
+          ~doc:"Concurrent load-generator connections (with --load).")
+  in
+  let out_json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print load-generator stats as JSON (with --load).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running mapping daemon and print the result \
+          (or, with --load, benchmark it).  The request is built from the \
+          same program/machine/scheme flags the one-shot commands take; the \
+          reply's result member is the same JSON the one-shot command would \
+          print.")
+    Term.(
+      ret
+        (const run $ socket $ op $ source $ machine_arg $ scale_arg
+       $ scheme_arg $ block_arg $ stream_arg $ sample_sets_arg $ check_flag
+       $ strategy $ budget $ nocache $ timeout_ms $ load $ concurrency
+       $ out_json $ log_level_arg))
+
 let () =
   (* Hook Parallel.map into the metrics registry; libraries never
      install monitors themselves. *)
@@ -1213,4 +1494,5 @@ let () =
             machines_cmd; groups_cmd; map_cmd; run_cmd; simulate_cmd;
             compare_cmd; tune_cmd; codegen_cmd; check_cmd; dump_cmd;
             emit_c_cmd; reuse_cmd; trace_cmd; report_cmd; experiment_cmd;
+            serve_cmd; client_cmd;
           ]))

@@ -1,0 +1,322 @@
+(* Compute requests of the mapping service: parsing the JSON request
+   shape into the pipeline's own types, deriving the plan-cache key,
+   and executing the operation.
+
+   Parsing is total — every malformed request becomes [Error _] for
+   the server to answer with a structured [bad_request] reply; nothing
+   in here may raise on hostile input.  Execution reuses the same
+   entry points the one-shot CLI uses ([Mapping.compile],
+   [Run_report.profile], [Search.run], [Verify.check]), so a served
+   answer is byte-identical to the corresponding [ctamap] invocation
+   modulo the volatile report members (wall-clock timings, telemetry
+   snapshot). *)
+
+open Ctam_arch
+open Ctam_ir
+open Ctam_core
+module J = Ctam_util.Json
+module Space = Ctam_tune.Space
+module Search = Ctam_tune.Search
+
+type op = Map | Run | Tune | Check
+
+let op_id = function
+  | Map -> "map"
+  | Run -> "run"
+  | Tune -> "tune"
+  | Check -> "check"
+
+let op_of_id = function
+  | "map" -> Some Map
+  | "run" -> Some Run
+  | "tune" -> Some Tune
+  | "check" -> Some Check
+  | _ -> None
+
+type t = {
+  id : J.t;  (** echoed verbatim in the reply *)
+  op : op;
+  program_name : string;
+  program : Program.t;
+  machine : Topology.t;
+  point : Space.point;  (** canonicalized: scheme + α/β/balance/tile *)
+  base_params : Mapping.params;
+  stream : bool;
+  sample_sets : int;
+  check : bool;  (** run: attach the legality report; tune: verify winner *)
+  strategy : Search.strategy;  (** tune only *)
+  budget : int option;  (** tune only *)
+  nocache : bool;  (** bypass the plan cache (lookup and store) *)
+  timeout_ms : int option;
+}
+
+(* --- parsing ---------------------------------------------------------- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let mem name = function J.Obj _ as j -> J.member name j | _ -> None
+
+let str_field j name =
+  match mem name j with
+  | None -> None
+  | Some (J.String s) -> Some s
+  | Some _ -> bad "member %S must be a string" name
+
+let int_field j name =
+  match mem name j with
+  | None -> None
+  | Some (J.Int i) -> Some i
+  | Some _ -> bad "member %S must be an integer" name
+
+let num_field j name =
+  match mem name j with
+  | None -> None
+  | Some (J.Int i) -> Some (float_of_int i)
+  | Some (J.Float f) -> Some f
+  | Some _ -> bad "member %S must be a number" name
+
+let bool_field j name =
+  match mem name j with
+  | None -> None
+  | Some (J.Bool b) -> Some b
+  | Some _ -> bad "member %S must be a boolean" name
+
+let parse_program j =
+  match (str_field j "program", str_field j "source") with
+  | Some _, Some _ -> bad "give either \"program\" or \"source\", not both"
+  | None, None -> bad "missing \"program\" (builtin name) or \"source\" (DSL)"
+  | Some name, None -> (
+      match Ctam_workloads.Suite.by_name name with
+      | k ->
+          let size = int_field j "size" in
+          (k.Ctam_workloads.Kernel.name, Ctam_workloads.Kernel.program ?size k)
+      | exception Not_found -> bad "unknown builtin program %S" name)
+  | None, Some src -> (
+      match Ctam_frontend.Lower.compile src with
+      | p -> (p.Program.name, p)
+      | exception e -> bad "source does not compile: %s" (Printexc.to_string e))
+
+let parse_machine j =
+  match (str_field j "machine", str_field j "topology") with
+  | Some _, Some _ -> bad "give either \"machine\" or \"topology\", not both"
+  | None, None -> bad "missing \"machine\" (preset name) or \"topology\" (text)"
+  | Some name, None -> (
+      let scale = int_field j "scale" in
+      match Ctam_arch.Machines.by_name ?scale name with
+      | m -> m
+      | exception Not_found -> bad "unknown machine %S" name)
+  | None, Some text -> (
+      if int_field j "scale" <> None then
+        bad "\"scale\" applies only to machine presets";
+      match Ctam_arch.Topo_parse.parse text with
+      | m -> m
+      | exception Ctam_arch.Topo_parse.Error msg -> bad "bad topology: %s" msg)
+
+(* The point comes either whole (["params"], the [--params] file
+   schema) or knob by knob; either way it is canonicalized so requests
+   that compile to the same mapping share a cache key. *)
+let parse_point j =
+  let scheme =
+    match str_field j "scheme" with
+    | None -> None
+    | Some id -> (
+        match Space.scheme_of_id id with
+        | Ok s -> Some s
+        | Error e -> bad "%s" e)
+  in
+  let base =
+    match mem "params" j with
+    | None -> Space.default_point ?scheme ()
+    | Some pj -> (
+        match Space.of_json pj with
+        | Ok p -> (
+            match scheme with
+            | None -> p
+            | Some s -> { p with Space.scheme = s })
+        | Error e -> bad "bad \"params\": %s" e)
+  in
+  let p =
+    {
+      base with
+      Space.alpha = Option.value ~default:base.Space.alpha (num_field j "alpha");
+      beta = Option.value ~default:base.Space.beta (num_field j "beta");
+      balance =
+        Option.value ~default:base.Space.balance (num_field j "balance");
+      tile_edge =
+        (match int_field j "tile_edge" with
+        | Some e -> Some e
+        | None -> base.Space.tile_edge);
+    }
+  in
+  Space.canonical p
+
+let parse_base_params j =
+  let p = Mapping.default_params in
+  let p =
+    match int_field j "block" with
+    | None -> p
+    | Some b -> { p with Mapping.block_size = b; auto_block = false }
+  in
+  match Mapping.validate_params p with
+  | Ok () -> p
+  | Error e -> bad "bad parameters: %s" e
+
+let parse j =
+  match
+    let op =
+      match str_field j "op" with
+      | None -> bad "missing \"op\""
+      | Some id -> (
+          match op_of_id id with
+          | Some op -> op
+          | None -> bad "unknown op %S" id)
+    in
+    let program_name, program = parse_program j in
+    let machine = parse_machine j in
+    let point = parse_point j in
+    let base_params = parse_base_params j in
+    let sample_sets =
+      match int_field j "sample_sets" with
+      | None -> 1
+      | Some n when n >= 1 -> n
+      | Some n -> bad "\"sample_sets\" must be >= 1 (got %d)" n
+    in
+    let timeout_ms =
+      match int_field j "timeout_ms" with
+      | None -> None
+      | Some ms when ms >= 1 -> Some ms
+      | Some ms -> bad "\"timeout_ms\" must be >= 1 (got %d)" ms
+    in
+    let strategy =
+      match str_field j "strategy" with
+      | None -> Search.default_settings.Search.strategy
+      | Some id -> (
+          match Search.strategy_of_id id with
+          | Ok s -> s
+          | Error e -> bad "%s" e)
+    in
+    {
+      id = Option.value ~default:J.Null (mem "id" j);
+      op;
+      program_name;
+      program;
+      machine;
+      point;
+      base_params;
+      stream = Option.value ~default:false (bool_field j "stream");
+      sample_sets;
+      check = Option.value ~default:false (bool_field j "check");
+      strategy;
+      budget = int_field j "budget";
+      nocache = Option.value ~default:false (bool_field j "nocache");
+      timeout_ms;
+    }
+  with
+  | r -> Ok r
+  | exception Bad msg -> Error msg
+
+(* --- plan-cache key --------------------------------------------------- *)
+
+(* Same content-hash discipline as the tune cache
+   (Ctam_tune.Cache.key), over the request shape instead of a space
+   point alone: operation, execution mode, the canonical point, and
+   the shared environment fragments (tool version, base params,
+   per-core topology paths, canonical program source). *)
+let key r =
+  String.concat "\n"
+    ([ "ctam-plan-key v1"; "op=" ^ op_id r.op ]
+    @ (if r.stream then [ "stream=1" ] else [])
+    @ (if r.sample_sets > 1 then
+         [ Printf.sprintf "sample=%d" r.sample_sets ]
+       else [])
+    @ (if r.check then [ "check=1" ] else [])
+    @ (match r.op with
+      | Tune ->
+          [
+            "strategy=" ^ Search.strategy_id r.strategy;
+            ("budget="
+            ^ match r.budget with None -> "none" | Some b -> string_of_int b);
+          ]
+      | Map | Run | Check -> [])
+    @ [ Space.key_fragment r.point ]
+    @ Ctam_tune.Cache.context_fragments ~version:Ctam_exp.Build_info.version
+        ~base_params:r.base_params ~machine:r.machine r.program)
+
+(* --- execution -------------------------------------------------------- *)
+
+let nest_json (i : Mapping.nest_info) =
+  J.Obj
+    [
+      ("name", J.String i.Mapping.nest_name);
+      ("groups", J.Int i.Mapping.num_groups);
+      ("rounds", J.Int i.Mapping.num_rounds);
+      ("dep_edges", J.Int i.Mapping.dep_edges);
+      ("block_size", J.Int i.Mapping.used_block_size);
+    ]
+
+(* The map op answers with the mapping's structure only (groups,
+   rounds, dependence edges per nest) — no wall-clock members, so the
+   response is fully deterministic and caches byte-exactly. *)
+let map_summary r (compiled : Mapping.compiled) =
+  J.Obj
+    [
+      ("ctam_map_version", J.Int 1);
+      ("version", J.String Ctam_exp.Build_info.version);
+      ("program", J.String r.program_name);
+      ("scheme", J.String (Space.scheme_id r.point.Space.scheme));
+      ("machine", J.String r.machine.Topology.name);
+      ("cores", J.Int r.machine.Topology.num_cores);
+      ("params", Space.to_json r.point);
+      ("nests", J.List (List.map nest_json compiled.Mapping.infos));
+    ]
+
+(* [execute ?cache_dir r] runs the operation and returns the result
+   JSON.  [cache_dir] is handed to tune searches as their own
+   persistent evaluation cache (distinct file prefix, same
+   directory).  May raise — the server maps exceptions to structured
+   [internal] errors. *)
+let execute ?cache_dir r =
+  let params = Space.params_of ~base:r.base_params r.point in
+  let scheme = r.point.Space.scheme in
+  match r.op with
+  | Map ->
+      let compiled =
+        Mapping.compile ~params ~stream:r.stream scheme ~machine:r.machine
+          r.program
+      in
+      map_summary r compiled
+  | Run ->
+      let p =
+        Ctam_exp.Run_report.profile ~params ~check:r.check ~stream:r.stream
+          ~sample_sets:r.sample_sets scheme ~machine:r.machine r.program
+      in
+      p.Ctam_exp.Run_report.report
+  | Check ->
+      let compiled =
+        Mapping.compile ~params ~stream:r.stream scheme ~machine:r.machine
+          r.program
+      in
+      Ctam_verify.Verify.to_json (Ctam_verify.Verify.check compiled)
+  | Tune ->
+      let settings =
+        {
+          Search.default_settings with
+          Search.strategy = r.strategy;
+          budget = r.budget;
+          cache_dir;
+          (* One evaluation at a time: the daemon's parallelism budget
+             belongs to the worker pool, not to a single request. *)
+          jobs = Some 1;
+          base_params = r.base_params;
+          verify = r.check;
+          stream = r.stream;
+          sample_sets = r.sample_sets;
+        }
+      in
+      let result =
+        Search.run settings ~machine:r.machine ~program_name:r.program_name
+          r.program
+      in
+      Search.to_json result

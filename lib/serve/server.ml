@@ -1,0 +1,367 @@
+(* The mapping daemon: a Unix-domain-socket server answering
+   length-prefixed JSON requests (Protocol) concurrently from a
+   Parallel-backed worker pool, fronted by the compiled-plan cache
+   (Plan_cache).
+
+   Robustness contract — the reason this is a daemon and not a script:
+   no input may kill it.  A malformed frame, an unparseable request, a
+   client that disconnects mid-request, an oversized frame, a corrupt
+   on-disk cache entry: each is answered (when the socket still
+   works) with a structured error reply and at most costs that one
+   connection.  Only an explicit shutdown request or [stop] ends the
+   accept loops.
+
+   Concurrency shape: [serve] runs [workers] accept loops as one
+   [Parallel.map] over [workers] never-returning tasks — each domain
+   pulls exactly one task, giving a fixed-size pool with the same
+   domain machinery every other parallel path in ctamap uses.  Workers
+   poll the listening socket with a short [select] timeout and check
+   the stop flag in between, and blocked reads use a receive timeout
+   plus the protocol's [on_idle] hook, so shutdown never needs to
+   interrupt anything mid-frame. *)
+
+module J = Ctam_util.Json
+module Tel = Ctam_telemetry
+module Parallel = Ctam_util.Parallel
+
+let tel_requests =
+  Tel.Metrics.Counter.v
+    ~labels:[ "op"; "outcome" ]
+    ~help:"Service requests by operation and outcome"
+    "ctam_serve_requests_total"
+
+let tel_connections =
+  Tel.Metrics.Counter.v ~help:"Connections accepted"
+    "ctam_serve_connections_total"
+
+let tel_seconds =
+  Tel.Metrics.Histogram.v ~labels:[ "op" ]
+    ~help:"Request service time in seconds" "ctam_serve_request_seconds"
+
+let count_request op outcome =
+  Tel.Metrics.Counter.inc (Tel.Metrics.Counter.series tel_requests [ op; outcome ])
+
+type config = {
+  socket : string;
+  workers : int;
+  max_frame : int;  (** refuse request frames larger than this *)
+  default_timeout_ms : int option;
+      (** applied when the request carries no [timeout_ms] *)
+  cache_dir : string option;
+  cache_entries : int;
+  cache_bytes : int;
+}
+
+let default_config =
+  {
+    socket = "ctamap.sock";
+    workers = 2;
+    max_frame = Protocol.default_max_frame;
+    default_timeout_ms = None;
+    cache_dir = None;
+    cache_entries = Plan_cache.default_max_entries;
+    cache_bytes = Plan_cache.default_max_bytes;
+  }
+
+type counters = {
+  mutable served : int;
+  mutable errors : int;
+  mutable timeouts : int;
+  mutable cached : int;
+}
+
+type t = {
+  config : config;
+  cache : Plan_cache.t;
+  listen_fd : Unix.file_descr;
+  stop : bool Atomic.t;
+  c : counters;
+  lock : Mutex.t;  (** counters + zombie list *)
+  mutable zombies : (bool Atomic.t * unit Domain.t) list;
+      (** timed-out request domains still running; reaped when done *)
+}
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* --- lifecycle -------------------------------------------------------- *)
+
+let create config =
+  (* A dead client mid-reply must be an EPIPE error on the write, not
+     a fatal signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try Unix.unlink config.socket with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX config.socket);
+     Unix.listen fd 64;
+     (* Non-blocking: every worker selects on this fd, so one arriving
+        connection can wake several of them.  With a blocking fd the
+        losers of that accept race would block inside [accept] — deaf
+        to the stop flag — and shutdown would hang; non-blocking turns
+        the lost race into an EAGAIN and another trip round the
+        select loop. *)
+     Unix.set_nonblock fd
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let cache =
+    Plan_cache.create ?dir:config.cache_dir ~max_entries:config.cache_entries
+      ~max_bytes:config.cache_bytes ()
+  in
+  {
+    config;
+    cache;
+    listen_fd = fd;
+    stop = Atomic.make false;
+    c = { served = 0; errors = 0; timeouts = 0; cached = 0 };
+    lock = Mutex.create ();
+    zombies = [];
+  }
+
+let stop t = Atomic.set t.stop true
+
+let reap t ~wait =
+  let ready, running =
+    locked t (fun () ->
+        let ready, running =
+          List.partition (fun (done_, _) -> wait || Atomic.get done_) t.zombies
+        in
+        t.zombies <- running;
+        (ready, running))
+  in
+  ignore running;
+  List.iter (fun (_, d) -> Domain.join d) ready
+
+(* --- per-request execution ------------------------------------------- *)
+
+let internal_error e =
+  "request failed: " ^ Printexc.to_string e
+
+(* Run [f] with a deadline.  The work runs in its own domain; the
+   waiter polls its result slot and gives up at the deadline, parking
+   the still-running domain on the zombie list (the computation is
+   abandoned, not cancelled — OCaml domains cannot be killed safely —
+   and its domain is joined once it finishes).  Requests without a
+   timeout run inline on the worker. *)
+let with_deadline t timeout_ms f =
+  match timeout_ms with
+  | None -> ( try Ok (f ()) with e -> Error (`Internal (internal_error e)))
+  | Some ms ->
+      let slot = Atomic.make None in
+      let done_ = Atomic.make false in
+      let d =
+        Domain.spawn (fun () ->
+            let r =
+              try Ok (f ()) with e -> Error (`Internal (internal_error e))
+            in
+            Atomic.set slot (Some r);
+            Atomic.set done_ true)
+      in
+      let deadline = Unix.gettimeofday () +. (float_of_int ms /. 1000.) in
+      let rec wait () =
+        match Atomic.get slot with
+        | Some r ->
+            Domain.join d;
+            r
+        | None ->
+            if Unix.gettimeofday () >= deadline then begin
+              locked t (fun () -> t.zombies <- (done_, d) :: t.zombies);
+              Error (`Timeout ms)
+            end
+            else begin
+              Unix.sleepf 0.002;
+              wait ()
+            end
+      in
+      wait ()
+
+let stats_json t =
+  let served, errors, timeouts, cached =
+    locked t (fun () -> (t.c.served, t.c.errors, t.c.timeouts, t.c.cached))
+  in
+  J.Obj
+    [
+      ("version", J.String Ctam_exp.Build_info.version);
+      ("workers", J.Int t.config.workers);
+      ("served", J.Int served);
+      ("errors", J.Int errors);
+      ("timeouts", J.Int timeouts);
+      ("cached", J.Int cached);
+      ("cache", Plan_cache.stats_json t.cache);
+    ]
+
+(* Answer one parsed request object; returns the reply and whether the
+   daemon should begin shutting down. *)
+let handle t j =
+  let id = match j with J.Obj _ -> Option.value ~default:J.Null (J.member "id" j) | _ -> J.Null in
+  let op =
+    match j with
+    | J.Obj _ -> (
+        match J.member "op" j with Some (J.String s) -> Some s | _ -> None)
+    | _ -> None
+  in
+  let finish ~op ~outcome reply =
+    count_request op outcome;
+    locked t (fun () ->
+        t.c.served <- t.c.served + 1;
+        match outcome with
+        | "error" | "timeout" ->
+            t.c.errors <- t.c.errors + 1;
+            if outcome = "timeout" then t.c.timeouts <- t.c.timeouts + 1
+        | "cached" -> t.c.cached <- t.c.cached + 1
+        | _ -> ());
+    reply
+  in
+  match op with
+  | None ->
+      ( finish ~op:"?" ~outcome:"error"
+          (Protocol.error_response ~id ~code:"bad_request"
+             "request must be an object with a string \"op\" member"),
+        false )
+  | Some "ping" -> (finish ~op:"ping" ~outcome:"ok" (Protocol.ok_response ~id (J.Obj [ ("pong", J.Bool true) ])), false)
+  | Some "stats" ->
+      (finish ~op:"stats" ~outcome:"ok" (Protocol.ok_response ~id (stats_json t)), false)
+  | Some "shutdown" ->
+      Atomic.set t.stop true;
+      ( finish ~op:"shutdown" ~outcome:"ok"
+          (Protocol.ok_response ~id (J.Obj [ ("stopping", J.Bool true) ])),
+        true )
+  | Some opname -> (
+      match Request.parse j with
+      | Error msg ->
+          ( finish ~op:opname ~outcome:"error"
+              (Protocol.error_response ~id ~code:"bad_request" msg),
+            false )
+      | Ok r -> (
+          let opname = Request.op_id r.Request.op in
+          let t0 = Unix.gettimeofday () in
+          let observe () =
+            Tel.Metrics.Histogram.observe
+              (Tel.Metrics.Histogram.series tel_seconds [ opname ])
+              (Unix.gettimeofday () -. t0)
+          in
+          let key = Request.key r in
+          let cached_value =
+            if r.Request.nocache then None else Plan_cache.find t.cache key
+          in
+          match cached_value with
+          | Some v ->
+              observe ();
+              ( finish ~op:opname ~outcome:"cached"
+                  (Protocol.ok_response ~id ~cached:true v),
+                false )
+          | None -> (
+              let timeout_ms =
+                match r.Request.timeout_ms with
+                | Some _ as ms -> ms
+                | None -> t.config.default_timeout_ms
+              in
+              match
+                with_deadline t timeout_ms (fun () ->
+                    Request.execute ?cache_dir:t.config.cache_dir r)
+              with
+              | Ok v ->
+                  if not r.Request.nocache then Plan_cache.add t.cache key v;
+                  observe ();
+                  (finish ~op:opname ~outcome:"ok" (Protocol.ok_response ~id v), false)
+              | Error (`Timeout ms) ->
+                  observe ();
+                  ( finish ~op:opname ~outcome:"timeout"
+                      (Protocol.error_response ~id ~code:"timeout"
+                         (Printf.sprintf "request exceeded %d ms" ms)),
+                    false )
+              | Error (`Internal msg) ->
+                  observe ();
+                  ( finish ~op:opname ~outcome:"error"
+                      (Protocol.error_response ~id ~code:"internal" msg),
+                    false ))))
+
+(* --- connection and accept loops -------------------------------------- *)
+
+(* Replies are best-effort: when the client vanished mid-reply the
+   write raises (EPIPE) and only this connection ends. *)
+let try_write fd reply =
+  match Protocol.write_json fd reply with
+  | () -> true
+  | exception Unix.Unix_error (_, _, _) -> false
+
+let serve_connection t fd =
+  Tel.Metrics.Counter.inc0 tel_connections;
+  (* The listening fd is non-blocking; the conversation must not be. *)
+  (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+  (* Bounded reads so an idle connection re-checks the stop flag. *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.2
+   with Unix.Unix_error _ -> ());
+  let on_idle () = if Atomic.get t.stop then `Stop else `Continue in
+  let rec loop () =
+    match Protocol.read_frame ~max_bytes:t.config.max_frame ~on_idle fd with
+    | Error Protocol.Closed | Error Protocol.Stopped -> ()
+    | Error (Protocol.Oversized { length; in_sync }) ->
+        count_request "?" "error";
+        locked t (fun () ->
+            t.c.served <- t.c.served + 1;
+            t.c.errors <- t.c.errors + 1);
+        let sent =
+          try_write fd
+            (Protocol.error_response ~code:"oversized_frame"
+               (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit"
+                  length t.config.max_frame))
+        in
+        (* A drained frame leaves the stream framed; an undrainable
+           length means the peer never spoke the protocol. *)
+        if sent && in_sync then loop ()
+    | Ok payload -> (
+        match J.parse payload with
+        | Error e ->
+            count_request "?" "error";
+            locked t (fun () ->
+                t.c.served <- t.c.served + 1;
+                t.c.errors <- t.c.errors + 1);
+            if
+              try_write fd
+                (Protocol.error_response ~code:"malformed_json"
+                   ("request is not valid JSON: " ^ e))
+            then loop ()
+        | Ok j ->
+            let reply, stopping = handle t j in
+            let sent = try_write fd reply in
+            if sent && not stopping then loop ())
+  in
+  loop ();
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stop) then begin
+      (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | fd, _ -> serve_connection t fd
+          | exception
+              Unix.Unix_error
+                ( ( Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN
+                  | Unix.EWOULDBLOCK ),
+                  _,
+                  _ ) ->
+              ()
+          | exception Unix.Unix_error (_, _, _) -> Atomic.set t.stop true)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> Atomic.set t.stop true);
+      loop ()
+    end
+  in
+  loop ()
+
+(* [serve t] blocks until a shutdown request or [stop t], then joins
+   every worker and outstanding timed-out request and removes the
+   socket.  Abandoned (timed-out) computations are waited for here —
+   they cannot be cancelled, only disowned from their reply. *)
+let serve t =
+  let w = max 1 t.config.workers in
+  Parallel.iter ~domains:w (fun _ -> accept_loop t) (List.init w Fun.id);
+  reap t ~wait:true;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  try Unix.unlink t.config.socket with Unix.Unix_error _ -> ()

@@ -1,6 +1,7 @@
 open Ctam_arch
 open Ctam_core
 module J = Ctam_util.Json
+module Store = Ctam_util.Diskstore
 module Tel = Ctam_telemetry
 
 (* Lookups labelled by outcome: "hit", "miss" (no entry on disk),
@@ -16,6 +17,11 @@ let tel_stores =
   Tel.Metrics.Counter.v ~help:"Tune cache entries written"
     "ctam_tune_cache_stores_total"
 
+let tel_store_failures =
+  Tel.Metrics.Counter.v
+    ~help:"Tune cache entry writes that failed (disk full, permissions)"
+    "ctam_tune_cache_store_failures_total"
+
 let tel_bytes_written =
   Tel.Metrics.Counter.v ~help:"Bytes written to the tune cache"
     "ctam_tune_cache_bytes_written_total"
@@ -29,8 +35,9 @@ let warn_corrupt path what =
     (fun () -> "corrupt cache entry (" ^ what ^ "); will re-evaluate")
 
 (* The key is a canonical multi-line string; the file name is its
-   FNV-1a 64 hash.  Floats are rendered with %h (exact hex) so two
-   processes can never disagree on a key by formatting. *)
+   FNV-1a 64 hash (see Ctam_util.Diskstore, the shared on-disk tier).
+   Floats are rendered with %h (exact hex) so two processes can never
+   disagree on a key by formatting. *)
 
 let cache_fragment (c : Topology.cache_params) =
   Printf.sprintf "%s:L%d:%db:%dw:%dl:%dc" c.Topology.cache_name c.Topology.level
@@ -66,6 +73,18 @@ let program_fragment program =
   | src -> src
   | exception _ -> Digest.to_hex (Digest.string (Marshal.to_string program []))
 
+(* Everything an outcome's environment consists of, minus the thing
+   evaluated (the space point here; the request shape for the serving
+   plan cache, which reuses these fragments for its own keys). *)
+let context_fragments ~version ~base_params ~machine program =
+  [
+    "version=" ^ version;
+    base_params_fragment base_params;
+    topology_fragment machine;
+    "program:";
+    program_fragment program;
+  ]
+
 let key ~version ~base_params ~machine ~max_cycles ?(sample_sets = 1) program
     point =
   String.concat "\n"
@@ -89,81 +108,48 @@ let key ~version ~base_params ~machine ~max_cycles ?(sample_sets = 1) program
         program_fragment program;
       ])
 
-let hash key =
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun ch ->
-      h := Int64.logxor !h (Int64.of_int (Char.code ch));
-      h := Int64.mul !h 0x100000001b3L)
-    key;
-  Printf.sprintf "%016Lx" !h
+let hash = Store.hash
 
-let entry_path ~dir key = Filename.concat dir ("ctam-tune-" ^ hash key ^ ".json")
+let file_prefix = "ctam-tune-"
+
+let entry_path ~dir key = Store.entry_path ~dir ~prefix:file_prefix key
 
 let lookup ~dir key =
   let path = entry_path ~dir key in
-  match
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with
-  | exception _ ->
+  match Store.read ~dir ~prefix:file_prefix ~value_member:"outcome" key with
+  | Store.Miss ->
       count_lookup "miss";
       None
-  | contents -> (
-      match J.parse contents with
+  | Store.Corrupt what ->
+      count_lookup "corrupt";
+      warn_corrupt path what;
+      None
+  | Store.Collision ->
+      (* Same hash, different key: treat as a miss but count it
+         separately — repeated collisions mean the key schema changed
+         without a version bump. *)
+      count_lookup "collision";
+      None
+  | Store.Hit oj -> (
+      match Eval.outcome_of_json oj with
+      | Ok o ->
+          count_lookup "hit";
+          Some o
       | Error e ->
           count_lookup "corrupt";
-          warn_corrupt path ("parse error: " ^ e);
-          None
-      | Ok j -> (
-          match (J.member "key" j, J.member "outcome" j) with
-          | Some (J.String stored), Some oj when String.equal stored key -> (
-              match Eval.outcome_of_json oj with
-              | Ok o ->
-                  count_lookup "hit";
-                  Some o
-              | Error e ->
-                  count_lookup "corrupt";
-                  warn_corrupt path ("bad outcome: " ^ e);
-                  None)
-          | Some (J.String _), Some _ ->
-              (* Same hash, different key: treat as a miss but count it
-                 separately — repeated collisions mean the key schema
-                 changed without a version bump. *)
-              count_lookup "collision";
-              None
-          | _ ->
-              count_lookup "corrupt";
-              warn_corrupt path "missing key/outcome members";
-              None))
-
-let rec mkdir_p dir =
-  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
-    mkdir_p (Filename.dirname dir);
-    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
+          warn_corrupt path ("bad outcome: " ^ e);
+          None)
 
 let store ~dir key outcome =
-  try
-    mkdir_p dir;
-    let path = entry_path ~dir key in
-    let tmp =
-      Filename.temp_file ~temp_dir:dir "ctam-tune-" ".tmp"
-    in
-    let oc = open_out_bin tmp in
-    let payload =
-      J.to_string
-        (J.Obj
-           [ ("key", J.String key); ("outcome", Eval.outcome_to_json outcome) ])
-    in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        output_string oc payload;
-        output_char oc '\n');
-    Sys.rename tmp path;
-    Tel.Metrics.Counter.inc0 tel_stores;
-    Tel.Metrics.Counter.inc0 ~by:(String.length payload + 1) tel_bytes_written
-  with _ -> ()
+  match
+    Store.write ~dir ~prefix:file_prefix ~value_member:"outcome" key
+      (Eval.outcome_to_json outcome)
+  with
+  | Ok bytes ->
+      Tel.Metrics.Counter.inc0 tel_stores;
+      Tel.Metrics.Counter.inc0 ~by:bytes tel_bytes_written
+  | Error what ->
+      Tel.Metrics.Counter.inc0 tel_store_failures;
+      Tel.Log.warn ~src:"tune.cache"
+        ~fields:[ ("dir", J.String dir) ]
+        (fun () -> "cache store failed (" ^ what ^ "); result not persisted")

@@ -15,10 +15,14 @@
 
     Re-tuning after an unrelated edit is therefore a pure cache hit,
     while any change to the program, machine, parameters or simulator
-    version misses.  The stored file carries the full key; a hash
-    collision is detected on load and treated as a miss.  Lookups and
-    stores never raise: an unreadable/corrupt entry is a miss, a
-    failed write is ignored (the cache is an optimisation only). *)
+    version misses.  The on-disk tier is {!Ctam_util.Diskstore}: the
+    stored file carries the full key, a hash collision is detected on
+    load and treated as a miss, and writes are atomic with
+    error-checked close and temp-file cleanup.  Lookups and stores
+    never raise: an unreadable/corrupt entry (including valid JSON
+    that is not an object) is a counted miss, and a failed write is
+    counted and logged but ignored (the cache is an optimisation
+    only). *)
 
 open Ctam_arch
 open Ctam_ir
@@ -39,6 +43,20 @@ val key :
 (** [sample_sets] (default 1) marks outcomes from set-sampled runs;
     keys with the default factor are byte-identical to pre-sampling
     keys, so existing caches stay warm. *)
+
+(** [context_fragments ~version ~base_params ~machine program] is the
+    environment part of a content-hash key — tool version, base
+    mapping parameters, per-core topology paths, canonical program
+    source — as deterministic text lines.  {!key} is built from these
+    plus the space point; the serving plan cache
+    ([Ctam_serve.Plan_cache]) reuses them to key compiled plans and
+    run reports by the same discipline. *)
+val context_fragments :
+  version:string ->
+  base_params:Mapping.params ->
+  machine:Topology.t ->
+  Program.t ->
+  string list
 
 (** 16-hex-digit FNV-1a 64 of a key (the entry's file stem). *)
 val hash : string -> string

@@ -1,0 +1,103 @@
+(* A generic content-addressed single-file JSON store: the persistence
+   tier shared by the tune-result cache (Tune.Cache) and the serving
+   plan cache (Ctam_serve.Plan_cache).
+
+   One entry = one JSON file named by the FNV-1a 64 hash of its full
+   key string; the file carries the key so hash collisions are
+   detected on read.  Writes are atomic (temp file + rename) so
+   concurrent writers sharing a directory never expose a partial
+   entry; failed writes clean their temp file up instead of leaking
+   it, and the close is error-checked before the rename so a short
+   write (ENOSPC, quota) can never be renamed into place as a
+   truncated entry.
+
+   This module stays dependency-free (no telemetry, no unix): outcomes
+   are ordinary return values, and the callers own the counting and
+   logging policy. *)
+
+module J = Json
+
+type read_result =
+  | Hit of J.t
+  | Miss  (** no entry on disk (or the file vanished mid-read) *)
+  | Corrupt of string
+      (** an entry exists but is unusable: unparseable JSON, a
+          non-object payload, or missing members *)
+  | Collision
+      (** parses, but stores a different key: an FNV-1a hash collision
+          or a stale file from an incompatible key schema *)
+
+(* FNV-1a 64, rendered as 16 lowercase hex digits. *)
+let hash key =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun ch ->
+      h := Int64.logxor !h (Int64.of_int (Char.code ch));
+      h := Int64.mul !h 0x100000001b3L)
+    key;
+  Printf.sprintf "%016Lx" !h
+
+let entry_path ~dir ~prefix key =
+  Filename.concat dir (prefix ^ hash key ^ ".json")
+
+let read ~dir ~prefix ~value_member key =
+  let path = entry_path ~dir ~prefix key in
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception _ -> Miss
+  | contents -> (
+      match J.parse contents with
+      | Error e -> Corrupt ("parse error: " ^ e)
+      | Ok (J.Obj _ as j) -> (
+          match (J.member "key" j, J.member value_member j) with
+          | Some (J.String stored), Some v when String.equal stored key -> Hit v
+          | Some (J.String _), Some _ -> Collision
+          | _ -> Corrupt (Printf.sprintf "missing key/%s members" value_member))
+      | Ok j ->
+          (* Valid JSON but not an object (e.g. [] or "x"): an entry we
+             can never interpret, not a crash. *)
+          Corrupt ("entry is not an object: " ^ J.to_string ~minify:true j))
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write ~dir ~prefix ~value_member key value =
+  let payload =
+    J.to_string (J.Obj [ ("key", J.String key); (value_member, value) ])
+  in
+  let cleanup tmp = try Sys.remove tmp with Sys_error _ -> () in
+  match
+    mkdir_p dir;
+    Filename.temp_file ~temp_dir:dir prefix ".tmp"
+  with
+  | exception _ -> Error "cannot create temp file"
+  | tmp -> (
+      match
+        let oc = open_out_bin tmp in
+        try
+          output_string oc payload;
+          output_char oc '\n';
+          (* close_out (not _noerr): flush failures — short writes on a
+             full disk — must fail the store, or the rename below would
+             install a truncated entry. *)
+          close_out oc
+        with e ->
+          close_out_noerr oc;
+          raise e
+      with
+      | exception _ ->
+          cleanup tmp;
+          Error "write failed"
+      | () -> (
+          match Sys.rename tmp (entry_path ~dir ~prefix key) with
+          | () -> Ok (String.length payload + 1)
+          | exception _ ->
+              cleanup tmp;
+              Error "rename failed"))

@@ -1,0 +1,46 @@
+(** Content-addressed single-file JSON entries: the shared on-disk
+    tier of the tune-result cache ({!Ctam_tune.Cache}) and the serving
+    plan cache ([Ctam_serve.Plan_cache]).
+
+    An entry is one JSON object [{"key": K, VALUE_MEMBER: V}] stored
+    at [DIR/PREFIX<fnv1a64(K)>.json].  The full key travels in the
+    file, so a hash collision (or a stale file from an incompatible
+    key schema) is detected on read and reported as {!Collision}
+    rather than served.  Reads and writes never raise: every failure
+    mode is an ordinary constructor / [Error], because a cache must
+    stay an optimisation even on a hostile disk.
+
+    Writes are atomic: payload to a fresh temp file in the same
+    directory, error-checked close (a short write must not be
+    installed), then rename.  On any failure the temp file is
+    removed. *)
+
+type read_result =
+  | Hit of Json.t  (** the entry's value member *)
+  | Miss  (** no entry on disk *)
+  | Corrupt of string
+      (** unreadable entry: parse error, non-object payload, or
+          missing members; the string says which *)
+  | Collision  (** a different key hashed to the same file *)
+
+(** 16-hex-digit FNV-1a 64 of a key (the entry's file stem). *)
+val hash : string -> string
+
+(** [entry_path ~dir ~prefix key] = [DIR/PREFIX<hash key>.json]. *)
+val entry_path : dir:string -> prefix:string -> string -> string
+
+(** [read ~dir ~prefix ~value_member key] classifies the entry for
+    [key]; never raises. *)
+val read :
+  dir:string -> prefix:string -> value_member:string -> string -> read_result
+
+(** [write ~dir ~prefix ~value_member key value] stores the entry
+    atomically (creating [dir] first if needed) and returns the bytes
+    written; never raises.  On [Error] no temp file is left behind. *)
+val write :
+  dir:string ->
+  prefix:string ->
+  value_member:string ->
+  string ->
+  Json.t ->
+  (int, string) result

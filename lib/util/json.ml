@@ -113,12 +113,24 @@ let parse s =
     else fail (Printf.sprintf "expected '%s'" word)
   in
   let parse_hex4 () =
+    (* Exactly four [0-9a-fA-F] digits.  Going through
+       [int_of_string_opt ("0x" ^ h)] here would admit OCaml integer
+       syntax that JSON forbids (underscores as in "\u12_3", a second
+       "0x" prefix, signs). *)
     if !pos + 4 > n then fail "truncated \\u escape";
-    let h = String.sub s !pos 4 in
-    pos := !pos + 4;
-    match int_of_string_opt ("0x" ^ h) with
-    | Some v -> v
-    | None -> fail "bad \\u escape"
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad \\u escape (want four hex digits)"
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
   in
   let add_utf8 b cp =
     (* Encode a Unicode scalar value as UTF-8. *)
@@ -161,23 +173,29 @@ let parse s =
            | 'b' -> Buffer.add_char b '\b'
            | 'f' -> Buffer.add_char b '\012'
            | 'u' ->
-               let cp = parse_hex4 () in
-               let cp =
-                 (* Surrogate pair. *)
-                 if cp >= 0xD800 && cp <= 0xDBFF && !pos + 1 < n
-                    && s.[!pos] = '\\'
-                    && !pos + 1 < n
-                    && s.[!pos + 1] = 'u'
-                 then begin
-                   pos := !pos + 2;
-                   let lo = parse_hex4 () in
-                   if lo >= 0xDC00 && lo <= 0xDFFF then
-                     0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
-                   else fail "invalid low surrogate"
-                 end
-                 else cp
+               (* Surrogate handling: a high+low pair combines into one
+                  scalar; an unpaired surrogate (either half) becomes
+                  U+FFFD, so the output is always valid UTF-8 — raw
+                  surrogate code points must never be UTF-8-encoded. *)
+               let rec emit cp =
+                 if cp >= 0xD800 && cp <= 0xDBFF then
+                   if !pos + 1 < n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                   then begin
+                     pos := !pos + 2;
+                     let lo = parse_hex4 () in
+                     if lo >= 0xDC00 && lo <= 0xDFFF then
+                       add_utf8 b (0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00))
+                     else begin
+                       (* Unpaired high; the second escape stands alone. *)
+                       add_utf8 b 0xFFFD;
+                       emit lo
+                     end
+                   end
+                   else add_utf8 b 0xFFFD
+                 else if cp >= 0xDC00 && cp <= 0xDFFF then add_utf8 b 0xFFFD
+                 else add_utf8 b cp
                in
-               add_utf8 b cp
+               emit (parse_hex4 ())
            | _ -> fail "bad escape");
           go ()
       | c when Char.code c < 0x20 -> fail "control character in string"

@@ -18,7 +18,11 @@ let default_domains () =
       | _ -> Domain.recommended_domain_count ())
   | None -> Domain.recommended_domain_count ()
 
-type 'b slot = Empty | Value of 'b | Raised of exn
+(* [Raised] keeps the worker's raw backtrace alongside the exception:
+   re-raising with a bare [raise] in the parent would overwrite the
+   trace with the collection site in this file, destroying the only
+   pointer to where [f] actually failed. *)
+type 'b slot = Empty | Value of 'b | Raised of exn * Printexc.raw_backtrace
 
 (* Observability hook: when a monitor is installed (see
    Ctam_telemetry.Runtime), the parallel path times each task with the
@@ -61,11 +65,15 @@ let map ?domains f xs =
     let rec worker w =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
+        let run x =
+          try Value (f x)
+          with e -> Raised (e, Printexc.get_raw_backtrace ())
+        in
         (match mon with
-        | None -> slots.(i) <- (try Value (f items.(i)) with e -> Raised e)
+        | None -> slots.(i) <- run items.(i)
         | Some m ->
             let t0 = m.now () in
-            (slots.(i) <- (try Value (f items.(i)) with e -> Raised e));
+            (slots.(i) <- run items.(i));
             busy.(w) <- busy.(w) +. (m.now () -. t0);
             counts.(w) <- counts.(w) + 1);
         worker w
@@ -87,7 +95,7 @@ let map ?domains f xs =
       (Array.map
          (function
            | Value v -> v
-           | Raised e -> raise e
+           | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
            | Empty -> assert false)
          slots)
   end

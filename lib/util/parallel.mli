@@ -39,7 +39,10 @@ val monitor : unit -> monitor option
     [domains] domains (including the caller).  Results are returned in
     input order regardless of completion order.  If [f] raises on some
     element, the exception for the lowest-index failing element is
-    re-raised after all domains have joined.  [~domains:1] runs
+    re-raised after all domains have joined, with the worker's original
+    backtrace preserved ([Printexc.raise_with_backtrace], so the trace
+    points at the failure inside [f], not at this module).  [~domains:1]
+    runs
     serially in the calling domain (no spawns).
     @raise Invalid_argument if [domains < 1]. *)
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

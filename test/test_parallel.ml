@@ -77,6 +77,38 @@ let test_exception_propagation () =
           check_int (Printf.sprintf "domains=%d lowest index" domains) 2 n)
     [ 1; 2; 4 ]
 
+(* Regression: the pool used to re-raise a worker's exception with a
+   bare [raise], which overwrites the backtrace with the re-raise
+   site in parallel.ml — useless for debugging a crashing experiment
+   driver.  It must re-raise with [Printexc.raise_with_backtrace] so
+   the original raise site (this file) survives the hop between
+   domains. *)
+let[@inline never] raise_deep x = raise (Boom x)
+
+let test_backtrace_crosses_domains () =
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect ~finally:(fun () -> Printexc.record_backtrace prev) @@ fun () ->
+  match
+    Parallel.map ~domains:2
+      (fun x ->
+        (* Recording is per-domain state: enable it in whichever
+           domain runs the raising task, not just the caller. *)
+        Printexc.record_backtrace true;
+        if x = 1 then raise_deep x else x)
+      [ 0; 1; 2; 3 ]
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom _ ->
+      (* The call site ("Called from ...test_parallel...") appears
+         even under a bare re-raise; what only survives with
+         [raise_with_backtrace] is the worker-side raise frame. *)
+      let bt = Printexc.get_backtrace () in
+      check_bool
+        ("backtrace names the raise site, got: " ^ bt)
+        true
+        (Astring.String.is_infix ~affix:"raise_deep" bt)
+
 let test_invalid_domains () =
   check_bool "domains=0 rejected" true
     (try
@@ -107,6 +139,8 @@ let () =
           Alcotest.test_case "domains=1 is serial" `Quick test_serial_degenerate;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagation;
+          Alcotest.test_case "backtrace crosses domains" `Quick
+            test_backtrace_crosses_domains;
           Alcotest.test_case "invalid domains" `Quick test_invalid_domains;
         ] );
       ( "misc",

@@ -1,0 +1,213 @@
+(* Tests for the serving layer's library pieces — the compiled-plan
+   cache's LRU accounting, byte bound and concurrency contract, and
+   the length-prefixed frame protocol.  The live daemon end (real
+   socket, real requests, hostile input) is covered by
+   tools/check_serve.sh + tools/serve_probe.ml. *)
+
+open Ctam_serve
+module J = Ctam_util.Json
+module Parallel = Ctam_util.Parallel
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_keys = Alcotest.(check (list string))
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ctam-serve-test-%d-%d" (Unix.getpid ()) !counter)
+
+let v s = J.Obj [ ("payload", J.String s) ]
+let size j = String.length (J.to_string ~minify:true j)
+
+(* --- Plan_cache ------------------------------------------------------- *)
+
+let test_lru_eviction_order () =
+  let c = Plan_cache.create ~max_entries:3 () in
+  Plan_cache.add c "k1" (v "1");
+  Plan_cache.add c "k2" (v "2");
+  Plan_cache.add c "k3" (v "3");
+  check_keys "insertion order" [ "k3"; "k2"; "k1" ]
+    (Plan_cache.keys_hot_to_cold c);
+  (* A hit promotes. *)
+  check_bool "hit" true (Plan_cache.find c "k1" = Some (v "1"));
+  check_keys "promoted" [ "k1"; "k3"; "k2" ] (Plan_cache.keys_hot_to_cold c);
+  (* A fourth insert evicts the coldest — k2, not the oldest k1. *)
+  Plan_cache.add c "k4" (v "4");
+  check_keys "evicted the coldest" [ "k4"; "k1"; "k3" ]
+    (Plan_cache.keys_hot_to_cold c);
+  check_bool "evicted key misses" true (Plan_cache.find c "k2" = None);
+  check_bool "survivor hits" true (Plan_cache.find c "k3" = Some (v "3"));
+  (* Re-adding an existing key refreshes in place, no growth. *)
+  Plan_cache.add c "k4" (v "4'");
+  check_int "refresh does not grow" 3 (Plan_cache.resident_entries c);
+  check_bool "refresh replaces the value" true
+    (Plan_cache.find c "k4" = Some (v "4'"))
+
+let test_byte_bound () =
+  let unit_bytes = size (v "x") in
+  let c = Plan_cache.create ~max_entries:1000 ~max_bytes:(3 * unit_bytes) () in
+  List.iter (fun k -> Plan_cache.add c k (v "x")) [ "a"; "b"; "c" ];
+  check_int "at the bound" (3 * unit_bytes) (Plan_cache.resident_bytes c);
+  Plan_cache.add c "d" (v "x");
+  check_int "bytes stay bounded" (3 * unit_bytes) (Plan_cache.resident_bytes c);
+  check_keys "coldest entry paid for it" [ "d"; "c"; "b" ]
+    (Plan_cache.keys_hot_to_cold c);
+  (* A value bigger than the whole bound is still admitted — a cache
+     that cannot hold its largest value would re-miss it forever — and
+     evicts everything else. *)
+  let huge = v (String.make (4 * unit_bytes) 'y') in
+  Plan_cache.add c "huge" huge;
+  check_keys "oversized value admitted alone" [ "huge" ]
+    (Plan_cache.keys_hot_to_cold c);
+  check_int "its bytes are accounted" (size huge) (Plan_cache.resident_bytes c);
+  check_bool "and it hits" true (Plan_cache.find c "huge" = Some huge)
+
+(* Two domains hammer overlapping keys through a memory tier bounded
+   well below the key-set size, forcing constant eviction and disk
+   reloads.  The contract: every find returns either a miss or exactly
+   the value stored under that key — never a torn or foreign one. *)
+let test_concurrent_hit_or_miss () =
+  let dir = fresh_dir () in
+  let c = Plan_cache.create ~dir ~max_entries:3 () in
+  let nkeys = 8 in
+  let key i = Printf.sprintf "key-%d" (i mod nkeys) in
+  let value i =
+    J.Obj [ ("k", J.String (key i)); ("n", J.Int (i mod nkeys)) ]
+  in
+  let wrong = Atomic.make 0 in
+  Parallel.iter ~domains:2
+    (fun seed ->
+      for i = 0 to 499 do
+        let k = (i * (seed + 3)) + seed in
+        if (i + seed) mod 3 = 0 then Plan_cache.add c (key k) (value k)
+        else
+          match Plan_cache.find c (key k) with
+          | None -> ()
+          | Some got ->
+              if got <> value k then Atomic.incr wrong
+      done)
+    [ 0; 1 ];
+  check_int "only ever a miss or the stored value" 0 (Atomic.get wrong);
+  (* The persistent tier holds every key; a fresh cache over the same
+     directory must serve them all from disk. *)
+  let c2 = Plan_cache.create ~dir ~max_entries:nkeys () in
+  for i = 0 to nkeys - 1 do
+    check_bool
+      (Printf.sprintf "fresh cache reloads %s" (key i))
+      true
+      (Plan_cache.find c2 (key i) = Some (value i))
+  done
+
+(* --- Protocol --------------------------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+let test_frame_roundtrip () =
+  with_socketpair @@ fun a b ->
+  (* A frame larger than any socket buffer: the writer runs in its own
+     domain so write/read can overlap without deadlocking the test. *)
+  let j =
+    J.Obj
+      [
+        ("op", J.String "ping");
+        ("blob", J.String (String.make 300_000 'x'));
+        ("n", J.Int 42);
+      ]
+  in
+  let w = Domain.spawn (fun () -> Protocol.write_json a j) in
+  (match Protocol.read_frame b with
+  | Ok payload -> check_bool "round-trip" true (J.parse payload = Ok j)
+  | Error _ -> Alcotest.fail "read_frame failed on a valid frame");
+  Domain.join w;
+  (* Back-to-back frames stay framed. *)
+  List.iter (fun i -> Protocol.write_json a (J.Int i)) [ 1; 2; 3 ];
+  List.iter
+    (fun i ->
+      match Protocol.read_frame b with
+      | Ok p -> check_bool "in order" true (p = string_of_int i)
+      | Error _ -> Alcotest.fail "read_frame failed mid-stream")
+    [ 1; 2; 3 ]
+
+let test_read_error_classification () =
+  (* Honest oversized frame: declared length over the limit but under
+     the drain ceiling — refused, drained, connection still framed. *)
+  with_socketpair (fun a b ->
+      let w = Domain.spawn (fun () -> Protocol.write_frame a (String.make 64 'y')) in
+      (match Protocol.read_frame ~max_bytes:16 b with
+      | Error (Protocol.Oversized { length = 64; in_sync = true }) -> ()
+      | _ -> Alcotest.fail "expected a drained Oversized");
+      Domain.join w;
+      Protocol.write_frame a "ok";
+      match Protocol.read_frame ~max_bytes:16 b with
+      | Ok "ok" -> ()
+      | _ -> Alcotest.fail "stream lost sync after a drained frame");
+  (* Garbage prefix: the length bytes of a client that never spoke the
+     protocol decode past the drain ceiling — unrecoverable. *)
+  with_socketpair (fun a b ->
+      ignore (Unix.write_substring a "GET / HTTP/1.0\r\n" 0 16);
+      match Protocol.read_frame b with
+      | Error (Protocol.Oversized { in_sync = false; _ }) -> ()
+      | _ -> Alcotest.fail "expected an out-of-sync Oversized");
+  (* Peer gone before any frame, and gone mid-frame: both are Closed. *)
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Protocol.read_frame b with
+      | Error Protocol.Closed -> ()
+      | _ -> Alcotest.fail "expected Closed on EOF");
+  with_socketpair (fun a b ->
+      ignore (Unix.write_substring a "\x00\x00\x00\x64truncated!" 0 14);
+      Unix.close a;
+      match Protocol.read_frame b with
+      | Error Protocol.Closed -> ()
+      | _ -> Alcotest.fail "expected Closed on a truncated frame");
+  (* An idle receive timeout consults on_idle; `Stop abandons the
+     wait as Stopped (how workers notice shutdown). *)
+  with_socketpair (fun _ b ->
+      Unix.setsockopt_float b Unix.SO_RCVTIMEO 0.05;
+      match Protocol.read_frame ~on_idle:(fun () -> `Stop) b with
+      | Error Protocol.Stopped -> ()
+      | _ -> Alcotest.fail "expected Stopped from on_idle")
+
+let test_response_shapes () =
+  let ok = Protocol.ok_response ~id:(J.Int 7) ~cached:true (v "r") in
+  check_bool "ok" true (Protocol.response_ok ok);
+  check_bool "cached" true (Protocol.response_cached ok);
+  check_bool "result" true (Protocol.response_result ok = Some (v "r"));
+  check_bool "no error member" true (Protocol.response_error ok = None);
+  let err = Protocol.error_response ~code:"bad_request" "nope" in
+  check_bool "not ok" true (not (Protocol.response_ok err));
+  check_bool "error carried" true
+    (Protocol.response_error err = Some ("bad_request", "nope"));
+  (* Accessors are total on non-objects. *)
+  check_bool "non-object is not ok" true (not (Protocol.response_ok J.Null));
+  check_bool "non-object has no error" true
+    (Protocol.response_error (J.List []) = None)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "plan-cache",
+        [
+          Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "byte bound" `Quick test_byte_bound;
+          Alcotest.test_case "concurrent hit-or-miss" `Quick
+            test_concurrent_hit_or_miss;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "read-error classification" `Quick
+            test_read_error_classification;
+          Alcotest.test_case "response shapes" `Quick test_response_shapes;
+        ] );
+    ]

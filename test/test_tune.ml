@@ -208,6 +208,77 @@ let test_cache_store_lookup () =
   close_out oc;
   check_bool "corrupt is a miss" true (Cache.lookup ~dir key = None)
 
+module Tel = Ctam_telemetry
+
+let tune_counter name labels =
+  match Tel.Metrics.find (Tel.Metrics.scrape Tel.Metrics.default) name labels with
+  | Some (Tel.Metrics.Counter n) -> n
+  | _ -> 0
+
+let entry = { Eval.cycles = 9; mem_accesses = 1; total_accesses = 2; capped = false }
+
+let make_key () =
+  Cache.key ~version:"v" ~base_params:Mapping.default_params ~machine
+    ~max_cycles:None program
+    (Space.default_point ())
+
+(* Regression: an entry file holding valid JSON that is not an object
+   (say "[]", from a crashed or foreign writer) used to escape
+   [lookup] as an exception and kill the whole tuning run.  It must be
+   an ordinary counted, logged miss like unparseable bytes are. *)
+let test_cache_non_object_entry () =
+  Tel.Metrics.set_enabled true;
+  let dir = fresh_dir () in
+  let key = make_key () in
+  Cache.store ~dir key entry;
+  let path = Filename.concat dir ("ctam-tune-" ^ Cache.hash key ^ ".json") in
+  let corrupt () = tune_counter "ctam_tune_cache_lookups_total" [ ("result", "corrupt") ] in
+  List.iter
+    (fun payload ->
+      let oc = open_out path in
+      output_string oc payload;
+      close_out oc;
+      let before = corrupt () in
+      check_bool ("non-object entry is a miss: " ^ payload) true
+        (Cache.lookup ~dir key = None);
+      check_int ("corruption counted: " ^ payload) (before + 1) (corrupt ()))
+    [ "[]"; "\"zap\""; "42"; "null" ];
+  (* A rewrite heals it. *)
+  Cache.store ~dir key entry;
+  check_bool "healed after re-store" true (Cache.lookup ~dir key = Some entry)
+
+(* Regression: a failing store used to leave its temp file behind (and
+   a short write could be installed as a truncated entry).  A store
+   that cannot complete must clean up, count the failure, and stay an
+   optimisation — never an exception. *)
+let test_cache_store_failure () =
+  Tel.Metrics.set_enabled true;
+  let dir = fresh_dir () in
+  let key = make_key () in
+  (* A directory squatting on the entry path makes the final rename
+     fail after the temp file was already written. *)
+  let path = Filename.concat dir ("ctam-tune-" ^ Cache.hash key ^ ".json") in
+  Unix.mkdir dir 0o755;
+  Unix.mkdir path 0o755;
+  let failures () = tune_counter "ctam_tune_cache_store_failures_total" [] in
+  let before = failures () in
+  Cache.store ~dir key entry;
+  check_int "failure counted" (before + 1) (failures ());
+  (* No temp-file litter: the squatting directory must be the only
+     thing left in the cache directory. *)
+  check_int "no temp files left behind" 1 (Array.length (Sys.readdir dir));
+  check_bool "lookup still a miss" true (Cache.lookup ~dir key = None);
+  (* An unwritable cache directory is the same story (meaningless when
+     running as root, which bypasses permission checks). *)
+  if Unix.geteuid () <> 0 then begin
+    let ro = fresh_dir () in
+    Unix.mkdir ro 0o500;
+    let before = failures () in
+    Cache.store ~dir:ro key entry;
+    check_int "read-only dir counted" (before + 1) (failures ());
+    check_int "read-only dir left clean" 0 (Array.length (Sys.readdir ro))
+  end
+
 (* --- Search ----------------------------------------------------------- *)
 
 let settings strategy =
@@ -333,6 +404,10 @@ let () =
           Alcotest.test_case "sample_sets keys" `Quick
             test_cache_key_sample_sets;
           Alcotest.test_case "store/lookup" `Quick test_cache_store_lookup;
+          Alcotest.test_case "non-object entry is a counted miss" `Quick
+            test_cache_non_object_entry;
+          Alcotest.test_case "store failure is counted and clean" `Quick
+            test_cache_store_failure;
         ] );
       ( "search",
         [

@@ -76,6 +76,42 @@ let test_control_char_escaping () =
   check_bool "parse \\u000b" true
     (parse_ok {|"\u000b"|} = Json.String "\x0b")
 
+(* Regression tests for the \u escape parser.  Two historical bugs:
+   the four "hex digits" were once parsed with OCaml integer syntax,
+   so forms JSON forbids ("\u12_3") slipped through; and unpaired
+   UTF-16 surrogates were UTF-8-encoded as raw surrogate code points,
+   producing invalid UTF-8.  Now: exactly four [0-9a-fA-F] digits,
+   and any unpaired half decodes to U+FFFD. *)
+let test_unicode_escapes () =
+  let rejected s =
+    check_bool ("rejected " ^ s) true (Result.is_error (Json.parse s))
+  in
+  rejected {|"\u12_3"|};
+  rejected {|"\u0x41"|};
+  rejected {|"\u-041"|};
+  rejected {|"\u12"|};
+  check_bool "uppercase hex" true
+    (parse_ok "\"\\u00E9\"" = Json.String "\xc3\xa9");
+  let fffd = "\xef\xbf\xbd" (* U+FFFD replacement character *) in
+  check_bool "lone high surrogate" true
+    (parse_ok {|"\ud800"|} = Json.String fffd);
+  check_bool "lone low surrogate" true
+    (parse_ok {|"\udc00"|} = Json.String fffd);
+  check_bool "high surrogate then text" true
+    (parse_ok {|"\ud800x"|} = Json.String (fffd ^ "x"));
+  check_bool "high surrogate then non-surrogate escape" true
+    (parse_ok "\"\\ud800\\u0041\"" = Json.String (fffd ^ "A"));
+  check_bool "high, high, low: the tail still pairs" true
+    (parse_ok "\"\\ud83d\\ud83d\\ude00\""
+    = Json.String (fffd ^ "\xf0\x9f\x98\x80"));
+  check_bool "valid pair still decodes" true
+    (parse_ok "\"\\ud83d\\ude00\"" = Json.String "\xf0\x9f\x98\x80");
+  check_bool "last valid pair" true
+    (parse_ok "\"\\udbff\\udfff\"" = Json.String "\xf4\x8f\xbf\xbf");
+  (* The output being valid UTF-8 means it survives a print/parse
+     round-trip (the printer would otherwise emit broken escapes). *)
+  roundtrip (parse_ok "\"\\ud800 \\udfff \\ud83d\\ude00\"")
+
 let test_roundtrip () =
   roundtrip Json.Null;
   roundtrip (Json.Int (-7));
@@ -139,6 +175,8 @@ let () =
           Alcotest.test_case "parsing" `Quick test_parse;
           Alcotest.test_case "control-char escaping (RFC 8259)" `Quick
             test_control_char_escaping;
+          Alcotest.test_case "unicode escapes and surrogates" `Quick
+            test_unicode_escapes;
           Alcotest.test_case "round-trips" `Quick test_roundtrip;
           Alcotest.test_case "accessors" `Quick test_accessors;
         ] );

@@ -1,0 +1,96 @@
+#!/bin/sh
+# End-to-end check of the mapping daemon (`ctamap serve`): a served
+# answer must equal the one-shot answer modulo volatile report members,
+# a repeated request must come from the plan cache byte-identically,
+# hostile input (garbage/oversized/malformed frames, mid-frame
+# disconnects, bad requests) must get structured error replies with the
+# daemon still alive, a corrupt on-disk cache entry must only cost a
+# recompute, and shutdown must be clean (socket removed, exit 0).
+# Wired into `dune runtest` from tools/dune; also runnable by hand from
+# the repo root:
+#
+#   dune build && sh tools/check_serve.sh
+#
+# Args (all optional): CTAMAP_EXE SERVE_PROBE_EXE
+set -e
+CTAMAP=${1:-./_build/default/bin/ctamap.exe}
+PROBE=${2:-./_build/default/tools/serve_probe.exe}
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2> /dev/null
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+sock="$tmp/daemon.sock"
+run_args="cg -m harpertown --scale 64"
+
+start_daemon() {
+  "$CTAMAP" serve --socket "$sock" --workers 2 --cache-dir "$tmp/cache" \
+    2> "$tmp/serve.log" &
+  pid=$!
+  i=0
+  while [ ! -S "$sock" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "check_serve: daemon never bound $sock" >&2
+                          cat "$tmp/serve.log" >&2; exit 1; }
+    sleep 0.1
+  done
+}
+
+stop_daemon() {
+  "$CTAMAP" client --socket "$sock" --op shutdown > /dev/null
+  wait "$pid" || { echo "check_serve: daemon exited non-zero" >&2; exit 1; }
+  pid=""
+  [ -S "$sock" ] && { echo "check_serve: socket left behind" >&2; exit 1; }
+  true
+}
+
+start_daemon
+
+# A served run must be the one-shot run, modulo wall clocks.
+"$CTAMAP" run $run_args --json "$tmp/oneshot.json" > /dev/null
+"$CTAMAP" client --socket "$sock" --op run $run_args > "$tmp/served.json"
+"$PROBE" compare "$tmp/oneshot.json" "$tmp/served.json" > /dev/null
+
+# The repeat must be answered from the plan cache, byte-identically.
+"$CTAMAP" client --socket "$sock" --op run $run_args > "$tmp/served2.json"
+cmp "$tmp/served.json" "$tmp/served2.json" || {
+  echo "check_serve: cached reply differs from the computed one" >&2
+  exit 1
+}
+"$CTAMAP" client --socket "$sock" --op stats > "$tmp/stats.json"
+grep -q '"cached": [1-9]' "$tmp/stats.json" || {
+  echo "check_serve: stats report no cache hit after a repeat" >&2
+  exit 1
+}
+
+# Hostile input: structured errors, daemon stays up (asserted by the
+# probe's pings and by the shutdown below succeeding).
+"$PROBE" abuse "$sock" > /dev/null
+
+# Restart over a corrupted persistent cache: every entry replaced by
+# valid-JSON-but-not-an-entry garbage.  The daemon must recompute (not
+# crash), and the answer must still match the one-shot report.
+stop_daemon
+for f in "$tmp"/cache/ctam-plan-*.json; do
+  [ -e "$f" ] || { echo "check_serve: no persistent entries written" >&2
+                   exit 1; }
+  echo '[]' > "$f"
+done
+start_daemon
+"$CTAMAP" client --socket "$sock" --op run $run_args > "$tmp/served3.json"
+"$PROBE" compare "$tmp/oneshot.json" "$tmp/served3.json" > /dev/null
+"$CTAMAP" client --socket "$sock" --op ping > /dev/null
+
+# Load-generator plumbing: a small cached burst with zero errors.
+"$CTAMAP" client --socket "$sock" --op run $run_args --load 20 \
+  --concurrency 2 --json > "$tmp/load.json"
+grep -q '"errors":0' "$tmp/load.json" || {
+  echo "check_serve: load burst reported errors" >&2
+  exit 1
+}
+
+stop_daemon
+echo "check_serve: ok"

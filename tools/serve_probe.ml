@@ -1,0 +1,203 @@
+(* serve_probe: hostile-input harness and report comparator for the
+   mapping daemon (tools/check_serve.sh drives it).
+
+   [serve_probe abuse SOCKET] speaks the wire protocol by hand — raw
+   bytes, not the client library — and throws every class of bad
+   input at a running daemon: a length prefix that is plain garbage
+   (an HTTP request), an oversized-but-honest frame, unparseable
+   JSON, valid JSON that is not a request, and a mid-frame
+   disconnect.  After each it asserts the structured error reply the
+   protocol promises and, where the connection survives by contract,
+   that a ping on the same connection still answers.  Exit 0 means
+   the daemon never died and never replied out of frame.
+
+   [serve_probe compare A B] checks two JSON documents are equal
+   modulo the volatile report members ("timings_seconds",
+   "telemetry" — wall clocks and process state), i.e. that a served
+   answer is the one-shot answer. *)
+
+module J = Ctam_util.Json
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("serve_probe: " ^ s);
+      exit 1)
+    fmt
+
+(* --- raw wire helpers ------------------------------------------------- *)
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (* A hung daemon must fail the probe, not hang it. *)
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.;
+  fd
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then go (off + Unix.write fd b off (n - off))
+  in
+  go 0
+
+exception Eof
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then Bytes.to_string b
+    else
+      match Unix.read fd b off (n - off) with 0 -> raise Eof | k -> go (off + k)
+  in
+  go 0
+
+let send_frame fd payload =
+  let n = String.length payload in
+  let hdr = Bytes.create 4 in
+  Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xFF));
+  Bytes.set hdr 1 (Char.chr ((n lsr 16) land 0xFF));
+  Bytes.set hdr 2 (Char.chr ((n lsr 8) land 0xFF));
+  Bytes.set hdr 3 (Char.chr (n land 0xFF));
+  write_all fd (Bytes.to_string hdr);
+  write_all fd payload
+
+let recv_frame fd =
+  let hdr = read_exact fd 4 in
+  let b i = Char.code hdr.[i] in
+  let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  if n > 1 lsl 26 then fail "reply frame claims %d bytes" n;
+  read_exact fd n
+
+let recv_json fd =
+  match J.parse (recv_frame fd) with
+  | Ok j -> j
+  | Error e -> fail "reply is not JSON: %s" e
+
+let member name j = match j with J.Obj _ -> J.member name j | _ -> None
+
+let expect_error what fd code =
+  let j = recv_json fd in
+  (match member "ok" j with
+  | Some (J.Bool false) -> ()
+  | _ -> fail "%s: expected ok=false reply, got %s" what (J.to_string ~minify:true j));
+  match member "error" j with
+  | Some e -> (
+      match member "code" e with
+      | Some (J.String c) when c = code -> ()
+      | Some (J.String c) -> fail "%s: expected error code %s, got %s" what code c
+      | _ -> fail "%s: error reply carries no code" what)
+  | None -> fail "%s: ok=false reply carries no error member" what
+
+let ping what fd =
+  send_frame fd {|{"op":"ping"}|};
+  let j = recv_json fd in
+  match (member "ok" j, Option.map (member "pong") (member "result" j)) with
+  | Some (J.Bool true), Some (Some (J.Bool true)) -> ()
+  | _ ->
+      fail "%s: ping after error got %s" what (J.to_string ~minify:true j)
+
+let expect_eof what fd =
+  match recv_frame fd with
+  | exception Eof -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  | s -> fail "%s: expected the connection closed, got a %d-byte frame" what
+           (String.length s)
+
+(* --- abuse mode ------------------------------------------------------- *)
+
+let abuse socket =
+  (* 1. A client that never spoke the protocol: the first four bytes
+     of an HTTP request decode to a ~1.2 GB length, past any drain
+     ceiling.  The daemon must reply with a structured error and then
+     close this connection — it cannot resynchronize. *)
+  let fd = connect socket in
+  write_all fd "GET / HTTP/1.0\r\n\r\n";
+  expect_error "garbage prefix" fd "oversized_frame";
+  expect_eof "garbage prefix" fd;
+  Unix.close fd;
+
+  (* 2. An honest frame over the size limit (20 MiB > the 16 MiB
+     default).  The daemon drains it to stay in sync: same structured
+     error, but the connection keeps working. *)
+  let fd = connect socket in
+  let mb = String.make (1024 * 1024) 'x' in
+  send_frame fd (String.concat "" (List.init 20 (fun _ -> mb)));
+  expect_error "oversized frame" fd "oversized_frame";
+  ping "oversized frame" fd;
+  Unix.close fd;
+
+  (* 3. A frame that is not JSON. *)
+  let fd = connect socket in
+  send_frame fd "{this is not json";
+  expect_error "malformed json" fd "malformed_json";
+  ping "malformed json" fd;
+
+  (* 4. JSON that is not a request object / names no real op —
+     still on the same connection. *)
+  send_frame fd "[1,2,3]";
+  expect_error "non-object request" fd "bad_request";
+  send_frame fd {|{"op":"frobnicate"}|};
+  expect_error "unknown op" fd "bad_request";
+  send_frame fd {|{"op":"run","program":"no-such-kernel","machine":"harpertown"}|};
+  expect_error "unknown program" fd "bad_request";
+  ping "bad requests" fd;
+  Unix.close fd;
+
+  (* 5. Mid-frame disconnect: promise 100 bytes, deliver 10, vanish.
+     The daemon must shrug this connection off and keep serving. *)
+  let fd = connect socket in
+  write_all fd "\x00\x00\x00\x64" (* length = 100 *);
+  write_all fd "truncated!";
+  Unix.close fd;
+  let fd = connect socket in
+  ping "after mid-frame disconnect" fd;
+  Unix.close fd;
+
+  print_endline "serve_probe: abuse ok"
+
+(* --- compare mode ----------------------------------------------------- *)
+
+let volatile = [ "timings_seconds"; "telemetry" ]
+
+let rec strip j =
+  match j with
+  | J.Obj members ->
+      J.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if List.mem k volatile then None else Some (k, strip v))
+           members)
+  | J.List l -> J.List (List.map strip l)
+  | _ -> j
+
+let load path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match J.parse s with
+  | Ok j -> j
+  | Error e -> fail "%s: %s" path e
+
+let compare_files a b =
+  let ja = J.to_string ~minify:true (strip (load a)) in
+  let jb = J.to_string ~minify:true (strip (load b)) in
+  if String.equal ja jb then print_endline "serve_probe: compare ok"
+  else begin
+    let n = min (String.length ja) (String.length jb) in
+    let i = ref 0 in
+    while !i < n && ja.[!i] = jb.[!i] do incr i done;
+    fail "%s and %s differ beyond the volatile members (byte %d: %s vs %s)" a b
+      !i
+      (String.sub ja !i (min 40 (String.length ja - !i)))
+      (String.sub jb !i (min 40 (String.length jb - !i)))
+  end
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "abuse"; socket ] -> abuse socket
+  | [ _; "compare"; a; b ] -> compare_files a b
+  | _ ->
+      prerr_endline "usage: serve_probe abuse SOCKET | compare A.json B.json";
+      exit 2
