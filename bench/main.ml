@@ -333,7 +333,12 @@ let scale_sweep ~quick ~json ~scales ~sample_sets () =
    repeats one cacheable request after priming, so it measures the
    plan-cache fast path (memory-LRU hit + one frame round trip).  The
    warm/cold throughput ratio is the headline number: it is what a
-   mapping service buys over forking one-shot processes. *)
+   mapping service buys over forking one-shot processes.
+
+   The daemon runs with its audit journal on and the slowlog threshold
+   at zero, and each phase row carries the delta of journal records
+   written and slowlog entries noted during that phase — so a bench
+   run also exercises (and prices) the observability path. *)
 let serve_sweep ~quick ~json ~jobs () =
   let module J = Ctam_util.Json in
   let module Server = Ctam_serve.Server in
@@ -345,6 +350,11 @@ let serve_sweep ~quick ~json ~jobs () =
     Filename.concat
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "ctam-serve-sweep-%d.sock" (Unix.getpid ()))
+  in
+  let journal =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ctam-serve-sweep-%d.jsonl" (Unix.getpid ()))
   in
   let request nocache =
     J.Obj
@@ -358,29 +368,59 @@ let serve_sweep ~quick ~json ~jobs () =
       ]
   in
   let server =
-    Server.create { Server.default_config with Server.socket; workers }
+    Server.create
+      {
+        Server.default_config with
+        Server.socket;
+        workers;
+        journal_path = Some journal;
+        slow_ms = 0.;
+      }
   in
   let daemon = Domain.spawn (fun () -> Server.serve server) in
-  let cold, warm =
+  (* Journal records written / slowlog entries noted so far, read over
+     the wire so the bench sees exactly what an operator would. *)
+  let obs_counters () =
+    match Client.one_shot ~socket (J.Obj [ ("op", J.String "stats") ]) with
+    | Ok reply ->
+        let int_at path =
+          let j =
+            List.fold_left
+              (fun j name -> Option.bind j (J.member name))
+              (J.member "result" reply) path
+          in
+          match j with Some (J.Int n) -> n | _ -> 0
+        in
+        (int_at [ "journal"; "records" ], int_at [ "slowlog"; "recorded" ])
+    | Error _ -> (0, 0)
+  in
+  let cold, warm, (cold_jr, cold_sl), (warm_jr, warm_sl) =
     Fun.protect
       ~finally:(fun () ->
         ignore (Client.one_shot ~socket (J.Obj [ ("op", J.String "shutdown") ]));
-        Domain.join daemon)
+        Domain.join daemon;
+        List.iter
+          (fun p -> try Sys.remove p with Sys_error _ -> ())
+          [ journal; journal ^ ".1" ])
       (fun () ->
         let cold_n, warm_n = if quick then (8, 160) else (16, 400) in
+        let jr0, sl0 = obs_counters () in
         let cold =
           Client.load ~socket ~concurrency ~total:cold_n [ request true ]
         in
+        let jr1, sl1 = obs_counters () in
         (* Prime the cache once so the warm phase never pays a miss. *)
         ignore (Client.one_shot ~socket (request false));
+        let jr2, sl2 = obs_counters () in
         let warm =
           Client.load ~socket ~concurrency ~total:warm_n [ request false ]
         in
-        (cold, warm))
+        let jr3, sl3 = obs_counters () in
+        (cold, warm, (jr1 - jr0, sl1 - sl0), (jr3 - jr2, sl3 - sl2)))
   in
   let speedup = warm.Client.rps /. Float.max 1e-9 cold.Client.rps in
   if json then begin
-    let row phase (s : Client.load_stats) =
+    let row phase (s : Client.load_stats) (jr, sl) =
       print_endline
         (J.to_string ~minify:true
            (J.Obj
@@ -401,14 +441,16 @@ let serve_sweep ~quick ~json ~jobs () =
                 ("p50_ms", J.Float s.Client.p50_ms);
                 ("p90_ms", J.Float s.Client.p90_ms);
                 ("p99_ms", J.Float s.Client.p99_ms);
+                ("journal_records", J.Int jr);
+                ("slowlog_recorded", J.Int sl);
                 ("warm_over_cold", if phase = "warm" then J.Float speedup else J.Null);
               ]))
     in
-    row "cold" cold;
-    row "warm" warm
+    row "cold" cold (cold_jr, cold_sl);
+    row "warm" warm (warm_jr, warm_sl)
   end
   else begin
-    let row phase (s : Client.load_stats) =
+    let row phase (s : Client.load_stats) (jr, sl) =
       [
         phase;
         string_of_int s.Client.requests;
@@ -418,6 +460,8 @@ let serve_sweep ~quick ~json ~jobs () =
         Printf.sprintf "%.2f" s.Client.p50_ms;
         Printf.sprintf "%.2f" s.Client.p90_ms;
         Printf.sprintf "%.2f" s.Client.p99_ms;
+        string_of_int jr;
+        string_of_int sl;
       ]
     in
     Printf.printf
@@ -427,8 +471,8 @@ let serve_sweep ~quick ~json ~jobs () =
       (Report.table
          ~header:
            [ "phase"; "requests"; "cached"; "errors"; "req/s"; "p50_ms";
-             "p90_ms"; "p99_ms" ]
-         [ row "cold" cold; row "warm" warm ])
+             "p90_ms"; "p99_ms"; "journal"; "slowlog" ]
+         [ row "cold" cold (cold_jr, cold_sl); row "warm" warm (warm_jr, warm_sl) ])
       speedup
   end
 

@@ -227,9 +227,23 @@ let metrics_out_arg =
            process GC totals.  JSON by default; a $(b,.prom) suffix selects \
            the Prometheus text exposition format instead.")
 
+let log_format_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-format" ] ~docv:"FMT"
+        ~doc:
+          "Rendering of ctamap's own structured logger: $(b,human) or \
+           $(b,json) (JSON lines on stderr; default: \\$CTAM_LOG_FORMAT or \
+           human).")
+
 let set_log_level = function
   | None -> Ok ()
   | Some s -> Ctam_telemetry.Log.set_level_of_string s
+
+let set_log_format = function
+  | None -> Ok ()
+  | Some s -> Ctam_telemetry.Log.set_format_of_string s
 
 let write_metrics = function
   | None -> Ok ()
@@ -1201,14 +1215,32 @@ let experiment_cmd =
 
 let serve_cmd =
   let run socket workers cache_dir cache_entries cache_mb max_frame_mb
-      timeout_ms log_level metrics_out =
+      timeout_ms journal journal_max_mb slow_ms slowlog_entries log_level
+      log_format metrics_out =
+    (* The daemon defaults to info so its startup-config and lifecycle
+       lines are visible; an explicit --log-level or $CTAM_LOG still
+       wins. *)
+    (if log_level = None && Sys.getenv_opt Ctam_telemetry.Log.env_var = None
+     then Ctam_telemetry.Log.set_level (Some Ctam_telemetry.Log.Info));
     let* () = set_log_level log_level in
+    let* () = set_log_format log_format in
     let* () =
       if workers < 1 then Error "--workers must be positive" else Ok ()
     in
     let* () =
       if cache_entries < 1 || cache_mb < 1 || max_frame_mb < 1 then
         Error "--cache-entries, --cache-mb and --max-frame-mb must be positive"
+      else Ok ()
+    in
+    let* () =
+      if journal_max_mb < 1 then Error "--journal-max-mb must be positive"
+      else Ok ()
+    in
+    let* () =
+      if slow_ms < 0. then Error "--slow-ms must be non-negative" else Ok ()
+    in
+    let* () =
+      if slowlog_entries < 1 then Error "--slowlog-entries must be positive"
       else Ok ()
     in
     let config =
@@ -1220,6 +1252,10 @@ let serve_cmd =
         cache_dir;
         cache_entries;
         cache_bytes = cache_mb * 1024 * 1024;
+        journal_path = journal;
+        journal_max_bytes = journal_max_mb * 1024 * 1024;
+        slow_ms;
+        slowlog_entries;
       }
     in
     match Ctam_serve.Server.create config with
@@ -1228,15 +1264,15 @@ let serve_cmd =
           ( false,
             Printf.sprintf "cannot listen on %s: %s" socket
               (Unix.error_message err) )
+    | exception Sys_error msg ->
+        `Error (false, Printf.sprintf "cannot open journal: %s" msg)
     | t ->
         let stop _ = Ctam_serve.Server.stop t in
         Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
         Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-        Fmt.epr "ctamap serve: listening on %s (%d workers, cache %s)@." socket
-          workers
-        (match cache_dir with None -> "in-memory" | Some d -> "in-memory + " ^ d);
+        (* Lifecycle lines come from the daemon's structured logger
+           (Server.serve logs the effective config at info). *)
         Ctam_serve.Server.serve t;
-        Fmt.epr "ctamap serve: stopped@.";
         let* () = write_metrics metrics_out in
         `Ok ()
   in
@@ -1295,6 +1331,43 @@ let serve_cmd =
             "Default per-request deadline; requests may override with their \
              own $(b,timeout_ms) member.")
   in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Append an audit-journal record (JSON line: request id, op, \
+             cache outcome, per-span timings, byte counts, status, plus the \
+             request and response documents) to $(docv) for every request \
+             served.  Size-rotated; replayable with \
+             $(b,tools/journal_replay).")
+  in
+  let journal_max_mb =
+    Arg.(
+      value
+      & opt int (Ctam_serve.Journal.default_max_bytes / (1024 * 1024))
+      & info [ "journal-max-mb" ] ~docv:"MB"
+          ~doc:
+            "Rotate the journal (rename to $(i,FILE).1 and restart) when it \
+             would exceed $(docv) MiB.")
+  in
+  let slow_ms =
+    Arg.(
+      value
+      & opt float Ctam_serve.Slowlog.default_threshold_ms
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Record requests at least $(docv) ms in the in-memory slowlog \
+             ring, queryable live with the $(b,slowlog) op.")
+  in
+  let slowlog_entries =
+    Arg.(
+      value
+      & opt int Ctam_serve.Slowlog.default_capacity
+      & info [ "slowlog-entries" ] ~docv:"N"
+          ~doc:"Slowlog ring capacity (oldest entries overwritten).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1302,18 +1375,37 @@ let serve_cmd =
           map/run/tune/check requests (length-prefixed JSON frames) from a \
           worker pool, with an LRU compiled-plan cache in front of the \
           pipeline.  Malformed requests get structured error replies; only \
-          a shutdown request or SIGINT/SIGTERM stops it.")
+          a shutdown request or SIGINT/SIGTERM stops it.  Observability: \
+          per-request ids on every reply and log line, an optional \
+          append-only audit journal ($(b,--journal)), a slow-request ring \
+          ($(b,--slow-ms)) and live $(b,metrics)/$(b,slowlog) wire ops.")
     Term.(
       ret
         (const run $ socket $ workers $ cache_dir $ cache_entries $ cache_mb
-       $ max_frame_mb $ timeout_ms $ log_level_arg $ metrics_out_arg))
+       $ max_frame_mb $ timeout_ms $ journal $ journal_max_mb $ slow_ms
+       $ slowlog_entries $ log_level_arg $ log_format_arg $ metrics_out_arg))
 
 let client_cmd =
   let module J = Ctam_util.Json in
   let build_request ~op ~source ~machine ~scale ~scheme ~block ~stream
-      ~sample_sets ~check ~strategy ~budget ~nocache ~timeout_ms =
+      ~sample_sets ~check ~strategy ~budget ~nocache ~timeout_ms ~trace
+      ~trace_window ~metrics_format ~limit =
     match op with
     | "ping" | "stats" | "shutdown" -> Ok (J.Obj [ ("op", J.String op) ])
+    | "metrics" ->
+        Ok
+          (J.Obj
+             ([ ("op", J.String op) ]
+             @
+             match metrics_format with
+             | None -> []
+             | Some f -> [ ("format", J.String f) ]))
+    | "slowlog" ->
+        Ok
+          (J.Obj
+             ([ ("op", J.String op) ]
+             @ match limit with None -> [] | Some n -> [ ("limit", J.Int n) ]
+             ))
     | "map" | "run" | "tune" | "check" -> (
         match source with
         | None -> Error (Printf.sprintf "op '%s' needs a PROGRAM argument" op)
@@ -1348,16 +1440,24 @@ let client_cmd =
                    ]
                  @ opt "strategy" strategy (fun s -> J.String s)
                  @ opt "budget" budget (fun b -> J.Int b)
-                 @ opt "timeout_ms" timeout_ms (fun t -> J.Int t))))
+                 @ opt "timeout_ms" timeout_ms (fun t -> J.Int t)
+                 @ (if trace then [ ("trace", J.Bool true) ] else [])
+                 @
+                 match trace_window with
+                 | Some w when trace -> [ ("trace_window", J.Int w) ]
+                 | _ -> [])))
     | op -> Error (Printf.sprintf "unknown op '%s'" op)
   in
   let run socket op source machine scale scheme block stream sample_sets check
-      strategy budget nocache timeout_ms load concurrency out_json log_level =
+      strategy budget nocache timeout_ms trace trace_window metrics_format
+      limit load concurrency out_json log_level log_format =
     let* () = set_log_level log_level in
+    let* () = set_log_format log_format in
     let* () = validate_sample_sets sample_sets in
     let* req =
       build_request ~op ~source ~machine ~scale ~scheme ~block ~stream
-        ~sample_sets ~check ~strategy ~budget ~nocache ~timeout_ms
+        ~sample_sets ~check ~strategy ~budget ~nocache ~timeout_ms ~trace
+        ~trace_window ~metrics_format ~limit
     in
     match load with
     | Some total ->
@@ -1390,7 +1490,14 @@ let client_cmd =
               Option.value ~default:J.Null
                 (Ctam_serve.Protocol.response_result reply)
             in
-            print_endline (J.to_string result);
+            (* String results (e.g. metrics --format prometheus) are
+               printed raw, so the output is directly scrapeable. *)
+            (match result with
+            | J.String s ->
+                print_string s;
+                if s = "" || s.[String.length s - 1] <> '\n' then
+                  print_newline ()
+            | r -> print_endline (J.to_string r));
             `Ok ())
   in
   let socket =
@@ -1404,8 +1511,40 @@ let client_cmd =
       value & opt string "run"
       & info [ "op" ] ~docv:"OP"
           ~doc:
-            "Request operation: map, run, tune, check, stats, ping or \
-             shutdown.")
+            "Request operation: map, run, tune, check, stats, metrics, \
+             slowlog, ping or shutdown.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "For run: embed the Chrome trace-event JSON of the simulated \
+             timeline (and the compile phases) in the reply's result as a \
+             $(b,trace) member.")
+  in
+  let trace_window =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-window" ] ~docv:"N"
+          ~doc:"Timeline window width in simulated cycles (with --trace).")
+  in
+  let metrics_format =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "For the metrics op: $(b,json) (structured snapshot, default) \
+             or $(b,prometheus) (text exposition, printed raw).")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"For the slowlog op: return at most $(docv) entries.")
   in
   let source =
     let doc = "DSL source file, or the name of a built-in workload." in
@@ -1477,8 +1616,237 @@ let client_cmd =
       ret
         (const run $ socket $ op $ source $ machine_arg $ scale_arg
        $ scheme_arg $ block_arg $ stream_arg $ sample_sets_arg $ check_flag
-       $ strategy $ budget $ nocache $ timeout_ms $ load $ concurrency
-       $ out_json $ log_level_arg))
+       $ strategy $ budget $ nocache $ timeout_ms $ trace $ trace_window
+       $ metrics_format $ limit $ load $ concurrency $ out_json
+       $ log_level_arg $ log_format_arg))
+
+(* [ctamap top]: a polling monitor for a running daemon.  Each tick
+   asks for [stats] and a JSON [metrics] snapshot over the wire and
+   renders the service at a glance: request rate, per-op latency
+   quantiles (from the ctam_serve_request_seconds histograms), plan
+   cache hit rate, resident heap, worker utilization and error
+   counts. *)
+let top_cmd =
+  let module J = Ctam_util.Json in
+  let module M = Ctam_telemetry.Metrics in
+  let mem name j = match j with J.Obj _ -> J.member name j | _ -> None in
+  let int_mem name j =
+    match mem name j with
+    | Some (J.Int i) -> i
+    | Some (J.Float f) -> int_of_float f
+    | _ -> 0
+  in
+  let float_mem name j =
+    match mem name j with
+    | Some (J.Float f) -> f
+    | Some (J.Int i) -> float_of_int i
+    | _ -> 0.
+  in
+  let str_mem name j =
+    match mem name j with Some (J.String s) -> s | _ -> ""
+  in
+  (* Rebuild Metrics.value histograms from the snapshot JSON, merged
+     over every label set of the family except [by], keyed by [by]'s
+     value — e.g. ctam_serve_request_seconds{op,cache} summed over
+     cache, per op.  Identical bounds per family make cumulative
+     bucket counts directly summable. *)
+  let histograms_by ~family ~by metrics_json =
+    let families =
+      match mem "metrics" metrics_json with Some (J.List l) -> l | _ -> []
+    in
+    let out = ref [] in
+    List.iter
+      (fun f ->
+        if str_mem "name" f = family then
+          let series = match mem "series" f with Some (J.List l) -> l | _ -> [] in
+          List.iter
+            (fun s ->
+              let key =
+                match mem "labels" s with
+                | Some labels -> str_mem by labels
+                | None -> ""
+              in
+              let buckets =
+                match mem "buckets" s with
+                | Some (J.List bs) ->
+                    List.map
+                      (fun b ->
+                        let le =
+                          match mem "le" b with
+                          | Some (J.Float f) -> f
+                          | Some (J.Int i) -> float_of_int i
+                          | _ -> infinity
+                        in
+                        (le, int_mem "count" b))
+                      bs
+                | _ -> []
+              in
+              let count = int_mem "count" s and sum = float_mem "sum" s in
+              let merged =
+                match List.assoc_opt key !out with
+                | None -> (count, sum, buckets)
+                | Some (c, su, bs) ->
+                    ( c + count,
+                      su +. sum,
+                      List.map2
+                        (fun (le, a) (_, b) -> (le, a + b))
+                        bs buckets )
+              in
+              out := (key, merged) :: List.remove_assoc key !out)
+            series)
+      families;
+    List.rev_map
+      (fun (key, (count, sum, buckets)) ->
+        (key, M.Histogram { count; sum; buckets = Array.of_list buckets }))
+      !out
+  in
+  let poll socket =
+    let ( let* ) = Result.bind in
+    let* stats_reply =
+      Ctam_serve.Client.one_shot ~socket (J.Obj [ ("op", J.String "stats") ])
+    in
+    let* metrics_reply =
+      Ctam_serve.Client.one_shot ~socket (J.Obj [ ("op", J.String "metrics") ])
+    in
+    match
+      ( Ctam_serve.Protocol.response_result stats_reply,
+        Ctam_serve.Protocol.response_result metrics_reply )
+    with
+    | Some stats, Some metrics -> Ok (Unix.gettimeofday (), stats, metrics)
+    | _ -> Error "daemon returned an error reply"
+  in
+  let render ~socket ~prev (now, stats, metrics) =
+    let served = int_mem "served" stats in
+    let errors = int_mem "errors" stats in
+    let timeouts = int_mem "timeouts" stats in
+    let cached = int_mem "cached" stats in
+    let cache = Option.value ~default:J.Null (mem "cache" stats) in
+    let hists = histograms_by ~family:"ctam_serve_request_seconds" ~by:"op" metrics in
+    let total_sum =
+      List.fold_left
+        (fun a (_, v) -> match v with M.Histogram h -> a +. h.sum | _ -> a)
+        0. hists
+    in
+    let dt, dserved, dsum =
+      match prev with
+      | Some (t0, served0, sum0) ->
+          (now -. t0, served - served0, total_sum -. sum0)
+      | None -> (0., 0, 0.)
+    in
+    let rps = if dt > 0. then float_of_int dserved /. dt else 0. in
+    let workers = max 1 (int_mem "workers" stats) in
+    let util =
+      if dt > 0. then
+        100. *. dsum /. (dt *. float_of_int workers)
+      else 0.
+    in
+    let lookups =
+      int_mem "memory_hits" cache + int_mem "memory_misses" cache
+    in
+    let hits = int_mem "memory_hits" cache + int_mem "disk_hits" cache in
+    let hit_rate =
+      if lookups > 0 then 100. *. float_of_int hits /. float_of_int lookups
+      else 0.
+    in
+    let heap_mib =
+      float_of_int (int_mem "heap_words" (Option.value ~default:J.Null (mem "gc" metrics)))
+      *. float_of_int (Sys.word_size / 8)
+      /. (1024. *. 1024.)
+    in
+    Fmt.pr "ctamap top — %s — v%s — uptime %.0fs — %d workers@." socket
+      (str_mem "version" stats)
+      (float_mem "uptime_seconds" stats)
+      workers;
+    Fmt.pr
+      "requests: %d served (%.1f rps), %d errors, %d timeouts, %d cached@."
+      served rps errors timeouts cached;
+    Fmt.pr
+      "plan cache: %d entries, %.1f MiB, %.1f%% hit rate (mem %d / disk %d)@."
+      (int_mem "entries" cache)
+      (float_of_int (int_mem "bytes" cache) /. (1024. *. 1024.))
+      hit_rate (int_mem "memory_hits" cache) (int_mem "disk_hits" cache);
+    (match mem "journal" stats with
+    | Some (J.Obj _ as jn) ->
+        Fmt.pr "journal: %d records, %.1f MiB, %d rotations, %d failures@."
+          (int_mem "records" jn)
+          (float_of_int (int_mem "bytes" jn) /. (1024. *. 1024.))
+          (int_mem "rotations" jn)
+          (int_mem "write_failures" jn)
+    | _ -> Fmt.pr "journal: off@.");
+    (match mem "slowlog" stats with
+    | Some (J.Obj _ as sl) ->
+        Fmt.pr "slowlog: %d recorded (threshold %.0f ms)@."
+          (int_mem "recorded" sl)
+          (float_mem "threshold_ms" sl)
+    | _ -> ());
+    Fmt.pr "heap: %.1f MiB resident — workers %.1f%% busy@." heap_mib
+      (Float.min 100. util);
+    Fmt.pr "@.%-10s %9s %10s %10s %10s@." "op" "count" "mean ms" "p50 ms"
+      "p99 ms";
+    List.iter
+      (fun (op, v) ->
+        match v with
+        | M.Histogram { count; sum; _ } when count > 0 ->
+            let q p =
+              match M.quantile v p with Some s -> s *. 1000. | None -> 0.
+            in
+            Fmt.pr "%-10s %9d %10.2f %10.2f %10.2f@." op count
+              (sum /. float_of_int count *. 1000.)
+              (q 0.5) (q 0.99)
+        | _ -> ())
+      (List.sort compare hists);
+    (now, served, total_sum)
+  in
+  let run socket interval count log_level =
+    let* () = set_log_level log_level in
+    let* () =
+      if interval <= 0. then Error "--interval must be positive" else Ok ()
+    in
+    let* () = if count < 0 then Error "--count must be >= 0" else Ok () in
+    let clear = count <> 1 && Unix.isatty Unix.stdout in
+    let rec loop i prev =
+      match poll socket with
+      | Error e -> `Error (false, e)
+      | Ok sample ->
+          if clear then Fmt.pr "\027[2J\027[H%!";
+          let prev = render ~socket ~prev sample in
+          Fmt.pr "%!";
+          if count > 0 && i + 1 >= count then `Ok ()
+          else begin
+            Unix.sleepf interval;
+            loop (i + 1) (Some prev)
+          end
+    in
+    loop 0 None
+  in
+  let socket =
+    Arg.(
+      value
+      & opt string "ctamap.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Daemon socket to connect to.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Seconds between polls.")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) polls (0 = run until interrupted).  \
+             $(b,--count 1) prints one snapshot without clearing the \
+             screen.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live monitor for a running mapping daemon: polls the stats and \
+          metrics wire ops and renders request rate, per-op latency \
+          quantiles, plan-cache hit rate, journal and slowlog state, \
+          resident heap and worker utilization.")
+    Term.(ret (const run $ socket $ interval $ count $ log_level_arg))
 
 let () =
   (* Hook Parallel.map into the metrics registry; libraries never
@@ -1494,5 +1862,5 @@ let () =
             machines_cmd; groups_cmd; map_cmd; run_cmd; simulate_cmd;
             compare_cmd; tune_cmd; codegen_cmd; check_cmd; dump_cmd;
             emit_c_cmd; reuse_cmd; trace_cmd; report_cmd; experiment_cmd;
-            serve_cmd; client_cmd;
+            serve_cmd; client_cmd; top_cmd;
           ]))

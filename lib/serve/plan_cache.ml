@@ -178,7 +178,11 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let find t key =
+(* Which tier answered — the journal's and the span metrics' "cache
+   outcome" dimension. *)
+type lookup_result = Memory of J.t | Disk of J.t | Absent
+
+let lookup t key =
   locked t (fun () ->
       match Hashtbl.find_opt t.table key with
       | Some n ->
@@ -186,12 +190,12 @@ let find t key =
           push_hot t n;
           t.c.mem_hits <- t.c.mem_hits + 1;
           count "memory" "hit";
-          Some n.value
+          Memory n.value
       | None -> (
           t.c.mem_misses <- t.c.mem_misses + 1;
           count "memory" "miss";
           match t.dir with
-          | None -> None
+          | None -> Absent
           | Some dir -> (
               match
                 Store.read ~dir ~prefix:file_prefix ~value_member:"value" key
@@ -200,11 +204,11 @@ let find t key =
                   t.c.disk_hits <- t.c.disk_hits + 1;
                   count "disk" "hit";
                   insert_locked t key v;
-                  Some v
+                  Disk v
               | Store.Miss ->
                   t.c.disk_misses <- t.c.disk_misses + 1;
                   count "disk" "miss";
-                  None
+                  Absent
               | Store.Corrupt what ->
                   t.c.disk_corrupt <- t.c.disk_corrupt + 1;
                   count "disk" "corrupt";
@@ -218,10 +222,13 @@ let find t key =
                     (fun () ->
                       "corrupt plan-cache entry (" ^ what
                       ^ "); will recompute");
-                  None
+                  Absent
               | Store.Collision ->
                   count "disk" "collision";
-                  None)))
+                  Absent)))
+
+let find t key =
+  match lookup t key with Memory v | Disk v -> Some v | Absent -> None
 
 let add t key value =
   locked t (fun () ->

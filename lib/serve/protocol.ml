@@ -105,23 +105,30 @@ let write_json fd j = write_frame fd (J.to_string ~minify:true j)
 
 (* --- response shapes -------------------------------------------------- *)
 
-let ok_response ?(id = J.Null) ?(cached = false) result =
-  J.Obj
-    [
-      ("id", id);
-      ("ok", J.Bool true);
-      ("cached", J.Bool cached);
-      ("result", result);
-    ]
+(* [request_id] is the daemon-minted monotonic id (distinct from the
+   client-chosen [id] echo): present on every reply of an observable
+   daemon so a client error message can be correlated with the
+   daemon's log lines, journal record and slowlog entry. *)
 
-let error_response ?(id = J.Null) ~code message =
+let request_id_members = function
+  | None -> []
+  | Some rid -> [ ("request_id", J.Int rid) ]
+
+let ok_response ?(id = J.Null) ?request_id ?(cached = false) result =
   J.Obj
-    [
-      ("id", id);
-      ("ok", J.Bool false);
-      ( "error",
-        J.Obj [ ("code", J.String code); ("message", J.String message) ] );
-    ]
+    ([ ("id", id) ]
+    @ request_id_members request_id
+    @ [ ("ok", J.Bool true); ("cached", J.Bool cached); ("result", result) ])
+
+let error_response ?(id = J.Null) ?request_id ~code message =
+  J.Obj
+    ([ ("id", id) ]
+    @ request_id_members request_id
+    @ [
+        ("ok", J.Bool false);
+        ( "error",
+          J.Obj [ ("code", J.String code); ("message", J.String message) ] );
+      ])
 
 (* Total accessors mirroring the server's view of a reply: never raise,
    even on replies that are not objects at all. *)
@@ -134,6 +141,9 @@ let response_cached j =
   match mem "cached" j with Some (J.Bool b) -> b | _ -> false
 
 let response_result j = mem "result" j
+
+let response_request_id j =
+  match mem "request_id" j with Some (J.Int i) -> Some i | _ -> None
 
 let response_error j =
   match mem "error" j with

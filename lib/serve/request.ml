@@ -48,6 +48,8 @@ type t = {
   budget : int option;  (** tune only *)
   nocache : bool;  (** bypass the plan cache (lookup and store) *)
   timeout_ms : int option;
+  trace : bool;  (** run: embed Chrome-trace JSON in the response *)
+  trace_window : int option;  (** timeline window width for [trace] *)
 }
 
 (* --- parsing ---------------------------------------------------------- *)
@@ -197,6 +199,16 @@ let parse j =
           | Ok s -> s
           | Error e -> bad "%s" e)
     in
+    let trace = Option.value ~default:false (bool_field j "trace") in
+    let trace_window =
+      match int_field j "trace_window" with
+      | None -> None
+      | Some w when w >= 1 -> Some w
+      | Some w -> bad "\"trace_window\" must be >= 1 (got %d)" w
+    in
+    if trace && op <> Run then bad "\"trace\" applies only to op \"run\"";
+    if trace_window <> None && not trace then
+      bad "\"trace_window\" requires \"trace\": true";
     {
       id = Option.value ~default:J.Null (mem "id" j);
       op;
@@ -212,6 +224,8 @@ let parse j =
       budget = int_field j "budget";
       nocache = Option.value ~default:false (bool_field j "nocache");
       timeout_ms;
+      trace;
+      trace_window;
     }
   with
   | r -> Ok r
@@ -232,6 +246,10 @@ let key r =
          [ Printf.sprintf "sample=%d" r.sample_sets ]
        else [])
     @ (if r.check then [ "check=1" ] else [])
+    @ (if r.trace then [ "trace=1" ] else [])
+    @ (match r.trace_window with
+      | Some w when r.trace -> [ Printf.sprintf "trace_window=%d" w ]
+      | _ -> [])
     @ (match r.op with
       | Tune ->
           [
@@ -272,51 +290,111 @@ let map_summary r (compiled : Mapping.compiled) =
       ("nests", J.List (List.map nest_json compiled.Mapping.infos));
     ]
 
+(* Append a member to an object result (total: non-objects pass
+   through untouched). *)
+let with_member name v = function
+  | J.Obj ms -> J.Obj (ms @ [ (name, v) ])
+  | j -> j
+
+let timed spans name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  spans := (name, Unix.gettimeofday () -. t0) :: !spans;
+  r
+
 (* [execute ?cache_dir r] runs the operation and returns the result
-   JSON.  [cache_dir] is handed to tune searches as their own
-   persistent evaluation cache (distinct file prefix, same
+   JSON together with the named phase timings the request context
+   publishes as spans (compile / simulate / verify / search, in
+   completion order).  [cache_dir] is handed to tune searches as their
+   own persistent evaluation cache (distinct file prefix, same
    directory).  May raise — the server maps exceptions to structured
    [internal] errors. *)
 let execute ?cache_dir r =
   let params = Space.params_of ~base:r.base_params r.point in
   let scheme = r.point.Space.scheme in
-  match r.op with
-  | Map ->
-      let compiled =
-        Mapping.compile ~params ~stream:r.stream scheme ~machine:r.machine
-          r.program
-      in
-      map_summary r compiled
-  | Run ->
-      let p =
-        Ctam_exp.Run_report.profile ~params ~check:r.check ~stream:r.stream
-          ~sample_sets:r.sample_sets scheme ~machine:r.machine r.program
-      in
-      p.Ctam_exp.Run_report.report
-  | Check ->
-      let compiled =
-        Mapping.compile ~params ~stream:r.stream scheme ~machine:r.machine
-          r.program
-      in
-      Ctam_verify.Verify.to_json (Ctam_verify.Verify.check compiled)
-  | Tune ->
-      let settings =
-        {
-          Search.default_settings with
-          Search.strategy = r.strategy;
-          budget = r.budget;
-          cache_dir;
-          (* One evaluation at a time: the daemon's parallelism budget
-             belongs to the worker pool, not to a single request. *)
-          jobs = Some 1;
-          base_params = r.base_params;
-          verify = r.check;
-          stream = r.stream;
-          sample_sets = r.sample_sets;
-        }
-      in
-      let result =
-        Search.run settings ~machine:r.machine ~program_name:r.program_name
-          r.program
-      in
-      Search.to_json result
+  let spans = ref [] in
+  let result =
+    match r.op with
+    | Map ->
+        let compiled =
+          timed spans "compile" (fun () ->
+              Mapping.compile ~params ~stream:r.stream scheme
+                ~machine:r.machine r.program)
+        in
+        map_summary r compiled
+    | Run ->
+        let timeline_window =
+          if r.trace then
+            Some
+              (Option.value
+                 ~default:Ctam_cachesim.Timeline.default_window
+                 r.trace_window)
+          else None
+        in
+        let p =
+          Ctam_exp.Run_report.profile ~params ?timeline_window ~check:r.check
+            ~stream:r.stream ~sample_sets:r.sample_sets scheme
+            ~machine:r.machine r.program
+        in
+        let compile_seconds =
+          List.fold_left
+            (fun a (_, s) -> a +. s)
+            0.
+            p.Ctam_exp.Run_report.compiled.Mapping.timings
+        in
+        spans :=
+          [
+            ("simulate", p.Ctam_exp.Run_report.sim_seconds);
+            ("compile", compile_seconds);
+          ];
+        let report = p.Ctam_exp.Run_report.report in
+        (* trace: embed the Chrome trace-event JSON (PR-4 exporter)
+           right in the reply, so a client can stream one slow request
+           straight into chrome://tracing. *)
+        if r.trace then
+          match p.Ctam_exp.Run_report.timeline with
+          | Some tl ->
+              let tj =
+                Ctam_exp.Trace_export.trace_json
+                  ~compile_timings:
+                    p.Ctam_exp.Run_report.compiled.Mapping.timings
+                  ~program:r.program_name
+                  ~machine:r.machine.Topology.name
+                  ~scheme:(Space.scheme_id r.point.Space.scheme)
+                  ~legend:p.Ctam_exp.Run_report.legend tl
+              in
+              with_member "trace" tj report
+          | None -> report
+        else report
+    | Check ->
+        let compiled =
+          timed spans "compile" (fun () ->
+              Mapping.compile ~params ~stream:r.stream scheme
+                ~machine:r.machine r.program)
+        in
+        timed spans "verify" (fun () ->
+            Ctam_verify.Verify.to_json (Ctam_verify.Verify.check compiled))
+    | Tune ->
+        let settings =
+          {
+            Search.default_settings with
+            Search.strategy = r.strategy;
+            budget = r.budget;
+            cache_dir;
+            (* One evaluation at a time: the daemon's parallelism budget
+               belongs to the worker pool, not to a single request. *)
+            jobs = Some 1;
+            base_params = r.base_params;
+            verify = r.check;
+            stream = r.stream;
+            sample_sets = r.sample_sets;
+          }
+        in
+        let result =
+          timed spans "search" (fun () ->
+              Search.run settings ~machine:r.machine
+                ~program_name:r.program_name r.program)
+        in
+        Search.to_json result
+  in
+  (result, List.rev !spans)

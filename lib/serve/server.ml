@@ -34,9 +34,9 @@ let tel_connections =
   Tel.Metrics.Counter.v ~help:"Connections accepted"
     "ctam_serve_connections_total"
 
-let tel_seconds =
-  Tel.Metrics.Histogram.v ~labels:[ "op" ]
-    ~help:"Request service time in seconds" "ctam_serve_request_seconds"
+(* Request service-time histograms (ctam_serve_request_seconds /
+   ctam_serve_span_seconds) live in Reqctx, labelled by op and cache
+   outcome / span. *)
 
 let count_request op outcome =
   Tel.Metrics.Counter.inc (Tel.Metrics.Counter.series tel_requests [ op; outcome ])
@@ -50,6 +50,11 @@ type config = {
   cache_dir : string option;
   cache_entries : int;
   cache_bytes : int;
+  journal_path : string option;
+      (** append-only JSONL audit journal (--journal) *)
+  journal_max_bytes : int;  (** size-rotation bound for the journal *)
+  slow_ms : float;  (** slowlog threshold (--slow-ms) *)
+  slowlog_entries : int;  (** slowlog ring capacity *)
 }
 
 let default_config =
@@ -61,6 +66,10 @@ let default_config =
     cache_dir = None;
     cache_entries = Plan_cache.default_max_entries;
     cache_bytes = Plan_cache.default_max_bytes;
+    journal_path = None;
+    journal_max_bytes = Journal.default_max_bytes;
+    slow_ms = Slowlog.default_threshold_ms;
+    slowlog_entries = Slowlog.default_capacity;
   }
 
 type counters = {
@@ -73,7 +82,10 @@ type counters = {
 type t = {
   config : config;
   cache : Plan_cache.t;
+  journal : Journal.t option;
+  slowlog : Slowlog.t;
   listen_fd : Unix.file_descr;
+  started : float;  (** wall clock at [create] (stats uptime) *)
   stop : bool Atomic.t;
   c : counters;
   lock : Mutex.t;  (** counters + zombie list *)
@@ -110,10 +122,22 @@ let create config =
     Plan_cache.create ?dir:config.cache_dir ~max_entries:config.cache_entries
       ~max_bytes:config.cache_bytes ()
   in
+  let journal =
+    Option.map
+      (Journal.create ~max_bytes:config.journal_max_bytes)
+      config.journal_path
+  in
+  let slowlog =
+    Slowlog.create ~threshold_ms:config.slow_ms
+      ~capacity:config.slowlog_entries ()
+  in
   {
     config;
     cache;
+    journal;
+    slowlog;
     listen_fd = fd;
+    started = Unix.gettimeofday ();
     stop = Atomic.make false;
     c = { served = 0; errors = 0; timeouts = 0; cached = 0 };
     lock = Mutex.create ();
@@ -185,16 +209,61 @@ let stats_json t =
     [
       ("version", J.String Ctam_exp.Build_info.version);
       ("workers", J.Int t.config.workers);
+      ("uptime_seconds", J.Float (Unix.gettimeofday () -. t.started));
       ("served", J.Int served);
       ("errors", J.Int errors);
       ("timeouts", J.Int timeouts);
       ("cached", J.Int cached);
       ("cache", Plan_cache.stats_json t.cache);
+      ( "journal",
+        match t.journal with
+        | None -> J.Null
+        | Some jn -> Journal.stats_json jn );
+      ( "slowlog",
+        J.Obj
+          [
+            ("threshold_ms", J.Float (Slowlog.threshold_ms t.slowlog));
+            ("recorded", J.Int (Slowlog.recorded t.slowlog));
+          ] );
     ]
 
-(* Answer one parsed request object; returns the reply and whether the
-   daemon should begin shutting down. *)
-let handle t j =
+(* The [metrics] op: a telemetry snapshot in either the structured
+   JSON shape ([--metrics-out]) or the Prometheus 0.0.4 text format,
+   scraped live from the daemon's registry. *)
+let metrics_json = function
+  | `Json ->
+      Tel.Profile.snapshot_json ~version:Ctam_exp.Build_info.version
+        ~telemetry_version:Ctam_exp.Build_info.telemetry_version ()
+  | `Prometheus -> J.String (Tel.Prometheus.render ())
+
+let metrics_format j =
+  match j with
+  | J.Obj _ -> (
+      match J.member "format" j with
+      | None -> Ok `Json
+      | Some (J.String ("json" | "snapshot")) -> Ok `Json
+      | Some (J.String ("prometheus" | "prom" | "text")) -> Ok `Prometheus
+      | Some _ ->
+          Error "\"format\" must be \"json\" or \"prometheus\""
+      )
+  | _ -> Ok `Json
+
+let slowlog_limit j =
+  match j with
+  | J.Obj _ -> (
+      match J.member "limit" j with
+      | None -> Ok None
+      | Some (J.Int n) when n >= 0 -> Ok (Some n)
+      | Some _ -> Error "\"limit\" must be a non-negative integer")
+  | _ -> Ok None
+
+(* Answer one parsed request object under [ctx]; returns the reply,
+   whether the daemon should begin shutting down, and the plan-cache
+   key (for the journal) when the operation has one.  Every reply
+   carries the daemon-minted [request_id], and [ctx] leaves with op /
+   cache outcome / status / error code / execution spans filled in. *)
+let handle t (ctx : Reqctx.t) j =
+  let request_id = ctx.Reqctx.id in
   let id = match j with J.Obj _ -> Option.value ~default:J.Null (J.member "id" j) | _ -> J.Null in
   let op =
     match j with
@@ -203,6 +272,7 @@ let handle t j =
     | _ -> None
   in
   let finish ~op ~outcome reply =
+    ctx.Reqctx.op <- op;
     count_request op outcome;
     locked t (fun () ->
         t.c.served <- t.c.served + 1;
@@ -214,44 +284,89 @@ let handle t j =
         | _ -> ());
     reply
   in
+  let bad_request ~op msg =
+    Reqctx.error ctx "bad_request";
+    ( finish ~op ~outcome:"error"
+        (Protocol.error_response ~id ~request_id ~code:"bad_request" msg),
+      false,
+      None )
+  in
   match op with
   | None ->
+      Reqctx.error ctx "bad_request";
       ( finish ~op:"?" ~outcome:"error"
-          (Protocol.error_response ~id ~code:"bad_request"
+          (Protocol.error_response ~id ~request_id ~code:"bad_request"
              "request must be an object with a string \"op\" member"),
-        false )
-  | Some "ping" -> (finish ~op:"ping" ~outcome:"ok" (Protocol.ok_response ~id (J.Obj [ ("pong", J.Bool true) ])), false)
+        false,
+        None )
+  | Some "ping" ->
+      ( finish ~op:"ping" ~outcome:"ok"
+          (Protocol.ok_response ~id ~request_id
+             (J.Obj [ ("pong", J.Bool true) ])),
+        false,
+        None )
   | Some "stats" ->
-      (finish ~op:"stats" ~outcome:"ok" (Protocol.ok_response ~id (stats_json t)), false)
+      ( finish ~op:"stats" ~outcome:"ok"
+          (Protocol.ok_response ~id ~request_id (stats_json t)),
+        false,
+        None )
+  | Some "metrics" -> (
+      match metrics_format j with
+      | Error msg -> bad_request ~op:"metrics" msg
+      | Ok format ->
+          ( finish ~op:"metrics" ~outcome:"ok"
+              (Protocol.ok_response ~id ~request_id (metrics_json format)),
+            false,
+            None ))
+  | Some "slowlog" -> (
+      match slowlog_limit j with
+      | Error msg -> bad_request ~op:"slowlog" msg
+      | Ok limit ->
+          ( finish ~op:"slowlog" ~outcome:"ok"
+              (Protocol.ok_response ~id ~request_id
+                 (Slowlog.to_json ?limit t.slowlog)),
+            false,
+            None ))
   | Some "shutdown" ->
       Atomic.set t.stop true;
       ( finish ~op:"shutdown" ~outcome:"ok"
-          (Protocol.ok_response ~id (J.Obj [ ("stopping", J.Bool true) ])),
-        true )
+          (Protocol.ok_response ~id ~request_id
+             (J.Obj [ ("stopping", J.Bool true) ])),
+        true,
+        None )
   | Some opname -> (
       match Request.parse j with
-      | Error msg ->
-          ( finish ~op:opname ~outcome:"error"
-              (Protocol.error_response ~id ~code:"bad_request" msg),
-            false )
+      | Error msg -> bad_request ~op:opname msg
       | Ok r -> (
           let opname = Request.op_id r.Request.op in
-          let t0 = Unix.gettimeofday () in
-          let observe () =
-            Tel.Metrics.Histogram.observe
-              (Tel.Metrics.Histogram.series tel_seconds [ opname ])
-              (Unix.gettimeofday () -. t0)
-          in
+          ctx.Reqctx.op <- opname;
           let key = Request.key r in
           let cached_value =
-            if r.Request.nocache then None else Plan_cache.find t.cache key
+            if r.Request.nocache then begin
+              ctx.Reqctx.cache <- Reqctx.Bypass;
+              None
+            end
+            else
+              match
+                Reqctx.span ctx "cache_lookup" (fun () ->
+                    Plan_cache.lookup t.cache key)
+              with
+              | Plan_cache.Memory v ->
+                  ctx.Reqctx.cache <- Reqctx.Memory;
+                  Some v
+              | Plan_cache.Disk v ->
+                  ctx.Reqctx.cache <- Reqctx.Disk;
+                  Some v
+              | Plan_cache.Absent ->
+                  ctx.Reqctx.cache <- Reqctx.Miss;
+                  None
           in
           match cached_value with
           | Some v ->
-              observe ();
               ( finish ~op:opname ~outcome:"cached"
-                  (Protocol.ok_response ~id ~cached:true v),
-                false )
+                  (Protocol.ok_response ~id ~request_id ~cached:true v),
+                false,
+                Some key )
           | None -> (
               let timeout_ms =
                 match r.Request.timeout_ms with
@@ -260,35 +375,71 @@ let handle t j =
               in
               match
                 with_deadline t timeout_ms (fun () ->
-                    Request.execute ?cache_dir:t.config.cache_dir r)
+                    (* The deadline path runs on a fresh domain whose
+                       log-context stack starts empty — re-establish
+                       the request identity there. *)
+                    Reqctx.with_logging ctx (fun () ->
+                        Request.execute ?cache_dir:t.config.cache_dir r))
               with
-              | Ok v ->
+              | Ok (v, spans) ->
+                  Reqctx.add_spans ctx spans;
                   if not r.Request.nocache then Plan_cache.add t.cache key v;
-                  observe ();
-                  (finish ~op:opname ~outcome:"ok" (Protocol.ok_response ~id v), false)
+                  ( finish ~op:opname ~outcome:"ok"
+                      (Protocol.ok_response ~id ~request_id v),
+                    false,
+                    Some key )
               | Error (`Timeout ms) ->
-                  observe ();
+                  Reqctx.error ctx "timeout";
                   ( finish ~op:opname ~outcome:"timeout"
-                      (Protocol.error_response ~id ~code:"timeout"
+                      (Protocol.error_response ~id ~request_id ~code:"timeout"
                          (Printf.sprintf "request exceeded %d ms" ms)),
-                    false )
+                    false,
+                    Some key )
               | Error (`Internal msg) ->
-                  observe ();
+                  Reqctx.error ctx "internal";
                   ( finish ~op:opname ~outcome:"error"
-                      (Protocol.error_response ~id ~code:"internal" msg),
-                    false ))))
+                      (Protocol.error_response ~id ~request_id ~code:"internal"
+                         msg),
+                    false,
+                    Some key ))))
 
 (* --- connection and accept loops -------------------------------------- *)
 
 (* Replies are best-effort: when the client vanished mid-reply the
-   write raises (EPIPE) and only this connection ends. *)
-let try_write fd reply =
-  match Protocol.write_json fd reply with
-  | () -> true
-  | exception Unix.Unix_error (_, _, _) -> false
+   write raises (EPIPE) and only this connection ends.  Returns the
+   payload bytes written (0 on failure) so the journal can record
+   [bytes_out]. *)
+let try_write fd payload =
+  match Protocol.write_frame fd payload with
+  | () -> Some (String.length payload)
+  | exception Unix.Unix_error (_, _, _) -> None
+
+(* Seal one finished request: write the reply inside an [encode] span,
+   publish the context's metric samples, and feed the journal and the
+   slowlog.  The encoded payload is reused as the journal record's
+   response member — a run reply is tens of kilobytes and encoding it
+   twice per request would dominate the journal's cost.  Returns the
+   write result. *)
+let complete t (ctx : Reqctx.t) fd ~key ~bytes_in ~request reply =
+  let wrote =
+    Reqctx.span ctx "encode" (fun () ->
+        let payload = J.to_string ~minify:true reply in
+        (try_write fd payload, payload))
+  in
+  let wrote, payload = wrote in
+  let total_seconds = Reqctx.finish ctx in
+  (match t.journal with
+  | None -> ()
+  | Some jn ->
+      Journal.record_request jn ~ctx ~key ~bytes_in
+        ~bytes_out:(Option.value ~default:0 wrote)
+        ~total_seconds ~request ~response_text:payload);
+  Slowlog.note t.slowlog ctx ~total_seconds;
+  wrote
 
 let serve_connection t fd =
   Tel.Metrics.Counter.inc0 tel_connections;
+  let conn = Reqctx.mint_conn () in
   (* The listening fd is non-blocking; the conversation must not be. *)
   (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
   (* Bounded reads so an idle connection re-checks the stop flag. *)
@@ -299,35 +450,56 @@ let serve_connection t fd =
     match Protocol.read_frame ~max_bytes:t.config.max_frame ~on_idle fd with
     | Error Protocol.Closed | Error Protocol.Stopped -> ()
     | Error (Protocol.Oversized { length; in_sync }) ->
+        (* The frame never materialised, but the refusal is still a
+           served (and journaled) request with its own id. *)
+        let ctx = Reqctx.create ~conn () in
+        ctx.Reqctx.op <- "?";
+        Reqctx.error ctx "oversized_frame";
         count_request "?" "error";
         locked t (fun () ->
             t.c.served <- t.c.served + 1;
             t.c.errors <- t.c.errors + 1);
         let sent =
-          try_write fd
-            (Protocol.error_response ~code:"oversized_frame"
-               (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit"
-                  length t.config.max_frame))
+          Reqctx.with_logging ctx (fun () ->
+              Tel.Log.warn ~src:"serve" (fun () ->
+                  Printf.sprintf "refusing oversized frame (%d bytes)" length);
+              complete t ctx fd ~key:None ~bytes_in:length ~request:J.Null
+                (Protocol.error_response ~request_id:ctx.Reqctx.id
+                   ~code:"oversized_frame"
+                   (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit"
+                      length t.config.max_frame)))
         in
         (* A drained frame leaves the stream framed; an undrainable
            length means the peer never spoke the protocol. *)
-        if sent && in_sync then loop ()
+        if sent <> None && in_sync then loop ()
     | Ok payload -> (
-        match J.parse payload with
+        let ctx = Reqctx.create ~conn () in
+        let bytes_in = String.length payload in
+        match Reqctx.span ctx "decode" (fun () -> J.parse payload) with
         | Error e ->
+            ctx.Reqctx.op <- "?";
+            Reqctx.error ctx "malformed_json";
             count_request "?" "error";
             locked t (fun () ->
                 t.c.served <- t.c.served + 1;
                 t.c.errors <- t.c.errors + 1);
-            if
-              try_write fd
-                (Protocol.error_response ~code:"malformed_json"
-                   ("request is not valid JSON: " ^ e))
-            then loop ()
+            let sent =
+              Reqctx.with_logging ctx (fun () ->
+                  complete t ctx fd ~key:None ~bytes_in ~request:J.Null
+                    (Protocol.error_response ~request_id:ctx.Reqctx.id
+                       ~code:"malformed_json"
+                       ("request is not valid JSON: " ^ e)))
+            in
+            if sent <> None then loop ()
         | Ok j ->
-            let reply, stopping = handle t j in
-            let sent = try_write fd reply in
-            if sent && not stopping then loop ())
+            let reply, stopping, key =
+              Reqctx.with_logging ctx (fun () -> handle t ctx j)
+            in
+            let sent =
+              Reqctx.with_logging ctx (fun () ->
+                  complete t ctx fd ~key ~bytes_in ~request:j reply)
+            in
+            if sent <> None && not stopping then loop ())
   in
   loop ();
   try Unix.close fd with Unix.Unix_error _ -> ()
@@ -361,7 +533,39 @@ let accept_loop t =
    they cannot be cancelled, only disowned from their reply. *)
 let serve t =
   let w = max 1 t.config.workers in
+  Tel.Log.info ~src:"serve"
+    ~fields:
+      ([
+         ("socket", J.String t.config.socket);
+         ("workers", J.Int w);
+         ("max_frame", J.Int t.config.max_frame);
+         ("cache_entries", J.Int t.config.cache_entries);
+         ("cache_bytes", J.Int t.config.cache_bytes);
+         ( "cache_dir",
+           match t.config.cache_dir with
+           | None -> J.Null
+           | Some d -> J.String d );
+         ( "timeout_ms",
+           match t.config.default_timeout_ms with
+           | None -> J.Null
+           | Some ms -> J.Int ms );
+         ("slow_ms", J.Float t.config.slow_ms);
+         ("slowlog_entries", J.Int t.config.slowlog_entries);
+       ]
+      @
+      match t.config.journal_path with
+      | None -> []
+      | Some p ->
+          [
+            ("journal", J.String p);
+            ("journal_max_bytes", J.Int t.config.journal_max_bytes);
+          ])
+    (fun () -> "mapping daemon listening");
   Parallel.iter ~domains:w (fun _ -> accept_loop t) (List.init w Fun.id);
   reap t ~wait:true;
+  Option.iter Journal.close t.journal;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  try Unix.unlink t.config.socket with Unix.Unix_error _ -> ()
+  (try Unix.unlink t.config.socket with Unix.Unix_error _ -> ());
+  Tel.Log.info ~src:"serve"
+    ~fields:[ ("served", J.Int t.c.served); ("errors", J.Int t.c.errors) ]
+    (fun () -> "mapping daemon stopped")

@@ -44,6 +44,21 @@ let cur_format =
 let sink = ref prerr_endline
 let emit_lock = Mutex.create ()
 
+(* Ambient per-domain context: fields appended to every line emitted
+   while a [with_context] scope is active on this domain.  The daemon
+   uses it to stamp request_id/conn onto log lines produced deep in
+   the pipeline (cache corruption warnings, FM-cap notes) without
+   threading a context argument through every layer. *)
+let context_key : (string * J.t) list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
+
+let context () = Domain.DLS.get context_key
+
+let with_context fields f =
+  let saved = Domain.DLS.get context_key in
+  Domain.DLS.set context_key (saved @ fields);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set context_key saved) f
+
 let set_level l = cur_level := l
 let current_level () = !cur_level
 
@@ -92,9 +107,24 @@ let render_json ~ts ~level ~src ~fields text =
        @ [ ("msg", J.String text) ]
        @ fields))
 
+let format_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "json" -> Ok `Json
+  | "human" | "text" -> Ok `Human
+  | other ->
+      Error (Printf.sprintf "unknown log format '%s' (human|json)" other)
+
+let set_format_of_string s =
+  match format_of_string s with
+  | Ok f ->
+      set_format f;
+      Ok ()
+  | Error e -> Error e
+
 let msg level ?src ?(fields = []) k =
   if enabled level then begin
     let text = k () in
+    let fields = Domain.DLS.get context_key @ fields in
     let ts = Unix.gettimeofday () in
     let line =
       match !cur_format with

@@ -43,11 +43,34 @@ val set_level_of_string : string -> (unit, string) result
 
 val set_format : [ `Human | `Json ] -> unit
 
+val format_of_string : string -> ([ `Human | `Json ], string) result
+(** Accepts [human]/[text]/[json]. *)
+
+val set_format_of_string : string -> (unit, string) result
+(** [set_format] via {!format_of_string} — the [--log-format]
+    backend. *)
+
 val set_sink : (string -> unit) -> unit
 (** Where rendered lines go (default: [prerr_endline]).  Tests install
     a capturing sink. *)
 
 val enabled : level -> bool
+
+(** {1 Ambient context}
+
+    Domain-local fields appended to every line emitted on this domain
+    while the scope is active — how the serving daemon stamps
+    [request_id] onto log lines produced deep inside the pipeline
+    without threading an argument through every layer.  Scopes nest
+    (inner fields append after outer ones) and are restored on exit,
+    exceptions included.  The context is per-domain: code that spawns
+    a domain to do a request's work must re-establish the scope inside
+    it. *)
+
+val with_context : (string * Ctam_util.Json.t) list -> (unit -> 'a) -> 'a
+
+val context : unit -> (string * Ctam_util.Json.t) list
+(** The fields currently in scope on this domain. *)
 
 (** {1 Emission} *)
 

@@ -43,8 +43,11 @@ type family = {
 
 type ccell = { mutable c_n : int }
 
+(* No separate count cell: a scrape derives the count from the bucket
+   sums, so the "+Inf cumulative count equals the series count"
+   exposition invariant holds even when the scrape races a record on
+   another domain (a separate counter could be read mid-update). *)
 type hcell = {
-  mutable h_count : int;
   mutable h_sum : float;
   h_buckets : int array;  (* one per finite bound, plus the overflow *)
 }
@@ -271,7 +274,7 @@ module Histogram = struct
           let nb = Array.length h.h_bounds + 1 in
           let s =
             make_shards ~lock:h.h_lock ~fresh:(fun () ->
-                { h_count = 0; h_sum = 0.; h_buckets = Array.make nb 0 })
+                { h_sum = 0.; h_buckets = Array.make nb 0 })
           in
           h.h_series <- (values, s) :: h.h_series;
           s
@@ -289,7 +292,6 @@ module Histogram = struct
         incr i
       done;
       cell.h_buckets.(!i) <- cell.h_buckets.(!i) + 1;
-      cell.h_count <- cell.h_count + 1;
       cell.h_sum <- cell.h_sum +. x
     end
 
@@ -341,17 +343,18 @@ let scrape_histogram (h : histogram_m) =
       (fun (values, (s : hcell shards)) ->
         let nb = Array.length h.h_bounds + 1 in
         let buckets = Array.make nb 0 in
-        let count = ref 0 in
         let sum = ref 0. in
         List.iter
           (fun cell ->
-            count := !count + cell.h_count;
             sum := !sum +. cell.h_sum;
             Array.iteri
               (fun i n -> buckets.(i) <- buckets.(i) + n)
               cell.h_buckets)
           !(s.cells);
-        (values, (!count, !sum, buckets)))
+        (* Count derived from the buckets, never a separate cell: keeps
+           count == Σ buckets exact under a raced scrape. *)
+        let count = Array.fold_left ( + ) 0 buckets in
+        (values, (count, !sum, buckets)))
       h.h_series
   in
   Mutex.unlock h.h_lock;

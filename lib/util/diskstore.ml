@@ -27,15 +27,24 @@ type read_result =
       (** parses, but stores a different key: an FNV-1a hash collision
           or a stale file from an incompatible key schema *)
 
-(* FNV-1a 64, rendered as 16 lowercase hex digits. *)
+(* FNV-1a 64, rendered as 16 lowercase hex digits.  The 64-bit state
+   is kept as two 32-bit limbs in native ints: boxed Int64 arithmetic
+   allocates twice per byte, which made hashing a multi-kilobyte key
+   (they embed canonical program source) cost milliseconds — this is
+   on the per-request serving path via the plan cache and the audit
+   journal.  The prime is 2^40 + 0x1b3, so
+   h * prime mod 2^64 = (h mod 2^24) * 2^40 + h * 0x1b3. *)
 let hash key =
-  let h = ref 0xcbf29ce484222325L in
-  String.iter
-    (fun ch ->
-      h := Int64.logxor !h (Int64.of_int (Char.code ch));
-      h := Int64.mul !h 0x100000001b3L)
-    key;
-  Printf.sprintf "%016Lx" !h
+  let lo = ref 0x84222325 (* low 32 bits of 0xcbf29ce484222325 *)
+  and hi = ref 0xcbf29ce4 in
+  for i = 0 to String.length key - 1 do
+    let l = !lo lxor Char.code (String.unsafe_get key i) in
+    let t = l * 0x1b3 in
+    lo := t land 0xFFFFFFFF;
+    hi :=
+      ((!hi * 0x1b3) + (t lsr 32) + ((l land 0xFFFFFF) lsl 8)) land 0xFFFFFFFF
+  done;
+  Printf.sprintf "%08x%08x" !hi !lo
 
 let entry_path ~dir ~prefix key =
   Filename.concat dir (prefix ^ hash key ^ ".json")

@@ -83,3 +83,38 @@ t1=$(date +%s.%N)
 awk -v a="$t0" -v b="$t1" \
   'BEGIN { printf "{\"experiment\":\"serve_sweep\",\"sweep_seconds\":%.3f}\n", b - a }' \
   >> "$OUT"
+
+# Archive the daemon's own observability per machine: a short served
+# burst (cache miss + hit) with the audit journal on, keeping the
+# journal (serve_journal_$m.jsonl — replayable with
+# `journal_replay replay`) and a Prometheus scrape of the daemon's
+# registry (serve_metrics_$m.prom) alongside the other per-machine
+# artifacts.  See DESIGN.md, "Service observability".
+for m in harpertown nehalem dunnington; do
+  sock="/tmp/ctam-bench-serve-$$.sock"
+  ./_build/default/bin/ctamap.exe serve --socket "$sock" --workers 2 \
+    --journal "serve_journal_$m.jsonl" --slow-ms 0 \
+    2> /dev/null &
+  serve_pid=$!
+  i=0
+  while [ ! -S "$sock" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then break; fi
+    sleep 0.1
+  done
+  if [ -S "$sock" ]; then
+    ./_build/default/bin/ctamap.exe client --socket "$sock" \
+      --op run sp -m "$m" --scale 64 -s topology > /dev/null \
+      || echo "serve journal archive failed: $m" >&2
+    ./_build/default/bin/ctamap.exe client --socket "$sock" \
+      --op run sp -m "$m" --scale 64 -s topology > /dev/null 2>&1 || true
+    ./_build/default/bin/ctamap.exe client --socket "$sock" \
+      --op metrics --format prometheus > "serve_metrics_$m.prom" \
+      || echo "serve metrics archive failed: $m" >&2
+    ./_build/default/bin/ctamap.exe client --socket "$sock" \
+      --op shutdown > /dev/null 2>&1 || true
+  else
+    echo "serve observability archive failed: $m (daemon never bound)" >&2
+  fi
+  wait "$serve_pid" 2> /dev/null || true
+done

@@ -191,7 +191,208 @@ let test_response_shapes () =
   (* Accessors are total on non-objects. *)
   check_bool "non-object is not ok" true (not (Protocol.response_ok J.Null));
   check_bool "non-object has no error" true
-    (Protocol.response_error (J.List []) = None)
+    (Protocol.response_error (J.List []) = None);
+  (* The daemon-minted request id rides on both reply shapes. *)
+  let ok = Protocol.ok_response ~request_id:41 (v "r") in
+  check_bool "request id on ok" true (Protocol.response_request_id ok = Some 41);
+  let err = Protocol.error_response ~request_id:42 ~code:"timeout" "late" in
+  check_bool "request id on error" true
+    (Protocol.response_request_id err = Some 42);
+  check_bool "request id absent by default" true
+    (Protocol.response_request_id (Protocol.ok_response (v "r")) = None)
+
+(* The resync contract under pipelining: an oversized frame with valid
+   frames already queued behind it.  The drain must consume exactly
+   the declared length, answering every queued frame afterwards. *)
+let test_resync_pipelined () =
+  with_socketpair @@ fun a b ->
+  let w =
+    Domain.spawn (fun () ->
+        Protocol.write_frame a (String.make 4096 'z');
+        List.iter (fun i -> Protocol.write_json a (J.Int i)) [ 1; 2; 3 ])
+  in
+  (match Protocol.read_frame ~max_bytes:64 b with
+  | Error (Protocol.Oversized { length = 4096; in_sync = true }) -> ()
+  | _ -> Alcotest.fail "expected a drained Oversized");
+  List.iter
+    (fun i ->
+      match Protocol.read_frame ~max_bytes:64 b with
+      | Ok p -> check_bool "pipelined frame answered in order" true (p = string_of_int i)
+      | Error _ -> Alcotest.fail "lost a pipelined frame after resync")
+    [ 1; 2; 3 ];
+  Domain.join w
+
+(* --- Reqctx ----------------------------------------------------------- *)
+
+let test_reqctx () =
+  let conn = Reqctx.mint_conn () in
+  let c1 = Reqctx.create ~conn () in
+  let c2 = Reqctx.create ~conn () in
+  check_bool "ids monotone" true (c2.Reqctx.id > c1.Reqctx.id);
+  check_bool "fresh status" true (c1.Reqctx.status = "ok");
+  (* Spans are timed, kept in completion order, exception-safe. *)
+  let r = Reqctx.span c1 "decode" (fun () -> 21 * 2) in
+  check_int "span returns" 42 r;
+  (match Reqctx.span c1 "boom" (fun () -> failwith "x") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "span swallowed the exception");
+  Reqctx.add_span c1 "encode" 0.25;
+  check_keys "span order" [ "decode"; "boom"; "encode" ]
+    (List.map fst (Reqctx.spans c1));
+  (match Reqctx.spans_us_json c1 with
+  | J.Obj [ _; _; ("encode", J.Int us) ] -> check_int "span micros" 250_000 us
+  | j -> Alcotest.fail ("bad spans_us: " ^ J.to_string ~minify:true j));
+  (* Error classification: "timeout" is its own status. *)
+  Reqctx.error c1 "internal";
+  check_bool "error status" true (c1.Reqctx.status = "error");
+  Reqctx.error c2 "timeout";
+  check_bool "timeout status" true (c2.Reqctx.status = "timeout");
+  check_bool "code kept" true (c2.Reqctx.error_code = Some "timeout");
+  (* Cache outcomes have stable journal ids. *)
+  check_bool "cache ids" true
+    (List.map Reqctx.cache_id
+       [ Reqctx.Memory; Reqctx.Disk; Reqctx.Miss; Reqctx.Bypass; Reqctx.None_ ]
+    = [ "memory"; "disk"; "miss"; "bypass"; "none" ]);
+  check_bool "finish returns elapsed" true (Reqctx.finish c1 >= 0.)
+
+(* Request identity lands on every log line emitted inside the scope,
+   through arbitrarily deep calls, without threading an argument. *)
+let test_reqctx_logging () =
+  let module Log = Ctam_telemetry.Log in
+  let seen = ref [] in
+  let saved_level = Log.current_level () in
+  Log.set_level (Some Log.Info);
+  Log.set_format `Json;
+  Log.set_sink (fun line -> seen := line :: !seen);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink prerr_endline;
+      Log.set_format `Human;
+      Log.set_level saved_level)
+    (fun () ->
+      let ctx = Reqctx.create ~conn:0 () in
+      Reqctx.with_logging ctx (fun () ->
+          Log.info ~src:"test" (fun () -> "inside"));
+      Log.info ~src:"test" (fun () -> "outside");
+      match !seen with
+      | [ outside; inside ] ->
+          let needle = Printf.sprintf "\"request_id\":%d" ctx.Reqctx.id in
+          let contains line =
+            let nl = String.length needle and ll = String.length line in
+            let rec go i =
+              i + nl <= ll && (String.sub line i nl = needle || go (i + 1))
+            in
+            go 0
+          in
+          check_bool "request_id inside the scope" true (contains inside);
+          check_bool "request_id gone outside" true (not (contains outside))
+      | _ -> Alcotest.fail "expected exactly two log lines")
+
+(* --- Journal ---------------------------------------------------------- *)
+
+let test_journal_record_and_rotation () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "journal.jsonl" in
+  let ctx = Reqctx.create ~conn:7 () in
+  ctx.Reqctx.op <- "run";
+  Reqctx.add_span ctx "compile" 0.001;
+  let record_json =
+    Journal.request_json ~ctx ~key:(Some "some-cache-key") ~bytes_in:10
+      ~bytes_out:20 ~total_seconds:0.005
+      ~request:(J.Obj [ ("op", J.String "run") ])
+      ~response:(Protocol.ok_response ~request_id:ctx.Reqctx.id (v "r"))
+  in
+  (* Bound the file at three record lines so the eleventh write has
+     rotated at least once. *)
+  let line_bytes = String.length (J.to_string ~minify:true record_json) + 1 in
+  let max_bytes = 3 * line_bytes in
+  let jn = Journal.create ~max_bytes path in
+  let record () = Journal.record jn record_json in
+  record ();
+  check_int "one record" 1 (Journal.records jn);
+  (* Each line is one parseable object carrying the versioned schema. *)
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  (match J.parse line with
+  | Ok (J.Obj _ as r) ->
+      let m name = match J.member name r with Some x -> x | None -> J.Null in
+      check_bool "schema version" true (m "ctam_journal_version" = J.Int 1);
+      check_bool "request id" true
+        (m "request_id" = J.Int ctx.Reqctx.id);
+      check_bool "op" true (m "op" = J.String "run");
+      check_bool "key is hashed" true
+        (m "key" = J.String (Ctam_util.Diskstore.hash "some-cache-key"));
+      check_bool "status" true (m "status" = J.String "ok");
+      check_bool "total micros" true (m "total_us" = J.Int 5000);
+      check_bool "bytes accounted" true
+        (m "bytes_in" = J.Int 10 && m "bytes_out" = J.Int 20);
+      check_bool "request embedded" true (m "request" <> J.Null);
+      check_bool "response embedded" true (m "response" <> J.Null)
+  | _ -> Alcotest.fail "journal line is not a JSON object");
+  (* Size rotation: pushing past max_bytes renames to .1 and restarts. *)
+  for _ = 1 to 10 do record () done;
+  Journal.close jn;
+  check_bool "rotated file exists" true (Sys.file_exists (path ^ ".1"));
+  let stat = Unix.stat path in
+  check_bool "live file restarted under the bound" true
+    (stat.Unix.st_size <= max_bytes);
+  (match Journal.stats_json jn with
+  | J.Obj _ as s ->
+      (match J.member "rotations" s with
+      | Some (J.Int r) -> check_bool "rotations counted" true (r >= 1)
+      | _ -> Alcotest.fail "stats carry no rotations")
+  | _ -> Alcotest.fail "stats not an object")
+
+(* --- Slowlog ---------------------------------------------------------- *)
+
+let test_slowlog () =
+  let sl = Slowlog.create ~threshold_ms:10. ~capacity:3 () in
+  let note ?(op = "run") ms =
+    let ctx = Reqctx.create ~conn:0 () in
+    ctx.Reqctx.op <- op;
+    Slowlog.note sl ctx ~total_seconds:(ms /. 1000.)
+  in
+  note 5.;
+  check_int "below threshold not recorded" 0 (Slowlog.length sl);
+  note 10.;
+  note ~op:"tune" 50.;
+  check_int "recorded" 2 (Slowlog.length sl);
+  note 20.;
+  note 30.;
+  (* Capacity 3: the 10 ms entry fell off; newest first. *)
+  check_int "ring bounded" 3 (Slowlog.length sl);
+  check_int "total ever recorded" 4 (Slowlog.recorded sl);
+  let ms_of e =
+    match J.member "ms" e with Some (J.Float f) -> f | _ -> -1.
+  in
+  check_bool "newest first" true
+    (List.map ms_of (Slowlog.entries sl) = [ 30.; 20.; 50. ]);
+  check_bool "limit honoured" true
+    (List.map ms_of (Slowlog.entries ~limit:1 sl) = [ 30. ]);
+  match Slowlog.to_json ~limit:2 sl with
+  | J.Obj _ as j -> (
+      match (J.member "recorded" j, J.member "entries" j) with
+      | Some (J.Int 4), Some (J.List [ _; _ ]) -> ()
+      | _ -> Alcotest.fail "bad slowlog json shape")
+  | _ -> Alcotest.fail "slowlog json not an object"
+
+(* --- Plan_cache lookup tiers ------------------------------------------ *)
+
+let test_lookup_tiers () =
+  let dir = fresh_dir () in
+  let c = Plan_cache.create ~dir ~max_entries:1 () in
+  check_bool "absent" true (Plan_cache.lookup c "a" = Plan_cache.Absent);
+  Plan_cache.add c "a" (v "1");
+  check_bool "memory tier" true
+    (Plan_cache.lookup c "a" = Plan_cache.Memory (v "1"));
+  (* Evict from memory (entry bound 1); the disk tier answers and the
+     entry is promoted back. *)
+  Plan_cache.add c "b" (v "2");
+  check_bool "disk tier" true (Plan_cache.lookup c "a" = Plan_cache.Disk (v "1"));
+  check_bool "promoted back to memory" true
+    (Plan_cache.lookup c "a" = Plan_cache.Memory (v "1"))
 
 let () =
   Alcotest.run "serve"
@@ -209,5 +410,17 @@ let () =
           Alcotest.test_case "read-error classification" `Quick
             test_read_error_classification;
           Alcotest.test_case "response shapes" `Quick test_response_shapes;
+          Alcotest.test_case "resync under pipelining" `Quick
+            test_resync_pipelined;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "request context" `Quick test_reqctx;
+          Alcotest.test_case "ambient log context" `Quick test_reqctx_logging;
+          Alcotest.test_case "journal record and rotation" `Quick
+            test_journal_record_and_rotation;
+          Alcotest.test_case "slowlog ring" `Quick test_slowlog;
+          Alcotest.test_case "plan-cache lookup tiers" `Quick
+            test_lookup_tiers;
         ] );
     ]

@@ -92,6 +92,122 @@ let test_quantiles () =
                  (Metrics.quantile ev 0.5 = None)
   | None -> Alcotest.fail "empty histogram not scraped"
 
+(* A histogram family with no series yet (or labelled series never
+   touched) must scrape, render and export without an exception and
+   with deterministic output. *)
+let test_empty_histogram_family () =
+  with_enabled @@ fun () ->
+  let reg = Metrics.create () in
+  ignore
+    (Metrics.Histogram.v ~registry:reg ~labels:[ "op" ] ~buckets:[| 1.; 2. |]
+       ~help:"never observed" "h_empty_family");
+  (match Metrics.scrape reg with
+  | [ f ] ->
+      check_bool "family scraped" true (f.Metrics.f_name = "h_empty_family");
+      check_int "no series" 0 (List.length f.Metrics.f_series)
+  | fs -> Alcotest.fail (Printf.sprintf "expected 1 family, got %d" (List.length fs)));
+  let rendered = Prometheus.render ~registry:reg () in
+  check_bool "prometheus renders the empty family" true
+    (String.length rendered > 0);
+  let rendered2 = Prometheus.render ~registry:reg () in
+  check_bool "deterministic" true (String.equal rendered rendered2);
+  check_bool "json renders too" true (Metrics.to_json reg <> J.Null)
+
+(* A scrape racing the very first observations on a fresh domain must
+   never throw, and every snapshot must satisfy the exposition
+   invariant: the +Inf cumulative bucket equals the count (the count
+   is derived from the buckets, so a torn read cannot break it). *)
+let test_scrape_races_first_record () =
+  with_enabled @@ fun () ->
+  let reg = Metrics.create () in
+  let h =
+    Metrics.Histogram.v ~registry:reg ~labels:[ "op" ] ~buckets:[| 1.; 4. |]
+      "h_raced"
+  in
+  let stop = Atomic.make false in
+  let writer =
+    Domain.spawn (fun () ->
+        (* Fresh domain: the first observe creates this domain's shard
+           cell while the main domain is mid-scrape. *)
+        let s = Metrics.Histogram.series h [ "run" ] in
+        for i = 1 to 5000 do
+          Metrics.Histogram.observe s (float_of_int (i mod 8))
+        done;
+        Atomic.set stop true)
+  in
+  let scrapes = ref 0 in
+  while not (Atomic.get stop) do
+    incr scrapes;
+    match Metrics.find (Metrics.scrape reg) "h_raced" [ ("op", "run") ] with
+    | None -> () (* cell not created yet: a miss, not an exception *)
+    | Some (Metrics.Histogram { count; buckets; _ }) ->
+        let inf_cum = snd buckets.(Array.length buckets - 1) in
+        if inf_cum <> count then
+          Alcotest.fail
+            (Printf.sprintf "scrape %d: +Inf cum %d <> count %d" !scrapes
+               inf_cum count)
+    | Some _ -> Alcotest.fail "histogram scraped as a non-histogram"
+  done;
+  Domain.join writer;
+  match Metrics.find (Metrics.scrape reg) "h_raced" [ ("op", "run") ] with
+  | Some (Metrics.Histogram { count; buckets; sum }) ->
+      check_int "final count" 5000 count;
+      check_int "final +Inf cum" 5000 (snd buckets.(Array.length buckets - 1));
+      check_bool "final sum settled" true (sum > 0.)
+  | _ -> Alcotest.fail "histogram not scraped after join"
+
+(* The ambient log context: fields ride every line in scope, scopes
+   nest, and the stack unwinds on exceptions. *)
+let test_log_context () =
+  let seen = ref [] in
+  let saved_level = Log.current_level () in
+  Log.set_level (Some Log.Info);
+  Log.set_format `Json;
+  Log.set_sink (fun line -> seen := line :: !seen);
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink prerr_endline;
+      Log.set_format `Human;
+      Log.set_level saved_level)
+    (fun () ->
+      check_bool "empty outside any scope" true (Log.context () = []);
+      Log.with_context
+        [ ("request_id", J.Int 9) ]
+        (fun () ->
+          Log.with_context
+            [ ("conn", J.Int 3) ]
+            (fun () ->
+              check_bool "scopes nest" true
+                (Log.context ()
+                = [ ("request_id", J.Int 9); ("conn", J.Int 3) ]);
+              Log.info ~src:"t" (fun () -> "hello"));
+          check_bool "inner scope popped" true
+            (Log.context () = [ ("request_id", J.Int 9) ]));
+      (match
+         Log.with_context [ ("x", J.Int 1) ] (fun () -> failwith "boom")
+       with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "exception swallowed");
+      check_bool "unwound after exception" true (Log.context () = []);
+      let contains line needle =
+        let nl = String.length needle and ll = String.length line in
+        let rec go i =
+          i + nl <= ll && (String.sub line i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      match !seen with
+      | [ line ] ->
+          check_bool "context fields emitted" true
+            (contains line "\"request_id\":9" && contains line "\"conn\":3")
+      | _ -> Alcotest.fail "expected exactly one log line");
+  (* --log-format parsing accepts the documented spellings only. *)
+  check_bool "json parses" true (Log.format_of_string "json" = Ok `Json);
+  check_bool "human parses" true (Log.format_of_string "human" = Ok `Human);
+  check_bool "text parses" true (Log.format_of_string "text" = Ok `Human);
+  check_bool "garbage rejected" true
+    (match Log.format_of_string "yaml" with Error _ -> true | Ok _ -> false)
+
 (* --- cross-domain counter merge --------------------------------------- *)
 
 let test_parallel_counter_merge () =
@@ -525,6 +641,10 @@ let () =
             test_parallel_counter_merge;
           Alcotest.test_case "parallel histogram merge" `Quick
             test_parallel_histogram_merge;
+          Alcotest.test_case "empty histogram family" `Quick
+            test_empty_histogram_family;
+          Alcotest.test_case "scrape races first record" `Quick
+            test_scrape_races_first_record;
           Alcotest.test_case "disabled recording" `Quick
             test_disabled_recording;
           Alcotest.test_case "registration" `Quick test_registration;
@@ -543,6 +663,7 @@ let () =
           Alcotest.test_case "json format" `Quick test_log_json_format;
           Alcotest.test_case "level parsing" `Quick test_log_level_of_string;
           Alcotest.test_case "span" `Quick test_span_records_phase;
+          Alcotest.test_case "ambient context" `Quick test_log_context;
         ] );
       ( "instrumentation",
         [

@@ -53,15 +53,16 @@ let read_exact fd n =
   in
   go 0
 
-let send_frame fd payload =
+let frame payload =
   let n = String.length payload in
   let hdr = Bytes.create 4 in
   Bytes.set hdr 0 (Char.chr ((n lsr 24) land 0xFF));
   Bytes.set hdr 1 (Char.chr ((n lsr 16) land 0xFF));
   Bytes.set hdr 2 (Char.chr ((n lsr 8) land 0xFF));
   Bytes.set hdr 3 (Char.chr (n land 0xFF));
-  write_all fd (Bytes.to_string hdr);
-  write_all fd payload
+  Bytes.to_string hdr ^ payload
+
+let send_frame fd payload = write_all fd (frame payload)
 
 let recv_frame fd =
   let hdr = read_exact fd 4 in
@@ -90,13 +91,20 @@ let expect_error what fd code =
       | _ -> fail "%s: error reply carries no code" what)
   | None -> fail "%s: ok=false reply carries no error member" what
 
+(* A well-formed pong, returning the daemon-minted request id so
+   callers can assert ordering. *)
+let expect_pong what fd =
+  let j = recv_json fd in
+  (match (member "ok" j, Option.map (member "pong") (member "result" j)) with
+  | Some (J.Bool true), Some (Some (J.Bool true)) -> ()
+  | _ -> fail "%s: expected a pong, got %s" what (J.to_string ~minify:true j));
+  match member "request_id" j with
+  | Some (J.Int rid) -> rid
+  | _ -> fail "%s: reply carries no request_id" what
+
 let ping what fd =
   send_frame fd {|{"op":"ping"}|};
-  let j = recv_json fd in
-  match (member "ok" j, Option.map (member "pong") (member "result" j)) with
-  | Some (J.Bool true), Some (Some (J.Bool true)) -> ()
-  | _ ->
-      fail "%s: ping after error got %s" what (J.to_string ~minify:true j)
+  ignore (expect_pong what fd)
 
 let expect_eof what fd =
   match recv_frame fd with
@@ -153,6 +161,28 @@ let abuse socket =
   Unix.close fd;
   let fd = connect socket in
   ping "after mid-frame disconnect" fd;
+  Unix.close fd;
+
+  (* 6. Resync under pipelining: an oversized frame with valid frames
+     already queued behind it in the same burst.  The drain must
+     consume exactly the declared bytes — every pipelined request is
+     answered, in order, with strictly increasing request ids. *)
+  let fd = connect socket in
+  write_all fd
+    (String.concat ""
+       (frame (String.concat "" (List.init 20 (fun _ -> mb)))
+       :: List.init 3 (fun _ -> frame {|{"op":"ping"}|})));
+  expect_error "pipelined resync" fd "oversized_frame";
+  let rids = List.init 3 (fun _ -> expect_pong "pipelined resync" fd) in
+  ignore
+    (List.fold_left
+       (fun prev rid ->
+         (match prev with
+         | Some p when rid <= p ->
+             fail "pipelined resync: request id %d not above %d" rid p
+         | _ -> ());
+         Some rid)
+       None rids);
   Unix.close fd;
 
   print_endline "serve_probe: abuse ok"
