@@ -8,6 +8,10 @@
      bench/main.exe scale-sweep      wall-clock of exact / streamed /
                                      set-sampled simulation across problem
                                      scales (--json for JSONL rows)
+     bench/main.exe policy-sweep     replacement-policy differential sweep:
+                                     synthetic reference strings x policies
+                                     x machines, with gating trend
+                                     invariants (--json for JSONL rows)
      bench/main.exe --json [M...]    machine-readable trajectories: one JSON
                                      object per scheme x machine (JSONL),
                                      machines default to the three
@@ -324,6 +328,231 @@ let scale_sweep ~quick ~json ~scales ~sample_sets () =
              (List.rev !rows)))
     scales
 
+(* --- policy sweep ---------------------------------------------------- *)
+
+(* Differential validation of the replacement policies, cachetrace
+   style: fixed synthetic reference strings (sequential cyclic and
+   uniform-random over 8KB / 128KB / 1MB footprints) are replayed
+   against every policy x machine, single-core, at the paper's
+   full-size caches (every L1 is 32KB 8-way x 64B, so 8KB fits, 128KB
+   thrashes L1 and 1MB thrashes harder).  The sweep is gated: it
+   EXITS NON-ZERO when a policy breaks one of the trend invariants
+   below, so `dune runtest` (via tools/check_policies.sh) and the
+   bench archive both re-certify the policy layer on every change.
+
+   Invariants asserted per machine:
+   - LRU-as-policy is bit-identical to the seed reference engine
+     (Engine.run_reference) on every workload;
+   - per policy and pattern, the L1 hit rate declines monotonically as
+     the footprint grows, and the memory rate never declines;
+   - every policy serves >= 85% of the 8KB sequential pass from L1 (it
+     fits: no victim is ever consulted);
+   - on the L1-thrashing 128KB cyclic scan, where true LRU degenerates
+     to zero hits, no policy does worse than LRU, and random victim
+     selection does strictly better (the classic thrash-resistance of
+     not having a worst case);
+   - random:SEED is deterministic (same seed => identical stats). *)
+let policy_sweep ~quick ~json () =
+  let module J = Ctam_util.Json in
+  let module Stats = Ctam_cachesim.Stats in
+  let module Engine = Ctam_cachesim.Engine in
+  let module Hierarchy = Ctam_cachesim.Hierarchy in
+  let module Topology = Ctam_arch.Topology in
+  let module Policy = Ctam_arch.Policy in
+  let policies =
+    [
+      Policy.Lru; Policy.Fifo; Policy.Plru; Policy.Qlru; Policy.Mru;
+      Policy.Random 42;
+    ]
+  in
+  let machines =
+    if quick then [ "dunnington" ]
+    else [ "harpertown"; "nehalem"; "dunnington" ]
+  in
+  let line = 64 in
+  let footprints = [ (8 * 1024, "8KB"); (128 * 1024, "128KB");
+                     (1024 * 1024, "1MB") ] in
+  let total = if quick then 1 lsl 16 else 1 lsl 18 in
+  let sequential fp =
+    let nlines = fp / line in
+    Array.init total (fun i ->
+        Engine.encode_access ~addr:(i mod nlines * line)
+          ~write:(i land 3 = 3))
+  in
+  let random_trace fp =
+    let nlines = fp / line in
+    let s = ref 0x2545f4914f6cd in
+    Array.init total (fun i ->
+        let x = !s in
+        let x = x lxor (x lsl 13) land max_int in
+        let x = x lxor (x lsr 7) in
+        let x = x lxor (x lsl 17) land max_int in
+        s := x;
+        Engine.encode_access ~addr:(x mod nlines * line)
+          ~write:(i land 3 = 3))
+  in
+  let patterns = [ ("seq", sequential); ("rand", random_trace) ] in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.eprintf "policy-sweep: %s\n" msg;
+        exit 1)
+      fmt
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun mname ->
+      let base = Ctam_arch.Machines.by_name ~scale:1 mname in
+      let phase_of trace =
+        let p = Array.make base.Topology.num_cores [||] in
+        p.(0) <- trace;
+        [ p ]
+      in
+      (* (policy, pattern, footprint) -> stats, for the cross-policy
+         assertions and the report. *)
+      let results = ref [] in
+      let simulate policy trace =
+        let machine = Topology.with_policy_spec [ (None, policy) ] base in
+        Engine.run (Hierarchy.create machine) (phase_of trace)
+      in
+      let l1_rate st =
+        let l = Stats.level st 1 in
+        float_of_int l.Stats.hits
+        /. float_of_int (max 1 (l.Stats.hits + l.Stats.misses))
+      in
+      List.iter
+        (fun policy ->
+          List.iter
+            (fun (pname, gen) ->
+              List.iter
+                (fun (fp, fpname) ->
+                  let trace = gen fp in
+                  let st = simulate policy trace in
+                  (* Differential gate: the policy layer must not have
+                     perturbed the seed LRU engine. *)
+                  (if Policy.equal policy Policy.Lru then
+                     let reference =
+                       Engine.run_reference
+                         (Hierarchy.create
+                            (Topology.with_policy_spec [ (None, policy) ]
+                               base))
+                         (phase_of trace)
+                     in
+                     if st <> reference then
+                       fail "LRU diverges from the reference engine (%s %s %s)"
+                         mname pname fpname);
+                  (if policy = Policy.Random 42 then
+                     let again = simulate policy trace in
+                     if st <> again then
+                       fail "random:42 is not deterministic (%s %s %s)" mname
+                         pname fpname);
+                  results := ((policy, pname, fp), st) :: !results)
+                footprints)
+            patterns)
+        policies;
+      let find policy pname fp = List.assoc (policy, pname, fp) !results in
+      let check cond fmt =
+        Printf.ksprintf
+          (fun msg ->
+            if not cond then begin
+              incr failures;
+              Printf.eprintf "policy-sweep: FAIL %s: %s\n" mname msg
+            end)
+          fmt
+      in
+      List.iter
+        (fun policy ->
+          let ps = Policy.to_string policy in
+          List.iter
+            (fun (pname, _) ->
+              (* L1 hit rate declines, memory rate grows, with footprint. *)
+              let rec trend = function
+                | (fa, na) :: ((fb, nb) :: _ as rest) ->
+                    let a = find policy pname fa
+                    and b = find policy pname fb in
+                    check
+                      (l1_rate a +. 1e-9 >= l1_rate b)
+                      "%s %s L1 hit rate rose %s -> %s (%.4f -> %.4f)" ps
+                      pname na nb (l1_rate a) (l1_rate b);
+                    check
+                      (Stats.mem_rate a <= Stats.mem_rate b +. 1e-9)
+                      "%s %s memory rate fell %s -> %s (%.4f -> %.4f)" ps
+                      pname na nb (Stats.mem_rate a) (Stats.mem_rate b);
+                    trend rest
+                | _ -> ()
+              in
+              trend footprints)
+            patterns;
+          (* The 8KB sequential pass fits every L1. *)
+          let st = find policy "seq" (8 * 1024) in
+          check
+            (l1_rate st >= 0.85)
+            "%s seq 8KB L1 hit rate %.4f < 0.85" ps (l1_rate st))
+        policies;
+      (* LRU's worst case: the cyclic scan just over L1.  Nothing may
+         do worse, and random victims must do strictly better. *)
+      let lru = find Policy.Lru "seq" (128 * 1024) in
+      List.iter
+        (fun policy ->
+          let st = find policy "seq" (128 * 1024) in
+          check
+            (l1_rate st +. 1e-9 >= l1_rate lru)
+            "%s L1 hit rate %.4f below lru %.4f on the 128KB cyclic scan"
+            (Policy.to_string policy) (l1_rate st) (l1_rate lru))
+        policies;
+      let rnd = find (Policy.Random 42) "seq" (128 * 1024) in
+      check
+        (l1_rate rnd > l1_rate lru)
+        "random:42 L1 hit rate %.4f not above lru %.4f on the 128KB cyclic \
+         scan"
+        (l1_rate rnd) (l1_rate lru);
+      (* Report. *)
+      if json then
+        List.iter
+          (fun ((policy, pname, fp), st) ->
+            print_endline
+              (J.to_string ~minify:true
+                 (J.Obj
+                    [
+                      ("experiment", J.String "policy_sweep");
+                      ("machine", J.String base.Topology.name);
+                      ("policy", J.String (Policy.to_string policy));
+                      ("pattern", J.String pname);
+                      ("footprint_bytes", J.Int fp);
+                      ("accesses", J.Int st.Stats.total_accesses);
+                      ("l1_hit_rate", J.Float (l1_rate st));
+                      ("mem_rate", J.Float (Stats.mem_rate st));
+                      ("cycles", J.Int st.Stats.cycles);
+                    ])))
+          (List.rev !results)
+      else begin
+        let rows =
+          List.rev_map
+            (fun ((policy, pname, fp), st) ->
+              [
+                Policy.to_string policy;
+                pname;
+                string_of_int (fp / 1024) ^ "KB";
+                Printf.sprintf "%.2f%%" (100. *. l1_rate st);
+                Printf.sprintf "%.2f%%" (100. *. Stats.mem_rate st);
+                string_of_int st.Stats.cycles;
+              ])
+            !results
+        in
+        Printf.printf "\n## policy sweep: %s (%d accesses per workload)\n%s"
+          base.Topology.name total
+          (Report.table
+             ~header:
+               [ "policy"; "pattern"; "footprint"; "L1 hit"; "mem"; "cycles" ]
+             rows)
+      end)
+    machines;
+  if !failures > 0 then begin
+    Printf.eprintf "policy-sweep: %d invariant(s) violated\n" !failures;
+    exit 1
+  end;
+  if not json then print_endline "policy-sweep: all invariants hold"
+
 (* --- serve sweep ----------------------------------------------------- *)
 
 (* Throughput and latency tail of the mapping daemon, cold vs warm: an
@@ -518,6 +747,7 @@ let () =
     List.filter (fun a -> a <> "--quick" && a <> "--full" && a <> "--json") args
   in
   match args with
+  | "policy-sweep" :: _ -> policy_sweep ~quick ~json ()
   | "serve-sweep" :: _ -> serve_sweep ~quick ~json ~jobs ()
   | "scale-sweep" :: rest ->
       (* Positional integers select the sweep scales (default: 16 64

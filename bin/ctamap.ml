@@ -285,6 +285,45 @@ let get_machine name scale =
     | m -> Ok m
     | exception Not_found -> Error (Printf.sprintf "unknown machine '%s'" name)
 
+let policy_arg =
+  let doc =
+    Printf.sprintf
+      "Replacement-policy override: one policy name for every cache level, \
+       or per-level bindings like $(b,L1=plru,L2=qlru) (later bindings \
+       win).  Policies: %s."
+      (String.concat "; "
+         (List.map
+            (fun (n, d) -> Printf.sprintf "$(b,%s) — %s" n d)
+            Policy.all))
+  in
+  Arg.(value & opt (some string) None & info [ "policy" ] ~docv:"SPEC" ~doc)
+
+let apply_policy spec machine =
+  match spec with
+  | None -> Ok machine
+  | Some s -> (
+      match Policy.parse_spec s with
+      | Error e -> Error e
+      | Ok bindings -> (
+          let known =
+            List.map
+              (fun c -> c.Topology.level)
+              (Topology.caches machine)
+          in
+          match
+            List.find_opt
+              (fun (lvl, _) ->
+                match lvl with
+                | Some l -> not (List.mem l known)
+                | None -> false)
+              bindings
+          with
+          | Some (Some l, _) ->
+              Error
+                (Printf.sprintf "--policy: machine %s has no L%d cache"
+                   machine.Topology.name l)
+          | _ -> Ok (Topology.with_policy_spec bindings machine)))
+
 let ( let* ) r f = match r with Ok v -> f v | Error e -> `Error (false, e)
 
 (* --- commands --------------------------------------------------------- *)
@@ -364,9 +403,10 @@ let map_cmd =
            $ block_arg))
 
 let simulate_cmd =
-  let run source machine scale scheme block =
+  let run source machine scale scheme block policy =
     let* prog = load_program source in
     let* machine = get_machine machine scale in
+    let* machine = apply_policy policy machine in
     let* scheme = scheme_of_string scheme in
     let params = { Mapping.default_params with block_size = block } in
     let stats = Mapping.run ~params scheme ~machine prog in
@@ -380,14 +420,16 @@ let simulate_cmd =
        ~doc:"Compile and execute a program on the simulated hierarchy.")
     Term.(
       ret (const run $ source_arg $ machine_arg $ scale_arg $ scheme_arg
-           $ block_arg))
+           $ block_arg $ policy_arg))
 
 let run_cmd =
   let run source machine scale scheme block json profile check window alpha
-      beta balance params_file stream sample_sets memo log_level metrics_out =
+      beta balance params_file stream sample_sets memo log_level metrics_out
+      policy =
     let* () = set_log_level log_level in
     let* prog, frontend_timings = load_program_timed source in
     let* machine = get_machine machine scale in
+    let* machine = apply_policy policy machine in
     let* () =
       match window with
       | Some w when w <= 0 -> Error "--window must be positive"
@@ -575,7 +617,7 @@ let run_cmd =
         (const run $ source_arg $ machine_arg $ scale_arg $ scheme
        $ block_arg $ json $ profile $ check $ window $ alpha_arg $ beta_arg
        $ balance_arg $ params_file_arg $ stream_arg $ sample_sets_arg
-       $ memo_arg $ log_level_arg $ metrics_out_arg))
+       $ memo_arg $ log_level_arg $ metrics_out_arg $ policy_arg))
 
 let jobs_arg =
   Arg.(
@@ -589,10 +631,11 @@ let jobs_arg =
 
 let compare_cmd =
   let run source machine scale block jobs alpha beta balance params_file
-      stream sample_sets memo log_level metrics_out =
+      stream sample_sets memo log_level metrics_out policy =
     let* () = set_log_level log_level in
     let* prog = load_program source in
     let* machine = get_machine machine scale in
+    let* machine = apply_policy policy machine in
     let* () = validate_sample_sets sample_sets in
     (* The tuned point's parameters apply to every scheme in the table
        (its scheme coordinate is ignored; each scheme reads the knobs
@@ -650,14 +693,16 @@ let compare_cmd =
         (const run $ source_arg $ machine_arg $ scale_arg $ block_arg
        $ jobs_arg $ alpha_arg $ beta_arg $ balance_arg $ params_file_arg
        $ stream_arg $ sample_sets_arg $ memo_arg $ log_level_arg
-       $ metrics_out_arg))
+       $ metrics_out_arg $ policy_arg))
 
 let tune_cmd =
   let run source machine scale block strategy budget cache_dir json
-      save_params verify jobs stream sample_sets memo log_level metrics_out =
+      save_params verify jobs stream sample_sets memo log_level metrics_out
+      policy =
     let* () = set_log_level log_level in
     let* prog = load_program source in
     let* machine = get_machine machine scale in
+    let* machine = apply_policy policy machine in
     let* strategy = Ctam_tune.Search.strategy_of_id strategy in
     let* () =
       match budget with
@@ -783,7 +828,7 @@ let tune_cmd =
         (const run $ source_arg $ machine_arg $ scale_arg $ block_arg
        $ strategy $ budget $ cache_dir $ json $ save_params $ verify
        $ jobs_arg $ stream_arg $ sample_sets_arg $ memo_arg $ log_level_arg
-       $ metrics_out_arg))
+       $ metrics_out_arg $ policy_arg))
 
 let codegen_cmd =
   let run source machine scale core block =
@@ -1389,9 +1434,18 @@ let client_cmd =
   let module J = Ctam_util.Json in
   let build_request ~op ~source ~machine ~scale ~scheme ~block ~stream
       ~sample_sets ~check ~strategy ~budget ~nocache ~timeout_ms ~trace
-      ~trace_window ~metrics_format ~limit =
+      ~trace_window ~metrics_format ~limit ~policy =
+    let machine_members () =
+      if Sys.file_exists machine then
+        (* Topology files are sent verbatim; --scale applies to
+           presets only, matching the server. *)
+        [ ("topology", J.String (read_text machine)) ]
+      else [ ("machine", J.String machine); ("scale", J.Int scale) ]
+    in
+    let opt name v f = match v with None -> [] | Some v -> [ (name, f v) ] in
     match op with
-    | "ping" | "stats" | "shutdown" -> Ok (J.Obj [ ("op", J.String op) ])
+    | "ping" | "stats" | "version" | "shutdown" ->
+        Ok (J.Obj [ ("op", J.String op) ])
     | "metrics" ->
         Ok
           (J.Obj
@@ -1415,21 +1469,10 @@ let client_cmd =
                 ("source", J.String (read_text source))
               else ("program", J.String source)
             in
-            let machine_members =
-              if Sys.file_exists machine then
-                (* Topology files are sent verbatim; --scale applies to
-                   presets only, matching the server. *)
-                [ ("topology", J.String (read_text machine)) ]
-              else
-                [ ("machine", J.String machine); ("scale", J.Int scale) ]
-            in
-            let opt name v f =
-              match v with None -> [] | Some v -> [ (name, f v) ]
-            in
             Ok
               (J.Obj
                  ([ ("op", J.String op); program ]
-                 @ machine_members
+                 @ machine_members ()
                  @ [
                      ("scheme", J.String scheme);
                      ("block", J.Int block);
@@ -1438,6 +1481,7 @@ let client_cmd =
                      ("check", J.Bool check);
                      ("nocache", J.Bool nocache);
                    ]
+                 @ opt "policy" policy (fun s -> J.String s)
                  @ opt "strategy" strategy (fun s -> J.String s)
                  @ opt "budget" budget (fun b -> J.Int b)
                  @ opt "timeout_ms" timeout_ms (fun t -> J.Int t)
@@ -1446,18 +1490,38 @@ let client_cmd =
                  match trace_window with
                  | Some w when trace -> [ ("trace_window", J.Int w) ]
                  | _ -> [])))
+    | "trace" -> (
+        match source with
+        | None -> Error "op 'trace' needs a TRACE file argument"
+        | Some path ->
+            if not (Sys.file_exists path) then
+              Error (Printf.sprintf "trace file not found: %s" path)
+            else
+              Ok
+                (J.Obj
+                   ([
+                      ("op", J.String "trace");
+                      ("trace_text", J.String (read_text path));
+                    ]
+                   @ machine_members ()
+                   @ [
+                       ("sample_sets", J.Int sample_sets);
+                       ("nocache", J.Bool nocache);
+                     ]
+                   @ opt "policy" policy (fun s -> J.String s)
+                   @ opt "timeout_ms" timeout_ms (fun t -> J.Int t))))
     | op -> Error (Printf.sprintf "unknown op '%s'" op)
   in
   let run socket op source machine scale scheme block stream sample_sets check
       strategy budget nocache timeout_ms trace trace_window metrics_format
-      limit load concurrency out_json log_level log_format =
+      limit load concurrency out_json log_level log_format policy =
     let* () = set_log_level log_level in
     let* () = set_log_format log_format in
     let* () = validate_sample_sets sample_sets in
     let* req =
       build_request ~op ~source ~machine ~scale ~scheme ~block ~stream
         ~sample_sets ~check ~strategy ~budget ~nocache ~timeout_ms ~trace
-        ~trace_window ~metrics_format ~limit
+        ~trace_window ~metrics_format ~limit ~policy
     in
     match load with
     | Some total ->
@@ -1511,8 +1575,9 @@ let client_cmd =
       value & opt string "run"
       & info [ "op" ] ~docv:"OP"
           ~doc:
-            "Request operation: map, run, tune, check, stats, metrics, \
-             slowlog, ping or shutdown.")
+            "Request operation: map, run, tune, check, trace (replay a \
+             Lackey trace file on the daemon), stats, metrics, slowlog, \
+             ping, version or shutdown.")
   in
   let trace =
     Arg.(
@@ -1618,7 +1683,7 @@ let client_cmd =
        $ scheme_arg $ block_arg $ stream_arg $ sample_sets_arg $ check_flag
        $ strategy $ budget $ nocache $ timeout_ms $ trace $ trace_window
        $ metrics_format $ limit $ load $ concurrency $ out_json
-       $ log_level_arg $ log_format_arg))
+       $ log_level_arg $ log_format_arg $ policy_arg))
 
 (* [ctamap top]: a polling monitor for a running daemon.  Each tick
    asks for [stats] and a JSON [metrics] snapshot over the wire and
@@ -1848,19 +1913,302 @@ let top_cmd =
           resident heap and worker utilization.")
     Term.(ret (const run $ socket $ interval $ count $ log_level_arg))
 
+(* [ctamap simtrace]: replay an external memory-access trace on a
+   simulated hierarchy.  The frontend streams the file (gzip accepted)
+   through fixed-size chunk buffers, so trace size is unbounded; the
+   engine sees the same generator-backed streams the DSL compiler
+   produces, and --sample-sets / --policy compose unchanged. *)
+let simtrace_cmd =
+  let module Ingest = Ctam_tracein.Ingest in
+  let run file machine scale policy cores interleave instr lossy fold_bits
+      rebase split sample_sets json log_level metrics_out =
+    let* () = set_log_level log_level in
+    let* machine = get_machine machine scale in
+    let* machine = apply_policy policy machine in
+    let* () = validate_sample_sets sample_sets in
+    let* interleave =
+      match interleave with
+      | "round-robin" | "rr" -> Ok Ingest.Round_robin
+      | "tagged" -> Ok Ingest.Tagged
+      | s ->
+          Error
+            (Printf.sprintf
+               "unknown --interleave '%s' (round-robin or tagged)" s)
+    in
+    let opts =
+      { Ingest.cores; instr; lossy; fold_bits; rebase; split; interleave }
+    in
+    match
+      Ingest.run ~sample_sets ~machine opts (Ctam_tracein.Reader.File file)
+    with
+    | exception Ingest.Error e -> `Error (false, e)
+    | exception Sys_error e -> `Error (false, e)
+    | stats, scan ->
+        let* () = write_metrics metrics_out in
+        if json then
+          print_endline
+            (Ctam_util.Json.to_string
+               (Ingest.report_json ~machine opts scan stats))
+        else begin
+          Fmt.pr "%s on %s: %d lines, %d records, %d malformed@." file
+            machine.Topology.name scan.Ingest.scanned_lines scan.Ingest.records
+            scan.Ingest.malformed;
+          Array.iteri
+            (fun c n -> Fmt.pr "  core %2d: %d accesses@." c n)
+            scan.Ingest.per_core;
+          Fmt.pr "%a@." Stats.pp stats
+        end;
+        `Ok ()
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Trace file: Valgrind Lackey text ($(b,valgrind --tool=lackey \
+             --trace-mem=yes)), optionally gzip-compressed.")
+  in
+  let cores =
+    Arg.(
+      value & opt int 1
+      & info [ "cores" ] ~docv:"K"
+          ~doc:"Interleave the trace across $(docv) simulated cores.")
+  in
+  let interleave =
+    Arg.(
+      value
+      & opt string "round-robin"
+      & info [ "interleave" ] ~docv:"MODE"
+          ~doc:
+            "Multi-core dealing: $(b,round-robin) (records to cores in \
+             arrival order) or $(b,tagged) (honour $(b,N:) core prefixes and \
+             $(b,@T) timestamps).")
+  in
+  let instr =
+    Arg.(
+      value & flag
+      & info [ "instr" ]
+          ~doc:"Replay $(b,I) instruction fetches too (default: data only).")
+  in
+  let lossy =
+    Arg.(
+      value & flag
+      & info [ "lossy" ]
+          ~doc:
+            "Count malformed lines and keep going (default: fail with the \
+             line position).")
+  in
+  let fold_bits =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fold-bits" ] ~docv:"B"
+          ~doc:
+            "Fold addresses into a 2^$(docv)-byte window (after any \
+             rebasing), so a sparse address space exercises a small \
+             hierarchy.")
+  in
+  let rebase =
+    Arg.(
+      value & flag
+      & info [ "rebase" ]
+          ~doc:"Subtract the smallest address in the trace before mapping.")
+  in
+  let split =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "split" ] ~docv:"BYTES"
+          ~doc:
+            "Expand each record into one access per $(docv)-byte line its \
+             [addr, addr+size) span touches (default: base address only).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the ctam-simtrace-v1 JSON report.")
+  in
+  Cmd.v
+    (Cmd.info "simtrace"
+       ~doc:
+         "Replay a memory-access trace (Valgrind Lackey text format) on the \
+          simulated cache hierarchy and report hit/miss statistics.  \
+          Composes with --policy, --sample-sets and topology files; see the \
+          TRACE FORMATS section of $(b,ctamap --help).")
+    Term.(
+      ret
+        (const run $ file $ machine_arg $ scale_arg $ policy_arg $ cores
+       $ interleave $ instr $ lossy $ fold_bits $ rebase $ split
+       $ sample_sets_arg $ json $ log_level_arg $ metrics_out_arg))
+
+(* [ctamap cache stats|purge]: maintenance of the shared on-disk cache
+   directory (compiled plans + tune outcomes).  Safe against a running
+   daemon: entries are immutable and content-addressed. *)
+let cache_cmd =
+  let module Cachetool = Ctam_serve.Cachetool in
+  let module J = Ctam_util.Json in
+  let dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "d"; "dir" ] ~docv:"DIR"
+          ~doc:
+            "Cache directory (the daemon's --cache-dir, or tune's --cache).")
+  in
+  let prefix_arg =
+    let doc =
+      Printf.sprintf "Restrict to one entry family: %s."
+        (String.concat " or "
+           (List.map
+              (fun p -> Printf.sprintf "$(b,%s)" p)
+              Cachetool.all_prefixes))
+    in
+    Arg.(value & opt (some string) None & info [ "prefix" ] ~docv:"PREFIX" ~doc)
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the report as JSON.")
+  in
+  let check_prefix = function
+    | None -> Ok ()
+    | Some p when List.mem p Cachetool.all_prefixes -> Ok ()
+    | Some p ->
+        Error
+          (Printf.sprintf "unknown --prefix '%s' (known: %s)" p
+             (String.concat ", " Cachetool.all_prefixes))
+  in
+  let parse_duration s =
+    let fail () =
+      Error
+        (Printf.sprintf "bad duration '%s' (use e.g. 90, 45s, 30m, 12h, 7d)" s)
+    in
+    let n = String.length s in
+    if n = 0 then fail ()
+    else
+      let unit, digits =
+        match s.[n - 1] with
+        | 's' -> (1., String.sub s 0 (n - 1))
+        | 'm' -> (60., String.sub s 0 (n - 1))
+        | 'h' -> (3600., String.sub s 0 (n - 1))
+        | 'd' -> (86400., String.sub s 0 (n - 1))
+        | _ -> (1., s)
+      in
+      match float_of_string_opt digits with
+      | Some v when v >= 0. -> Ok (v *. unit)
+      | _ -> fail ()
+  in
+  let stats_run dir prefix json =
+    let* () = check_prefix prefix in
+    if json then
+      print_endline (J.to_string (Cachetool.stats_json ?prefix ~dir ()))
+    else begin
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun f ->
+          Fmt.pr "%s: %d entries, %d bytes" f.Cachetool.prefix f.entries
+            f.bytes;
+          (match (f.oldest, f.newest) with
+          | Some o, Some n ->
+              Fmt.pr " (ages %.0fs-%.0fs)" (max 0. (now -. n))
+                (max 0. (now -. o))
+          | _ -> ());
+          Fmt.pr "@.")
+        (Cachetool.stats ?prefix ~dir ())
+    end;
+    `Ok ()
+  in
+  let purge_run dir prefix older_than json metrics_out =
+    let* () = check_prefix prefix in
+    let* older_than =
+      match older_than with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (parse_duration s)
+    in
+    if json then
+      print_endline
+        (J.to_string (Cachetool.purge_json ?prefix ?older_than ~dir ()))
+    else
+      List.iter
+        (fun r ->
+          Fmt.pr "%s: removed %d entries (%d bytes), kept %d@."
+            r.Cachetool.p_prefix r.removed r.removed_bytes r.kept)
+        (Cachetool.purge ?prefix ?older_than ~dir ());
+    let* () = write_metrics metrics_out in
+    `Ok ()
+  in
+  let older_than_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "older-than" ] ~docv:"DUR"
+          ~doc:
+            "Only remove entries whose file is older than $(docv): seconds, \
+             or a number with an $(b,s)/$(b,m)/$(b,h)/$(b,d) suffix.")
+  in
+  let stats_cmd =
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Per-family entry counts, byte totals and entry ages of a cache \
+            directory.")
+      Term.(ret (const stats_run $ dir_arg $ prefix_arg $ json_arg))
+  in
+  let purge_cmd =
+    Cmd.v
+      (Cmd.info "purge"
+         ~doc:
+           "Remove cache entries (optionally one family, optionally only \
+            entries older than --older-than).  Safe while a daemon is \
+            serving from the directory: entries are immutable and \
+            content-addressed, so concurrent readers recompute at worst.")
+      Term.(
+        ret
+          (const purge_run $ dir_arg $ prefix_arg $ older_than_arg $ json_arg
+         $ metrics_out_arg))
+  in
+  let default = Term.(ret (const (`Help (`Pager, Some "cache")))) in
+  Cmd.group ~default
+    (Cmd.info "cache"
+       ~doc:"Maintenance of the shared on-disk plan/tune cache directory.")
+    [ stats_cmd; purge_cmd ]
+
 let () =
   (* Hook Parallel.map into the metrics registry; libraries never
      install monitors themselves. *)
   Ctam_telemetry.Runtime.install ();
   let doc = "cache-topology-aware computation mapping (PLDI 2010)" in
-  let info = Cmd.info "ctamap" ~version:Ctam_exp.Build_info.version ~doc in
+  let man =
+    [
+      `S "REPLACEMENT POLICIES";
+      `P
+        "Cache levels replace lines by LRU unless a topology file or a \
+         $(b,--policy) override selects otherwise.  $(b,--policy NAME) \
+         applies to every level; $(b,--policy L1=plru,L2=qlru) binds per \
+         level (later bindings win).  Available policies:";
+    ]
+    @ List.map
+        (fun (n, d) -> `I (Printf.sprintf "$(b,%s)" n, d))
+        Policy.all
+    @ [
+        `S "TRACE FORMATS";
+        `P
+          "$(b,ctamap simtrace) (and the daemon's $(b,trace) op) accept \
+           these line notations, freely mixed in one file:";
+      ]
+    @ List.map
+        (fun (n, d) -> `I (Printf.sprintf "$(b,%s)" n, d))
+        Ctam_tracein.Ingest.trace_formats
+  in
+  let info =
+    Cmd.info "ctamap" ~version:Ctam_exp.Build_info.version ~doc ~man
+  in
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
     (Cmd.eval
        (Cmd.group ~default info
           [
             machines_cmd; groups_cmd; map_cmd; run_cmd; simulate_cmd;
-            compare_cmd; tune_cmd; codegen_cmd; check_cmd; dump_cmd;
-            emit_c_cmd; reuse_cmd; trace_cmd; report_cmd; experiment_cmd;
-            serve_cmd; client_cmd; top_cmd;
+            simtrace_cmd; compare_cmd; tune_cmd; codegen_cmd; check_cmd;
+            dump_cmd; emit_c_cmd; reuse_cmd; trace_cmd; report_cmd;
+            experiment_cmd; cache_cmd; serve_cmd; client_cmd; top_cmd;
           ]))

@@ -22,6 +22,7 @@ let l1 id =
         assoc = 8;
         line = 64;
         latency = 4;
+        policy = Policy.Lru;
       },
       [ Topology.Core id ] )
 
@@ -34,6 +35,7 @@ let l2 name size children =
         assoc = 8;
         line = 64;
         latency = 12;
+        policy = Policy.Lru;
       },
       children )
 
@@ -46,6 +48,7 @@ let l3 name children =
         assoc = 16;
         line = 64;
         latency = 34;
+        policy = Policy.Lru;
       },
       children )
 

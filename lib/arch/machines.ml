@@ -18,6 +18,7 @@ let cache ~scale ~name ~level ~size ~assoc ~line ~latency children =
         assoc;
         line;
         latency;
+        policy = Policy.Lru;
       },
       children )
 

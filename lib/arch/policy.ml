@@ -1,0 +1,121 @@
+(* Replacement-policy identifiers: pure machine-description data, so
+   topology files and CLI flags can name a policy without depending on
+   the simulator.  The behavioral implementations live in
+   Cachesim.Setassoc; this module only names, parses, renders and
+   hashes them. *)
+
+type t =
+  | Lru
+  | Fifo
+  | Plru
+  | Qlru
+  | Mru
+  | Random of int  (* seed *)
+
+let default_random_seed = 1
+
+let to_string = function
+  | Lru -> "lru"
+  | Fifo -> "fifo"
+  | Plru -> "plru"
+  | Qlru -> "qlru"
+  | Mru -> "mru"
+  | Random s -> Printf.sprintf "random:%d" s
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "lru" -> Ok Lru
+  | "fifo" -> Ok Fifo
+  | "plru" | "tree-plru" | "treeplru" -> Ok Plru
+  | "qlru" -> Ok Qlru
+  | "mru" -> Ok Mru
+  | "random" | "rand" -> Ok (Random default_random_seed)
+  | low -> (
+      match String.index_opt low ':' with
+      | Some i
+        when String.sub low 0 i = "random" || String.sub low 0 i = "rand" -> (
+          let seed = String.sub low (i + 1) (String.length low - i - 1) in
+          match int_of_string_opt seed with
+          | Some n -> Ok (Random n)
+          | None ->
+              Error (Printf.sprintf "bad random seed '%s' (want random:N)" seed))
+      | _ ->
+          Error
+            (Printf.sprintf
+               "unknown replacement policy '%s' (known: %s)" s
+               "lru, fifo, plru, qlru, mru, random[:SEED]"))
+
+(* Names clients can feature-detect against (ctamap --help, the
+   daemon's version op). *)
+let all =
+  [
+    ("lru", "true least-recently-used (the seed engine's policy)");
+    ("fifo", "round-robin fill order; hits do not refresh");
+    ("plru", "Tree-PLRU: one direction bit per tree node");
+    ("qlru", "quad-age LRU: 2-bit ages, hit->0, fill->1, evict age 3");
+    ("mru", "used-bit NRU: evict the first way without its bit set");
+    ("random[:SEED]", "seeded xorshift victim (deterministic)");
+  ]
+
+(* A small stable fingerprint for memo/cache keys.  Distinct
+   constructors map to distinct odd tags; the Random seed perturbs the
+   tag so two seeds never alias. *)
+let hash = function
+  | Lru -> 0x11
+  | Fifo -> 0x23
+  | Plru -> 0x35
+  | Qlru -> 0x47
+  | Mru -> 0x59
+  | Random s -> (0x6b + (s * 0x9e3779b1)) land max_int
+
+let equal (a : t) (b : t) = a = b
+
+(* "--policy plru" (every level) or "--policy L1=plru,L2=qlru" (also
+   accepts bare level numbers, "1=plru").  Later bindings override
+   earlier ones when they cover the same level. *)
+let parse_spec spec =
+  let parse_level s =
+    let s = String.trim s in
+    let digits =
+      if String.length s >= 2 && (s.[0] = 'l' || s.[0] = 'L') then
+        String.sub s 1 (String.length s - 1)
+      else s
+    in
+    match int_of_string_opt digits with
+    | Some l when l >= 1 -> Ok l
+    | _ -> Error (Printf.sprintf "bad cache level '%s' (want L1, L2, ...)" s)
+  in
+  let parse_binding part =
+    match String.index_opt part '=' with
+    | None -> (
+        match of_string part with
+        | Ok p -> Ok (None, p)
+        | Error e -> Error e)
+    | Some i -> (
+        let lhs = String.sub part 0 i in
+        let rhs = String.sub part (i + 1) (String.length part - i - 1) in
+        match parse_level lhs with
+        | Error e -> Error e
+        | Ok l -> (
+            match of_string rhs with
+            | Ok p -> Ok (Some l, p)
+            | Error e -> Error e))
+  in
+  let parts =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then Error "empty policy spec"
+  else
+    List.fold_left
+      (fun acc part ->
+        match acc with
+        | Error _ as e -> e
+        | Ok bindings -> (
+            match parse_binding part with
+            | Ok b -> Ok (bindings @ [ b ])
+            | Error e -> Error e))
+      (Ok []) parts
+
+let pp ppf p = Fmt.string ppf (to_string p)

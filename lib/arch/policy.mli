@@ -1,0 +1,41 @@
+(** Replacement-policy identifiers.
+
+    Part of the machine description ({!Topology.cache_params}), not of
+    the simulator: this module only names, parses, renders and hashes
+    policies.  The behavior (victim selection, state updates) is
+    interpreted by [Cachesim.Setassoc]. *)
+
+type t =
+  | Lru          (** true LRU — the seed engine's policy, the default *)
+  | Fifo         (** round-robin fill order; hits do not refresh *)
+  | Plru         (** Tree-PLRU: one direction bit per tree node *)
+  | Qlru         (** quad-age LRU: 2-bit ages, hit→0, fill→1, evict 3 *)
+  | Mru          (** used-bit NRU: evict first way with its bit clear *)
+  | Random of int  (** seeded xorshift victim (deterministic) *)
+
+val default_random_seed : int
+
+val to_string : t -> string
+
+(** Inverse of {!to_string}; also accepts ["tree-plru"], ["rand"] and
+    ["random:SEED"]. *)
+val of_string : string -> (t, string) result
+
+(** [(name, description)] pairs for every recognized policy — what
+    [ctamap --help] and the daemon's [version] op list so clients can
+    feature-detect. *)
+val all : (string * string) list
+
+(** Stable fingerprint for memo/cache keys; distinct policies (and
+    distinct Random seeds) never alias. *)
+val hash : t -> int
+
+val equal : t -> t -> bool
+
+(** Parse a per-level spec: ["plru"] (every level) or
+    ["L1=plru,L2=qlru"] (bare level numbers also accepted).  Returns
+    [(level, policy)] bindings in spec order; [None] means all
+    levels.  Later bindings override earlier ones. *)
+val parse_spec : string -> ((int option * t) list, string) result
+
+val pp : t Fmt.t

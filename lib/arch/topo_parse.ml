@@ -153,19 +153,40 @@ let parse text =
         let assoc = as_int "assoc" (require1 "assoc" rest) in
         let line = as_int "line" (require1 "line" rest) in
         let latency = as_int "latency" (require1 "latency" rest) in
+        let policy =
+          match field1 "policy" rest with
+          | None -> Policy.Lru
+          | Some (Atom s) -> (
+              match Policy.of_string s with
+              | Ok p -> p
+              | Error e -> fail "cache %s: %s" name e)
+          | Some (List _) -> fail "(policy ...) expects an atom"
+        in
         let children =
           List.concat_map parse_node
             (List.filter
                (function
-                 | List (Atom ("level" | "size" | "assoc" | "line" | "latency") :: _)
-                   -> false
+                 | List
+                     (Atom
+                        ("level" | "size" | "assoc" | "line" | "latency"
+                        | "policy")
+                     :: _) ->
+                     false
                  | _ -> true)
                rest)
         in
         if children = [] then fail "cache %s has no children" name;
         [
           Topology.Cache
-            ( { Topology.cache_name = name; level; size_bytes; assoc; line; latency },
+            ( {
+                Topology.cache_name = name;
+                level;
+                size_bytes;
+                assoc;
+                line;
+                latency;
+                policy;
+              },
               children );
         ]
     | List (Atom kw :: _) -> fail "unknown form '%s'" kw
@@ -196,12 +217,18 @@ let to_text t =
         Buffer.add_string buf
           (Printf.sprintf "%s(core %d)\n" (String.make indent ' ') c)
     | Topology.Cache (p, children) ->
+        (* (policy ...) is emitted only when it deviates from the LRU
+           default, so pre-policy files round-trip byte-identically. *)
         Buffer.add_string buf
           (Printf.sprintf
-             "%s(cache \"%s\" (level %d) (size %d) (assoc %d) (line %d) (latency %d)\n"
+             "%s(cache \"%s\" (level %d) (size %d) (assoc %d) (line %d) (latency %d)%s\n"
              (String.make indent ' ')
              p.Topology.cache_name p.Topology.level p.Topology.size_bytes
-             p.Topology.assoc p.Topology.line p.Topology.latency);
+             p.Topology.assoc p.Topology.line p.Topology.latency
+             (if Policy.equal p.Topology.policy Policy.Lru then ""
+              else
+                Printf.sprintf " (policy %s)"
+                  (Policy.to_string p.Topology.policy)));
         List.iter (node (indent + 2)) children;
         Buffer.add_string buf (Printf.sprintf "%s)\n" (String.make indent ' '))
   in

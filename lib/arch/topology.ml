@@ -5,6 +5,7 @@ type cache_params = {
   assoc : int;
   line : int;
   latency : int;
+  policy : Policy.t;
 }
 
 type tree = Cache of cache_params * tree list | Core of int
@@ -152,6 +153,24 @@ let map_caches f t =
   make ~name:t.name ~clock_ghz:t.clock_ghz ~mem_latency:t.mem_latency
     (List.map go t.roots)
 
+(* Apply parsed --policy bindings (see Policy.parse_spec): [None]
+   covers every level, [Some l] one level; the last covering binding
+   wins, so "plru,L2=qlru" means PLRU everywhere except L2. *)
+let with_policy_spec bindings t =
+  map_caches
+    (fun p ->
+      let policy =
+        List.fold_left
+          (fun acc (level, pol) ->
+            match level with
+            | None -> pol
+            | Some l when l = p.level -> pol
+            | Some _ -> acc)
+          p.policy bindings
+      in
+      { p with policy })
+    t
+
 let truncate_levels l t =
   let rec prune = function
     | Core c -> [ Core c ]
@@ -167,9 +186,11 @@ let pp ppf t =
   let rec pp_tree indent ppf = function
     | Core c -> Fmt.pf ppf "%score %d@," (String.make indent ' ') c
     | Cache (p, children) ->
-        Fmt.pf ppf "%s%s: L%d %dKB %d-way %dB-line %dcy@,"
+        Fmt.pf ppf "%s%s: L%d %dKB %d-way %dB-line %dcy%s@,"
           (String.make indent ' ') p.cache_name p.level (p.size_bytes / 1024)
-          p.assoc p.line p.latency;
+          p.assoc p.line p.latency
+          (if Policy.equal p.policy Policy.Lru then ""
+           else " " ^ Policy.to_string p.policy);
         List.iter (pp_tree (indent + 2) ppf) children
   in
   Fmt.pf ppf "@[<v>%s (%d cores, %.1f GHz, mem %d cy)@," t.name t.num_cores

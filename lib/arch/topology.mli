@@ -12,6 +12,7 @@ type cache_params = {
   assoc : int;
   line : int;            (** line size in bytes *)
   latency : int;         (** access latency in cycles *)
+  policy : Policy.t;     (** replacement policy ({!Policy.Lru} default) *)
 }
 
 type tree =
@@ -65,6 +66,11 @@ val level_capacity : t -> int -> int
 
 (** Transform every cache's parameters (used to scale capacities). *)
 val map_caches : (cache_params -> cache_params) -> t -> t
+
+(** Apply parsed [--policy] bindings ({!Policy.parse_spec}): [None]
+    covers every level, [Some l] one level; the last covering binding
+    wins. *)
+val with_policy_spec : (int option * Policy.t) list -> t -> t
 
 (** Drop all cache levels above [l] (keep levels [<= l]), re-rooting the
     forest.  Used for the "L1+L2" / "L1+L2+L3" versions of Figure 20. *)

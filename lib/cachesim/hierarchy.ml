@@ -61,7 +61,10 @@ let create ?(coherence = true) ?(probe = Probe.null) ?(sample_sets = 1) topo =
       (List.map
          (fun (p : Topology.cache_params) ->
            let sets = p.size_bytes / (p.assoc * p.line) in
-           { params = p; cache = Setassoc.create ~sets ~assoc:p.assoc })
+           {
+             params = p;
+             cache = Setassoc.create ~policy:p.policy ~sets ~assoc:p.assoc ();
+           })
          params)
   in
   let index_of name =
@@ -135,6 +138,7 @@ let create ?(coherence = true) ?(probe = Probe.null) ?(sample_sets = 1) topo =
           let h = Memo.mix h p.Topology.level in
           let h = Memo.mix h (Setassoc.sets inst.cache) in
           let h = Memo.mix h p.Topology.assoc in
+          let h = Memo.mix h (Policy.hash p.Topology.policy) in
           Memo.mix h p.Topology.latency)
         (Memo.mix Memo.seed topo.Topology.num_cores)
         instances

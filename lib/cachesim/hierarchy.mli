@@ -80,8 +80,9 @@ val line_of : t -> int -> int
 (** Sampling factor passed to {!create} (1 = exact). *)
 val sample_factor : t -> int
 
-(** Fingerprint of (topology geometry, latencies, core paths,
-    coherence, sampling factor) — a component of the phase-memo key. *)
+(** Fingerprint of (topology geometry, latencies, replacement
+    policies, core paths, coherence, sampling factor) — a component of
+    the phase-memo key. *)
 val config_hash : t -> int
 
 (** Number of cache instances (the length of the arrays below). *)

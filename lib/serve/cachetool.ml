@@ -1,0 +1,152 @@
+(* Maintenance tooling for the shared on-disk cache directory: the
+   [ctamap cache stats|purge] subcommands and the
+   purge-while-daemon-running test drive these.
+
+   The directory holds two entry families behind one Diskstore
+   discipline — compiled plans ("ctam-plan-", Plan_cache) and tune
+   outcomes ("ctam-tune-", Ctam_tune.Cache).  Purging is safe at any
+   time, daemon running or not: entries are immutable and
+   content-addressed, so a concurrent reader either wins the race and
+   serves the old value one last time, or misses and recomputes — the
+   same outcome as a cold cache.  (A running daemon's in-memory tier
+   is not touched; only fresh lookups hit the disk.) *)
+
+module J = Ctam_util.Json
+module Store = Ctam_util.Diskstore
+module Tel = Ctam_telemetry
+
+let tel_purged =
+  Tel.Metrics.Counter.v ~labels:[ "prefix" ]
+    ~help:"Cache entries removed by ctamap cache purge"
+    "ctam_cache_purged_total"
+
+let tel_purged_bytes =
+  Tel.Metrics.Counter.v ~labels:[ "prefix" ]
+    ~help:"Bytes reclaimed by ctamap cache purge"
+    "ctam_cache_purged_bytes_total"
+
+(* The known entry families; [prefixes ?prefix] narrows to one. *)
+let all_prefixes = [ Plan_cache.file_prefix; Ctam_tune.Cache.file_prefix ]
+
+let prefixes = function None -> all_prefixes | Some p -> [ p ]
+
+type family = {
+  prefix : string;
+  entries : int;
+  bytes : int;
+  oldest : float option;  (** mtime of the oldest entry *)
+  newest : float option;
+}
+
+let stat_family ~dir prefix =
+  let entries, bytes, oldest, newest =
+    List.fold_left
+      (fun (n, b, oldest, newest) path ->
+        match Unix.stat path with
+        | exception Unix.Unix_error _ -> (n, b, oldest, newest)
+        | st ->
+            let keep cmp cur t =
+              match cur with
+              | None -> Some t
+              | Some c -> Some (if cmp t c then t else c)
+            in
+            ( n + 1,
+              b + st.Unix.st_size,
+              keep ( < ) oldest st.Unix.st_mtime,
+              keep ( > ) newest st.Unix.st_mtime ))
+      (0, 0, None, None)
+      (Store.scan ~dir ~prefix)
+  in
+  { prefix; entries; bytes; oldest; newest }
+
+let stats ?prefix ~dir () = List.map (stat_family ~dir) (prefixes prefix)
+
+let stats_json ?prefix ~dir () =
+  let now = Unix.gettimeofday () in
+  let age = function
+    | None -> J.Null
+    | Some t -> J.Float (max 0. (now -. t))
+  in
+  J.Obj
+    [
+      ("dir", J.String dir);
+      ( "families",
+        J.List
+          (List.map
+             (fun f ->
+               J.Obj
+                 [
+                   ("prefix", J.String f.prefix);
+                   ("entries", J.Int f.entries);
+                   ("bytes", J.Int f.bytes);
+                   ("oldest_age_seconds", age f.oldest);
+                   ("newest_age_seconds", age f.newest);
+                 ])
+             (stats ?prefix ~dir ())) );
+    ]
+
+type purge_result = {
+  p_prefix : string;
+  removed : int;
+  removed_bytes : int;
+  kept : int;  (** survivors: younger than [older_than], or unremovable *)
+}
+
+(* [purge ?prefix ?older_than ~dir ()] removes matching entries;
+   [older_than] keeps entries younger than that many seconds.  Files
+   that vanish mid-purge (another purger, the daemon's own writes
+   racing a rename) are counted as kept, not errors. *)
+let purge ?prefix ?older_than ~dir () =
+  let cutoff =
+    Option.map (fun d -> Unix.gettimeofday () -. d) older_than
+  in
+  List.map
+    (fun pfx ->
+      let removed = ref 0 and removed_bytes = ref 0 and kept = ref 0 in
+      List.iter
+        (fun path ->
+          match Unix.stat path with
+          | exception Unix.Unix_error _ -> incr kept
+          | st ->
+              let old_enough =
+                match cutoff with
+                | None -> true
+                | Some c -> st.Unix.st_mtime <= c
+              in
+              if not old_enough then incr kept
+              else (
+                match Sys.remove path with
+                | () ->
+                    incr removed;
+                    removed_bytes := !removed_bytes + st.Unix.st_size
+                | exception Sys_error _ -> incr kept))
+        (Store.scan ~dir ~prefix:pfx);
+      Tel.Metrics.Counter.inc ~by:!removed
+        (Tel.Metrics.Counter.series tel_purged [ pfx ]);
+      Tel.Metrics.Counter.inc ~by:!removed_bytes
+        (Tel.Metrics.Counter.series tel_purged_bytes [ pfx ]);
+      {
+        p_prefix = pfx;
+        removed = !removed;
+        removed_bytes = !removed_bytes;
+        kept = !kept;
+      })
+    (prefixes prefix)
+
+let purge_json ?prefix ?older_than ~dir () =
+  J.Obj
+    [
+      ("dir", J.String dir);
+      ( "purged",
+        J.List
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("prefix", J.String r.p_prefix);
+                   ("removed", J.Int r.removed);
+                   ("removed_bytes", J.Int r.removed_bytes);
+                   ("kept", J.Int r.kept);
+                 ])
+             (purge ?prefix ?older_than ~dir ())) );
+    ]

@@ -177,6 +177,17 @@ let parse j =
     in
     let program_name, program = parse_program j in
     let machine = parse_machine j in
+    (* The policy spec is folded into the machine itself, so the
+       plan-cache key (whose topology fragments carry non-default
+       policies) can never serve a plan across policy changes. *)
+    let machine =
+      match str_field j "policy" with
+      | None -> machine
+      | Some spec -> (
+          match Policy.parse_spec spec with
+          | Ok bindings -> Topology.with_policy_spec bindings machine
+          | Error e -> bad "bad \"policy\": %s" e)
+    in
     let point = parse_point j in
     let base_params = parse_base_params j in
     let sample_sets =
@@ -261,6 +272,132 @@ let key r =
     @ [ Space.key_fragment r.point ]
     @ Ctam_tune.Cache.context_fragments ~version:Ctam_exp.Build_info.version
         ~base_params:r.base_params ~machine:r.machine r.program)
+
+(* --- the trace op (simtrace over the wire) ----------------------------- *)
+
+module Ingest = Ctam_tracein.Ingest
+module TraceReader = Ctam_tracein.Reader
+
+type trace_req = {
+  t_id : J.t;
+  t_machine : Topology.t;
+  t_opts : Ingest.options;
+  t_text : string;
+  t_sample_sets : int;
+  t_nocache : bool;
+  t_timeout_ms : int option;
+}
+
+let parse_trace j =
+  match
+    let text =
+      match str_field j "trace_text" with
+      | Some s -> s
+      | None -> bad "missing \"trace_text\" (inline trace contents)"
+    in
+    let machine = parse_machine j in
+    let machine =
+      match str_field j "policy" with
+      | None -> machine
+      | Some spec -> (
+          match Policy.parse_spec spec with
+          | Ok bindings -> Topology.with_policy_spec bindings machine
+          | Error e -> bad "bad \"policy\": %s" e)
+    in
+    let cores =
+      match int_field j "cores" with
+      | None -> 1
+      | Some c when c >= 1 -> c
+      | Some c -> bad "\"cores\" must be >= 1 (got %d)" c
+    in
+    let interleave =
+      match str_field j "interleave" with
+      | None | Some "round-robin" | Some "rr" -> Ingest.Round_robin
+      | Some "tagged" -> Ingest.Tagged
+      | Some s -> bad "unknown interleave %S (round-robin or tagged)" s
+    in
+    let pos_field name =
+      match int_field j name with
+      | None -> None
+      | Some v when v >= 1 -> Some v
+      | Some v -> bad "%S must be >= 1 (got %d)" name v
+    in
+    let opts =
+      {
+        Ingest.cores;
+        interleave;
+        instr = Option.value ~default:false (bool_field j "instr");
+        lossy = Option.value ~default:false (bool_field j "lossy");
+        fold_bits = pos_field "fold_bits";
+        rebase = Option.value ~default:false (bool_field j "rebase");
+        split = pos_field "split";
+      }
+    in
+    let sample_sets =
+      match int_field j "sample_sets" with
+      | None -> 1
+      | Some n when n >= 1 -> n
+      | Some n -> bad "\"sample_sets\" must be >= 1 (got %d)" n
+    in
+    let timeout_ms =
+      match int_field j "timeout_ms" with
+      | None -> None
+      | Some ms when ms >= 1 -> Some ms
+      | Some ms -> bad "\"timeout_ms\" must be >= 1 (got %d)" ms
+    in
+    (* Parsing stays total: strict-mode trace errors (with their line
+       positions) surface here as [bad_request], not as [internal]
+       failures mid-execution. *)
+    (match Ingest.scan opts (TraceReader.Text text) with
+    | _ -> ()
+    | exception Ingest.Error msg -> bad "bad trace: %s" msg);
+    {
+      t_id = Option.value ~default:J.Null (mem "id" j);
+      t_machine = machine;
+      t_opts = opts;
+      t_text = text;
+      t_sample_sets = sample_sets;
+      t_nocache = Option.value ~default:false (bool_field j "nocache");
+      t_timeout_ms = timeout_ms;
+    }
+  with
+  | r -> Ok r
+  | exception Bad msg -> Error msg
+
+(* Same content-hash discipline as [key]: every behavioral input —
+   including the trace text itself and the (policy-aware) topology
+   fragments — is part of the key. *)
+let trace_key tr =
+  let o = tr.t_opts in
+  String.concat "\n"
+    [
+      "ctam-trace-key v1";
+      "version=" ^ Ctam_exp.Build_info.version;
+      Printf.sprintf "cores=%d interleave=%s instr=%b lossy=%b fold=%s \
+                      rebase=%b split=%s sample=%d"
+        o.Ingest.cores
+        (Ingest.interleave_to_string o.Ingest.interleave)
+        o.Ingest.instr o.Ingest.lossy
+        (match o.Ingest.fold_bits with
+        | None -> "none"
+        | Some b -> string_of_int b)
+        o.Ingest.rebase
+        (match o.Ingest.split with
+        | None -> "none"
+        | Some s -> string_of_int s)
+        tr.t_sample_sets;
+      Ctam_tune.Cache.topology_fragment tr.t_machine;
+      tr.t_text;
+    ]
+
+let execute_trace tr =
+  let t0 = Unix.gettimeofday () in
+  let stats, sc =
+    Ingest.run ~sample_sets:tr.t_sample_sets ~machine:tr.t_machine tr.t_opts
+      (TraceReader.Text tr.t_text)
+  in
+  let report = Ingest.report_json ~machine:tr.t_machine tr.t_opts sc stats in
+  (report, [ ("simulate", Unix.gettimeofday () -. t0) ])
 
 (* --- execution -------------------------------------------------------- *)
 

@@ -257,6 +257,97 @@ let slowlog_limit j =
       | Some _ -> Error "\"limit\" must be a non-negative integer")
   | _ -> Ok None
 
+(* Shared cached-compute tail of every plan-carrying op (map / run /
+   tune / check / trace): plan-cache lookup, deadline-guarded
+   execution, store.  [compute] returns the result JSON plus its
+   execution spans. *)
+let run_cached t (ctx : Reqctx.t) ~finish ~id ~request_id ~opname ~key ~nocache
+    ~timeout_ms compute =
+  let cached_value =
+    if nocache then begin
+      ctx.Reqctx.cache <- Reqctx.Bypass;
+      None
+    end
+    else
+      match
+        Reqctx.span ctx "cache_lookup" (fun () -> Plan_cache.lookup t.cache key)
+      with
+      | Plan_cache.Memory v ->
+          ctx.Reqctx.cache <- Reqctx.Memory;
+          Some v
+      | Plan_cache.Disk v ->
+          ctx.Reqctx.cache <- Reqctx.Disk;
+          Some v
+      | Plan_cache.Absent ->
+          ctx.Reqctx.cache <- Reqctx.Miss;
+          None
+  in
+  match cached_value with
+  | Some v ->
+      ( finish ~op:opname ~outcome:"cached"
+          (Protocol.ok_response ~id ~request_id ~cached:true v),
+        false,
+        Some key )
+  | None -> (
+      let timeout_ms =
+        match timeout_ms with
+        | Some _ as ms -> ms
+        | None -> t.config.default_timeout_ms
+      in
+      match
+        with_deadline t timeout_ms (fun () ->
+            (* The deadline path runs on a fresh domain whose
+               log-context stack starts empty — re-establish the
+               request identity there. *)
+            Reqctx.with_logging ctx compute)
+      with
+      | Ok (v, spans) ->
+          Reqctx.add_spans ctx spans;
+          if not nocache then Plan_cache.add t.cache key v;
+          ( finish ~op:opname ~outcome:"ok"
+              (Protocol.ok_response ~id ~request_id v),
+            false,
+            Some key )
+      | Error (`Timeout ms) ->
+          Reqctx.error ctx "timeout";
+          ( finish ~op:opname ~outcome:"timeout"
+              (Protocol.error_response ~id ~request_id ~code:"timeout"
+                 (Printf.sprintf "request exceeded %d ms" ms)),
+            false,
+            Some key )
+      | Error (`Internal msg) ->
+          Reqctx.error ctx "internal";
+          ( finish ~op:opname ~outcome:"error"
+              (Protocol.error_response ~id ~request_id ~code:"internal" msg),
+            false,
+            Some key ))
+
+let name_desc_json entries =
+  J.List
+    (List.map
+       (fun (name, desc) ->
+         J.Obj [ ("name", J.String name); ("description", J.String desc) ])
+       entries)
+
+(* The [version] op: feature detection for clients — build version,
+   available ops, replacement policies and trace notations, so a
+   client can probe before submitting a [trace] op or a policy spec. *)
+let version_json =
+  J.Obj
+    [
+      ("version", J.String Ctam_exp.Build_info.version);
+      ( "ops",
+        J.List
+          (List.map
+             (fun s -> J.String s)
+             [
+               "ping"; "stats"; "metrics"; "slowlog"; "version"; "map"; "run";
+               "tune"; "check"; "trace"; "shutdown";
+             ]) );
+      ("policies", name_desc_json Ctam_arch.Policy.all);
+      ("trace_formats", name_desc_json Ctam_tracein.Ingest.trace_formats);
+    ]
+
 (* Answer one parsed request object under [ctx]; returns the reply,
    whether the daemon should begin shutting down, and the plan-cache
    key (for the journal) when the operation has one.  Every reply
@@ -327,6 +418,20 @@ let handle t (ctx : Reqctx.t) j =
                  (Slowlog.to_json ?limit t.slowlog)),
             false,
             None ))
+  | Some "version" ->
+      ( finish ~op:"version" ~outcome:"ok"
+          (Protocol.ok_response ~id ~request_id version_json),
+        false,
+        None )
+  | Some "trace" -> (
+      match Request.parse_trace j with
+      | Error msg -> bad_request ~op:"trace" msg
+      | Ok tr ->
+          ctx.Reqctx.op <- "trace";
+          run_cached t ctx ~finish ~id ~request_id ~opname:"trace"
+            ~key:(Request.trace_key tr) ~nocache:tr.Request.t_nocache
+            ~timeout_ms:tr.Request.t_timeout_ms (fun () ->
+              Request.execute_trace tr))
   | Some "shutdown" ->
       Atomic.set t.stop true;
       ( finish ~op:"shutdown" ~outcome:"ok"
@@ -337,71 +442,13 @@ let handle t (ctx : Reqctx.t) j =
   | Some opname -> (
       match Request.parse j with
       | Error msg -> bad_request ~op:opname msg
-      | Ok r -> (
+      | Ok r ->
           let opname = Request.op_id r.Request.op in
           ctx.Reqctx.op <- opname;
-          let key = Request.key r in
-          let cached_value =
-            if r.Request.nocache then begin
-              ctx.Reqctx.cache <- Reqctx.Bypass;
-              None
-            end
-            else
-              match
-                Reqctx.span ctx "cache_lookup" (fun () ->
-                    Plan_cache.lookup t.cache key)
-              with
-              | Plan_cache.Memory v ->
-                  ctx.Reqctx.cache <- Reqctx.Memory;
-                  Some v
-              | Plan_cache.Disk v ->
-                  ctx.Reqctx.cache <- Reqctx.Disk;
-                  Some v
-              | Plan_cache.Absent ->
-                  ctx.Reqctx.cache <- Reqctx.Miss;
-                  None
-          in
-          match cached_value with
-          | Some v ->
-              ( finish ~op:opname ~outcome:"cached"
-                  (Protocol.ok_response ~id ~request_id ~cached:true v),
-                false,
-                Some key )
-          | None -> (
-              let timeout_ms =
-                match r.Request.timeout_ms with
-                | Some _ as ms -> ms
-                | None -> t.config.default_timeout_ms
-              in
-              match
-                with_deadline t timeout_ms (fun () ->
-                    (* The deadline path runs on a fresh domain whose
-                       log-context stack starts empty — re-establish
-                       the request identity there. *)
-                    Reqctx.with_logging ctx (fun () ->
-                        Request.execute ?cache_dir:t.config.cache_dir r))
-              with
-              | Ok (v, spans) ->
-                  Reqctx.add_spans ctx spans;
-                  if not r.Request.nocache then Plan_cache.add t.cache key v;
-                  ( finish ~op:opname ~outcome:"ok"
-                      (Protocol.ok_response ~id ~request_id v),
-                    false,
-                    Some key )
-              | Error (`Timeout ms) ->
-                  Reqctx.error ctx "timeout";
-                  ( finish ~op:opname ~outcome:"timeout"
-                      (Protocol.error_response ~id ~request_id ~code:"timeout"
-                         (Printf.sprintf "request exceeded %d ms" ms)),
-                    false,
-                    Some key )
-              | Error (`Internal msg) ->
-                  Reqctx.error ctx "internal";
-                  ( finish ~op:opname ~outcome:"error"
-                      (Protocol.error_response ~id ~request_id ~code:"internal"
-                         msg),
-                    false,
-                    Some key ))))
+          run_cached t ctx ~finish ~id ~request_id ~opname
+            ~key:(Request.key r) ~nocache:r.Request.nocache
+            ~timeout_ms:r.Request.timeout_ms (fun () ->
+              Request.execute ?cache_dir:t.config.cache_dir r))
 
 (* --- connection and accept loops -------------------------------------- *)
 

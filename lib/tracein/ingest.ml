@@ -1,0 +1,366 @@
+module Engine = Ctam_cachesim.Engine
+module Hierarchy = Ctam_cachesim.Hierarchy
+module Stats = Ctam_cachesim.Stats
+module Topology = Ctam_arch.Topology
+module Policy = Ctam_arch.Policy
+module Json = Ctam_util.Json
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type interleave = Round_robin | Tagged
+
+let interleave_to_string = function
+  | Round_robin -> "round-robin"
+  | Tagged -> "tagged"
+
+type options = {
+  cores : int;
+  instr : bool;
+  lossy : bool;
+  fold_bits : int option;
+  rebase : bool;
+  split : int option;
+  interleave : interleave;
+}
+
+let default =
+  {
+    cores = 1;
+    instr = false;
+    lossy = false;
+    fold_bits = None;
+    rebase = false;
+    split = None;
+    interleave = Round_robin;
+  }
+
+let validate opts =
+  if opts.cores < 1 then fail "cores must be >= 1 (got %d)" opts.cores;
+  (match opts.fold_bits with
+  | Some b when b < 1 || b > 60 -> fail "fold bits must be in 1..60 (got %d)" b
+  | _ -> ());
+  match opts.split with
+  | Some l when l < 1 -> fail "split granularity must be >= 1 (got %d)" l
+  | _ -> ()
+
+(* Shared per-pass parse state: the counting pass and every per-core
+   cursor each run their own copy over the whole input, so round-robin
+   dealing and lossy counting come out identical in both. *)
+type line_state = {
+  mutable rr : int;
+  mutable lines : int;
+  mutable records : int;
+  mutable malformed : int;
+  last_time : int array;  (* per core; -1 = none seen *)
+}
+
+let fresh_state opts =
+  {
+    rr = 0;
+    lines = 0;
+    records = 0;
+    malformed = 0;
+    last_time = Array.make opts.cores (-1);
+  }
+
+(* One line -> the core it lands on plus its (addr, write) accesses,
+   in issue order; [None] for noise, dropped instruction fetches, and
+   (lossy mode) malformed lines. *)
+let process opts st ~check_times lnum line : (int * (int * bool) list) option =
+  st.lines <- st.lines + 1;
+  match Lackey.parse_line line with
+  | Error msg ->
+      if opts.lossy then begin
+        st.malformed <- st.malformed + 1;
+        None
+      end
+      else fail "line %d: %s" lnum msg
+  | Ok None -> None
+  | Ok (Some r) ->
+      st.records <- st.records + 1;
+      if r.kind = Lackey.Instr && not opts.instr then None
+      else begin
+        let core =
+          match opts.interleave with
+          | Round_robin ->
+              let c = st.rr mod opts.cores in
+              st.rr <- st.rr + 1;
+              c
+          | Tagged -> (
+              match r.core with
+              | None -> 0
+              | Some c when c < opts.cores -> c
+              | Some c ->
+                  if opts.lossy then -1
+                  else
+                    fail "line %d: core tag %d out of range (cores = %d)" lnum
+                      c opts.cores)
+        in
+        if core < 0 then begin
+          st.malformed <- st.malformed + 1;
+          None
+        end
+        else begin
+          (if check_times && opts.interleave = Tagged then
+             match r.time with
+             | Some t ->
+                 if t < st.last_time.(core) && not opts.lossy then
+                   fail "line %d: timestamp %d goes backwards for core %d" lnum
+                     t core;
+                 st.last_time.(core) <- max t st.last_time.(core)
+             | None -> ());
+          let base =
+            match r.kind with
+            | Lackey.Instr | Lackey.Load -> [ (r.addr, false) ]
+            | Lackey.Store -> [ (r.addr, true) ]
+            | Lackey.Modify -> [ (r.addr, false); (r.addr, true) ]
+          in
+          let accesses =
+            match opts.split with
+            | None -> base
+            | Some l ->
+                (* One access per cache line the [addr, addr+size)
+                   span touches. *)
+                List.concat_map
+                  (fun (a, w) ->
+                    let first = a / l and last = (a + r.size - 1) / l in
+                    List.init
+                      (last - first + 1)
+                      (fun i -> ((if i = 0 then a else (first + i) * l), w)))
+                  base
+          in
+          Some (core, accesses)
+        end
+      end
+
+type scan = {
+  scanned_lines : int;
+  records : int;
+  malformed : int;
+  per_core : int array;
+  min_addr : int;
+  max_addr : int;  (* -1 when the trace has no accesses *)
+}
+
+let scan opts src =
+  validate opts;
+  let st = fresh_state opts in
+  let per_core = Array.make opts.cores 0 in
+  let min_a = ref max_int and max_a = ref (-1) in
+  Reader.fold src ~init:() ~f:(fun () lnum line ->
+      match process opts st ~check_times:true lnum line with
+      | None -> ()
+      | Some (core, accs) ->
+          per_core.(core) <- per_core.(core) + List.length accs;
+          List.iter
+            (fun (a, _) ->
+              if a < !min_a then min_a := a;
+              if a > !max_a then max_a := a)
+            accs);
+  {
+    scanned_lines = st.lines;
+    records = st.records;
+    malformed = st.malformed;
+    per_core;
+    min_addr = (if !min_a = max_int then 0 else !min_a);
+    max_addr = !max_a;
+  }
+
+(* --- per-core cursors -------------------------------------------------- *)
+
+let chunk_size = 4096
+
+type cursor_state = {
+  mutable chan : Reader.chan option;
+  mutable lnum : int;
+  mutable st : line_state;
+  buf : int array;
+  mutable len : int;
+  mutable pos : int;
+  (* Accesses of the line that overflowed the chunk, issue order. *)
+  mutable spill : int list;
+  mutable eof : bool;
+}
+
+let make_cursor opts src ~core ~length ~base ~mask : Engine.cursor =
+  let cs =
+    {
+      chan = None;
+      lnum = 0;
+      st = fresh_state opts;
+      buf = Array.make chunk_size 0;
+      len = 0;
+      pos = 0;
+      spill = [];
+      eof = false;
+    }
+  in
+  let encode (addr, write) = Engine.encode_access ~addr:((addr - base) land mask) ~write in
+  let push e =
+    if cs.len < chunk_size then begin
+      cs.buf.(cs.len) <- e;
+      cs.len <- cs.len + 1
+    end
+    else cs.spill <- e :: cs.spill
+  in
+  let close_chan () =
+    match cs.chan with
+    | Some c ->
+        Reader.close c;
+        cs.chan <- None
+    | None -> ()
+  in
+  (* Refill the chunk buffer; false at end of stream. *)
+  let refill () =
+    if cs.eof && cs.spill = [] then false
+    else begin
+      cs.len <- 0;
+      cs.pos <- 0;
+      List.iter push (List.rev cs.spill);
+      cs.spill <- [];
+      if not cs.eof then begin
+        let chan =
+          match cs.chan with
+          | Some c -> c
+          | None ->
+              let c = Reader.open_source src in
+              cs.chan <- Some c;
+              c
+        in
+        let continue = ref true in
+        while !continue && cs.len < chunk_size do
+          match Reader.next_line chan with
+          | None ->
+              cs.eof <- true;
+              close_chan ();
+              continue := false
+          | Some line -> (
+              cs.lnum <- cs.lnum + 1;
+              match process opts cs.st ~check_times:false cs.lnum line with
+              | None -> ()
+              | Some (c, accs) ->
+                  if c = core then List.iter (fun a -> push (encode a)) accs)
+        done
+      end;
+      cs.len > 0
+    end
+  in
+  let rec pull () =
+    if cs.pos < cs.len then begin
+      let e = cs.buf.(cs.pos) in
+      cs.pos <- cs.pos + 1;
+      e
+    end
+    else if refill () then pull ()
+    else fail "trace cursor pulled past end of stream (core %d)" core
+  in
+  let reset () =
+    close_chan ();
+    cs.lnum <- 0;
+    cs.st <- fresh_state opts;
+    cs.len <- 0;
+    cs.pos <- 0;
+    cs.spill <- [];
+    cs.eof <- false
+  in
+  let skip_to_sample ~shift ~mask:smask ~skipped =
+    let rec go () =
+      let i = ref cs.pos in
+      while !i < cs.len && (cs.buf.(!i) lsr shift) land smask <> 0 do
+        incr i
+      done;
+      skipped := !skipped + (!i - cs.pos);
+      if !i < cs.len then begin
+        cs.pos <- !i + 1;
+        cs.buf.(!i)
+      end
+      else begin
+        cs.pos <- cs.len;
+        if refill () then go () else -1
+      end
+    in
+    go ()
+  in
+  { Engine.length; pull; reset; skip_to_sample = Some skip_to_sample }
+
+let streams ?scan:sc opts src =
+  validate opts;
+  let sc = match sc with Some s -> s | None -> scan opts src in
+  let base = if opts.rebase then sc.min_addr else 0 in
+  let mask =
+    match opts.fold_bits with Some b -> (1 lsl b) - 1 | None -> max_int
+  in
+  Array.init opts.cores (fun core ->
+      Engine.Gen
+        (make_cursor opts src ~core ~length:sc.per_core.(core) ~base ~mask))
+
+let load ?scan opts src = Array.map Engine.force_stream (streams ?scan opts src)
+
+(* --- running a trace on a machine -------------------------------------- *)
+
+let run ?(config = Engine.default_config) ?(sample_sets = 1) ~machine opts src
+    =
+  validate opts;
+  let n = machine.Topology.num_cores in
+  if opts.cores > n then
+    fail "trace interleaved over %d cores but machine %s has only %d"
+      opts.cores machine.Topology.name n;
+  let sc = scan opts src in
+  let strs = streams ~scan:sc opts src in
+  (* Idle cores of the machine run empty streams. *)
+  let padded =
+    Array.init n (fun i ->
+        if i < Array.length strs then strs.(i) else Engine.dense [||])
+  in
+  let h = Hierarchy.create ~sample_sets machine in
+  let stats = Engine.run_streams ~config h [ padded ] in
+  (stats, sc)
+
+let report_json ~machine opts sc stats =
+  let opt_int = function Some v -> Json.Int v | None -> Json.Null in
+  Json.Obj
+    [
+      ("schema", Json.String "ctam-simtrace-v1");
+      ("machine", Json.String machine.Topology.name);
+      ("cores", Json.Int opts.cores);
+      ("interleave", Json.String (interleave_to_string opts.interleave));
+      ("instr", Json.Bool opts.instr);
+      ("lossy", Json.Bool opts.lossy);
+      ("fold_bits", opt_int opts.fold_bits);
+      ("rebase", Json.Bool opts.rebase);
+      ("split", opt_int opts.split);
+      ( "policies",
+        Json.List
+          (List.map
+             (fun (p : Topology.cache_params) ->
+               Json.Obj
+                 [
+                   ("cache", Json.String p.cache_name);
+                   ("level", Json.Int p.level);
+                   ("policy", Json.String (Policy.to_string p.policy));
+                 ])
+             (Topology.caches machine)) );
+      ( "trace",
+        Json.Obj
+          [
+            ("lines", Json.Int sc.scanned_lines);
+            ("records", Json.Int sc.records);
+            ("malformed", Json.Int sc.malformed);
+            ("min_addr", Json.Int sc.min_addr);
+            ("max_addr", Json.Int sc.max_addr);
+            ( "per_core",
+              Json.List
+                (Array.to_list (Array.map (fun n -> Json.Int n) sc.per_core))
+            );
+          ] );
+      ("stats", Stats.to_json stats);
+    ]
+
+let trace_formats =
+  [
+    ("lackey", "Valgrind Lackey: I/L/S/M ADDR,SIZE (bare hex or 0x)");
+    ("bare", "R 0xADDR / W 0xADDR one access per line");
+    ("tags", "optional CORE: prefix and @TIME suffix on any record");
+  ]

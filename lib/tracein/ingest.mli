@@ -1,0 +1,91 @@
+(** Turning external access traces into engine streams.
+
+    A trace is read in two passes: a counting pass ({!scan}) sizes the
+    per-core streams (the {!Ctam_cachesim.Engine.cursor} contract
+    needs exact lengths) and finds the address range for rebasing; the
+    cursors then stream the accesses through a fixed-size chunk
+    buffer, so a multi-gigabyte trace never materializes.  Every
+    per-core cursor reads the whole input and keeps only its own
+    accesses — memory-bounded, and the engine may interleave pulls
+    across cores in any order. *)
+
+exception Error of string
+(** Malformed input (with a line position) or invalid options. *)
+
+type interleave =
+  | Round_robin
+      (** deal records across the [cores] in arrival order; core tags
+          are ignored *)
+  | Tagged
+      (** each record goes to its [CORE:] tag (untagged records to
+          core 0); strict mode rejects out-of-range tags and
+          per-core backwards [@TIME] stamps *)
+
+val interleave_to_string : interleave -> string
+
+type options = {
+  cores : int;  (** number of per-core streams to produce *)
+  instr : bool;  (** include [I] instruction fetches (default: drop) *)
+  lossy : bool;
+      (** count malformed lines instead of failing (strict default) *)
+  fold_bits : int option;
+      (** fold addresses into a [2^bits]-byte window (after rebasing) *)
+  rebase : bool;  (** subtract the smallest address in the trace *)
+  split : int option;
+      (** emit one access per [split]-byte line an access's
+          [addr, addr+size) span touches (default: base address only) *)
+  interleave : interleave;
+}
+
+(** One core, strict, no instruction fetches, no address transforms,
+    round-robin. *)
+val default : options
+
+type scan = {
+  scanned_lines : int;  (** input lines read (including noise) *)
+  records : int;  (** well-formed records *)
+  malformed : int;  (** lines dropped in lossy mode *)
+  per_core : int array;  (** encoded accesses each core will stream *)
+  min_addr : int;  (** smallest raw byte address (0 on an empty trace) *)
+  max_addr : int;  (** largest raw byte address (-1 on an empty trace) *)
+}
+
+(** The counting pass.  @raise Error in strict mode on malformed
+    lines, and on invalid options in every mode. *)
+val scan : options -> Reader.source -> scan
+
+(** Per-core generator-backed streams.  Pass [?scan] to reuse a
+    counting pass; otherwise one is run.  The cursors support the
+    engine's [skip_to_sample] fast path, so set-sampled runs compose.
+    Strict-mode parse errors surface as [Error] from inside the
+    engine's pulls. *)
+val streams :
+  ?scan:scan -> options -> Reader.source -> Ctam_cachesim.Engine.stream array
+
+(** Materialized per-core encoded access arrays. *)
+val load : ?scan:scan -> options -> Reader.source -> int array array
+
+(** [run ~machine opts src] replays the trace on a fresh hierarchy of
+    [machine] as one phase, idle machine cores running empty streams.
+    [sample_sets] is passed through to {!Ctam_cachesim.Hierarchy.create}.
+    @raise Error when the trace uses more cores than the machine has. *)
+val run :
+  ?config:Ctam_cachesim.Engine.config ->
+  ?sample_sets:int ->
+  machine:Ctam_arch.Topology.t ->
+  options ->
+  Reader.source ->
+  Ctam_cachesim.Stats.t * scan
+
+(** The [ctam-simtrace-v1] report: trace metadata, per-level
+    replacement policies, and the run statistics. *)
+val report_json :
+  machine:Ctam_arch.Topology.t ->
+  options ->
+  scan ->
+  Ctam_cachesim.Stats.t ->
+  Ctam_util.Json.t
+
+(** Supported trace notations, [(name, description)] — surfaced by
+    [ctamap --help] and the daemon's [version] op. *)
+val trace_formats : (string * string) list

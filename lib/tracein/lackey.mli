@@ -1,0 +1,29 @@
+(** Parser for Valgrind-Lackey text traces.
+
+    One record per line:
+    {v [CORE:] K ADDR[,SIZE] [@TIME] v}
+    where [K] is [I] (instruction fetch), [L] (load), [S] (store) or
+    [M] (modify = load + store) in the Lackey dialect, or the bare
+    [R]/[W] read/write form.  [ADDR] is hexadecimal with or without a
+    [0x] prefix (Lackey prints bare hex); [SIZE] defaults to 1.
+
+    The optional [CORE:] prefix and [@TIME] suffix are this project's
+    multi-core extension, consumed by {!Ingest}'s tagged interleaving.
+
+    Blank lines, [#] comments, and Valgrind's own [==pid==]/[--pid--]
+    chatter parse as [Ok None] — they are noise, not malformed
+    records, in strict mode too. *)
+
+type kind = Instr | Load | Store | Modify
+
+type record = {
+  kind : kind;
+  addr : int;
+  size : int;  (** bytes touched, starting at [addr] *)
+  core : int option;  (** [CORE:] tag, when present *)
+  time : int option;  (** [@TIME] tag, when present *)
+}
+
+(** [Ok None] for noise lines, [Error msg] for malformed records (the
+    caller attaches the line number). *)
+val parse_line : string -> (record option, string) result

@@ -1,0 +1,74 @@
+type source = File of string | Text of string
+
+type backend =
+  | Chan of in_channel
+  | Proc of in_channel
+  | Str of { text : string; mutable pos : int }
+
+type chan = { backend : backend }
+
+(* Gzip files announce themselves with a two-byte magic; sniffing it
+   beats trusting the extension, and decompressing through the system
+   [gzip] keeps the library dependency-free. *)
+let is_gzip path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        let a = input_char ic in
+        let b = input_char ic in
+        Char.code a = 0x1f && Char.code b = 0x8b
+      with End_of_file -> false)
+
+let open_source = function
+  | Text text -> { backend = Str { text; pos = 0 } }
+  | File path ->
+      if not (Sys.file_exists path) then
+        raise (Sys_error (path ^ ": no such file"));
+      if is_gzip path then
+        { backend =
+            Proc
+              (Unix.open_process_in
+                 (Printf.sprintf "gzip -dc %s" (Filename.quote path))) }
+      else { backend = Chan (open_in path) }
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let next_line t =
+  match t.backend with
+  | Chan ic | Proc ic -> (
+      match input_line ic with
+      | line -> Some (strip_cr line)
+      | exception End_of_file -> None)
+  | Str s ->
+      if s.pos >= String.length s.text then None
+      else
+        let nl =
+          match String.index_from_opt s.text s.pos '\n' with
+          | Some i -> i
+          | None -> String.length s.text
+        in
+        let line = String.sub s.text s.pos (nl - s.pos) in
+        s.pos <- nl + 1;
+        Some (strip_cr line)
+
+let close t =
+  match t.backend with
+  | Chan ic -> close_in_noerr ic
+  | Proc ic -> ignore (Unix.close_process_in ic)
+  | Str _ -> ()
+
+let fold src ~init ~f =
+  let ch = open_source src in
+  Fun.protect
+    ~finally:(fun () -> close ch)
+    (fun () ->
+      let rec go acc lnum =
+        match next_line ch with
+        | None -> acc
+        | Some line -> go (f acc lnum line) (lnum + 1)
+      in
+      go init 1)

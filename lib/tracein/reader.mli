@@ -1,0 +1,27 @@
+(** Line-oriented trace input.
+
+    A {!source} can be reopened any number of times — the trace
+    cursors in {!Ingest} rewind by reopening — and gzip-compressed
+    files are detected by their magic bytes (not the extension) and
+    decompressed through the system [gzip], so callers never care
+    whether a trace is compressed. *)
+
+type source =
+  | File of string  (** path to a plain or gzip-compressed trace *)
+  | Text of string  (** in-memory trace (the daemon's [trace] op) *)
+
+type chan
+
+(** Open a fresh read handle on the source.
+    @raise Sys_error when a [File] does not exist. *)
+val open_source : source -> chan
+
+(** Next line without its terminator ([\r\n] is handled); [None] at end
+    of input. *)
+val next_line : chan -> string option
+
+val close : chan -> unit
+
+(** [fold src ~init ~f] folds [f acc lnum line] over all lines
+    (1-based line numbers), opening and closing its own handle. *)
+val fold : source -> init:'a -> f:('a -> int -> string -> 'a) -> 'a

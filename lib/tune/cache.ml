@@ -39,9 +39,15 @@ let warn_corrupt path what =
    Floats are rendered with %h (exact hex) so two processes can never
    disagree on a key by formatting. *)
 
+(* The policy suffix appears only when a cache deviates from the LRU
+   default, so every pre-policy key — and thus every warm cache — stays
+   byte-identical (the same idiom as the sampling fragment). *)
 let cache_fragment (c : Topology.cache_params) =
-  Printf.sprintf "%s:L%d:%db:%dw:%dl:%dc" c.Topology.cache_name c.Topology.level
-    c.Topology.size_bytes c.Topology.assoc c.Topology.line c.Topology.latency
+  Printf.sprintf "%s:L%d:%db:%dw:%dl:%dc%s" c.Topology.cache_name
+    c.Topology.level c.Topology.size_bytes c.Topology.assoc c.Topology.line
+    c.Topology.latency
+    (if Policy.equal c.Topology.policy Policy.Lru then ""
+     else ":" ^ Policy.to_string c.Topology.policy)
 
 (* Topology.caches loses the sharing structure (two machines with the
    same cache list can group cores differently), so hash each core's

@@ -58,8 +58,20 @@ val context_fragments :
   Program.t ->
   string list
 
+(** The per-core topology-path fragment of {!context_fragments}
+    (machine name, clock, memory latency, and each core's path of
+    cache geometries with any non-LRU replacement policies) — reused
+    by the daemon's [trace]-op keys, which have no program or mapping
+    parameters. *)
+val topology_fragment : Topology.t -> string
+
 (** 16-hex-digit FNV-1a 64 of a key (the entry's file stem). *)
 val hash : string -> string
+
+(** File-name prefix of tune entries in a shared cache directory
+    (["ctam-tune-"]) — the maintenance tooling ([ctamap cache])
+    selects entry families by it. *)
+val file_prefix : string
 
 (** [lookup ~dir key] returns the stored outcome, or [None] when the
     entry is absent, unreadable, malformed, or keyed by a colliding

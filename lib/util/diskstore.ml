@@ -71,6 +71,21 @@ let read ~dir ~prefix ~value_member key =
              can never interpret, not a crash. *)
           Corrupt ("entry is not an object: " ^ J.to_string ~minify:true j))
 
+(* Enumeration stays as dependency-free as the rest of the module:
+   paths only, sorted for deterministic output; the caller stats for
+   sizes/ages (Ctam_serve.Cachetool owns the maintenance policy). *)
+let scan ~dir ~prefix =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n ->
+             String.starts_with ~prefix n
+             && Filename.check_suffix n ".json"
+             && String.length n > String.length prefix + 5)
+      |> List.sort compare
+      |> List.map (Filename.concat dir)
+
 let rec mkdir_p dir =
   if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
     mkdir_p (Filename.dirname dir);

@@ -29,6 +29,12 @@ val hash : string -> string
 (** [entry_path ~dir ~prefix key] = [DIR/PREFIX<hash key>.json]. *)
 val entry_path : dir:string -> prefix:string -> string -> string
 
+(** [scan ~dir ~prefix] lists the paths of the entries under [dir]
+    whose file names start with [prefix] (sorted; [] when the
+    directory is missing or unreadable).  Sizes and ages are the
+    caller's business — this module carries no clock. *)
+val scan : dir:string -> prefix:string -> string list
+
 (** [read ~dir ~prefix ~value_member key] classifies the entry for
     [key]; never raises. *)
 val read :

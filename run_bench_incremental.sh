@@ -71,6 +71,19 @@ awk -v a="$t0" -v b="$t1" \
   'BEGIN { printf "{\"experiment\":\"scale_sweep\",\"sweep_seconds\":%.3f}\n", b - a }' \
   >> "$OUT"
 
+# Policy-sweep trajectory: the replacement-policy differential sweep
+# (experiment="policy_sweep" rows — L1 hit rate / memory rate per
+# policy x pattern x footprint).  The sweep exits non-zero when a
+# policy breaks a trend invariant or LRU-as-policy diverges from the
+# seed reference engine, so the archive doubles as a certification.
+t0=$(date +%s.%N)
+./_build/default/bench/main.exe policy-sweep --quick --json >> "$OUT" \
+  || echo '{"experiment":"policy_sweep","error":"sweep failed"}' >> "$OUT"
+t1=$(date +%s.%N)
+awk -v a="$t0" -v b="$t1" \
+  'BEGIN { printf "{\"experiment\":\"policy_sweep\",\"sweep_seconds\":%.3f}\n", b - a }' \
+  >> "$OUT"
+
 # Serve-sweep trajectory: throughput and latency tail of the mapping
 # daemon, cold (full pipeline per request) vs warm (plan-cache hits) —
 # experiment="serve_sweep" rows with req/s and p50/p90/p99, plus the

@@ -130,6 +130,7 @@ let test_validation () =
                  assoc = 2;
                  line = 64;
                  latency = 1;
+                 policy = Policy.Lru;
                },
                [ Topology.Core 1 ] );
          ])
@@ -146,6 +147,7 @@ let test_validation () =
             assoc = 2;
             line = 64;
             latency = 1;
+            policy = Policy.Lru;
           },
           cores )
     in

@@ -10,7 +10,7 @@ let check_bool = Alcotest.(check bool)
 (* --- Setassoc ------------------------------------------------------- *)
 
 let test_setassoc_basics () =
-  let c = Setassoc.create ~sets:4 ~assoc:2 in
+  let c = Setassoc.create ~sets:4 ~assoc:2 () in
   check_int "capacity" 8 (Setassoc.capacity_lines c);
   check_bool "cold miss" false (Setassoc.access c 0);
   ignore (Setassoc.insert c 0);
@@ -19,7 +19,7 @@ let test_setassoc_basics () =
   check_int "misses" 1 (Setassoc.misses c)
 
 let test_setassoc_lru () =
-  let c = Setassoc.create ~sets:1 ~assoc:2 in
+  let c = Setassoc.create ~sets:1 ~assoc:2 () in
   ignore (Setassoc.insert c 10);
   ignore (Setassoc.insert c 20);
   (* Touch 10 so 20 becomes LRU; inserting 30 must evict 20. *)
@@ -30,7 +30,7 @@ let test_setassoc_lru () =
   check_bool "30 in" true (Setassoc.contains c 30)
 
 let test_setassoc_sets_disjoint () =
-  let c = Setassoc.create ~sets:2 ~assoc:1 in
+  let c = Setassoc.create ~sets:2 ~assoc:1 () in
   ignore (Setassoc.insert c 0);  (* set 0 *)
   ignore (Setassoc.insert c 1);  (* set 1 *)
   check_bool "both resident" true
@@ -40,7 +40,7 @@ let test_setassoc_sets_disjoint () =
   check_bool "1 survives" true (Setassoc.contains c 1)
 
 let test_setassoc_invalidate () =
-  let c = Setassoc.create ~sets:1 ~assoc:4 in
+  let c = Setassoc.create ~sets:1 ~assoc:4 () in
   ignore (Setassoc.insert c 1);
   ignore (Setassoc.insert c 2);
   check_bool "invalidate hit" true (Setassoc.invalidate c 1);
@@ -53,7 +53,7 @@ let test_setassoc_invalidate () =
   Alcotest.(check (option int)) "no eviction" None (Setassoc.insert c 5)
 
 let test_setassoc_clear () =
-  let c = Setassoc.create ~sets:2 ~assoc:2 in
+  let c = Setassoc.create ~sets:2 ~assoc:2 () in
   ignore (Setassoc.insert c 7);
   ignore (Setassoc.access c 7);
   Setassoc.clear c;
@@ -65,7 +65,7 @@ let prop_lru_never_exceeds_capacity =
   QCheck.Test.make ~name:"resident lines never exceed capacity" ~count:200
     QCheck.(list_of_size (Gen.int_range 0 200) (int_range 0 63))
     (fun lines ->
-      let c = Setassoc.create ~sets:4 ~assoc:2 in
+      let c = Setassoc.create ~sets:4 ~assoc:2 () in
       List.iter
         (fun l -> if not (Setassoc.access c l) then ignore (Setassoc.insert c l))
         lines;
@@ -75,7 +75,7 @@ let prop_access_after_insert_hits =
   QCheck.Test.make ~name:"immediate re-access hits" ~count:200
     QCheck.(list_of_size (Gen.int_range 1 100) (int_range 0 255))
     (fun lines ->
-      let c = Setassoc.create ~sets:8 ~assoc:4 in
+      let c = Setassoc.create ~sets:8 ~assoc:4 () in
       List.for_all
         (fun l ->
           if not (Setassoc.access c l) then ignore (Setassoc.insert c l);
@@ -95,6 +95,7 @@ let tiny_machine () =
           assoc = 2;
           line = 64;
           latency = 2;
+          policy = Policy.Lru;
         },
         [ Topology.Core id ] )
   in
@@ -108,6 +109,7 @@ let tiny_machine () =
             assoc = 2;
             line = 64;
             latency = 10;
+            policy = Policy.Lru;
           },
           [ l1 0; l1 1 ] );
     ]
@@ -339,6 +341,7 @@ let param_machine ~line ~l1_sets ~l2_sets ~assoc =
           assoc;
           line;
           latency = 2;
+          policy = Policy.Lru;
         },
         [ Topology.Core id ] )
   in
@@ -352,6 +355,7 @@ let param_machine ~line ~l1_sets ~l2_sets ~assoc =
             assoc;
             line;
             latency = 10;
+            policy = Policy.Lru;
           },
           [ l1 0; l1 1 ] );
     ]
@@ -483,7 +487,7 @@ let test_engine_heap_vs_scan_multicore () =
 
 let test_setassoc_non_pow2_sets () =
   (* sets = 3: the mask fast path must not engage; mapping is mod 3. *)
-  let c = Setassoc.create ~sets:3 ~assoc:2 in
+  let c = Setassoc.create ~sets:3 ~assoc:2 () in
   check_int "set of 7" 1 (Setassoc.set_of_line c 7);
   check_int "set of 9" 0 (Setassoc.set_of_line c 9);
   ignore (Setassoc.insert c 0);
@@ -542,7 +546,7 @@ let prop_reuse_agrees_with_fullassoc_lru =
       let lines = Array.of_list lines_list in
       let h = Reuse.of_lines lines in
       let capacity = 8 in
-      let cache = Setassoc.create ~sets:1 ~assoc:capacity in
+      let cache = Setassoc.create ~sets:1 ~assoc:capacity () in
       Array.iter
         (fun l -> if not (Setassoc.access cache l) then ignore (Setassoc.insert cache l))
         lines;

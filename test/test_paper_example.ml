@@ -30,6 +30,7 @@ let figure9 =
           assoc = 8;
           line = 64;
           latency = 4;
+          policy = Policy.Lru;
         },
         [ Topology.Core id ] )
   in
@@ -42,6 +43,7 @@ let figure9 =
           assoc = 8;
           line = 64;
           latency = 12;
+          policy = Policy.Lru;
         },
         cores )
   in
@@ -55,6 +57,7 @@ let figure9 =
             assoc = 16;
             line = 64;
             latency = 30;
+            policy = Policy.Lru;
           },
           [ l2 0 [ l1 0; l1 1 ]; l2 1 [ l1 2; l1 3 ] ] );
     ]

@@ -394,6 +394,96 @@ let test_lookup_tiers () =
   check_bool "promoted back to memory" true
     (Plan_cache.lookup c "a" = Plan_cache.Memory (v "1"))
 
+(* --- trace requests ---------------------------------------------------- *)
+
+let trace_req ?policy text =
+  J.Obj
+    ([
+       ("op", J.String "trace");
+       ("machine", J.String "dunnington");
+       ("scale", J.Int 16);
+       ("cores", J.Int 2);
+       ("trace_text", J.String text);
+     ]
+    @ match policy with None -> [] | Some p -> [ ("policy", J.String p) ])
+
+let test_trace_request_parse () =
+  let good = " L 0x1000,8\n S 0x1040,8\n M 0x1080,4\n" in
+  let parsed ?policy text =
+    match Request.parse_trace (trace_req ?policy text) with
+    | Ok tr -> tr
+    | Error e -> Alcotest.fail e
+  in
+  (* Policy reaches the machine, and the content-hash key sees it —
+     while an explicit lru spec keeps the pre-policy key (warm caches
+     survive the upgrade). *)
+  let k_default = Request.trace_key (parsed good) in
+  let k_lru = Request.trace_key (parsed ~policy:"lru" good) in
+  let k_plru = Request.trace_key (parsed ~policy:"L1=plru" good) in
+  Alcotest.(check string) "explicit lru keeps the key" k_default k_lru;
+  check_bool "policy in the key" true (k_plru <> k_default);
+  check_bool "trace text in the key" true
+    (Request.trace_key (parsed (good ^ " L 0x2000,4\n")) <> k_default);
+  (* Executing the parsed request yields the simtrace report. *)
+  let report, _spans = Request.execute_trace (parsed ~policy:"L1=plru" good) in
+  (match J.member "schema" report with
+  | Some (J.String "ctam-simtrace-v1") -> ()
+  | _ -> Alcotest.fail "trace response is not a simtrace report");
+  (* Strict-mode errors surface at PARSE time, with the position. *)
+  (match Request.parse_trace (trace_req " L 0x10,4\n X bad\n") with
+  | Error msg ->
+      check_bool "position in the error" true
+        (Astring.String.is_infix ~affix:"line 2" msg)
+  | Ok _ -> Alcotest.fail "malformed trace accepted");
+  (* ... unless the request opted into lossy mode. *)
+  match
+    Request.parse_trace
+      (match trace_req " L 0x10,4\n X bad\n" with
+      | J.Obj ms -> J.Obj (ms @ [ ("lossy", J.Bool true) ])
+      | j -> j)
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("lossy trace rejected: " ^ e)
+
+(* --- cache maintenance ------------------------------------------------- *)
+
+let test_purge_then_recompute () =
+  let dir = fresh_dir () in
+  let c = Plan_cache.create ~dir ~max_entries:1 () in
+  Plan_cache.add c "a" (v "1");
+  Plan_cache.add c "b" (v "2");
+  let plan_entries () =
+    (List.find
+       (fun f -> f.Cachetool.prefix = Plan_cache.file_prefix)
+       (Cachetool.stats ~dir ()))
+      .Cachetool.entries
+  in
+  check_int "both entries on disk" 2 (plan_entries ());
+  (* An age bound keeps entries younger than the cutoff. *)
+  let aged = Cachetool.purge ~older_than:3600. ~dir () in
+  check_bool "age bound keeps fresh entries" true
+    (List.for_all (fun r -> r.Cachetool.removed = 0) aged);
+  check_int "nothing removed" 2 (plan_entries ());
+  (* A full purge while the cache object is live: the disk tier
+     empties, in-memory entries keep answering, evicted ones are
+     recomputed (Absent) and can be stored again. *)
+  let res = Cachetool.purge ~prefix:Plan_cache.file_prefix ~dir () in
+  check_bool "purge removed both" true
+    (List.exists
+       (fun r ->
+         r.Cachetool.p_prefix = Plan_cache.file_prefix
+         && r.Cachetool.removed = 2)
+       res);
+  check_int "store empty" 0 (plan_entries ());
+  check_bool "memory tier still answers" true
+    (Plan_cache.lookup c "b" = Plan_cache.Memory (v "2"));
+  check_bool "evicted entry must be recomputed" true
+    (Plan_cache.lookup c "a" = Plan_cache.Absent);
+  Plan_cache.add c "a" (v "1");
+  check_bool "store accepts the recomputed entry" true
+    (Plan_cache.lookup c "a" = Plan_cache.Memory (v "1"));
+  check_int "recomputed entry persisted" 1 (plan_entries ())
+
 let () =
   Alcotest.run "serve"
     [
@@ -422,5 +512,15 @@ let () =
           Alcotest.test_case "slowlog ring" `Quick test_slowlog;
           Alcotest.test_case "plan-cache lookup tiers" `Quick
             test_lookup_tiers;
+        ] );
+      ( "trace op",
+        [
+          Alcotest.test_case "parse, key, strict errors" `Quick
+            test_trace_request_parse;
+        ] );
+      ( "cache maintenance",
+        [
+          Alcotest.test_case "purge then recompute" `Quick
+            test_purge_then_recompute;
         ] );
     ]

@@ -1,0 +1,367 @@
+(* Tests for the trace-driven frontend: Lackey-dialect line parsing,
+   the counting pass, address transforms (rebase / fold / line
+   splitting), round-robin vs tagged multi-core interleaving, strict
+   vs lossy error handling with line positions, and the contract that
+   the streaming cursors, the materialized arrays, and Ingest.run all
+   describe the same access sequence (including under set sampling
+   and gzip compression). *)
+
+open Ctam_cachesim
+open Ctam_tracein
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let tmp_trace text =
+  let path = Filename.temp_file "ctam-trace" ".trace" in
+  write_file path text;
+  path
+
+(* --- Lackey.parse_line ------------------------------------------------- *)
+
+let rec_ok ?core ?time kind addr size =
+  Ok (Some { Lackey.kind; addr; size; core; time })
+
+let test_parse_forms () =
+  let cases =
+    [
+      ("I  0x40001000,4", rec_ok Lackey.Instr 0x40001000 4);
+      (" L 0x1000,8", rec_ok Lackey.Load 0x1000 8);
+      (" S 0x1040,8", rec_ok Lackey.Store 0x1040 8);
+      (" M 0x1080,4", rec_ok Lackey.Modify 0x1080 4);
+      (* Lackey prints bare hex; size defaults to 1. *)
+      ("L ff10,2", rec_ok Lackey.Load 0xff10 2);
+      ("R 0x20", rec_ok Lackey.Load 0x20 1);
+      ("W 0x1100", rec_ok Lackey.Store 0x1100 1);
+      (* Multi-core extension: CORE: prefix and @TIME suffix. *)
+      ("1: L 0x2000,8 @5", rec_ok ~core:1 ~time:5 Lackey.Load 0x2000 8);
+      ("0: W 40 @0", rec_ok ~core:0 ~time:0 Lackey.Store 0x40 1);
+      (* Noise, not malformed: blank, comments, Valgrind chatter. *)
+      ("", Ok None);
+      ("   ", Ok None);
+      ("# a comment", Ok None);
+      ("==1234== lackey trace", Ok None);
+      ("--1234-- warning", Ok None);
+    ]
+  in
+  List.iter
+    (fun (line, expect) ->
+      check_bool (Printf.sprintf "parse %S" line) true
+        (Lackey.parse_line line = expect))
+    cases;
+  List.iter
+    (fun line ->
+      check_bool
+        (Printf.sprintf "reject %S" line)
+        true
+        (match Lackey.parse_line line with Error _ -> true | Ok _ -> false))
+    [ " X 0xnonsense"; "L"; "L 0xzz,4"; "L 0x10,q"; "9x: L 0x10" ]
+
+(* --- the counting pass ------------------------------------------------- *)
+
+let sample_trace =
+  String.concat "\n"
+    [
+      "==1234== lackey"; "I 0x40000000,4"; "# warm-up"; " L 0x1000,8";
+      " S 0x1040,8"; " M 0x1080,4"; "R 0x20"; "W 0x1100"; "";
+    ]
+
+let test_scan_counts () =
+  let scan = Ingest.scan Ingest.default (Reader.Text sample_trace) in
+  check_int "lines (noise included)" 8 scan.Ingest.scanned_lines;
+  (* Every well-formed record counts, including the instruction fetch
+     that --instr-off then drops; M expands to 2 accesses. *)
+  check_int "records" 6 scan.Ingest.records;
+  check_int "malformed" 0 scan.Ingest.malformed;
+  check_int "accesses on core 0" 6 scan.Ingest.per_core.(0);
+  check_int "min addr" 0x20 scan.Ingest.min_addr;
+  check_int "max addr" 0x1100 scan.Ingest.max_addr;
+  (* With instruction fetches kept the fetch streams too. *)
+  let scan_i =
+    Ingest.scan { Ingest.default with Ingest.instr = true }
+      (Reader.Text sample_trace)
+  in
+  check_int "accesses with --instr" 7 scan_i.Ingest.per_core.(0);
+  check_int "instr widens the range" 0x40000000 scan_i.Ingest.max_addr
+
+let test_modify_is_load_then_store () =
+  let loaded =
+    Ingest.load Ingest.default (Reader.Text " M 0x80,4\n")
+  in
+  check_int "one core" 1 (Array.length loaded);
+  check_int "two accesses" 2 (Array.length loaded.(0));
+  let a0, w0 = Engine.decode_access loaded.(0).(0) in
+  let a1, w1 = Engine.decode_access loaded.(0).(1) in
+  check_bool "load first" true (a0 = 0x80 && not w0);
+  check_bool "store second" true (a1 = 0x80 && w1)
+
+let test_split_spans () =
+  (* A 16-byte access starting 8 bytes before a 64-byte line boundary
+     touches two lines; --split emits one access per line. *)
+  let opts = { Ingest.default with Ingest.split = Some 64 } in
+  let loaded = Ingest.load opts (Reader.Text " L 0x38,16\n S 0x40,8\n") in
+  check_int "span split + aligned" 3 (Array.length loaded.(0));
+  let addrs =
+    Array.to_list (Array.map (fun e -> fst (Engine.decode_access e)) loaded.(0))
+  in
+  (* The first sub-access keeps the original address; the rest are the
+     base addresses of the further lines the span touches. *)
+  check_bool "split addresses" true (addrs = [ 0x38; 0x40; 0x40 ])
+
+(* --- strict / lossy --------------------------------------------------- *)
+
+let bad_trace = " L 0x1000,8\n S 0x1040,8\n X 0xnonsense\n L 0x1080,4\n"
+
+let test_strict_positions () =
+  check_bool "strict raises with the line number" true
+    (match Ingest.scan Ingest.default (Reader.Text bad_trace) with
+    | exception Ingest.Error msg ->
+        Astring.String.is_infix ~affix:"line 3" msg
+    | _ -> false)
+
+let test_lossy_counts () =
+  let scan =
+    Ingest.scan { Ingest.default with Ingest.lossy = true }
+      (Reader.Text bad_trace)
+  in
+  check_int "malformed counted" 1 scan.Ingest.malformed;
+  check_int "good records survive" 3 scan.Ingest.records
+
+(* --- interleaving ------------------------------------------------------ *)
+
+let tagged_trace =
+  "0: L 0x100,4 @1\n1: L 0x200,4 @1\n0: S 0x100,4 @2\n L 0x300,4\n"
+
+let test_round_robin_deals () =
+  let opts = { Ingest.default with Ingest.cores = 2 } in
+  let scan = Ingest.scan opts (Reader.Text tagged_trace) in
+  (* Round-robin ignores the tags and deals in arrival order. *)
+  check_int "core 0" 2 scan.Ingest.per_core.(0);
+  check_int "core 1" 2 scan.Ingest.per_core.(1)
+
+let test_tagged_deals () =
+  let opts =
+    { Ingest.default with Ingest.cores = 2; Ingest.interleave = Ingest.Tagged }
+  in
+  let scan = Ingest.scan opts (Reader.Text tagged_trace) in
+  (* Tags rule; the untagged record lands on core 0. *)
+  check_int "core 0" 3 scan.Ingest.per_core.(0);
+  check_int "core 1" 1 scan.Ingest.per_core.(1)
+
+let test_tagged_strict_rejects () =
+  let opts =
+    { Ingest.default with Ingest.cores = 2; Ingest.interleave = Ingest.Tagged }
+  in
+  check_bool "out-of-range tag" true
+    (match Ingest.scan opts (Reader.Text "5: L 0x10,4\n") with
+    | exception Ingest.Error _ -> true
+    | _ -> false);
+  check_bool "backwards per-core time" true
+    (match
+       Ingest.scan opts (Reader.Text "0: L 0x10,4 @9\n0: L 0x20,4 @3\n")
+     with
+    | exception Ingest.Error _ -> true
+    | _ -> false);
+  (* Round-robin does not interpret tags, so the same lines pass. *)
+  let rr = { opts with Ingest.interleave = Ingest.Round_robin } in
+  check_int "round-robin ignores tags" 2
+    (Ingest.scan rr (Reader.Text "5: L 0x10,4\n0: L 0x20,4 @3\n")).Ingest
+      .records
+
+(* --- streams == load == run ------------------------------------------- *)
+
+let big_trace =
+  let buf = Buffer.create 4096 in
+  let seed = ref 123456789 in
+  let rnd () =
+    seed := (!seed * 1103515245) + 12345;
+    (!seed lsr 7) land 0xffff
+  in
+  for i = 0 to 499 do
+    let k = if i mod 3 = 0 then "S" else "L" in
+    Buffer.add_string buf
+      (Printf.sprintf " %s 0x%x,%d\n" k (0x10000 + rnd ()) (1 + (i mod 8)))
+  done;
+  Buffer.contents buf
+
+let machine () = Ctam_arch.Machines.dunnington ~scale:16 ()
+
+let test_streams_match_load () =
+  let opts = { Ingest.default with Ingest.cores = 2 } in
+  let src = Reader.Text big_trace in
+  let loaded = Ingest.load opts src in
+  let forced = Engine.force_phase (Ingest.streams opts src) in
+  check_int "same core count" (Array.length loaded) (Array.length forced);
+  Array.iteri
+    (fun i dense ->
+      check_bool
+        (Printf.sprintf "core %d identical" i)
+        true (dense = forced.(i)))
+    loaded;
+  (* And running the cursors through the engine equals running the
+     dense arrays: the streaming path changes nothing observable. *)
+  let m = machine () in
+  let dense_phase =
+    Array.init m.Ctam_arch.Topology.num_cores (fun i ->
+        if i < Array.length loaded then loaded.(i) else [||])
+  in
+  let st_dense = Engine.run (Hierarchy.create m) [ dense_phase ] in
+  let st_run, scan = Ingest.run ~machine:m opts src in
+  check_int "scan agrees with load" (Array.length loaded.(0))
+    scan.Ingest.per_core.(0);
+  check_bool "stats identical" true (st_dense = st_run)
+
+let test_sample_sets_compose () =
+  (* The cursors' skip_to_sample fast path must agree with sampling a
+     dense replay of the same trace. *)
+  let opts = { Ingest.default with Ingest.cores = 2 } in
+  let src = Reader.Text big_trace in
+  (* Full-size caches: sample_sets must divide every cache's set
+     count, and the scaled-down machines get too small. *)
+  let m = Ctam_arch.Machines.dunnington ~scale:1 () in
+  let loaded = Ingest.load opts src in
+  let dense_phase =
+    Array.init m.Ctam_arch.Topology.num_cores (fun i ->
+        if i < Array.length loaded then loaded.(i) else [||])
+  in
+  let st_dense =
+    Engine.run (Hierarchy.create ~sample_sets:8 m) [ dense_phase ]
+  in
+  let st_stream, _ = Ingest.run ~sample_sets:8 ~machine:m opts src in
+  check_bool "sampled stats identical" true (st_dense = st_stream)
+
+let test_fold_and_rebase () =
+  let src = Reader.Text " L 0xdeadb000,8\n S 0xdeadb040,8\n L 0xdeadf000,4\n" in
+  (* Rebase pulls the trace down to offset 0. *)
+  let rebased =
+    Ingest.load { Ingest.default with Ingest.rebase = true } src
+  in
+  let addrs c = Array.map (fun e -> fst (Engine.decode_access e)) c in
+  check_bool "rebased to zero" true
+    (addrs rebased.(0) = [| 0x0; 0x40; 0x4000 |]);
+  (* Folding wraps into a 2^bits window (after rebasing). *)
+  let folded =
+    Ingest.load
+      { Ingest.default with Ingest.rebase = true; Ingest.fold_bits = Some 12 }
+      src
+  in
+  check_bool "folded into 4K" true
+    (Array.for_all (fun a -> a < 4096) (addrs folded.(0)));
+  check_bool "low bits preserved" true (addrs folded.(0) = [| 0x0; 0x40; 0x0 |])
+
+let test_run_rejects_too_many_cores () =
+  let m = machine () in
+  let opts =
+    { Ingest.default with Ingest.cores = m.Ctam_arch.Topology.num_cores + 1 }
+  in
+  check_bool "more trace cores than machine cores" true
+    (match Ingest.run ~machine:m opts (Reader.Text " L 0x10,4\n") with
+    | exception Ingest.Error _ -> true
+    | _ -> false)
+
+(* --- sources ----------------------------------------------------------- *)
+
+let test_file_matches_text () =
+  let path = tmp_trace big_trace in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let opts = { Ingest.default with Ingest.cores = 2 } in
+      let from_file = Ingest.load opts (Reader.File path) in
+      let from_text = Ingest.load opts (Reader.Text big_trace) in
+      check_bool "File == Text" true (from_file = from_text))
+
+let gzip_available () = Sys.command "gzip --version > /dev/null 2>&1" = 0
+
+let test_gzip_roundtrip () =
+  if not (gzip_available ()) then ()
+  else
+    let path = tmp_trace big_trace in
+    Fun.protect
+      ~finally:(fun () ->
+        if Sys.file_exists path then Sys.remove path;
+        if Sys.file_exists (path ^ ".gz") then Sys.remove (path ^ ".gz"))
+      (fun () ->
+        let plain = Ingest.load Ingest.default (Reader.File path) in
+        check_int "gzip ok" 0
+          (Sys.command (Printf.sprintf "gzip -f %s" (Filename.quote path)));
+        (* Detection is by magic bytes, not extension. *)
+        Sys.rename (path ^ ".gz") path;
+        let gz = Ingest.load Ingest.default (Reader.File path) in
+        check_bool "compressed == plain" true (gz = plain))
+
+let test_missing_file () =
+  check_bool "missing file raises Sys_error" true
+    (match Ingest.scan Ingest.default (Reader.File "/nonexistent/t.trace") with
+    | exception Sys_error _ -> true
+    | _ -> false)
+
+(* --- the report -------------------------------------------------------- *)
+
+let test_report_json () =
+  let m =
+    Ctam_arch.Topology.with_policy_spec
+      [ (Some 1, Ctam_arch.Policy.Plru) ]
+      (machine ())
+  in
+  let opts = { Ingest.default with Ingest.cores = 2 } in
+  let src = Reader.Text big_trace in
+  let stats, scan = Ingest.run ~machine:m opts src in
+  let text = Ctam_util.Json.to_string (Ingest.report_json ~machine:m opts scan stats) in
+  List.iter
+    (fun affix ->
+      check_bool ("report carries " ^ affix) true
+        (Astring.String.is_infix ~affix text))
+    [
+      {|"schema": "ctam-simtrace-v1"|}; {|"policy": "plru"|};
+      {|"malformed": 0|}; {|"interleave": "round-robin"|};
+    ];
+  check_bool "trace_formats non-empty" true (Ingest.trace_formats <> [])
+
+let () =
+  Alcotest.run "tracein"
+    [
+      ( "lackey",
+        [ Alcotest.test_case "parse forms" `Quick test_parse_forms ] );
+      ( "scan",
+        [
+          Alcotest.test_case "counts" `Quick test_scan_counts;
+          Alcotest.test_case "modify expands" `Quick
+            test_modify_is_load_then_store;
+          Alcotest.test_case "split spans" `Quick test_split_spans;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "strict positions" `Quick test_strict_positions;
+          Alcotest.test_case "lossy counts" `Quick test_lossy_counts;
+          Alcotest.test_case "missing file" `Quick test_missing_file;
+        ] );
+      ( "interleave",
+        [
+          Alcotest.test_case "round-robin" `Quick test_round_robin_deals;
+          Alcotest.test_case "tagged" `Quick test_tagged_deals;
+          Alcotest.test_case "tagged strict" `Quick test_tagged_strict_rejects;
+        ] );
+      ( "streams",
+        [
+          Alcotest.test_case "cursors == dense" `Quick
+            test_streams_match_load;
+          Alcotest.test_case "sample sets compose" `Quick
+            test_sample_sets_compose;
+          Alcotest.test_case "fold and rebase" `Quick test_fold_and_rebase;
+          Alcotest.test_case "core bound" `Quick
+            test_run_rejects_too_many_cores;
+        ] );
+      ( "sources",
+        [
+          Alcotest.test_case "file == text" `Quick test_file_matches_text;
+          Alcotest.test_case "gzip" `Quick test_gzip_roundtrip;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "simtrace json" `Quick test_report_json ] );
+    ]

@@ -1,0 +1,88 @@
+#!/bin/sh
+# End-to-end gate for the replacement-policy layer and the trace
+# frontend:
+#   1. the bench policy-sweep's differential invariants hold (the
+#      sweep itself exits non-zero when LRU-as-policy diverges from
+#      the seed reference engine or any hit-rate trend breaks);
+#   2. `ctamap simtrace` replays a Lackey-style trace, honors
+#      per-level --policy bindings, and emits a ctam-simtrace-v1
+#      report that parses as JSON (tools/json_check.exe);
+#   3. malformed trace lines are rejected WITH their line position in
+#      strict mode, and merely counted in --lossy mode;
+#   4. a bogus --policy spec is rejected before any work happens.
+# Wired into `dune runtest` from tools/dune; also runnable by hand:
+#
+#   dune build && sh tools/check_policies.sh
+#
+# Args (all optional): CTAMAP_EXE BENCH_EXE JSON_CHECK_EXE
+set -e
+CTAMAP=${1:-./_build/default/bin/ctamap.exe}
+BENCH=${2:-./_build/default/bench/main.exe}
+JSON_CHECK=${3:-./_build/default/tools/json_check.exe}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# 1. The differential sweep (quick subset: one machine, 64K-access
+#    reference strings).  Exits non-zero on any invariant violation.
+"$BENCH" policy-sweep --quick > /dev/null
+
+# 2. A well-formed mixed-notation trace through simtrace, with
+#    per-level policy bindings; the JSON report must parse and carry
+#    the schema, the bound policies, and zero malformed lines.
+cat > "$tmp/good.trace" << 'EOF'
+==1234== lackey trace
+I  0x40001000,4
+ L 0x1000,8
+ S 0x1040,8
+ M 0x1080,4
+R 0x20
+W 0x1100
+1: L 0x2000,8 @5
+EOF
+"$CTAMAP" simtrace "$tmp/good.trace" -m dunnington --cores 2 \
+  --interleave tagged --policy L1=plru,L2=qlru --json > "$tmp/report.json"
+"$JSON_CHECK" "$tmp/report.json" > /dev/null
+grep -q '"schema": "ctam-simtrace-v1"' "$tmp/report.json"
+grep -q '"policy": "plru"' "$tmp/report.json"
+grep -q '"policy": "qlru"' "$tmp/report.json"
+grep -q '"malformed": 0' "$tmp/report.json"
+
+# 3a. Strict mode: a malformed line fails the run and names its
+#     position.
+cat > "$tmp/bad.trace" << 'EOF'
+ L 0x1000,8
+ S 0x1040,8
+ X 0xnonsense
+ L 0x1080,4
+EOF
+if "$CTAMAP" simtrace "$tmp/bad.trace" -m dunnington > /dev/null \
+  2> "$tmp/err"; then
+  echo "check_policies: strict mode accepted a malformed line" >&2
+  exit 1
+fi
+grep -q "line 3" "$tmp/err" || {
+  echo "check_policies: strict error lost the line position:" >&2
+  cat "$tmp/err" >&2
+  exit 1
+}
+
+# 3b. Lossy mode: the same trace runs, the malformed line is counted,
+#     the well-formed records survive.
+"$CTAMAP" simtrace "$tmp/bad.trace" -m dunnington --lossy --json \
+  > "$tmp/lossy.json"
+"$JSON_CHECK" "$tmp/lossy.json" > /dev/null
+grep -q '"malformed": 1' "$tmp/lossy.json"
+grep -q '"records": 3' "$tmp/lossy.json"
+
+# 4. Policy spec validation happens before the trace is touched.
+if "$CTAMAP" simtrace "$tmp/good.trace" -m dunnington --policy bogus \
+  > /dev/null 2>&1; then
+  echo "check_policies: bogus --policy accepted" >&2
+  exit 1
+fi
+if "$CTAMAP" run cg -m dunnington --policy L9=plru > /dev/null 2>&1; then
+  echo "check_policies: out-of-range policy level accepted" >&2
+  exit 1
+fi
+
+echo "check_policies: sweep invariants hold, simtrace gates work"
